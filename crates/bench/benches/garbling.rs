@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the garbling substrate: half-gate
+//! throughput and end-to-end protocol runs on the Table 1 circuits.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use arm2gc_bench::runner::{run_baseline, run_skipgate};
+use arm2gc_circuit::bench_circuits;
+use arm2gc_circuit::Op;
+use arm2gc_crypto::{Delta, Label, Prg};
+use arm2gc_garble::{HalfGateEvaluator, HalfGateGarbler};
+
+fn bench_halfgate(c: &mut Criterion) {
+    let mut prg = Prg::from_seed([1; 16]);
+    let delta = Delta::random(&mut prg);
+    let garbler = HalfGateGarbler::new(delta);
+    let evaluator = HalfGateEvaluator::new();
+    let a0 = Label::random(&mut prg);
+    let b0 = Label::random(&mut prg);
+    let (_, table) = garbler.garble(Op::AND, a0, b0, 7);
+
+    let mut g = c.benchmark_group("halfgate");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("garble_and", |b| {
+        b.iter(|| garbler.garble(Op::AND, a0, b0, 7))
+    });
+    g.bench_function("eval_and", |b| {
+        b.iter(|| evaluator.eval(a0, b0, &table, 7))
+    });
+    g.finish();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.sample_size(10);
+    g.bench_function("sum32_baseline", |b| {
+        b.iter(|| run_baseline(&bench_circuits::sum(32, 111, 222)))
+    });
+    g.bench_function("sum32_skipgate", |b| {
+        b.iter(|| run_skipgate(&bench_circuits::sum(32, 111, 222)))
+    });
+    g.bench_function("hamming160_skipgate", |b| {
+        b.iter(|| {
+            run_skipgate(&bench_circuits::hamming(
+                160,
+                &[1, 2, 3, 4, 5],
+                &[6, 7, 8, 9, 10],
+            ))
+        })
+    });
+    g.bench_function("aes128_skipgate", |b| {
+        b.iter(|| {
+            let key: Vec<u8> = (0..16).collect();
+            let pt: Vec<u8> = (16..32).collect();
+            run_skipgate(&bench_circuits::aes128(
+                key.try_into().expect("16"),
+                pt.try_into().expect("16"),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_halfgate, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the garbled processor: end-to-end SkipGate
+//! runs of the paper's CPU workloads (small sizes to keep `cargo bench`
+//! interactive; the table binaries run the full sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use arm2gc_cpu::asm::assemble;
+use arm2gc_cpu::machine::{CpuConfig, GcMachine};
+use arm2gc_cpu::programs;
+
+fn bench_cpu(c: &mut Criterion) {
+    let machine = GcMachine::new(CpuConfig::small());
+    let mut g = c.benchmark_group("garbled_cpu");
+    g.sample_size(10);
+
+    let sum = assemble(&programs::sum32()).expect("sum32");
+    g.bench_function("sum32", |b| {
+        b.iter(|| machine.run_skipgate(&sum, &[1234], &[5678], 64))
+    });
+
+    let mult = assemble(&programs::mult32()).expect("mult32");
+    g.bench_function("mult32", |b| {
+        b.iter(|| machine.run_skipgate(&mult, &[1234], &[5678], 64))
+    });
+
+    let ham = assemble(&programs::hamming(1)).expect("hamming");
+    g.bench_function("hamming32", |b| {
+        b.iter(|| machine.run_skipgate(&ham, &[0xdeadbeef], &[0x600df00d], 256))
+    });
+
+    let sort = assemble(&programs::bubble_sort(8)).expect("bubble");
+    g.bench_function("bubble_sort8", |b| {
+        b.iter(|| {
+            machine.run_skipgate(
+                &sort,
+                &[8, 7, 6, 5, 4, 3, 2, 1],
+                &[0, 0, 0, 0, 0, 0, 0, 0],
+                20_000,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_decide_pass(c: &mut Criterion) {
+    // Isolates the SkipGate decision engine's per-cycle cost on the CPU
+    // netlist (§3.4's "linear computational complexity" claim).
+    use arm2gc_core::{DecideContext, TagAllocator, WireVal};
+    let machine = GcMachine::new(CpuConfig::small());
+    let circuit = machine.circuit();
+    let ctx = DecideContext::new(circuit);
+    let mut alloc = TagAllocator::new();
+    let mut states = vec![WireVal::Public(false); circuit.wire_count()];
+    // Mark party memories secret, as at protocol start.
+    for dff in circuit.dffs() {
+        use arm2gc_circuit::DffInit;
+        if matches!(dff.init, DffInit::Alice(_) | DffInit::Bob(_)) {
+            states[dff.q.index()] = WireVal::Secret(alloc.fresh());
+        }
+    }
+    c.bench_function("decide_pass_per_cycle", |b| {
+        b.iter(|| {
+            let mut s = states.clone();
+            let mut a = alloc.clone();
+            ctx.decide_cycle(&mut s, &mut a, false)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cpu, bench_decide_pass);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates **Table 3**: ARM2GC vs the best prior high-level-language
+//! frameworks (CBMC-GC, Frigate).
+//!
+//! The comparator columns are the published numbers (those tools are
+//! closed or bit-rotted academic artifacts — DESIGN.md); our ARM2GC
+//! column is measured live, including the `a = a op a` dynamic-gate-
+//! elimination demonstration.
+
+use arm2gc_bench::runner::{a_op_a_measurement, cpu_workloads, machine_for};
+use arm2gc_bench::{fmt_count, paper, Table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut measured: Vec<(String, u64)> = Vec::new();
+    let mut machines: Vec<(arm2gc_cpu::machine::CpuConfig, arm2gc_cpu::machine::GcMachine)> =
+        Vec::new();
+    for w in cpu_workloads(quick) {
+        let idx = match machines.iter().position(|(c, _)| *c == w.config) {
+            Some(i) => i,
+            None => {
+                machines.push((w.config, machine_for(w.config)));
+                machines.len() - 1
+            }
+        };
+        let (_, stats) = w.measure(&machines[idx].1);
+        measured.push((w.name.clone(), stats.garbled_tables));
+    }
+    measured.push(("a = a op a".into(), a_op_a_measurement()));
+
+    let mut table = Table::new(
+        "Table 3 — ARM2GC vs high-level GC frameworks (non-XOR gates)",
+        &[
+            "Function",
+            "CBMC-GC (paper)",
+            "Frigate (paper)",
+            "ARM2GC (measured)",
+            "ARM2GC (paper)",
+        ],
+    );
+    for row in paper::TABLE3 {
+        let ours = measured
+            .iter()
+            .find(|(n, _)| normalise(n) == normalise(row.name))
+            .map(|(_, c)| *c);
+        table.row(vec![
+            row.name.to_string(),
+            row.cbmc_gc.map_or("-".into(), |v| fmt_count(v as u128)),
+            row.frigate.map_or("-".into(), |v| fmt_count(v as u128)),
+            ours.map_or("(see table1/2)".into(), |v| fmt_count(v as u128)),
+            fmt_count(row.arm2gc as u128),
+        ]);
+    }
+    table.print();
+    println!(
+        "Garbled-MIPS comparison (§5.3): Hamming over 32 32-bit ints — \
+         MIPS {} vs ARM2GC {} (paper), 156x",
+        fmt_count(paper::GARBLED_MIPS_HAMMING_32X32 as u128),
+        fmt_count(paper::ARM2GC_HAMMING_32X32 as u128),
+    );
+}
+
+fn normalise(name: &str) -> String {
+    name.to_lowercase()
+        .replace([' ', '_'], "")
+        .replace("matmul", "matrixmult")
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Table 4**: improvement by SkipGate on the garbled
+//! processor itself.
+//!
+//! The "w/o SkipGate" column is `cycles × processor-non-XOR` — the cost
+//! of conventionally garbling the whole CPU every cycle (the paper's own
+//! ≈5×10¹⁰-gate entries are computed the same way; actually garbling
+//! them is infeasible anywhere). The "w/ SkipGate" column is a real
+//! two-party run.
+
+use arm2gc_bench::runner::{cpu_workloads, machine_for};
+use arm2gc_bench::{fmt_count, paper, Table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut table = Table::new(
+        "Table 4 — SkipGate on the garbled ARM-like CPU (garbled non-XOR gates)",
+        &[
+            "Function",
+            "cycles",
+            "w/o SkipGate",
+            "w/ SkipGate",
+            "improv. (1000X)",
+            "paper w/o",
+            "paper w/",
+        ],
+    );
+    let mut machines: Vec<(arm2gc_cpu::machine::CpuConfig, arm2gc_cpu::machine::GcMachine)> =
+        Vec::new();
+    for w in cpu_workloads(quick) {
+        let idx = match machines.iter().position(|(c, _)| *c == w.config) {
+            Some(i) => i,
+            None => {
+                machines.push((w.config, machine_for(w.config)));
+                machines.len() - 1
+            }
+        };
+        let machine = &machines[idx].1;
+        let (cycles, stats) = w.measure(machine);
+        let baseline = machine.baseline_cost(cycles);
+        let paper_row = paper::TABLE4
+            .iter()
+            .find(|r| normalise(r.name) == normalise(&w.name));
+        let improv = baseline / (stats.garbled_tables.max(1) as u128) / 1000;
+        table.row(vec![
+            w.name.clone(),
+            fmt_count(cycles as u128),
+            fmt_count(baseline),
+            fmt_count(stats.garbled_tables as u128),
+            fmt_count(improv),
+            paper_row.map_or("-".into(), |r| fmt_count(r.without)),
+            paper_row.map_or("-".into(), |r| fmt_count(r.with as u128)),
+        ]);
+    }
+    table.print();
+    let nx = machines
+        .iter()
+        .map(|(_, m)| m.circuit().non_xor_count())
+        .max()
+        .unwrap_or(0);
+    println!(
+        "our CPU: {} non-XOR gates per cycle (paper's Amber-based netlist: 126,755)",
+        fmt_count(nx as u128)
+    );
+}
+
+fn normalise(name: &str) -> String {
+    name.to_lowercase()
+        .replace([' ', '_'], "")
+        .replace("matmul", "matrixmult")
+}

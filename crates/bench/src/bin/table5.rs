@@ -1,0 +1,59 @@
+//! Regenerates **Table 5**: SkipGate on the complex functions
+//! (Bubble-Sort, Merge-Sort, Dijkstra, CORDIC) with XOR-shared inputs.
+//!
+//! `--quick` runs the sorts at n = 8 instead of 32.
+
+use arm2gc_bench::runner::{complex_workloads, machine_for};
+use arm2gc_bench::{fmt_count, paper, Table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut table = Table::new(
+        "Table 5 — complex functions on the garbled CPU (garbled non-XOR gates)",
+        &[
+            "Function",
+            "cycles",
+            "w/o SkipGate",
+            "w/ SkipGate",
+            "improv. (1000X)",
+            "paper w/o",
+            "paper w/",
+        ],
+    );
+    let mut machines: Vec<(arm2gc_cpu::machine::CpuConfig, arm2gc_cpu::machine::GcMachine)> =
+        Vec::new();
+    for w in complex_workloads(quick) {
+        let idx = match machines.iter().position(|(c, _)| *c == w.config) {
+            Some(i) => i,
+            None => {
+                machines.push((w.config, machine_for(w.config)));
+                machines.len() - 1
+            }
+        };
+        let machine = &machines[idx].1;
+        let (cycles, stats) = w.measure(machine);
+        let baseline = machine.baseline_cost(cycles);
+        let paper_row = paper::TABLE5
+            .iter()
+            .find(|r| normalise(r.name) == normalise(&w.name));
+        table.row(vec![
+            w.name.clone(),
+            fmt_count(cycles as u128),
+            fmt_count(baseline),
+            fmt_count(stats.garbled_tables as u128),
+            fmt_count(baseline / stats.garbled_tables.max(1) as u128 / 1000),
+            paper_row.map_or("-".into(), |r| fmt_count(r.without)),
+            paper_row.map_or("-".into(), |r| fmt_count(r.with as u128)),
+        ]);
+    }
+    table.print();
+    if quick {
+        println!("(--quick: sorts at n = 8; run without --quick for the paper's n = 32)");
+    }
+}
+
+fn normalise(name: &str) -> String {
+    name.to_lowercase()
+        .replace([' ', '_'], "")
+        .replace("matmul", "matrixmult")
+}

@@ -1,0 +1,47 @@
+//! Bit-serial magnitude comparison (TinyGarble's "Compare" benchmark).
+//!
+//! Computes `a < b` for `n`-bit unsigned operands by rippling the borrow
+//! of `a - b` through a carry flip-flop: one AND per cycle, `n` cycles —
+//! the paper's "Compare n = n non-XOR" row, on which SkipGate saves
+//! nothing (every carry is live and secret from cycle one).
+
+use super::BenchCircuit;
+use crate::ir::{DffInit, Role};
+use crate::sim::PartyData;
+use crate::CircuitBuilder;
+
+/// Builds the `n`-bit serial comparator with canonical inputs (`a < b`).
+pub fn compare(n: usize, a: u64, b: u64) -> BenchCircuit {
+    let mut bld = CircuitBuilder::new(format!("compare_{n}"));
+    let ai = bld.input(Role::Alice);
+    let bi = bld.input(Role::Bob);
+    // a + !b + 1: carry flip-flop starts at 1 (the "+1").
+    let carry = bld.dff(DffInit::Const(true));
+    let nb = bld.not(bi);
+    let (_, cout) = bld.full_adder(ai, nb, carry);
+    bld.connect_dff(carry, cout);
+    // carry_out == 1 ⇔ a >= b, so lt = !carry_out.
+    let lt = bld.not(cout);
+    bld.output(lt);
+    let circuit = bld.build();
+
+    let alice = PartyData::from_stream((0..n).map(|i| vec![bit(a, i)]).collect());
+    let bob = PartyData::from_stream((0..n).map(|i| vec![bit(b, i)]).collect());
+
+    BenchCircuit {
+        circuit,
+        cycles: n,
+        alice,
+        bob,
+        public: PartyData::default(),
+        expected: vec![a < b],
+    }
+}
+
+fn bit(v: u64, i: usize) -> bool {
+    if i < 64 {
+        (v >> i) & 1 == 1
+    } else {
+        false
+    }
+}

@@ -1,0 +1,51 @@
+//! Bit-serial Hamming distance (TinyGarble's "Hamming" benchmark).
+//!
+//! Per cycle one bit of each operand is XORed and added into a
+//! `ceil(log2(n+1))`-bit counter through a half-adder chain
+//! (`w-1` ANDs per cycle). For n = 32/160/512 this gives the paper's
+//! static counts 160/1120/4608 exactly.
+
+use super::BenchCircuit;
+use crate::ir::{DffInit, Role};
+use crate::sim::PartyData;
+use crate::words::u64_to_bits;
+use crate::CircuitBuilder;
+
+/// Builds the `n`-bit serial Hamming-distance circuit. `a` and `b` are
+/// little-endian 32-bit word vectors supplying at least `n` bits.
+pub fn hamming(n: usize, a: &[u32], b: &[u32]) -> BenchCircuit {
+    let w = usize::BITS as usize - n.leading_zeros() as usize; // ceil(log2(n+1))
+    let mut bld = CircuitBuilder::new(format!("hamming_{n}"));
+    let ai = bld.input(Role::Alice);
+    let bi = bld.input(Role::Bob);
+    let x = bld.xor(ai, bi);
+    let counter = bld.dff_bus(w, |_| DffInit::Const(false));
+    // Half-adder chain: counter + x. Bit 0: s = c0 ⊕ x, carry = c0 ∧ x;
+    // bit i: s = ci ⊕ carry, carry' = ci ∧ carry. No carry out of the top
+    // bit (the counter is wide enough never to overflow).
+    let mut carry = x;
+    let mut next = Vec::with_capacity(w);
+    for i in 0..w {
+        next.push(bld.xor(counter[i], carry));
+        if i + 1 < w {
+            carry = bld.and(counter[i], carry);
+        }
+    }
+    bld.connect_dff_bus(&counter, &next);
+    bld.outputs(&counter);
+    let circuit = bld.build();
+
+    let bits_of = |ws: &[u32], i: usize| (ws[i / 32] >> (i % 32)) & 1 == 1;
+    let alice = PartyData::from_stream((0..n).map(|i| vec![bits_of(a, i)]).collect());
+    let bob = PartyData::from_stream((0..n).map(|i| vec![bits_of(b, i)]).collect());
+    let dist = (0..n).filter(|&i| bits_of(a, i) != bits_of(b, i)).count() as u64;
+
+    BenchCircuit {
+        circuit,
+        cycles: n,
+        alice,
+        bob,
+        public: PartyData::default(),
+        expected: u64_to_bits(dist, w),
+    }
+}

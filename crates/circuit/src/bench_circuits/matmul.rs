@@ -1,0 +1,58 @@
+//! Combinational k×k matrix multiplication over 32-bit words
+//! (TinyGarble's "MatrixMult" benchmark).
+//!
+//! Each output cell is a sum of `k` low-half products. After SkipGate
+//! removes the dead top carries the runtime cost is
+//! `k³·993 + k²(k-1)·31` — 27,369 / 127,225 / 522,304 for k = 3/5/8,
+//! exactly the paper's ARM2GC column of Table 2.
+
+use super::BenchCircuit;
+use crate::ir::Role;
+use crate::sim::PartyData;
+use crate::words::u32_to_bits;
+use crate::{Bus, CircuitBuilder};
+
+/// Builds the `k×k` 32-bit matrix multiplier. `a` and `b` are row-major
+/// `k²`-element matrices.
+pub fn matrix_mult(k: usize, a: &[u32], b: &[u32]) -> BenchCircuit {
+    assert_eq!(a.len(), k * k, "a must be k×k");
+    assert_eq!(b.len(), k * k, "b must be k×k");
+    let mut bld = CircuitBuilder::new(format!("matmul_{k}x{k}_32"));
+    let abits: Vec<Bus> = (0..k * k).map(|_| bld.inputs(Role::Alice, 32)).collect();
+    let bbits: Vec<Bus> = (0..k * k).map(|_| bld.inputs(Role::Bob, 32)).collect();
+
+    for i in 0..k {
+        for j in 0..k {
+            let mut acc: Option<Bus> = None;
+            for l in 0..k {
+                let prod = bld.mul_lo(&abits[i * k + l], &bbits[l * k + j]);
+                acc = Some(match acc {
+                    None => prod,
+                    Some(cur) => bld.add(&cur, &prod).0,
+                });
+            }
+            bld.outputs(&acc.expect("k > 0"));
+        }
+    }
+    let circuit = bld.build();
+
+    let mut expected = Vec::with_capacity(k * k * 32);
+    for i in 0..k {
+        for j in 0..k {
+            let cell = (0..k).fold(0u32, |s, l| {
+                s.wrapping_add(a[i * k + l].wrapping_mul(b[l * k + j]))
+            });
+            expected.extend(u32_to_bits(cell, 32));
+        }
+    }
+
+    let flat = |m: &[u32]| vec![m.iter().flat_map(|&w| u32_to_bits(w, 32)).collect()];
+    BenchCircuit {
+        circuit,
+        cycles: 1,
+        alice: PartyData::from_stream(flat(a)),
+        bob: PartyData::from_stream(flat(b)),
+        public: PartyData::default(),
+        expected,
+    }
+}

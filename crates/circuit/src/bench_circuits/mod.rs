@@ -1,0 +1,115 @@
+//! Generators for the paper's benchmark circuits (§5.2).
+//!
+//! Each generator returns a [`BenchCircuit`]: the netlist, the number of
+//! clock cycles it runs, and encoder/decoder closures that translate
+//! between semantic values (integers) and the per-cycle bit streams the
+//! engines consume. These are the rows of Tables 1, 2 and 4.
+
+mod aes;
+mod compare;
+mod hamming;
+mod matmul;
+mod mult;
+mod sha3;
+mod sum;
+
+pub use aes::aes128;
+pub use compare::compare;
+pub use hamming::hamming;
+pub use matmul::matrix_mult;
+pub use mult::mult;
+pub use sha3::sha3_256;
+pub use sum::sum;
+
+use crate::ir::Circuit;
+use crate::sim::PartyData;
+
+/// A benchmark circuit bundled with its run schedule.
+#[derive(Debug)]
+pub struct BenchCircuit {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// Number of clock cycles a run takes.
+    pub cycles: usize,
+    /// Alice's runtime data for the canonical test inputs.
+    pub alice: PartyData,
+    /// Bob's runtime data for the canonical test inputs.
+    pub bob: PartyData,
+    /// Public runtime data (`p`).
+    pub public: PartyData,
+    /// Expected output bits (from the semantic model) for those inputs.
+    pub expected: Vec<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    fn check(bc: &BenchCircuit) {
+        let res = Simulator::new(&bc.circuit).run(&bc.alice, &bc.bob, &bc.public, bc.cycles);
+        let got: Vec<bool> = res.outputs.concat();
+        assert_eq!(
+            got,
+            bc.expected,
+            "simulated output mismatch for {}",
+            bc.circuit.name()
+        );
+    }
+
+    #[test]
+    fn sum_32_simulates() {
+        check(&sum(32, 0xdead_beef, 0x1234_5678));
+    }
+
+    #[test]
+    fn sum_1024_simulates() {
+        check(&sum(1024, 0xffff_ffff, 1));
+    }
+
+    #[test]
+    fn compare_32_simulates() {
+        check(&compare(32, 5, 9));
+        check(&compare(32, 9, 5));
+        check(&compare(32, 7, 7));
+    }
+
+    #[test]
+    fn hamming_32_simulates() {
+        check(&hamming(32, &[0xffff_0000], &[0x0f0f_0f0f]));
+    }
+
+    #[test]
+    fn hamming_160_simulates() {
+        let a: Vec<u32> = (0..5).map(|i| 0x1111_1111 * i).collect();
+        let b: Vec<u32> = (0..5).map(|i| 0x2222_2221 * i).collect();
+        check(&hamming(160, &a, &b));
+    }
+
+    #[test]
+    fn mult_32_simulates() {
+        check(&mult(32, 123_456_789, 987_654_321));
+    }
+
+    #[test]
+    fn matmul_3x3_simulates() {
+        let a: Vec<u32> = (1..=9).collect();
+        let b: Vec<u32> = (10..=18).collect();
+        check(&matrix_mult(3, &a, &b));
+    }
+
+    #[test]
+    fn sha3_256_simulates() {
+        check(&sha3_256(b"abc"));
+    }
+
+    #[test]
+    fn aes_128_simulates() {
+        let key: Vec<u8> = (0..16).collect();
+        let pt: Vec<u8> = (0..16).map(|i| i * 0x11).collect();
+        check(&aes128(
+            key.try_into().expect("16 bytes"),
+            pt.try_into().expect("16 bytes"),
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! Combinational multiplication (TinyGarble's "Mult" benchmark).
+//!
+//! A full schoolbook `n×n → 2n` array multiplier evaluated in one cycle;
+//! 2016 ANDs for n = 32, the paper's Table 1/2 figure.
+
+use super::BenchCircuit;
+use crate::ir::Role;
+use crate::sim::PartyData;
+use crate::words::u64_to_bits;
+use crate::CircuitBuilder;
+
+/// Builds the `n`-bit multiplier with canonical inputs (`a * b`, full
+/// double-width product).
+pub fn mult(n: usize, a: u64, b: u64) -> BenchCircuit {
+    let mut bld = CircuitBuilder::new(format!("mult_{n}"));
+    let ai = bld.inputs(Role::Alice, n);
+    let bi = bld.inputs(Role::Bob, n);
+    let p = bld.mul_full(&ai, &bi);
+    bld.outputs(&p);
+    let circuit = bld.build();
+
+    let prod = (a as u128) * (b as u128);
+    let expected = (0..2 * n).map(|i| (prod >> i) & 1 == 1).collect();
+
+    BenchCircuit {
+        circuit,
+        cycles: 1,
+        alice: PartyData::from_stream(vec![u64_to_bits(a, n)]),
+        bob: PartyData::from_stream(vec![u64_to_bits(b, n)]),
+        public: PartyData::default(),
+        expected,
+    }
+}

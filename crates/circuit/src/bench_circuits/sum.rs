@@ -1,0 +1,49 @@
+//! Bit-serial addition (TinyGarble's "Sum" benchmark).
+//!
+//! A single 1-bit full adder with a carry flip-flop runs for `n` cycles,
+//! consuming one bit of each operand and emitting one sum bit per cycle.
+//! Per-cycle cost: exactly 1 AND — so "Sum n" costs `n` garbled tables
+//! without SkipGate and `n-1` with it (the final carry is dead), matching
+//! Table 1 of the paper.
+
+use super::BenchCircuit;
+use crate::ir::{DffInit, OutputMode, Role};
+use crate::sim::PartyData;
+use crate::CircuitBuilder;
+
+/// Builds the `n`-bit bit-serial adder with canonical inputs `a + b`.
+pub fn sum(n: usize, a: u64, b: u64) -> BenchCircuit {
+    let mut bld = CircuitBuilder::new(format!("sum_{n}"));
+    let ai = bld.input(Role::Alice);
+    let bi = bld.input(Role::Bob);
+    let carry = bld.dff(DffInit::Const(false));
+    let (s, cout) = bld.full_adder(ai, bi, carry);
+    bld.connect_dff(carry, cout);
+    bld.output(s);
+    bld.set_output_mode(OutputMode::PerCycle);
+    let circuit = bld.build();
+
+    let alice = PartyData::from_stream((0..n).map(|i| vec![bit(a, i)]).collect());
+    let bob = PartyData::from_stream((0..n).map(|i| vec![bit(b, i)]).collect());
+    let total = (a as u128) + (b as u128);
+    let expected = (0..n)
+        .map(|i| i < 128 && (total >> i) & 1 == 1)
+        .collect();
+
+    BenchCircuit {
+        circuit,
+        cycles: n,
+        alice,
+        bob,
+        public: PartyData::default(),
+        expected,
+    }
+}
+
+fn bit(v: u64, i: usize) -> bool {
+    if i < 64 {
+        (v >> i) & 1 == 1
+    } else {
+        false
+    }
+}

@@ -1,0 +1,236 @@
+//! Arithmetic stdlib: adders, subtractors, comparators, multipliers,
+//! popcount — all built from the GC-optimised full adder
+//! (`s = a⊕b⊕c`, `c' = c ⊕ ((a⊕c)∧(b⊕c))`: **one** AND per bit).
+
+use super::{Bus, CircuitBuilder};
+use crate::ir::WireId;
+
+impl CircuitBuilder {
+    /// One-bit full adder returning `(sum, carry_out)` — costs 1 AND.
+    pub fn full_adder(&mut self, a: WireId, b: WireId, c: WireId) -> (WireId, WireId) {
+        let axc = self.xor(a, c);
+        let bxc = self.xor(b, c);
+        let s = self.xor(axc, b);
+        let t = self.and(axc, bxc);
+        let cout = self.xor(c, t);
+        (s, cout)
+    }
+
+    /// Ripple-carry addition with explicit carry-in; returns
+    /// `(sum, carry_out)`. Costs `width` ANDs.
+    pub fn add_with_carry(&mut self, a: &[WireId], b: &[WireId], cin: WireId) -> (Bus, WireId) {
+        assert_eq!(a.len(), b.len(), "add width mismatch");
+        let mut c = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&ai, &bi) in a.iter().zip(b) {
+            let (s, co) = self.full_adder(ai, bi, c);
+            sum.push(s);
+            c = co;
+        }
+        (sum, c)
+    }
+
+    /// `a + b` (carry-in 0); returns `(sum, carry_out)`.
+    ///
+    /// The final carry's AND is only paid if `carry_out` is used — the
+    /// engines skip dead gates — so an `n`-bit add that ignores the carry
+    /// costs `n-1` garbled tables, matching TinyGarble's Sum numbers.
+    pub fn add(&mut self, a: &[WireId], b: &[WireId]) -> (Bus, WireId) {
+        let zero = self.constant(false);
+        self.add_with_carry(a, b, zero)
+    }
+
+    /// `a - b` via `a + !b + 1`; returns `(difference, carry_out)` where
+    /// `carry_out == 1` means no borrow (i.e. `a >= b` unsigned).
+    pub fn sub(&mut self, a: &[WireId], b: &[WireId]) -> (Bus, WireId) {
+        let nb = self.not_bus(b);
+        let one = self.constant(true);
+        self.add_with_carry(a, &nb, one)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: &[WireId]) -> Bus {
+        let zero_bus = self.const_bus(0, a.len());
+        self.sub(&zero_bus, a).0
+    }
+
+    /// Increment by one; returns `(a + 1, carry_out)`.
+    pub fn inc(&mut self, a: &[WireId]) -> (Bus, WireId) {
+        let zeros = self.const_bus(0, a.len());
+        let one = self.constant(true);
+        self.add_with_carry(a, &zeros, one)
+    }
+
+    /// `a == b` — `width-1` ANDs plus free XNORs.
+    pub fn eq(&mut self, a: &[WireId], b: &[WireId]) -> WireId {
+        assert_eq!(a.len(), b.len(), "eq width mismatch");
+        let bits: Bus = a.iter().zip(b).map(|(&x, &y)| self.xnor(x, y)).collect();
+        self.and_reduce(&bits)
+    }
+
+    /// `a == v` for a public constant `v` — `width-1` ANDs.
+    pub fn eq_const(&mut self, a: &[WireId], v: u64) -> WireId {
+        let bits: Bus = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                if (v >> i) & 1 == 1 {
+                    x
+                } else {
+                    self.not(x)
+                }
+            })
+            .collect();
+        self.and_reduce(&bits)
+    }
+
+    /// Unsigned `a < b` — `width` ANDs (borrow chain of `a - b`).
+    pub fn lt_unsigned(&mut self, a: &[WireId], b: &[WireId]) -> WireId {
+        let (_, carry) = self.sub(a, b);
+        self.not(carry)
+    }
+
+    /// Unsigned `a >= b`.
+    pub fn ge_unsigned(&mut self, a: &[WireId], b: &[WireId]) -> WireId {
+        let (_, carry) = self.sub(a, b);
+        carry
+    }
+
+    /// Signed (two's-complement) `a < b`:
+    /// `lt = (a-b < 0) ⊕ overflow`.
+    pub fn lt_signed(&mut self, a: &[WireId], b: &[WireId]) -> WireId {
+        assert!(!a.is_empty());
+        let (diff, carry) = self.sub(a, b);
+        let n = a.len();
+        // overflow = (a_msb ⊕ b_msb) ∧ (a_msb ⊕ diff_msb)
+        let axb = self.xor(a[n - 1], b[n - 1]);
+        let axd = self.xor(a[n - 1], diff[n - 1]);
+        let ovf = self.and(axb, axd);
+        let _ = carry;
+        self.xor(diff[n - 1], ovf)
+    }
+
+    /// Schoolbook multiplication returning the full `2n`-bit product.
+    ///
+    /// Costs `n² + n(n-1)` ANDs for `n`-bit operands (1024 + 992 = 2016
+    /// for 32 bits — the TinyGarble "Mult 32" figure).
+    pub fn mul_full(&mut self, a: &[WireId], b: &[WireId]) -> Bus {
+        assert_eq!(a.len(), b.len(), "mul width mismatch");
+        let n = a.len();
+        let zero = self.constant(false);
+        // acc starts as the first partial product, padded to 2n bits.
+        let mut acc: Bus = b.iter().map(|&bi| self.and(a[0], bi)).collect();
+        acc.resize(2 * n, zero);
+        for i in 1..n {
+            let pp: Bus = b.iter().map(|&bi| self.and(a[i], bi)).collect();
+            // Add pp into acc[i .. i+n]; propagate carry one more bit.
+            let (sum, carry) = self.add(&acc[i..i + n].to_vec(), &pp);
+            acc.splice(i..i + n, sum);
+            if i + n < 2 * n {
+                acc[i + n] = carry;
+            }
+        }
+        acc
+    }
+
+    /// Schoolbook multiplication keeping only the low `n` bits
+    /// (what a CPU `MUL` instruction returns).
+    ///
+    /// Emits `n(n+1)/2 + n(n-1)/2` = 1024 ANDs for n = 32 statically; the
+    /// top carry of each internal add is dead, so the engines garble only
+    /// 993 — the paper's ARM2GC "Mult 32" figure.
+    pub fn mul_lo(&mut self, a: &[WireId], b: &[WireId]) -> Bus {
+        assert_eq!(a.len(), b.len(), "mul width mismatch");
+        let n = a.len();
+        let mut acc: Bus = (0..n).map(|j| self.and(a[0], b[j])).collect();
+        for i in 1..n {
+            // Only bits that influence the low n bits matter: b[0..n-i].
+            let pp: Bus = (0..n - i).map(|j| self.and(a[i], b[j])).collect();
+            let window = acc[i..n].to_vec();
+            let (sum, _carry) = self.add(&window, &pp);
+            acc.splice(i..n, sum);
+        }
+        acc
+    }
+
+    /// Tree popcount: the number of set bits of `a` as a
+    /// `ceil(log2(n+1))`-bit bus (Huang et al.'s tree method, which the
+    /// paper cites for its Hamming benchmark).
+    pub fn popcount(&mut self, a: &[WireId]) -> Bus {
+        assert!(!a.is_empty());
+        // Level 0: each bit is a 1-bit count.
+        let mut counts: Vec<Bus> = a.iter().map(|&w| vec![w]).collect();
+        while counts.len() > 1 {
+            let mut next = Vec::with_capacity(counts.len().div_ceil(2));
+            let mut iter = counts.into_iter();
+            while let Some(x) = iter.next() {
+                match iter.next() {
+                    Some(y) => {
+                        let w = x.len().max(y.len());
+                        let zero = self.constant(false);
+                        let mut xe = x.clone();
+                        xe.resize(w, zero);
+                        let mut ye = y.clone();
+                        ye.resize(w, zero);
+                        let (mut s, c) = self.add(&xe, &ye);
+                        s.push(c);
+                        next.push(s);
+                    }
+                    None => next.push(x),
+                }
+            }
+            counts = next;
+        }
+        counts.pop().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ir::Role;
+    use crate::CircuitBuilder;
+
+    #[test]
+    fn add_gate_count() {
+        let mut b = CircuitBuilder::new("a");
+        let x = b.inputs(Role::Alice, 32);
+        let y = b.inputs(Role::Bob, 32);
+        let (s, _) = b.add(&x, &y);
+        b.outputs(&s);
+        // 32 ANDs emitted; the last is dead unless carry is consumed.
+        assert_eq!(b.build().non_xor_count(), 32);
+    }
+
+    #[test]
+    fn mult_32_matches_tinygarble_count() {
+        let mut b = CircuitBuilder::new("m");
+        let x = b.inputs(Role::Alice, 32);
+        let y = b.inputs(Role::Bob, 32);
+        let p = b.mul_full(&x, &y);
+        b.outputs(&p);
+        assert_eq!(b.build().non_xor_count(), 2016);
+    }
+
+    #[test]
+    fn mul_lo_32_static_count() {
+        let mut b = CircuitBuilder::new("m");
+        let x = b.inputs(Role::Alice, 32);
+        let y = b.inputs(Role::Bob, 32);
+        let p = b.mul_lo(&x, &y);
+        b.outputs(&p);
+        // 528 partial-product ANDs + 496 adder ANDs; 31 of these are dead
+        // top carries that the engines skip at run time (1024 - 31 = 993,
+        // the paper's figure).
+        assert_eq!(b.build().non_xor_count(), 1024);
+    }
+
+    #[test]
+    fn compare_32_count() {
+        let mut b = CircuitBuilder::new("c");
+        let x = b.inputs(Role::Alice, 32);
+        let y = b.inputs(Role::Bob, 32);
+        let lt = b.lt_unsigned(&x, &y);
+        b.output(lt);
+        assert_eq!(b.build().non_xor_count(), 32);
+    }
+}

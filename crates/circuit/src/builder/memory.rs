@@ -1,0 +1,156 @@
+//! Memory stdlib: flip-flop arrays with mux-tree read ports and
+//! decoder-gated write ports.
+//!
+//! This is the paper's §4.4 design point: memories are linear-scan
+//! MUX/DFF arrays, *not* ORAM. When the access address is public,
+//! SkipGate collapses the entire mux tree and decoder to wires, making
+//! the access free — which is exactly why the paper rejects ORAM for the
+//! register file and memories.
+
+use super::{Bus, CircuitBuilder};
+use crate::ir::{DffInit, WireId};
+
+/// Geometry of a [`Ram`].
+#[derive(Clone, Copy, Debug)]
+pub struct RamConfig {
+    /// Number of words; must be a power of two.
+    pub words: usize,
+    /// Bits per word.
+    pub width: usize,
+}
+
+/// A word-addressable flip-flop memory.
+///
+/// Created by [`CircuitBuilder::ram`]; the write port must be connected
+/// exactly once with [`Ram::connect_write`] (or [`Ram::connect_rom`] for
+/// read-only memories) before the circuit is built.
+#[derive(Clone, Debug)]
+pub struct Ram {
+    words: Vec<Bus>,
+}
+
+impl CircuitBuilder {
+    /// Declares a `cfg.words × cfg.width` memory whose flip-flops are
+    /// initialised by `init(word_index, bit_index)`.
+    pub fn ram(&mut self, cfg: RamConfig, init: impl Fn(usize, usize) -> DffInit) -> Ram {
+        assert!(cfg.words.is_power_of_two(), "RAM word count must be 2^k");
+        let words = (0..cfg.words)
+            .map(|w| (0..cfg.width).map(|i| self.dff(init(w, i))).collect())
+            .collect();
+        Ram { words }
+    }
+
+    /// One-hot decoder of a `k`-bit address into `2^k` select lines.
+    /// Recursive-split construction: `f(k) = 2^k + f(⌈k/2⌉) + f(⌊k/2⌋)`
+    /// with `f(1) = 0` — e.g. 24 ANDs for 4 bits, 272 for 8 bits.
+    pub fn decoder(&mut self, addr: &[WireId]) -> Vec<WireId> {
+        assert!(!addr.is_empty());
+        if addr.len() == 1 {
+            return vec![self.not(addr[0]), addr[0]];
+        }
+        let mid = addr.len() / 2;
+        let low = self.decoder(&addr[..mid]);
+        let high = self.decoder(&addr[mid..]);
+        let mut lines = Vec::with_capacity(1 << addr.len());
+        for &h in &high {
+            for &l in &low {
+                lines.push(self.and(l, h));
+            }
+        }
+        lines
+    }
+}
+
+impl Ram {
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the memory has no words (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.words[0].len()
+    }
+
+    /// The raw `q` bus of word `w` (current cycle's stored value).
+    pub fn word(&self, w: usize) -> &Bus {
+        &self.words[w]
+    }
+
+    /// Combinational read port: mux tree selected by `addr`
+    /// (`log2(words)` bits). Costs `(words - 1) × width` ANDs — all of
+    /// which SkipGate removes when `addr` is public.
+    pub fn read(&self, b: &mut CircuitBuilder, addr: &[WireId]) -> Bus {
+        assert_eq!(1 << addr.len(), self.words.len(), "address width mismatch");
+        let mut layer: Vec<Bus> = self.words.clone();
+        for &bit in addr {
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                next.push(b.mux_bus(bit, &pair[1], &pair[0]));
+            }
+            layer = next;
+        }
+        layer.pop().expect("non-empty")
+    }
+
+    /// Connects the write port: on every cycle each word `w` becomes
+    /// `sel_w ∧ we ? data : q_w`. Consumes the memory (the write port
+    /// is connected exactly once).
+    pub fn connect_write(self, b: &mut CircuitBuilder, addr: &[WireId], we: WireId, data: &[WireId]) {
+        assert_eq!(1 << addr.len(), self.words.len(), "address width mismatch");
+        assert_eq!(data.len(), self.width(), "data width mismatch");
+        let sel = b.decoder(addr);
+        for (w, word) in self.words.iter().enumerate() {
+            let en = b.and(sel[w], we);
+            let next = b.mux_bus(en, data, word);
+            b.connect_dff_bus(word, &next);
+        }
+    }
+
+    /// Connects every word back to itself — a ROM. The stored values are
+    /// whatever the flip-flop initialisation supplies (e.g. the public
+    /// program binary).
+    pub fn connect_rom(self, b: &mut CircuitBuilder) {
+        for word in &self.words {
+            let held = word.clone();
+            b.connect_dff_bus(word, &held);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Role;
+
+    #[test]
+    fn decoder_cost_and_width() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.inputs(Role::Alice, 4);
+        let lines = b.decoder(&a);
+        assert_eq!(lines.len(), 16);
+        b.outputs(&lines);
+        // f(4) = 16 + 2·f(2) = 16 + 2·4 = 24.
+        assert_eq!(b.build().non_xor_count(), 24);
+    }
+
+    #[test]
+    fn ram_read_cost() {
+        let mut b = CircuitBuilder::new("r");
+        let addr = b.inputs(Role::Bob, 3);
+        let ram = b.ram(
+            RamConfig { words: 8, width: 4 },
+            |w, i| DffInit::Const((w + i) % 2 == 0),
+        );
+        let out = ram.read(&mut b, &addr);
+        ram.connect_rom(&mut b);
+        b.outputs(&out);
+        // (8-1) words × 4 bits = 28 mux ANDs.
+        assert_eq!(b.build().non_xor_count(), 28);
+    }
+}

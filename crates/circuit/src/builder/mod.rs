@@ -1,0 +1,389 @@
+//! Hardware-construction DSL.
+//!
+//! [`CircuitBuilder`] plays the role of the paper's HDL + logic-synthesis
+//! flow: circuits are described structurally in Rust and the stdlib
+//! methods emit the same GC-optimised gate patterns the TinyGarble
+//! technology library produces (full adder = 1 AND, 2:1 mux = 1 AND, …).
+
+mod arith;
+mod memory;
+mod shift;
+
+pub use memory::{Ram, RamConfig};
+
+use crate::ir::{Circuit, Dff, DffInit, Gate, Input, Op, OutputMode, Role, WireId};
+
+/// A bundle of wires interpreted as a little-endian binary word
+/// (`bus[0]` is the least significant bit).
+pub type Bus = Vec<WireId>;
+
+/// Incrementally constructs a [`Circuit`].
+///
+/// ```
+/// use arm2gc_circuit::{CircuitBuilder, Role};
+/// let mut b = CircuitBuilder::new("xor2");
+/// let x = b.input(Role::Alice);
+/// let y = b.input(Role::Bob);
+/// let z = b.xor(x, y);
+/// b.output(z);
+/// let c = b.build();
+/// assert_eq!(c.non_xor_count(), 0);
+/// ```
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    name: String,
+    wire_count: u32,
+    driven: Vec<bool>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    pending_dffs: Vec<usize>,
+    inputs: Vec<Input>,
+    consts: Vec<(WireId, bool)>,
+    outputs: Vec<WireId>,
+    output_mode: OutputMode,
+    halt_wire: Option<WireId>,
+    taps: Vec<(String, Vec<WireId>)>,
+    zero: Option<WireId>,
+    one: Option<WireId>,
+}
+
+impl CircuitBuilder {
+    /// Starts a new circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            wire_count: 0,
+            driven: Vec::new(),
+            gates: Vec::new(),
+            dffs: Vec::new(),
+            pending_dffs: Vec::new(),
+            inputs: Vec::new(),
+            consts: Vec::new(),
+            outputs: Vec::new(),
+            output_mode: OutputMode::FinalOnly,
+            halt_wire: None,
+            taps: Vec::new(),
+            zero: None,
+            one: None,
+        }
+    }
+
+    fn fresh(&mut self, driven: bool) -> WireId {
+        let w = WireId(self.wire_count);
+        self.wire_count += 1;
+        self.driven.push(driven);
+        w
+    }
+
+    fn check_driven(&self, w: WireId) {
+        assert!(
+            (w.index()) < self.driven.len() && self.driven[w.index()],
+            "wire {w} used before being driven"
+        );
+    }
+
+    /// Declares a primary (per-cycle) input for `role`.
+    pub fn input(&mut self, role: Role) -> WireId {
+        let w = self.fresh(true);
+        self.inputs.push(Input { wire: w, role });
+        w
+    }
+
+    /// Declares `n` primary inputs for `role` as a little-endian bus.
+    pub fn inputs(&mut self, role: Role, n: usize) -> Bus {
+        (0..n).map(|_| self.input(role)).collect()
+    }
+
+    /// A constant wire (memoised: at most one 0-wire and one 1-wire).
+    pub fn constant(&mut self, v: bool) -> WireId {
+        let slot = if v { &mut self.one } else { &mut self.zero };
+        if let Some(w) = *slot {
+            return w;
+        }
+        let w = WireId(self.wire_count);
+        self.wire_count += 1;
+        self.driven.push(true);
+        self.consts.push((w, v));
+        if v {
+            self.one = Some(w);
+        } else {
+            self.zero = Some(w);
+        }
+        w
+    }
+
+    /// A constant bus of `width` bits holding `value` (little-endian).
+    pub fn const_bus(&mut self, value: u64, width: usize) -> Bus {
+        (0..width)
+            .map(|i| self.constant((value >> i) & 1 == 1))
+            .collect()
+    }
+
+    /// Emits a gate computing `op(a, b)` and returns its output wire.
+    pub fn gate(&mut self, op: Op, a: WireId, b: WireId) -> WireId {
+        self.check_driven(a);
+        self.check_driven(b);
+        let out = self.fresh(true);
+        self.gates.push(Gate { op, a, b, out });
+        out
+    }
+
+    /// `!a` (free).
+    pub fn not(&mut self, a: WireId) -> WireId {
+        self.gate(Op::NOT_A, a, a)
+    }
+
+    /// `a & b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(Op::AND, a, b)
+    }
+
+    /// `a | b`.
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(Op::OR, a, b)
+    }
+
+    /// `a ⊕ b` (free).
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(Op::XOR, a, b)
+    }
+
+    /// `!(a ⊕ b)` (free).
+    pub fn xnor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(Op::XNOR, a, b)
+    }
+
+    /// `!(a & b)`.
+    pub fn nand(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(Op::NAND, a, b)
+    }
+
+    /// `!(a | b)`.
+    pub fn nor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(Op::NOR, a, b)
+    }
+
+    /// `a & !b`.
+    pub fn andnot(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(Op::ANDNOT, a, b)
+    }
+
+    /// 2:1 multiplexer `sel ? t : f` — one AND gate
+    /// (`f ⊕ (sel ∧ (t ⊕ f))`).
+    pub fn mux(&mut self, sel: WireId, t: WireId, f: WireId) -> WireId {
+        let d = self.xor(t, f);
+        let m = self.and(sel, d);
+        self.xor(f, m)
+    }
+
+    /// Bitwise 2:1 mux over equal-width buses.
+    ///
+    /// # Panics
+    /// Panics if the buses differ in width.
+    pub fn mux_bus(&mut self, sel: WireId, t: &[WireId], f: &[WireId]) -> Bus {
+        assert_eq!(t.len(), f.len(), "mux_bus width mismatch");
+        t.iter()
+            .zip(f)
+            .map(|(&ti, &fi)| self.mux(sel, ti, fi))
+            .collect()
+    }
+
+    /// Bitwise XOR of two buses (free).
+    pub fn xor_bus(&mut self, a: &[WireId], b: &[WireId]) -> Bus {
+        assert_eq!(a.len(), b.len(), "xor_bus width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.xor(x, y)).collect()
+    }
+
+    /// Bitwise AND of two buses.
+    pub fn and_bus(&mut self, a: &[WireId], b: &[WireId]) -> Bus {
+        assert_eq!(a.len(), b.len(), "and_bus width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.and(x, y)).collect()
+    }
+
+    /// Bitwise NOT of a bus (free).
+    pub fn not_bus(&mut self, a: &[WireId]) -> Bus {
+        a.iter().map(|&x| self.not(x)).collect()
+    }
+
+    /// AND-reduce a bus to a single wire (`width-1` AND gates).
+    pub fn and_reduce(&mut self, a: &[WireId]) -> WireId {
+        self.reduce(a, Op::AND)
+    }
+
+    /// OR-reduce a bus to a single wire.
+    pub fn or_reduce(&mut self, a: &[WireId]) -> WireId {
+        self.reduce(a, Op::OR)
+    }
+
+    /// XOR-reduce a bus to a single wire (free).
+    pub fn xor_reduce(&mut self, a: &[WireId]) -> WireId {
+        self.reduce(a, Op::XOR)
+    }
+
+    fn reduce(&mut self, a: &[WireId], op: Op) -> WireId {
+        assert!(!a.is_empty(), "cannot reduce an empty bus");
+        // Balanced tree to keep depth logarithmic.
+        let mut layer: Vec<WireId> = a.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.gate(op, pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Declares a flip-flop and returns its `q` wire. The data input must
+    /// be connected later with [`CircuitBuilder::connect_dff`] (feedback
+    /// loops require `q` to exist before `d` is built).
+    pub fn dff(&mut self, init: DffInit) -> WireId {
+        let q = self.fresh(true);
+        self.dffs.push(Dff {
+            d: WireId(u32::MAX),
+            q,
+            init,
+        });
+        self.pending_dffs.push(self.dffs.len() - 1);
+        q
+    }
+
+    /// A bus of flip-flops initialised from consecutive bits of `role`'s
+    /// initialisation vector starting at `base`.
+    pub fn dff_bus(&mut self, width: usize, init: impl Fn(usize) -> DffInit) -> Bus {
+        (0..width).map(|i| self.dff(init(i))).collect()
+    }
+
+    /// Connects the data input of the flip-flop whose `q` wire is `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is not a pending flip-flop output or `d` is undriven.
+    pub fn connect_dff(&mut self, q: WireId, d: WireId) {
+        self.check_driven(d);
+        let pos = self
+            .pending_dffs
+            .iter()
+            .position(|&i| self.dffs[i].q == q)
+            .unwrap_or_else(|| panic!("{q} is not an unconnected flip-flop output"));
+        let idx = self.pending_dffs.swap_remove(pos);
+        self.dffs[idx].d = d;
+    }
+
+    /// Connects a whole bus of flip-flops at once.
+    pub fn connect_dff_bus(&mut self, q: &[WireId], d: &[WireId]) {
+        assert_eq!(q.len(), d.len(), "connect_dff_bus width mismatch");
+        for (&qi, &di) in q.iter().zip(d) {
+            self.connect_dff(qi, di);
+        }
+    }
+
+    /// Registers `w` as a circuit output.
+    pub fn output(&mut self, w: WireId) {
+        self.check_driven(w);
+        self.outputs.push(w);
+    }
+
+    /// Registers every wire of `bus` as an output.
+    pub fn outputs(&mut self, bus: &[WireId]) {
+        for &w in bus {
+            self.output(w);
+        }
+    }
+
+    /// Selects when outputs are revealed (default: [`OutputMode::FinalOnly`]).
+    pub fn set_output_mode(&mut self, mode: OutputMode) {
+        self.output_mode = mode;
+    }
+
+    /// Marks `w` as the halt signal: when it is publicly known to be 1 at
+    /// the end of a cycle, engines may stop early.
+    pub fn set_halt(&mut self, w: WireId) {
+        self.check_driven(w);
+        self.halt_wire = Some(w);
+    }
+
+    /// Names a bus for debugging/introspection (visible via
+    /// [`Circuit::tap`](crate::Circuit::tap)).
+    pub fn tap(&mut self, name: impl Into<String>, bus: &[WireId]) {
+        self.taps.push((name.into(), bus.to_vec()));
+    }
+
+    /// Finalises the circuit.
+    ///
+    /// # Panics
+    /// Panics if any flip-flop's data input was never connected.
+    pub fn build(self) -> Circuit {
+        assert!(
+            self.pending_dffs.is_empty(),
+            "{} flip-flop(s) left unconnected in '{}'",
+            self.pending_dffs.len(),
+            self.name
+        );
+        Circuit {
+            name: self.name,
+            wire_count: self.wire_count,
+            gates: self.gates,
+            dffs: self.dffs,
+            inputs: self.inputs,
+            consts: self.consts,
+            outputs: self.outputs,
+            output_mode: self.output_mode,
+            halt_wire: self.halt_wire,
+            taps: self.taps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_costs_one_and() {
+        let mut b = CircuitBuilder::new("m");
+        let s = b.input(Role::Public);
+        let t = b.input(Role::Alice);
+        let f = b.input(Role::Bob);
+        let o = b.mux(s, t, f);
+        b.output(o);
+        assert_eq!(b.build().non_xor_count(), 1);
+    }
+
+    #[test]
+    fn constants_are_memoised() {
+        let mut b = CircuitBuilder::new("c");
+        let z1 = b.constant(false);
+        let z2 = b.constant(false);
+        let o1 = b.constant(true);
+        assert_eq!(z1, z2);
+        assert_ne!(z1, o1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unconnected")]
+    fn unconnected_dff_panics() {
+        let mut b = CircuitBuilder::new("bad");
+        let _q = b.dff(DffInit::Const(false));
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "used before being driven")]
+    fn foreign_wire_panics() {
+        let mut b = CircuitBuilder::new("bad");
+        let _ = b.not(WireId(7));
+    }
+
+    #[test]
+    fn reduce_tree_count() {
+        let mut b = CircuitBuilder::new("r");
+        let xs = b.inputs(Role::Alice, 9);
+        let r = b.and_reduce(&xs);
+        b.output(r);
+        assert_eq!(b.build().non_xor_count(), 8);
+    }
+}

@@ -1,0 +1,102 @@
+//! Shift/rotate stdlib: constant shifts are free rewires; variable shifts
+//! are log-depth barrel networks (one mux layer per shift-amount bit).
+
+use super::{Bus, CircuitBuilder};
+use crate::ir::WireId;
+
+impl CircuitBuilder {
+    /// Logical shift left by a constant (free — pure rewiring).
+    pub fn shl_const(&mut self, a: &[WireId], k: usize) -> Bus {
+        let zero = self.constant(false);
+        let n = a.len();
+        (0..n)
+            .map(|i| if i < k { zero } else { a[i - k] })
+            .collect()
+    }
+
+    /// Logical shift right by a constant (free).
+    pub fn lshr_const(&mut self, a: &[WireId], k: usize) -> Bus {
+        let zero = self.constant(false);
+        let n = a.len();
+        (0..n)
+            .map(|i| if i + k < n { a[i + k] } else { zero })
+            .collect()
+    }
+
+    /// Arithmetic shift right by a constant (free).
+    pub fn ashr_const(&mut self, a: &[WireId], k: usize) -> Bus {
+        let n = a.len();
+        let sign = a[n - 1];
+        (0..n)
+            .map(|i| if i + k < n { a[i + k] } else { sign })
+            .collect()
+    }
+
+    /// Rotate right by a constant (free).
+    pub fn ror_const(&mut self, a: &[WireId], k: usize) -> Bus {
+        let n = a.len();
+        (0..n).map(|i| a[(i + k) % n]).collect()
+    }
+
+    /// Barrel shifter core: applies `shift(a, 2^k)` under `amount[k]`.
+    fn barrel(
+        &mut self,
+        a: &[WireId],
+        amount: &[WireId],
+        f: impl Fn(&mut Self, &[WireId], usize) -> Bus,
+    ) -> Bus {
+        let mut cur: Bus = a.to_vec();
+        for (k, &bit) in amount.iter().enumerate() {
+            let shifted = f(self, &cur, 1 << k);
+            cur = self.mux_bus(bit, &shifted, &cur);
+        }
+        cur
+    }
+
+    /// Variable logical shift left (`width` ANDs per amount bit).
+    pub fn shl_var(&mut self, a: &[WireId], amount: &[WireId]) -> Bus {
+        self.barrel(a, amount, Self::shl_const)
+    }
+
+    /// Variable logical shift right.
+    pub fn lshr_var(&mut self, a: &[WireId], amount: &[WireId]) -> Bus {
+        self.barrel(a, amount, Self::lshr_const)
+    }
+
+    /// Variable arithmetic shift right.
+    pub fn ashr_var(&mut self, a: &[WireId], amount: &[WireId]) -> Bus {
+        self.barrel(a, amount, Self::ashr_const)
+    }
+
+    /// Variable rotate right.
+    pub fn ror_var(&mut self, a: &[WireId], amount: &[WireId]) -> Bus {
+        self.barrel(a, amount, Self::ror_const)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ir::Role;
+    use crate::CircuitBuilder;
+
+    #[test]
+    fn const_shifts_are_free() {
+        let mut b = CircuitBuilder::new("s");
+        let x = b.inputs(Role::Alice, 32);
+        let y = b.shl_const(&x, 5);
+        let z = b.ror_const(&y, 11);
+        b.outputs(&z);
+        assert_eq!(b.build().non_xor_count(), 0);
+    }
+
+    #[test]
+    fn barrel_shifter_cost() {
+        let mut b = CircuitBuilder::new("s");
+        let x = b.inputs(Role::Alice, 32);
+        let k = b.inputs(Role::Bob, 5);
+        let y = b.shl_var(&x, &k);
+        b.outputs(&y);
+        // 5 mux layers × 32 bits = 160 ANDs.
+        assert_eq!(b.build().non_xor_count(), 160);
+    }
+}

@@ -1,0 +1,502 @@
+//! Netlist intermediate representation.
+//!
+//! A [`Circuit`] is a *sequential* netlist in the TinyGarble sense: a set
+//! of 2-input combinational gates in topological order plus a set of
+//! flip-flops. Each simulated/garbled clock cycle evaluates every gate
+//! once, then copies every flip-flop's `d` wire into its `q` wire.
+//!
+//! Wires carry no storage here; they are indices into per-engine state
+//! arrays. A wire is driven by exactly one of: a gate output, a flip-flop
+//! `q`, a primary input, or a constant.
+
+use core::fmt;
+
+/// Index of a wire in a [`Circuit`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct WireId(pub u32);
+
+impl WireId {
+    /// The wire index as a `usize` for state-array addressing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WireId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A 2-input Boolean function as a 4-bit truth table.
+///
+/// Bit `i` of the table is the output for inputs `(a, b)` with
+/// `i = (a << 1) | b`.
+///
+/// ```
+/// use arm2gc_circuit::Op;
+/// assert!(Op::XOR.is_linear());
+/// assert!(!Op::AND.is_linear());
+/// assert_eq!(Op::AND.eval(true, true), true);
+/// assert_eq!(Op::AND.eval(true, false), false);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Op(u8);
+
+/// Result of restricting one input of an [`Op`] to a known value: the gate
+/// collapses to a unary function of its remaining input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Unary {
+    /// Output is a constant regardless of the remaining input.
+    Const(bool),
+    /// Output equals the remaining input (the gate acts as a wire).
+    Pass,
+    /// Output is the complement of the remaining input (acts as an inverter).
+    Inv,
+}
+
+impl Op {
+    /// Constant 0.
+    pub const FALSE: Op = Op(0b0000);
+    /// Constant 1.
+    pub const TRUE: Op = Op(0b1111);
+    /// Logical AND.
+    pub const AND: Op = Op(0b1000);
+    /// Logical OR.
+    pub const OR: Op = Op(0b1110);
+    /// Logical XOR.
+    pub const XOR: Op = Op(0b0110);
+    /// Logical XNOR.
+    pub const XNOR: Op = Op(0b1001);
+    /// Logical NAND.
+    pub const NAND: Op = Op(0b0111);
+    /// Logical NOR.
+    pub const NOR: Op = Op(0b0001);
+    /// `a & !b`.
+    pub const ANDNOT: Op = Op(0b0100);
+    /// `!a & b`.
+    pub const NOTAND: Op = Op(0b0010);
+    /// First input passed through.
+    pub const BUF_A: Op = Op(0b1100);
+    /// First input inverted.
+    pub const NOT_A: Op = Op(0b0011);
+    /// Second input passed through.
+    pub const BUF_B: Op = Op(0b1010);
+    /// Second input inverted.
+    pub const NOT_B: Op = Op(0b0101);
+
+    /// Constructs from a raw 4-bit truth table.
+    ///
+    /// # Panics
+    /// Panics if `tt > 15`.
+    pub const fn from_table(tt: u8) -> Self {
+        assert!(tt < 16, "truth table must be 4 bits");
+        Op(tt)
+    }
+
+    /// The raw 4-bit truth table.
+    pub const fn table(self) -> u8 {
+        self.0
+    }
+
+    /// Evaluates the gate on concrete inputs.
+    #[inline]
+    pub const fn eval(self, a: bool, b: bool) -> bool {
+        let i = ((a as u8) << 1) | (b as u8);
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// True for gates that are free under free-XOR garbling: XOR/XNOR,
+    /// buffers, inverters and constants. Everything else (the eight
+    /// AND-family functions) needs a garbled table.
+    #[inline]
+    pub const fn is_linear(self) -> bool {
+        // f(a,b) = c0 ^ c_a·a ^ c_b·b  ⇔  f(0,0)^f(0,1)^f(1,0)^f(1,1) = 0.
+        (self.0.count_ones() & 1) == 0
+    }
+
+    /// Restricts input `a` to the constant `val`; the gate becomes a unary
+    /// function of `b`.
+    pub const fn restrict_a(self, val: bool) -> Unary {
+        let f0 = (self.0 >> (((val as u8) << 1) | 0)) & 1 == 1; // b = 0
+        let f1 = (self.0 >> (((val as u8) << 1) | 1)) & 1 == 1; // b = 1
+        Self::unary(f0, f1)
+    }
+
+    /// Restricts input `b` to the constant `val`; the gate becomes a unary
+    /// function of `a`.
+    pub const fn restrict_b(self, val: bool) -> Unary {
+        let f0 = (self.0 >> (val as u8)) & 1 == 1; // a = 0
+        let f1 = (self.0 >> (0b10 | (val as u8))) & 1 == 1; // a = 1
+        Self::unary(f0, f1)
+    }
+
+    /// Collapses the gate under the constraint `b == a` (identical secret
+    /// inputs — category iii of SkipGate).
+    pub const fn diagonal(self) -> Unary {
+        let f0 = self.0 & 1 == 1; // (0,0)
+        let f1 = (self.0 >> 3) & 1 == 1; // (1,1)
+        Self::unary(f0, f1)
+    }
+
+    /// Collapses the gate under the constraint `b == !a` (inverted secret
+    /// inputs — category iii of SkipGate).
+    pub const fn antidiagonal(self) -> Unary {
+        let f0 = (self.0 >> 1) & 1 == 1; // (0,1)
+        let f1 = (self.0 >> 2) & 1 == 1; // (1,0)
+        Self::unary(f0, f1)
+    }
+
+    const fn unary(f0: bool, f1: bool) -> Unary {
+        match (f0, f1) {
+            (false, false) => Unary::Const(false),
+            (true, true) => Unary::Const(true),
+            (false, true) => Unary::Pass,
+            (true, false) => Unary::Inv,
+        }
+    }
+
+    /// Decomposes a nonlinear gate as `((a ⊕ α) ∧ (b ⊕ β)) ⊕ γ`.
+    ///
+    /// # Panics
+    /// Panics if the gate is linear (linear gates are never garbled).
+    pub fn and_form(self) -> (bool, bool, bool) {
+        assert!(!self.is_linear(), "and_form called on linear gate {self:?}");
+        if self.0.count_ones() == 1 {
+            // single 1 at index i* = (a*,b*): need a⊕α = 1 and b⊕β = 1 there
+            let i = self.0.trailing_zeros() as u8;
+            (i >> 1 == 0, i & 1 == 0, false)
+        } else {
+            // three 1s: complement has a single 1
+            let inv = (!self.0) & 0xf;
+            let i = inv.trailing_zeros() as u8;
+            (i >> 1 == 0, i & 1 == 0, true)
+        }
+    }
+
+    /// Human-readable mnemonic.
+    pub const fn name(self) -> &'static str {
+        match self.0 {
+            0b0000 => "FALSE",
+            0b1111 => "TRUE",
+            0b1000 => "AND",
+            0b1110 => "OR",
+            0b0110 => "XOR",
+            0b1001 => "XNOR",
+            0b0111 => "NAND",
+            0b0001 => "NOR",
+            0b0100 => "ANDNOT",
+            0b0010 => "NOTAND",
+            0b1100 => "BUF_A",
+            0b0011 => "NOT_A",
+            0b1010 => "BUF_B",
+            0b0101 => "NOT_B",
+            0b1011 => "ORNOT",
+            _ => "NOTOR",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One combinational gate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Gate {
+    /// Truth table.
+    pub op: Op,
+    /// First input wire.
+    pub a: WireId,
+    /// Second input wire.
+    pub b: WireId,
+    /// Output wire (driven only by this gate).
+    pub out: WireId,
+}
+
+/// Who supplies a value at protocol run time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Role {
+    /// The garbler's private input.
+    Alice,
+    /// The evaluator's private input.
+    Bob,
+    /// The public input `p`, known to both parties.
+    Public,
+}
+
+/// Initial value of a flip-flop at cycle 0.
+///
+/// Index variants select a bit from the corresponding runtime-supplied
+/// bit vector (e.g. the compiled program binary for `Public`, a party's
+/// private memory image for `Alice`/`Bob`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DffInit {
+    /// A fixed constant baked into the circuit.
+    Const(bool),
+    /// Bit `i` of the public initialisation vector (the input `p`).
+    Public(u32),
+    /// Bit `i` of Alice's private initialisation vector.
+    Alice(u32),
+    /// Bit `i` of Bob's private initialisation vector.
+    Bob(u32),
+}
+
+/// A D flip-flop: at the end of every cycle `q := d`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Dff {
+    /// Data input, sampled at the end of each cycle.
+    pub d: WireId,
+    /// Stored output, valid throughout the following cycle.
+    pub q: WireId,
+    /// Value of `q` during the first cycle.
+    pub init: DffInit,
+}
+
+/// A primary input wire fed with a (possibly per-cycle) bit stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Input {
+    /// The wire this input drives.
+    pub wire: WireId,
+    /// Which party supplies the bit.
+    pub role: Role,
+}
+
+/// When output wires are revealed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OutputMode {
+    /// Outputs are read on every cycle (TinyGarble bit-serial style).
+    PerCycle,
+    /// Outputs are read once, after the final flip-flop copy. Output wires
+    /// that are flip-flop `q`s yield their post-copy (final-state) value.
+    #[default]
+    FinalOnly,
+}
+
+/// A sequential netlist. Construct with [`crate::CircuitBuilder`].
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) wire_count: u32,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) dffs: Vec<Dff>,
+    pub(crate) inputs: Vec<Input>,
+    pub(crate) consts: Vec<(WireId, bool)>,
+    pub(crate) outputs: Vec<WireId>,
+    pub(crate) output_mode: OutputMode,
+    pub(crate) halt_wire: Option<WireId>,
+    pub(crate) taps: Vec<(String, Vec<WireId>)>,
+}
+
+impl Circuit {
+    /// Human-readable circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of wires (state-array size).
+    pub fn wire_count(&self) -> usize {
+        self.wire_count as usize
+    }
+
+    /// Gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All flip-flops.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// Primary per-cycle inputs.
+    pub fn inputs(&self) -> &[Input] {
+        &self.inputs
+    }
+
+    /// Constant-driven wires.
+    pub fn consts(&self) -> &[(WireId, bool)] {
+        &self.consts
+    }
+
+    /// Output wires.
+    pub fn outputs(&self) -> &[WireId] {
+        &self.outputs
+    }
+
+    /// Output revelation schedule.
+    pub fn output_mode(&self) -> OutputMode {
+        self.output_mode
+    }
+
+    /// The optional halt wire: engines that can observe it publicly stop
+    /// at the end of the first cycle where it is 1.
+    pub fn halt_wire(&self) -> Option<WireId> {
+        self.halt_wire
+    }
+
+    /// Looks up a named debug tap registered by the builder.
+    pub fn tap(&self, name: &str) -> Option<&[WireId]> {
+        self.taps
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Number of nonlinear (garbled-table-costing) gates per cycle.
+    ///
+    /// This is the paper's cost metric: with free-XOR only non-XOR gates
+    /// cost communication.
+    pub fn non_xor_count(&self) -> u64 {
+        self.gates.iter().filter(|g| !g.op.is_linear()).count() as u64
+    }
+
+    /// Number of linear (free) gates per cycle.
+    pub fn xor_count(&self) -> u64 {
+        self.gates.iter().filter(|g| g.op.is_linear()).count() as u64
+    }
+
+    /// Primary inputs belonging to `role`, in declaration order.
+    pub fn inputs_of(&self, role: Role) -> Vec<WireId> {
+        self.inputs
+            .iter()
+            .filter(|i| i.role == role)
+            .map(|i| i.wire)
+            .collect()
+    }
+
+    /// Number of initialisation bits required from `role` (one more than
+    /// the largest index used by any flip-flop of that role).
+    pub fn init_bits_of(&self, role: Role) -> usize {
+        self.dffs
+            .iter()
+            .filter_map(|d| match (d.init, role) {
+                (DffInit::Public(i), Role::Public)
+                | (DffInit::Alice(i), Role::Alice)
+                | (DffInit::Bob(i), Role::Bob) => Some(i as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_eval_matches_names() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(Op::AND.eval(a, b), a & b);
+                assert_eq!(Op::OR.eval(a, b), a | b);
+                assert_eq!(Op::XOR.eval(a, b), a ^ b);
+                assert_eq!(Op::XNOR.eval(a, b), !(a ^ b));
+                assert_eq!(Op::NAND.eval(a, b), !(a & b));
+                assert_eq!(Op::NOR.eval(a, b), !(a | b));
+                assert_eq!(Op::ANDNOT.eval(a, b), a & !b);
+                assert_eq!(Op::NOTAND.eval(a, b), !a & b);
+                assert_eq!(Op::BUF_A.eval(a, b), a);
+                assert_eq!(Op::NOT_A.eval(a, b), !a);
+                assert_eq!(Op::BUF_B.eval(a, b), b);
+                assert_eq!(Op::NOT_B.eval(a, b), !b);
+            }
+        }
+    }
+
+    #[test]
+    fn linearity_classification() {
+        let linear = [
+            Op::FALSE,
+            Op::TRUE,
+            Op::XOR,
+            Op::XNOR,
+            Op::BUF_A,
+            Op::NOT_A,
+            Op::BUF_B,
+            Op::NOT_B,
+        ];
+        for op in linear {
+            assert!(op.is_linear(), "{op} should be linear");
+        }
+        let nonlinear = [
+            Op::AND,
+            Op::OR,
+            Op::NAND,
+            Op::NOR,
+            Op::ANDNOT,
+            Op::NOTAND,
+            Op::from_table(0b1011),
+            Op::from_table(0b1101),
+        ];
+        for op in nonlinear {
+            assert!(!op.is_linear(), "{op} should be nonlinear");
+        }
+    }
+
+    #[test]
+    fn and_form_reconstructs_truth_table() {
+        for tt in 0u8..16 {
+            let op = Op::from_table(tt);
+            if op.is_linear() {
+                continue;
+            }
+            let (alpha, beta, gamma) = op.and_form();
+            for a in [false, true] {
+                for b in [false, true] {
+                    let expect = ((a ^ alpha) & (b ^ beta)) ^ gamma;
+                    assert_eq!(op.eval(a, b), expect, "tt={tt:04b} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restrictions_agree_with_eval() {
+        for tt in 0u8..16 {
+            let op = Op::from_table(tt);
+            for v in [false, true] {
+                for x in [false, true] {
+                    let via_a = match op.restrict_a(v) {
+                        Unary::Const(c) => c,
+                        Unary::Pass => x,
+                        Unary::Inv => !x,
+                    };
+                    assert_eq!(via_a, op.eval(v, x));
+                    let via_b = match op.restrict_b(v) {
+                        Unary::Const(c) => c,
+                        Unary::Pass => x,
+                        Unary::Inv => !x,
+                    };
+                    assert_eq!(via_b, op.eval(x, v));
+                }
+                let diag = match op.diagonal() {
+                    Unary::Const(c) => c,
+                    Unary::Pass => v,
+                    Unary::Inv => !v,
+                };
+                assert_eq!(diag, op.eval(v, v));
+                let anti = match op.antidiagonal() {
+                    Unary::Const(c) => c,
+                    Unary::Pass => v,
+                    Unary::Inv => !v,
+                };
+                assert_eq!(anti, op.eval(v, !v));
+            }
+        }
+    }
+
+    #[test]
+    fn example_gate_collapse_from_figure_1() {
+        // Figure 1 of the paper: AND with public 0 → constant 0;
+        // AND with public 1 → wire; XOR with public 1 → inverter.
+        assert_eq!(Op::AND.restrict_a(false), Unary::Const(false));
+        assert_eq!(Op::AND.restrict_a(true), Unary::Pass);
+        assert_eq!(Op::XOR.restrict_a(true), Unary::Inv);
+        assert_eq!(Op::XOR.restrict_a(false), Unary::Pass);
+    }
+}

@@ -1,0 +1,347 @@
+//! Textual netlist format (SHDL-inspired, in the TinyGarble lineage).
+//!
+//! Circuits serialise to a line-oriented format so they can be stored,
+//! diffed, and exchanged with external synthesis flows — the role the
+//! paper's Verilog/SHDL pipeline plays:
+//!
+//! ```text
+//! # arm2gc netlist v1
+//! circuit adder 25 wires
+//! output_mode per_cycle
+//! input alice w0
+//! const w2 1
+//! dff w5 <- w9 init const 0
+//! dff w6 <- w10 init alice 3
+//! gate XOR w7 = w0 w1
+//! output w7
+//! halt w9
+//! tap pc w5 w6
+//! ```
+//!
+//! `emit` → `parse` is lossless (see the roundtrip tests).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ir::{Circuit, Dff, DffInit, Gate, Input, Op, OutputMode, Role, WireId};
+
+/// Netlist parse failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for NetlistError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, NetlistError> {
+    Err(NetlistError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Serialises a circuit to the textual format.
+pub fn emit(c: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("# arm2gc netlist v1\n");
+    out.push_str(&format!("circuit {} {} wires\n", c.name(), c.wire_count()));
+    out.push_str(&format!(
+        "output_mode {}\n",
+        match c.output_mode() {
+            OutputMode::PerCycle => "per_cycle",
+            OutputMode::FinalOnly => "final_only",
+        }
+    ));
+    for input in c.inputs() {
+        let role = match input.role {
+            Role::Alice => "alice",
+            Role::Bob => "bob",
+            Role::Public => "public",
+        };
+        out.push_str(&format!("input {role} w{}\n", input.wire.0));
+    }
+    for &(w, v) in c.consts() {
+        out.push_str(&format!("const w{} {}\n", w.0, v as u8));
+    }
+    for dff in c.dffs() {
+        let init = match dff.init {
+            DffInit::Const(v) => format!("const {}", v as u8),
+            DffInit::Public(i) => format!("public {i}"),
+            DffInit::Alice(i) => format!("alice {i}"),
+            DffInit::Bob(i) => format!("bob {i}"),
+        };
+        out.push_str(&format!("dff w{} <- w{} init {init}\n", dff.q.0, dff.d.0));
+    }
+    for g in c.gates() {
+        out.push_str(&format!(
+            "gate {} w{} = w{} w{}\n",
+            g.op.name(),
+            g.out.0,
+            g.a.0,
+            g.b.0
+        ));
+    }
+    for w in c.outputs() {
+        out.push_str(&format!("output w{}\n", w.0));
+    }
+    if let Some(h) = c.halt_wire() {
+        out.push_str(&format!("halt w{}\n", h.0));
+    }
+    for (name, bus) in &c.taps {
+        out.push_str(&format!("tap {name}"));
+        for w in bus {
+            out.push_str(&format!(" w{}", w.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_wire(tok: &str, line: usize) -> Result<WireId, NetlistError> {
+    tok.strip_prefix('w')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(WireId)
+        .ok_or_else(|| NetlistError {
+            line,
+            message: format!("expected wire id, found '{tok}'"),
+        })
+}
+
+fn op_by_name(name: &str) -> Option<Op> {
+    (0u8..16)
+        .map(Op::from_table)
+        .find(|op| op.name() == name)
+}
+
+/// Parses the textual format back into a [`Circuit`].
+///
+/// # Errors
+/// Returns the first malformed line. The resulting circuit is validated
+/// structurally (wire bounds, single drivers).
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    let mut name = String::from("netlist");
+    let mut wire_count = 0u32;
+    let mut output_mode = OutputMode::FinalOnly;
+    let mut inputs = Vec::new();
+    let mut consts = Vec::new();
+    let mut dffs: Vec<Dff> = Vec::new();
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut outputs = Vec::new();
+    let mut halt_wire = None;
+    let mut taps: Vec<(String, Vec<WireId>)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let toks: Vec<&str> = raw.split_whitespace().collect();
+        if toks.is_empty() || toks[0].starts_with('#') {
+            continue;
+        }
+        match toks[0] {
+            "circuit" => {
+                if toks.len() != 4 || toks[3] != "wires" {
+                    return err(line, "expected: circuit <name> <n> wires");
+                }
+                name = toks[1].to_string();
+                wire_count = toks[2]
+                    .parse()
+                    .map_err(|_| NetlistError {
+                        line,
+                        message: "bad wire count".into(),
+                    })?;
+            }
+            "output_mode" => {
+                output_mode = match toks.get(1) {
+                    Some(&"per_cycle") => OutputMode::PerCycle,
+                    Some(&"final_only") => OutputMode::FinalOnly,
+                    _ => return err(line, "expected per_cycle or final_only"),
+                };
+            }
+            "input" => {
+                let role = match toks.get(1) {
+                    Some(&"alice") => Role::Alice,
+                    Some(&"bob") => Role::Bob,
+                    Some(&"public") => Role::Public,
+                    _ => return err(line, "expected input role"),
+                };
+                inputs.push(Input {
+                    wire: parse_wire(toks[2], line)?,
+                    role,
+                });
+            }
+            "const" => {
+                let w = parse_wire(toks[1], line)?;
+                let v = match toks.get(2) {
+                    Some(&"0") => false,
+                    Some(&"1") => true,
+                    _ => return err(line, "const value must be 0 or 1"),
+                };
+                consts.push((w, v));
+            }
+            "dff" => {
+                // dff wQ <- wD init <kind> [idx]
+                if toks.len() < 6 || toks[2] != "<-" || toks[4] != "init" {
+                    return err(line, "expected: dff wQ <- wD init <kind> [i]");
+                }
+                let q = parse_wire(toks[1], line)?;
+                let d = parse_wire(toks[3], line)?;
+                let init = match toks[5] {
+                    "const" => DffInit::Const(toks.get(6) == Some(&"1")),
+                    kind => {
+                        let idx: u32 = toks
+                            .get(6)
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| NetlistError {
+                                line,
+                                message: "missing init index".into(),
+                            })?;
+                        match kind {
+                            "public" => DffInit::Public(idx),
+                            "alice" => DffInit::Alice(idx),
+                            "bob" => DffInit::Bob(idx),
+                            other => return err(line, format!("bad init kind '{other}'")),
+                        }
+                    }
+                };
+                dffs.push(Dff { d, q, init });
+            }
+            "gate" => {
+                // gate OP wOUT = wA wB
+                if toks.len() != 6 || toks[3] != "=" {
+                    return err(line, "expected: gate OP wO = wA wB");
+                }
+                let op = op_by_name(toks[1])
+                    .ok_or_else(|| NetlistError {
+                        line,
+                        message: format!("unknown op '{}'", toks[1]),
+                    })?;
+                gates.push(Gate {
+                    op,
+                    out: parse_wire(toks[2], line)?,
+                    a: parse_wire(toks[4], line)?,
+                    b: parse_wire(toks[5], line)?,
+                });
+            }
+            "output" => outputs.push(parse_wire(toks[1], line)?),
+            "halt" => halt_wire = Some(parse_wire(toks[1], line)?),
+            "tap" => {
+                let bus: Result<Vec<WireId>, _> =
+                    toks[2..].iter().map(|t| parse_wire(t, line)).collect();
+                taps.push((toks[1].to_string(), bus?));
+            }
+            other => return err(line, format!("unknown directive '{other}'")),
+        }
+    }
+
+    // Structural validation: every wire < wire_count, single driver.
+    let mut driver: HashMap<u32, &'static str> = HashMap::new();
+    let mut claim = |w: WireId, kind: &'static str| -> Result<(), NetlistError> {
+        if w.0 >= wire_count {
+            return err(0, format!("wire w{} out of range", w.0));
+        }
+        if driver.insert(w.0, kind).is_some() {
+            return err(0, format!("wire w{} driven twice", w.0));
+        }
+        Ok(())
+    };
+    for i in &inputs {
+        claim(i.wire, "input")?;
+    }
+    for &(w, _) in &consts {
+        claim(w, "const")?;
+    }
+    for d in &dffs {
+        claim(d.q, "dff")?;
+    }
+    for g in &gates {
+        claim(g.out, "gate")?;
+    }
+
+    Ok(Circuit {
+        name,
+        wire_count,
+        gates,
+        dffs,
+        inputs,
+        consts,
+        outputs,
+        output_mode,
+        halt_wire,
+        taps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_circuits;
+    use crate::random::{random_circuit, random_inputs, RandomCircuitParams, TestRng};
+    use crate::sim::Simulator;
+
+    fn roundtrip_equivalent(c: &Circuit, cycles: usize, seed: u64) {
+        let text = emit(c);
+        let parsed = parse(&text).expect("parses");
+        assert_eq!(parsed.wire_count(), c.wire_count());
+        assert_eq!(parsed.gates().len(), c.gates().len());
+        assert_eq!(parsed.non_xor_count(), c.non_xor_count());
+        // Behavioural equivalence on random inputs.
+        let mut rng = TestRng::new(seed);
+        let (a, b, p) = random_inputs(&mut rng, c, cycles);
+        let r1 = Simulator::new(c).run(&a, &b, &p, cycles);
+        let r2 = Simulator::new(&parsed).run(&a, &b, &p, cycles);
+        assert_eq!(r1.outputs, r2.outputs);
+    }
+
+    #[test]
+    fn roundtrip_bench_circuit() {
+        let bc = bench_circuits::hamming(32, &[0x0f0f_0f0f], &[0x00ff_00ff]);
+        roundtrip_equivalent(&bc.circuit, 32, 5);
+    }
+
+    #[test]
+    fn roundtrip_random_circuits() {
+        let mut rng = TestRng::new(99);
+        for i in 0..10 {
+            let c = random_circuit(&mut rng, RandomCircuitParams::default());
+            roundtrip_equivalent(&c, 1 + i % 4, 1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_double_driver() {
+        let text = "circuit bad 3 wires\n\
+                    input alice w0\n\
+                    gate XOR w1 = w0 w0\n\
+                    gate AND w1 = w0 w0\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_wire() {
+        let text = "circuit bad 1 wires\ninput alice w5\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "circuit ok 2 wires\ninput alice w0\nfrobnicate\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn emitted_text_is_stable() {
+        let bc = bench_circuits::sum(8, 1, 2);
+        assert_eq!(emit(&bc.circuit), emit(&bc.circuit));
+        assert!(emit(&bc.circuit).contains("output_mode per_cycle"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Random circuit generation for differential testing.
+//!
+//! Every garbling engine in the workspace is validated by comparing its
+//! outputs against [`crate::Simulator`] on randomly generated sequential
+//! circuits. The generator lives here so all engine crates share it.
+
+use crate::ir::{DffInit, Op, OutputMode, Role};
+use crate::sim::PartyData;
+use crate::{Circuit, CircuitBuilder, WireId};
+
+/// A tiny deterministic RNG (xorshift64*) so this module needs no
+/// external dependencies.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator (seed 0 is remapped).
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Shape parameters for [`random_circuit`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomCircuitParams {
+    /// Primary inputs per role (Alice, Bob, Public).
+    pub inputs: (usize, usize, usize),
+    /// Number of flip-flops.
+    pub dffs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of output wires.
+    pub outputs: usize,
+    /// Output schedule.
+    pub output_mode: OutputMode,
+}
+
+impl Default for RandomCircuitParams {
+    fn default() -> Self {
+        Self {
+            inputs: (3, 3, 2),
+            dffs: 4,
+            gates: 40,
+            outputs: 5,
+            output_mode: OutputMode::PerCycle,
+        }
+    }
+}
+
+/// All gate ops a synthesiser can emit (no constant-valued gates).
+const OPS: [Op; 14] = [
+    Op::AND,
+    Op::OR,
+    Op::XOR,
+    Op::XNOR,
+    Op::NAND,
+    Op::NOR,
+    Op::ANDNOT,
+    Op::NOTAND,
+    Op::BUF_A,
+    Op::NOT_A,
+    Op::BUF_B,
+    Op::NOT_B,
+    Op::from_table(0b1011),
+    Op::from_table(0b1101),
+];
+
+/// Generates a random (but always well-formed) sequential circuit.
+pub fn random_circuit(rng: &mut TestRng, p: RandomCircuitParams) -> Circuit {
+    let mut b = CircuitBuilder::new(format!("random_{}", rng.next_u64() % 10_000));
+    let mut pool: Vec<WireId> = Vec::new();
+
+    pool.extend(b.inputs(Role::Alice, p.inputs.0));
+    pool.extend(b.inputs(Role::Bob, p.inputs.1));
+    pool.extend(b.inputs(Role::Public, p.inputs.2));
+    pool.push(b.constant(false));
+    pool.push(b.constant(true));
+
+    let mut init_counts = [0u32; 3];
+    let dffs: Vec<WireId> = (0..p.dffs)
+        .map(|_| {
+            let init = match rng.below(4) {
+                0 => DffInit::Const(rng.bool()),
+                1 => {
+                    init_counts[0] += 1;
+                    DffInit::Alice(init_counts[0] - 1)
+                }
+                2 => {
+                    init_counts[1] += 1;
+                    DffInit::Bob(init_counts[1] - 1)
+                }
+                _ => {
+                    init_counts[2] += 1;
+                    DffInit::Public(init_counts[2] - 1)
+                }
+            };
+            let q = b.dff(init);
+            pool.push(q);
+            q
+        })
+        .collect();
+
+    for _ in 0..p.gates {
+        let op = OPS[rng.below(OPS.len())];
+        let a = pool[rng.below(pool.len())];
+        let bb = pool[rng.below(pool.len())];
+        pool.push(b.gate(op, a, bb));
+    }
+
+    // Feed flip-flops from late wires to exercise state.
+    for &q in &dffs {
+        let d = pool[pool.len() - 1 - rng.below(pool.len() / 2)];
+        b.connect_dff(q, d);
+    }
+    for _ in 0..p.outputs {
+        b.output(pool[rng.below(pool.len())]);
+    }
+    b.set_output_mode(p.output_mode);
+    b.build()
+}
+
+/// Random runtime data matching `circuit` for `cycles` cycles.
+pub fn random_inputs(
+    rng: &mut TestRng,
+    circuit: &Circuit,
+    cycles: usize,
+) -> (PartyData, PartyData, PartyData) {
+    let mk = |rng: &mut TestRng, role: Role, c: &Circuit| {
+        let n_stream = c.inputs_of(role).len();
+        PartyData {
+            init: (0..c.init_bits_of(role)).map(|_| rng.bool()).collect(),
+            stream: (0..cycles)
+                .map(|_| (0..n_stream).map(|_| rng.bool()).collect())
+                .collect(),
+        }
+    };
+    (
+        mk(rng, Role::Alice, circuit),
+        mk(rng, Role::Bob, circuit),
+        mk(rng, Role::Public, circuit),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn random_circuits_simulate_without_panic() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..20 {
+            let c = random_circuit(&mut rng, RandomCircuitParams::default());
+            let (a, b, p) = random_inputs(&mut rng, &c, 4);
+            let res = Simulator::new(&c).run(&a, &b, &p, 4);
+            assert_eq!(res.cycles_run, 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut r1 = TestRng::new(7);
+        let mut r2 = TestRng::new(7);
+        let c1 = random_circuit(&mut r1, RandomCircuitParams::default());
+        let c2 = random_circuit(&mut r2, RandomCircuitParams::default());
+        assert_eq!(c1.gates().len(), c2.gates().len());
+        assert_eq!(c1.non_xor_count(), c2.non_xor_count());
+    }
+}

@@ -1,0 +1,267 @@
+//! Cleartext reference simulator.
+//!
+//! Executes a [`Circuit`] on plain bits. Every garbling engine in the
+//! workspace is tested against this oracle: for random inputs,
+//! `garbled(output) == simulated(output)` must hold.
+
+use crate::ir::{Circuit, DffInit, OutputMode, Role};
+
+/// Runtime data supplied by one role (a party, or the public input `p`).
+#[derive(Clone, Debug, Default)]
+pub struct PartyData {
+    /// Flip-flop initialisation bits (indexed by `DffInit::…(i)`).
+    pub init: Vec<bool>,
+    /// Per-cycle primary-input bits: `stream[cycle][i]` feeds the `i`-th
+    /// input wire of this role on `cycle`. May be shorter than the cycle
+    /// bound if the circuit halts early, but must cover every executed
+    /// cycle.
+    pub stream: Vec<Vec<bool>>,
+}
+
+impl PartyData {
+    /// Data with initialisation bits only (no per-cycle stream).
+    pub fn from_init(init: Vec<bool>) -> Self {
+        Self {
+            init,
+            stream: Vec::new(),
+        }
+    }
+
+    /// Data with a per-cycle stream only.
+    pub fn from_stream(stream: Vec<Vec<bool>>) -> Self {
+        Self {
+            init: Vec::new(),
+            stream,
+        }
+    }
+
+    fn bit(&self, cycle: usize, idx: usize, role: Role) -> bool {
+        *self
+            .stream
+            .get(cycle)
+            .unwrap_or_else(|| panic!("{role:?} input stream exhausted at cycle {cycle}"))
+            .get(idx)
+            .unwrap_or_else(|| panic!("{role:?} input stream too narrow at cycle {cycle}"))
+    }
+
+    fn init_bit(&self, idx: u32, role: Role) -> bool {
+        *self
+            .init
+            .get(idx as usize)
+            .unwrap_or_else(|| panic!("{role:?} init vector too short (need bit {idx})"))
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Output bits: one vector per read point (per cycle in
+    /// [`OutputMode::PerCycle`], a single vector in
+    /// [`OutputMode::FinalOnly`]).
+    pub outputs: Vec<Vec<bool>>,
+    /// Number of cycles actually executed (≤ the requested bound when the
+    /// halt wire fires).
+    pub cycles_run: usize,
+}
+
+impl SimResult {
+    /// The single final output vector.
+    ///
+    /// # Panics
+    /// Panics if there are no outputs.
+    pub fn final_output(&self) -> &[bool] {
+        self.outputs.last().expect("circuit produced no outputs")
+    }
+}
+
+/// Cleartext executor for a [`Circuit`].
+#[derive(Debug)]
+pub struct Simulator<'c> {
+    circuit: &'c Circuit,
+}
+
+impl<'c> Simulator<'c> {
+    /// Creates a simulator for `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Self { circuit }
+    }
+
+    /// Runs for at most `max_cycles` cycles (stopping early if the halt
+    /// wire fires) and returns the scheduled outputs.
+    pub fn run(
+        &self,
+        alice: &PartyData,
+        bob: &PartyData,
+        public: &PartyData,
+        max_cycles: usize,
+    ) -> SimResult {
+        let c = self.circuit;
+        assert!(max_cycles > 0, "must run at least one cycle");
+        let mut state = vec![false; c.wire_count()];
+
+        for &(w, v) in &c.consts {
+            state[w.index()] = v;
+        }
+        for dff in &c.dffs {
+            state[dff.q.index()] = match dff.init {
+                DffInit::Const(v) => v,
+                DffInit::Public(i) => public.init_bit(i, Role::Public),
+                DffInit::Alice(i) => alice.init_bit(i, Role::Alice),
+                DffInit::Bob(i) => bob.init_bit(i, Role::Bob),
+            };
+        }
+
+        let mut outputs = Vec::new();
+        let mut cycles_run = 0;
+        for cycle in 0..max_cycles {
+            // Feed per-cycle inputs.
+            let mut idx = [0usize; 3];
+            for input in &c.inputs {
+                let slot = match input.role {
+                    Role::Alice => 0,
+                    Role::Bob => 1,
+                    Role::Public => 2,
+                };
+                let party = match input.role {
+                    Role::Alice => alice,
+                    Role::Bob => bob,
+                    Role::Public => public,
+                };
+                state[input.wire.index()] = party.bit(cycle, idx[slot], input.role);
+                idx[slot] += 1;
+            }
+
+            for g in &c.gates {
+                state[g.out.index()] = g.op.eval(state[g.a.index()], state[g.b.index()]);
+            }
+
+            if matches!(c.output_mode, OutputMode::PerCycle) {
+                outputs.push(c.outputs.iter().map(|w| state[w.index()]).collect());
+            }
+
+            let halted = c.halt_wire.map(|w| state[w.index()]).unwrap_or(false);
+
+            // Simultaneous flip-flop copy.
+            let next: Vec<bool> = c.dffs.iter().map(|d| state[d.d.index()]).collect();
+            for (dff, v) in c.dffs.iter().zip(next) {
+                state[dff.q.index()] = v;
+            }
+
+            cycles_run = cycle + 1;
+            if halted {
+                break;
+            }
+        }
+
+        if matches!(c.output_mode, OutputMode::FinalOnly) {
+            outputs.push(c.outputs.iter().map(|w| state[w.index()]).collect());
+        }
+
+        SimResult {
+            outputs,
+            cycles_run,
+        }
+    }
+
+    /// Convenience for purely combinational circuits: one cycle, outputs
+    /// as a single bit vector.
+    pub fn run_comb(&self, alice: &[bool], bob: &[bool], public: &[bool]) -> Vec<bool> {
+        let a = PartyData::from_stream(vec![alice.to_vec()]);
+        let b = PartyData::from_stream(vec![bob.to_vec()]);
+        let p = PartyData::from_stream(vec![public.to_vec()]);
+        self.run(&a, &b, &p, 1).outputs.pop().expect("one output set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DffInit, Role};
+    use crate::words::{bits_to_u32, u32_to_bits};
+    use crate::CircuitBuilder;
+
+    #[test]
+    fn combinational_adder() {
+        let mut b = CircuitBuilder::new("add8");
+        let x = b.inputs(Role::Alice, 8);
+        let y = b.inputs(Role::Bob, 8);
+        let (s, _) = b.add(&x, &y);
+        b.outputs(&s);
+        let c = b.build();
+        let sim = Simulator::new(&c);
+        for (xa, yb) in [(3u32, 5u32), (200, 100), (255, 255)] {
+            let out = sim.run_comb(&u32_to_bits(xa, 8), &u32_to_bits(yb, 8), &[]);
+            assert_eq!(bits_to_u32(&out), (xa + yb) & 0xff);
+        }
+    }
+
+    #[test]
+    fn sequential_accumulator_with_per_cycle_inputs() {
+        // acc' = acc + in (4-bit), one new Alice bit vector per cycle.
+        let mut b = CircuitBuilder::new("acc");
+        let input = b.inputs(Role::Alice, 4);
+        let acc = b.dff_bus(4, |_| DffInit::Const(false));
+        let (sum, _) = b.add(&acc, &input);
+        b.connect_dff_bus(&acc, &sum);
+        b.outputs(&acc);
+        let c = b.build();
+
+        let stream = vec![
+            u32_to_bits(3, 4),
+            u32_to_bits(5, 4),
+            u32_to_bits(1, 4),
+        ];
+        let res = Simulator::new(&c).run(
+            &PartyData::from_stream(stream),
+            &PartyData::default(),
+            &PartyData::default(),
+            3,
+        );
+        // FinalOnly: outputs are the DFF q values *after* the last copy.
+        assert_eq!(bits_to_u32(res.final_output()), 9);
+    }
+
+    #[test]
+    fn halt_wire_stops_early() {
+        // Counter counts up; halts when it reaches 3.
+        let mut b = CircuitBuilder::new("cnt");
+        let cnt = b.dff_bus(4, |_| DffInit::Const(false));
+        let (next, _) = b.inc(&cnt);
+        b.connect_dff_bus(&cnt, &next);
+        let halt = b.eq_const(&cnt, 3);
+        b.set_halt(halt);
+        b.outputs(&cnt);
+        let c = b.build();
+        let res = Simulator::new(&c).run(
+            &PartyData::default(),
+            &PartyData::default(),
+            &PartyData::default(),
+            100,
+        );
+        assert_eq!(res.cycles_run, 4); // cycles with cnt = 0,1,2,3
+        assert_eq!(bits_to_u32(res.final_output()), 4);
+    }
+
+    #[test]
+    fn dff_init_from_party_vectors() {
+        let mut b = CircuitBuilder::new("init");
+        let a = b.dff_bus(4, |i| DffInit::Alice(i as u32));
+        let p = b.dff_bus(4, |i| DffInit::Public(i as u32));
+        let (s, _) = b.add(&a, &p);
+        // Regs hold their value.
+        let a2 = a.clone();
+        b.connect_dff_bus(&a, &a2);
+        let p2 = p.clone();
+        b.connect_dff_bus(&p, &p2);
+        b.outputs(&s);
+        b.set_output_mode(crate::OutputMode::PerCycle);
+        let c = b.build();
+        let res = Simulator::new(&c).run(
+            &PartyData::from_init(u32_to_bits(6, 4)),
+            &PartyData::default(),
+            &PartyData::from_init(u32_to_bits(7, 4)),
+            1,
+        );
+        assert_eq!(bits_to_u32(&res.outputs[0]), 13);
+    }
+}

@@ -1,0 +1,63 @@
+//! Bit/word conversion helpers (little-endian bit order, matching
+//! [`crate::Bus`] semantics).
+
+/// Expands `v` into `width` little-endian bits.
+///
+/// ```
+/// use arm2gc_circuit::u32_to_bits;
+/// assert_eq!(u32_to_bits(0b101, 4), vec![true, false, true, false]);
+/// ```
+pub fn u32_to_bits(v: u32, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+/// Expands `v` into `width` little-endian bits.
+pub fn u64_to_bits(v: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+/// Packs up to 32 little-endian bits into a `u32`.
+pub fn bits_to_u32(bits: &[bool]) -> u32 {
+    bits.iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | ((b as u32) << i))
+}
+
+/// Packs up to 64 little-endian bits into a `u64`.
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+/// Concatenates the little-endian bits of each word in `ws`.
+pub fn words_to_bits(ws: &[u32]) -> Vec<bool> {
+    ws.iter().flat_map(|&w| u32_to_bits(w, 32)).collect()
+}
+
+/// Splits a flat bit vector back into 32-bit words.
+///
+/// # Panics
+/// Panics if `bits.len()` is not a multiple of 32.
+pub fn bits_to_words(bits: &[bool]) -> Vec<u32> {
+    assert!(bits.len() % 32 == 0, "bit count must be a multiple of 32");
+    bits.chunks(32).map(bits_to_u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        for v in [0u32, 1, 0xdead_beef, u32::MAX] {
+            assert_eq!(bits_to_u32(&u32_to_bits(v, 32)), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_words() {
+        let ws = vec![7, 0, u32::MAX, 12345];
+        assert_eq!(bits_to_words(&words_to_bits(&ws)), ws);
+    }
+}

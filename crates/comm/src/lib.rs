@@ -1,0 +1,222 @@
+//! Two-party communication substrate.
+//!
+//! The GC literature's cost metric is *communication* (garbled tables
+//! dominate). This crate provides length-framed byte channels between the
+//! two protocol threads plus a byte-counting wrapper the benchmark
+//! harness uses to report exact traffic.
+//!
+//! ```
+//! use arm2gc_comm::{duplex, Channel};
+//! let (mut a, mut b) = duplex();
+//! a.send(b"hello").unwrap();
+//! assert_eq!(b.recv().unwrap(), b"hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tcp;
+
+pub use tcp::TcpChannel;
+
+use std::error::Error;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Error raised when the peer hung up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelClosed;
+
+impl fmt::Display for ChannelClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("channel closed by peer")
+    }
+}
+
+impl Error for ChannelClosed {}
+
+/// A reliable, ordered, message-framed duplex byte channel.
+pub trait Channel: Send {
+    /// Sends one framed message.
+    ///
+    /// # Errors
+    /// Returns [`ChannelClosed`] if the peer disconnected.
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed>;
+
+    /// Receives the next framed message, blocking until one arrives.
+    ///
+    /// # Errors
+    /// Returns [`ChannelClosed`] if the peer disconnected.
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed>;
+}
+
+/// In-memory channel endpoint (crossbeam-backed).
+#[derive(Debug)]
+pub struct MemChannel {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Creates a connected pair of in-memory channel endpoints.
+pub fn duplex() -> (MemChannel, MemChannel) {
+    let (tx_ab, rx_ab) = unbounded();
+    let (tx_ba, rx_ba) = unbounded();
+    (
+        MemChannel {
+            tx: tx_ab,
+            rx: rx_ba,
+        },
+        MemChannel {
+            tx: tx_ba,
+            rx: rx_ab,
+        },
+    )
+}
+
+impl Channel for MemChannel {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+        self.tx.send(data.to_vec()).map_err(|_| ChannelClosed)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+        self.rx.recv().map_err(|_| ChannelClosed)
+    }
+}
+
+/// Shared traffic counters of a [`CountingChannel`].
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    sent_bytes: AtomicU64,
+    sent_msgs: AtomicU64,
+    recv_bytes: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Total payload bytes sent through the wrapped channel.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of framed messages sent.
+    pub fn sent_msgs(&self) -> u64 {
+        self.sent_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes received.
+    pub fn recv_bytes(&self) -> u64 {
+        self.recv_bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Wraps a [`Channel`] and counts traffic in both directions.
+#[derive(Debug)]
+pub struct CountingChannel<C> {
+    inner: C,
+    stats: Arc<TrafficStats>,
+}
+
+impl<C: Channel> CountingChannel<C> {
+    /// Wraps `inner`; the returned handle shares the stats.
+    pub fn new(inner: C) -> (Self, Arc<TrafficStats>) {
+        let stats = Arc::new(TrafficStats::default());
+        (
+            Self {
+                inner,
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl<C: Channel> Channel for CountingChannel<C> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+        self.stats
+            .sent_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.sent_msgs.fetch_add(1, Ordering::Relaxed);
+        self.inner.send(data)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+        let msg = self.inner.recv()?;
+        self.stats
+            .recv_bytes
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
+        Ok(msg)
+    }
+}
+
+impl<C: Channel + ?Sized> Channel for &mut C {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+        (**self).send(data)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+        (**self).recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_both_directions() {
+        let (mut a, mut b) = duplex();
+        a.send(&[1, 2, 3]).unwrap();
+        b.send(&[9]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![1, 2, 3]);
+        assert_eq!(a.recv().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn ordering_preserved() {
+        let (mut a, mut b) = duplex();
+        for i in 0..10u8 {
+            a.send(&[i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.recv().unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn closed_peer_errors() {
+        let (mut a, b) = duplex();
+        drop(b);
+        assert_eq!(a.send(&[1]), Err(ChannelClosed));
+    }
+
+    #[test]
+    fn counting_wrapper_counts() {
+        let (a, mut b) = duplex();
+        let (mut ca, stats) = CountingChannel::new(a);
+        ca.send(&[0; 100]).unwrap();
+        ca.send(&[0; 28]).unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        assert_eq!(stats.sent_bytes(), 128);
+        assert_eq!(stats.sent_msgs(), 2);
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let (mut a, mut b) = duplex();
+        let t = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                a.send(&i.to_le_bytes()).unwrap();
+            }
+            a.recv().unwrap()
+        });
+        for i in 0..100u32 {
+            assert_eq!(b.recv().unwrap(), i.to_le_bytes());
+        }
+        b.send(b"done").unwrap();
+        assert_eq!(t.join().unwrap(), b"done");
+    }
+}

@@ -1,0 +1,116 @@
+//! TCP transport: the same framed [`Channel`] over a real socket, for
+//! two-machine deployments (the paper's evaluation setting).
+//!
+//! Frames are `u32` little-endian length prefixes followed by the
+//! payload.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+use crate::{Channel, ChannelClosed};
+
+/// A [`Channel`] over a TCP stream.
+#[derive(Debug)]
+pub struct TcpChannel {
+    stream: TcpStream,
+}
+
+impl TcpChannel {
+    /// Connects to a listening peer.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Accepts a single inbound connection on `addr`.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn accept(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let (stream, _) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Binds a listener and returns it together with its local address —
+    /// lets tests pick an ephemeral port race-free.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn listener(addr: impl ToSocketAddrs) -> std::io::Result<TcpListener> {
+        TcpListener::bind(addr)
+    }
+
+    /// Wraps an accepted stream.
+    ///
+    /// # Errors
+    /// Propagates socket errors (setting `TCP_NODELAY`).
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+}
+
+impl Channel for TcpChannel {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+        let len = (data.len() as u32).to_le_bytes();
+        self.stream.write_all(&len).map_err(|_| ChannelClosed)?;
+        self.stream.write_all(data).map_err(|_| ChannelClosed)?;
+        self.stream.flush().map_err(|_| ChannelClosed)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len).map_err(|_| ChannelClosed)?;
+        let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+        self.stream.read_exact(&mut buf).map_err(|_| ChannelClosed)?;
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framed_roundtrip_over_localhost() {
+        let listener = TcpChannel::listener("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut ch = TcpChannel::from_stream(stream).expect("wrap");
+            for i in 0..50usize {
+                let msg = ch.recv().expect("recv");
+                assert_eq!(msg.len(), i * 13 % 300);
+            }
+            ch.send(b"done").expect("send");
+        });
+        let mut client = TcpChannel::connect(addr).expect("connect");
+        for i in 0..50usize {
+            client.send(&vec![7u8; i * 13 % 300]).expect("send");
+        }
+        assert_eq!(client.recv().expect("recv"), b"done");
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn empty_frames_are_preserved() {
+        let listener = TcpChannel::listener("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut ch = TcpChannel::from_stream(stream).expect("wrap");
+            assert_eq!(ch.recv().expect("recv"), Vec::<u8>::new());
+            assert_eq!(ch.recv().expect("recv"), vec![1]);
+        });
+        let mut client = TcpChannel::connect(addr).expect("connect");
+        client.send(&[]).expect("send empty");
+        client.send(&[1]).expect("send");
+        server.join().expect("server");
+    }
+}

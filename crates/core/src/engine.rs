@@ -1,0 +1,642 @@
+//! The two-party SkipGate protocol (Algorithms 1 and 2).
+//!
+//! Differences from the classic engine in `arm2gc_garble`:
+//!
+//! * the public input `p` (constants, `Public` flip-flop initialisation,
+//!   `Public` input streams) never gets labels — both parties track its
+//!   values locally, for free;
+//! * each cycle first runs the shared [`DecideContext`] pass, then Alice
+//!   garbles / Bob evaluates only the surviving category-iv gates;
+//! * when the circuit's halt wire becomes publicly 1, both parties stop
+//!   without any extra communication;
+//! * output bits on public wires are reported without interaction; only
+//!   secret outputs go through the colour-bit exchange.
+
+use arm2gc_circuit::sim::PartyData;
+use arm2gc_circuit::{Circuit, DffInit, Op, OutputMode, Role, WireId};
+use arm2gc_comm::{duplex, Channel};
+use arm2gc_crypto::{Delta, Label, Prg};
+use arm2gc_garble::engine::ProtocolError;
+use arm2gc_garble::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
+use arm2gc_ot::{InsecureOt, OtReceiver, OtSender};
+
+use crate::decide::{DecideContext, GateDecision};
+use crate::state::WireVal;
+use crate::tag::TagAllocator;
+
+/// Cost accounting for a SkipGate run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SkipGateStats {
+    /// Garbled tables actually transferred — the paper's "# of garbled
+    /// non-XOR with SkipGate".
+    pub garbled_tables: u64,
+    /// Nonlinear gates skipped because their `label_fanout` hit zero.
+    pub skipped_nonlinear: u64,
+    /// Gates resolved to public constants (categories i–iii).
+    pub public_gates: u64,
+    /// Gates that acted as wires/inverters or aliases.
+    pub pass_gates: u64,
+    /// Free XOR/XNOR gates.
+    pub free_xor: u64,
+    /// Bytes of garbled tables sent.
+    pub table_bytes: u64,
+    /// OTs executed for Bob's inputs.
+    pub ots: u64,
+    /// Cycles executed (may stop early at a public halt).
+    pub cycles_run: usize,
+}
+
+/// Result of a SkipGate protocol run.
+#[derive(Clone, Debug)]
+pub struct SkipGateOutcome {
+    /// Output bits per scheduled read.
+    pub outputs: Vec<Vec<bool>>,
+    /// Cost counters.
+    pub stats: SkipGateStats,
+}
+
+impl SkipGateOutcome {
+    /// The last (or only) output vector.
+    ///
+    /// # Panics
+    /// Panics if the circuit has no outputs.
+    pub fn final_output(&self) -> &[bool] {
+        self.outputs.last().expect("no outputs")
+    }
+}
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
+}
+
+/// An output bit scheduled for revelation.
+#[derive(Clone, Copy, Debug)]
+enum OutBit {
+    Known(bool),
+    Secret, // consumes the next slot of the colour exchange
+}
+
+/// Shared (party-independent) protocol state.
+struct Shared<'c> {
+    circuit: &'c Circuit,
+    ctx: DecideContext<'c>,
+    states: Vec<WireVal>,
+    alloc: TagAllocator,
+    frames: Vec<Vec<OutBit>>,
+    stats: SkipGateStats,
+}
+
+impl<'c> Shared<'c> {
+    fn new(circuit: &'c Circuit, filter_dead: bool) -> Self {
+        let mut ctx = DecideContext::new(circuit);
+        ctx.filter_dead = filter_dead;
+        Self {
+            circuit,
+            ctx,
+            states: vec![WireVal::Public(false); circuit.wire_count()],
+            alloc: TagAllocator::new(),
+            frames: Vec::new(),
+            stats: SkipGateStats::default(),
+        }
+    }
+
+    /// Initialises constant wires and flip-flop states; returns the wires
+    /// (in deterministic order) that need Alice labels / Bob OT.
+    fn init_states(&mut self, public: &PartyData) -> (Vec<WireId>, Vec<WireId>) {
+        let mut alice_wires = Vec::new();
+        let mut bob_wires = Vec::new();
+        for &(w, v) in self.circuit.consts() {
+            self.states[w.index()] = WireVal::Public(v);
+        }
+        for dff in self.circuit.dffs() {
+            self.states[dff.q.index()] = match dff.init {
+                DffInit::Const(v) => WireVal::Public(v),
+                DffInit::Public(i) => WireVal::Public(public.init[i as usize]),
+                DffInit::Alice(_) => {
+                    alice_wires.push(dff.q);
+                    WireVal::Secret(self.alloc.fresh())
+                }
+                DffInit::Bob(_) => {
+                    bob_wires.push(dff.q);
+                    WireVal::Secret(self.alloc.fresh())
+                }
+            };
+        }
+        (alice_wires, bob_wires)
+    }
+
+    /// Sets the per-cycle input wire states; secret wires get fresh tags.
+    fn set_cycle_inputs(&mut self, cycle: usize, public: &PartyData) {
+        let mut pidx = 0usize;
+        for input in self.circuit.inputs() {
+            self.states[input.wire.index()] = match input.role {
+                Role::Public => {
+                    let v = public.stream[cycle][pidx];
+                    pidx += 1;
+                    WireVal::Public(v)
+                }
+                Role::Alice | Role::Bob => WireVal::Secret(self.alloc.fresh()),
+            };
+        }
+    }
+
+    fn record_frame(&mut self) {
+        let frame = self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|w| match self.states[w.index()] {
+                WireVal::Public(v) => OutBit::Known(v),
+                WireVal::Secret(_) => OutBit::Secret,
+            })
+            .collect();
+        self.frames.push(frame);
+    }
+
+    fn halted(&self) -> bool {
+        self.circuit
+            .halt_wire()
+            .map(|w| self.states[w.index()] == WireVal::Public(true))
+            .unwrap_or(false)
+    }
+
+    fn copy_dffs(&mut self) {
+        let next: Vec<WireVal> = self
+            .circuit
+            .dffs()
+            .iter()
+            .map(|d| self.states[d.d.index()])
+            .collect();
+        for (dff, v) in self.circuit.dffs().iter().zip(next) {
+            self.states[dff.q.index()] = v;
+        }
+    }
+
+    fn absorb_counts(&mut self, counts: &crate::decide::DecisionCounts) {
+        self.stats.public_gates += counts.public_out;
+        self.stats.pass_gates += counts.pass + counts.aliased;
+        self.stats.free_xor += counts.free_xor;
+        self.stats.garbled_tables += counts.garbled;
+        self.stats.skipped_nonlinear += counts.skipped_nonlinear;
+    }
+
+    /// Merges the secret-output values from the colour exchange with the
+    /// publicly known bits.
+    fn assemble_outputs(&self, secret_values: &[bool]) -> Vec<Vec<bool>> {
+        let mut it = secret_values.iter();
+        self.frames
+            .iter()
+            .map(|frame| {
+                frame
+                    .iter()
+                    .map(|ob| match ob {
+                        OutBit::Known(v) => *v,
+                        OutBit::Secret => *it.next().expect("secret output slot"),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Options for the SkipGate engines.
+#[derive(Clone, Copy, Debug)]
+pub struct SkipGateOptions {
+    /// Keep Alg. 4 line 18's dead-gate filtering on (default). Turn off
+    /// only for the ablation benchmark.
+    pub filter_dead_gates: bool,
+}
+
+impl Default for SkipGateOptions {
+    fn default() -> Self {
+        Self {
+            filter_dead_gates: true,
+        }
+    }
+}
+
+/// Runs Alice's side (Algorithm 1): garbles only what SkipGate keeps.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+pub fn run_skipgate_garbler(
+    circuit: &Circuit,
+    alice: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    ot: &mut dyn OtSender,
+    prg: &mut Prg,
+    options: SkipGateOptions,
+) -> Result<SkipGateOutcome, ProtocolError> {
+    let delta = Delta::random(prg);
+    let d = delta.as_label();
+    let garbler = HalfGateGarbler::new(delta);
+    let mut shared = Shared::new(circuit, options.filter_dead_gates);
+    let mut labels = vec![Label::ZERO; circuit.wire_count()];
+
+    // --- Input labels ---------------------------------------------------
+    let (alice_wires, bob_wires) = shared.init_states(public);
+    let mut direct = Vec::new();
+    let mut ot_pairs = Vec::new();
+    for (w, dff) in circuit
+        .dffs()
+        .iter()
+        .filter(|f| matches!(f.init, DffInit::Alice(_)))
+        .map(|f| (f.q, f))
+    {
+        let x0 = Label::random(prg);
+        labels[w.index()] = x0;
+        let DffInit::Alice(i) = dff.init else {
+            unreachable!()
+        };
+        direct.push(if alice.init[i as usize] { x0 ^ d } else { x0 });
+    }
+    for dff in circuit
+        .dffs()
+        .iter()
+        .filter(|f| matches!(f.init, DffInit::Bob(_)))
+    {
+        let x0 = Label::random(prg);
+        labels[dff.q.index()] = x0;
+        ot_pairs.push((x0, x0 ^ d));
+    }
+    debug_assert_eq!(alice_wires.len(), direct.len());
+    debug_assert_eq!(bob_wires.len(), ot_pairs.len());
+
+    // Per-cycle secret input labels, generated up front.
+    let mut stream_labels: Vec<Vec<(WireId, Label)>> = Vec::with_capacity(cycles);
+    for cycle in 0..cycles {
+        let mut per_cycle = Vec::new();
+        let mut aidx = 0usize;
+        for input in circuit.inputs() {
+            match input.role {
+                Role::Alice => {
+                    let x0 = Label::random(prg);
+                    let v = alice.stream[cycle][aidx];
+                    aidx += 1;
+                    direct.push(if v { x0 ^ d } else { x0 });
+                    per_cycle.push((input.wire, x0));
+                }
+                Role::Bob => {
+                    let x0 = Label::random(prg);
+                    ot_pairs.push((x0, x0 ^ d));
+                    per_cycle.push((input.wire, x0));
+                }
+                Role::Public => {}
+            }
+        }
+        stream_labels.push(per_cycle);
+    }
+    let direct_bytes: Vec<u8> = direct.iter().flat_map(|l| l.to_bytes()).collect();
+    ch.send(&direct_bytes)?;
+    if !ot_pairs.is_empty() {
+        ot.send(ch, &ot_pairs)?;
+    }
+    shared.stats.ots = ot_pairs.len() as u64;
+
+    // --- Cycle loop -------------------------------------------------------
+    let mut tweak = 0u64;
+    let mut decode_bits: Vec<bool> = Vec::new();
+    for cycle in 0..cycles {
+        shared.set_cycle_inputs(cycle, public);
+        for &(w, x0) in &stream_labels[cycle] {
+            labels[w.index()] = x0;
+        }
+        let is_last = cycle + 1 == cycles;
+        let decisions = {
+            let Shared {
+                ctx, states, alloc, ..
+            } = &mut shared;
+            ctx.decide_cycle(states, alloc, is_last)
+        };
+        shared.absorb_counts(&decisions.counts);
+
+        let mut tables = Vec::new();
+        for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
+            match *decision {
+                GateDecision::PublicOut(_)
+                | GateDecision::Skipped
+                | GateDecision::SkippedFree => {}
+                GateDecision::Pass { from_a, flip } => {
+                    let src = if from_a { gate.a } else { gate.b };
+                    labels[gate.out.index()] =
+                        labels[src.index()] ^ if flip { d } else { Label::ZERO };
+                }
+                GateDecision::Alias { src, flip } => {
+                    labels[gate.out.index()] =
+                        labels[src.index()] ^ if flip { d } else { Label::ZERO };
+                }
+                GateDecision::FreeXor { flip } => {
+                    labels[gate.out.index()] = labels[gate.a.index()]
+                        ^ labels[gate.b.index()]
+                        ^ if flip { d } else { Label::ZERO };
+                }
+                GateDecision::Garble => {
+                    let (c0, table) =
+                        garbler.garble(gate.op, labels[gate.a.index()], labels[gate.b.index()], tweak);
+                    tweak += 1;
+                    labels[gate.out.index()] = c0;
+                    tables.extend_from_slice(&table.to_bytes());
+                }
+            }
+        }
+        shared.stats.table_bytes += tables.len() as u64;
+        ch.send(&tables)?;
+
+        if matches!(circuit.output_mode(), OutputMode::PerCycle) {
+            shared.record_frame();
+            decode_bits.extend(circuit.outputs().iter().filter_map(|w| {
+                shared.states[w.index()]
+                    .is_secret()
+                    .then(|| labels[w.index()].colour())
+            }));
+        }
+        let halted = shared.halted();
+
+        // Flip-flop copies: states and labels.
+        let next: Vec<Label> = circuit.dffs().iter().map(|f| labels[f.d.index()]).collect();
+        for (dff, l) in circuit.dffs().iter().zip(next) {
+            labels[dff.q.index()] = l;
+        }
+        shared.copy_dffs();
+        shared.stats.cycles_run = cycle + 1;
+        if halted {
+            break;
+        }
+    }
+    if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
+        shared.record_frame();
+        decode_bits.extend(circuit.outputs().iter().filter_map(|w| {
+            shared.states[w.index()]
+                .is_secret()
+                .then(|| labels[w.index()].colour())
+        }));
+    }
+
+    // --- Output revelation -------------------------------------------------
+    ch.send(&pack_bits(&decode_bits))?;
+    let secret_values = unpack_bits(&ch.recv()?, decode_bits.len());
+    let outputs = shared.assemble_outputs(&secret_values);
+    let mut stats = shared.stats;
+    stats.garbled_tables = stats.table_bytes / GarbledTable::BYTES as u64;
+    Ok(SkipGateOutcome { outputs, stats })
+}
+
+/// Runs Bob's side (Algorithm 2): evaluates only what SkipGate keeps.
+///
+/// Unlike the classic baseline, Bob needs the public input `p` — that is
+/// the whole point of SkipGate.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+pub fn run_skipgate_evaluator(
+    circuit: &Circuit,
+    bob: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    ot: &mut dyn OtReceiver,
+    options: SkipGateOptions,
+) -> Result<SkipGateOutcome, ProtocolError> {
+    let evaluator = HalfGateEvaluator::new();
+    let mut shared = Shared::new(circuit, options.filter_dead_gates);
+    let mut active = vec![Label::ZERO; circuit.wire_count()];
+
+    // --- Input labels -----------------------------------------------------
+    let (alice_wires, bob_wires) = shared.init_states(public);
+    let direct_bytes = ch.recv()?;
+    let mut direct = direct_bytes
+        .chunks_exact(16)
+        .map(|c| Label::from_bytes(c.try_into().expect("16 bytes")));
+    for &w in &alice_wires {
+        active[w.index()] = direct.next().ok_or(ProtocolError::Malformed("alice dffs"))?;
+    }
+
+    let mut choices = Vec::new();
+    for dff in circuit.dffs() {
+        if let DffInit::Bob(i) = dff.init {
+            choices.push(bob.init[i as usize]);
+        }
+    }
+    // Per-cycle stream: walk in garbler order, collecting Bob choices and
+    // Alice labels.
+    let mut stream_slots: Vec<Vec<(WireId, Option<Label>)>> = Vec::with_capacity(cycles);
+    for cycle in 0..cycles {
+        let mut per_cycle = Vec::new();
+        let mut bidx = 0usize;
+        for input in circuit.inputs() {
+            match input.role {
+                Role::Alice => {
+                    let l = direct.next().ok_or(ProtocolError::Malformed("stream"))?;
+                    per_cycle.push((input.wire, Some(l)));
+                }
+                Role::Bob => {
+                    choices.push(bob.stream[cycle][bidx]);
+                    bidx += 1;
+                    per_cycle.push((input.wire, None));
+                }
+                Role::Public => {}
+            }
+        }
+        stream_slots.push(per_cycle);
+    }
+    let ot_labels = if choices.is_empty() {
+        Vec::new()
+    } else {
+        ot.receive(ch, &choices)?
+    };
+    let mut ot_iter = ot_labels.into_iter();
+    for &w in &bob_wires {
+        active[w.index()] = ot_iter.next().ok_or(ProtocolError::Malformed("bob ot"))?;
+    }
+    for per_cycle in &mut stream_slots {
+        for (_, slot) in per_cycle.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(ot_iter.next().ok_or(ProtocolError::Malformed("bob ot2"))?);
+            }
+        }
+    }
+    shared.stats.ots = choices.len() as u64;
+
+    // --- Cycle loop ---------------------------------------------------------
+    let mut tweak = 0u64;
+    let mut my_colours: Vec<bool> = Vec::new();
+    for cycle in 0..cycles {
+        shared.set_cycle_inputs(cycle, public);
+        for &(w, l) in &stream_slots[cycle] {
+            active[w.index()] = l.expect("filled above");
+        }
+        let is_last = cycle + 1 == cycles;
+        let decisions = {
+            let Shared {
+                ctx, states, alloc, ..
+            } = &mut shared;
+            ctx.decide_cycle(states, alloc, is_last)
+        };
+        shared.absorb_counts(&decisions.counts);
+
+        let table_bytes = ch.recv()?;
+        if table_bytes.len() % GarbledTable::BYTES != 0 {
+            return Err(ProtocolError::Malformed("table stream"));
+        }
+        shared.stats.table_bytes += table_bytes.len() as u64;
+        let mut tables = table_bytes
+            .chunks_exact(GarbledTable::BYTES)
+            .map(GarbledTable::from_bytes);
+
+        for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
+            match *decision {
+                GateDecision::PublicOut(_)
+                | GateDecision::Skipped
+                | GateDecision::SkippedFree => {}
+                GateDecision::Pass { from_a, .. } => {
+                    let src = if from_a { gate.a } else { gate.b };
+                    active[gate.out.index()] = active[src.index()];
+                }
+                GateDecision::Alias { src, .. } => {
+                    active[gate.out.index()] = active[src.index()];
+                }
+                GateDecision::FreeXor { .. } => {
+                    active[gate.out.index()] = active[gate.a.index()] ^ active[gate.b.index()];
+                }
+                GateDecision::Garble => {
+                    let t = tables
+                        .next()
+                        .ok_or(ProtocolError::Malformed("missing table"))?;
+                    active[gate.out.index()] = evaluator.eval(
+                        active[gate.a.index()],
+                        active[gate.b.index()],
+                        &t,
+                        tweak,
+                    );
+                    tweak += 1;
+                }
+            }
+        }
+        if tables.next().is_some() {
+            return Err(ProtocolError::Malformed("extra tables"));
+        }
+
+        if matches!(circuit.output_mode(), OutputMode::PerCycle) {
+            shared.record_frame();
+            my_colours.extend(circuit.outputs().iter().filter_map(|w| {
+                shared.states[w.index()]
+                    .is_secret()
+                    .then(|| active[w.index()].colour())
+            }));
+        }
+        let halted = shared.halted();
+
+        let next: Vec<Label> = circuit.dffs().iter().map(|f| active[f.d.index()]).collect();
+        for (dff, l) in circuit.dffs().iter().zip(next) {
+            active[dff.q.index()] = l;
+        }
+        shared.copy_dffs();
+        shared.stats.cycles_run = cycle + 1;
+        if halted {
+            break;
+        }
+    }
+    if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
+        shared.record_frame();
+        my_colours.extend(circuit.outputs().iter().filter_map(|w| {
+            shared.states[w.index()]
+                .is_secret()
+                .then(|| active[w.index()].colour())
+        }));
+    }
+
+    // --- Output revelation ----------------------------------------------
+    let decode = unpack_bits(&ch.recv()?, my_colours.len());
+    let secret_values: Vec<bool> = my_colours
+        .iter()
+        .zip(&decode)
+        .map(|(&c, &z)| c ^ z)
+        .collect();
+    ch.send(&pack_bits(&secret_values))?;
+    let outputs = shared.assemble_outputs(&secret_values);
+    let mut stats = shared.stats;
+    stats.garbled_tables = stats.table_bytes / GarbledTable::BYTES as u64;
+    Ok(SkipGateOutcome { outputs, stats })
+}
+
+/// Convenience: runs both parties on two threads over an in-memory
+/// channel with the insecure reference OT (tests/benchmarks). Returns
+/// `(alice_outcome, bob_outcome)`.
+///
+/// # Panics
+/// Panics if either party fails (test harness semantics).
+pub fn run_two_party(
+    circuit: &Circuit,
+    alice: &PartyData,
+    bob: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+) -> (SkipGateOutcome, SkipGateOutcome) {
+    run_two_party_with(circuit, alice, bob, public, cycles, SkipGateOptions::default())
+}
+
+/// [`run_two_party`] with explicit options.
+///
+/// # Panics
+/// Panics if either party fails (test harness semantics).
+pub fn run_two_party_with(
+    circuit: &Circuit,
+    alice: &PartyData,
+    bob: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    options: SkipGateOptions,
+) -> (SkipGateOutcome, SkipGateOutcome) {
+    let (mut ca, mut cb) = duplex();
+    let alice_outcome = std::thread::scope(|s| {
+        let garbler = s.spawn(|| {
+            let mut prg = Prg::from_entropy();
+            run_skipgate_garbler(
+                circuit,
+                alice,
+                public,
+                cycles,
+                &mut ca,
+                &mut InsecureOt,
+                &mut prg,
+                options,
+            )
+            .expect("skipgate garbler")
+        });
+        let bob_outcome = run_skipgate_evaluator(
+            circuit,
+            bob,
+            public,
+            cycles,
+            &mut cb,
+            &mut InsecureOt,
+            options,
+        )
+        .expect("skipgate evaluator");
+        (garbler.join().expect("garbler thread"), bob_outcome)
+    });
+    alice_outcome
+}
+
+/// Sanity helper used by docs/tests: a netlist must not contain
+/// constant-valued gate ops (the builder never emits them).
+pub fn assert_no_constant_gates(circuit: &Circuit) {
+    for g in circuit.gates() {
+        assert!(
+            g.op != Op::FALSE && g.op != Op::TRUE,
+            "constant gate in netlist"
+        );
+    }
+}

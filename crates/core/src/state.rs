@@ -1,0 +1,68 @@
+//! Per-wire knowledge state.
+
+use crate::tag::SecretTag;
+
+/// What both parties publicly know about a wire in the current cycle.
+///
+/// This is the paper's public/secret wire dichotomy (§3): a wire either
+/// carries a Boolean value computable by each party locally, or a garbled
+/// label whose lineage is fingerprinted by a [`SecretTag`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireVal {
+    /// Value known to both parties.
+    Public(bool),
+    /// Value hidden; parties hold labels with this lineage.
+    Secret(SecretTag),
+}
+
+impl WireVal {
+    /// Constructs a secret value, normalising the `hash == 0` case (an
+    /// XOR combination that cancelled out) to a public constant.
+    pub fn secret(tag: SecretTag) -> WireVal {
+        if tag.hash == 0 {
+            WireVal::Public(tag.flip)
+        } else {
+            WireVal::Secret(tag)
+        }
+    }
+
+    /// The public value, if any.
+    pub fn as_public(self) -> Option<bool> {
+        match self {
+            WireVal::Public(v) => Some(v),
+            WireVal::Secret(_) => None,
+        }
+    }
+
+    /// The secret tag, if any.
+    pub fn as_secret(self) -> Option<SecretTag> {
+        match self {
+            WireVal::Public(_) => None,
+            WireVal::Secret(t) => Some(t),
+        }
+    }
+
+    /// True for [`WireVal::Secret`].
+    pub fn is_secret(self) -> bool {
+        matches!(self, WireVal::Secret(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::TagAllocator;
+
+    #[test]
+    fn zero_hash_normalises_to_public() {
+        let mut alloc = TagAllocator::new();
+        let a = alloc.fresh();
+        let cancelled = a.xor(a);
+        assert_eq!(WireVal::secret(cancelled), WireVal::Public(false));
+        assert_eq!(
+            WireVal::secret(cancelled.inverted()),
+            WireVal::Public(true)
+        );
+        assert!(WireVal::secret(a).is_secret());
+    }
+}

@@ -1,0 +1,141 @@
+//! Secret-wire fingerprints.
+//!
+//! Under free-XOR every secret wire's zero-label is an XOR of "base"
+//! labels (fresh garbled-gate outputs and input labels) plus an optional
+//! global Δ. A [`SecretTag`] mirrors exactly that linear structure with a
+//! 128-bit XOR-homomorphic hash, so two wires carry identical labels iff
+//! their tags are equal, and inverted labels iff the tags differ only in
+//! [`SecretTag::flip`]. Both parties can compute tags — no labels needed —
+//! which is how the shared decision engine detects the paper's
+//! category-iii gates (§3.3).
+
+/// Fingerprint of a secret wire's label lineage.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SecretTag {
+    /// XOR of the base fingerprints contributing to this wire.
+    pub hash: u128,
+    /// Whether the wire's Boolean value is the complement of the
+    /// underlying linear combination (tracks free inverters).
+    pub flip: bool,
+}
+
+impl SecretTag {
+    /// Combines two tags as free-XOR does labels.
+    #[must_use]
+    pub fn xor(self, other: SecretTag) -> SecretTag {
+        SecretTag {
+            hash: self.hash ^ other.hash,
+            flip: self.flip ^ other.flip,
+        }
+    }
+
+    /// The same lineage, inverted value.
+    #[must_use]
+    pub fn inverted(self) -> SecretTag {
+        SecretTag {
+            hash: self.hash,
+            flip: !self.flip,
+        }
+    }
+
+    /// True if `other` carries the identical secret value.
+    pub fn identical(self, other: SecretTag) -> bool {
+        self == other
+    }
+
+    /// True if `other` carries the complemented secret value.
+    pub fn inverted_of(self, other: SecretTag) -> bool {
+        self.hash == other.hash && self.flip != other.flip
+    }
+}
+
+/// Deterministic allocator of fresh base fingerprints.
+///
+/// Both parties construct one with the same (implicit) sequence and
+/// allocate in the same order — the protocol's only synchronisation
+/// requirement. Fingerprints are spread by two independent splitmix64
+/// streams so that XOR combinations collide only with probability
+/// ≈ 2⁻¹²⁸ per pair.
+#[derive(Clone, Debug, Default)]
+pub struct TagAllocator {
+    counter: u64,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TagAllocator {
+    /// A fresh allocator starting at the first fingerprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next base tag (non-zero hash, no flip).
+    pub fn fresh(&mut self) -> SecretTag {
+        self.counter += 1;
+        let lo = splitmix64(self.counter);
+        let hi = splitmix64(self.counter ^ 0xa5a5_a5a5_a5a5_a5a5);
+        SecretTag {
+            hash: ((hi as u128) << 64) | lo as u128,
+            flip: false,
+        }
+    }
+
+    /// Number of base tags handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tags_are_distinct_and_nonzero() {
+        let mut alloc = TagAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let t = alloc.fresh();
+            assert_ne!(t.hash, 0);
+            assert!(seen.insert(t.hash), "collision");
+        }
+    }
+
+    #[test]
+    fn xor_mirrors_linear_algebra() {
+        let mut alloc = TagAllocator::new();
+        let a = alloc.fresh();
+        let b = alloc.fresh();
+        // a ⊕ b ⊕ b = a (cancellation, as with free-XOR labels).
+        assert_eq!(a.xor(b).xor(b), a);
+        // a ⊕ a has hash 0 — a publicly-known value.
+        assert_eq!(a.xor(a).hash, 0);
+    }
+
+    #[test]
+    fn inversion_detection() {
+        let mut alloc = TagAllocator::new();
+        let a = alloc.fresh();
+        assert!(a.inverted_of(a.inverted()));
+        assert!(a.inverted().inverted_of(a));
+        assert!(a.identical(a));
+        assert!(!a.identical(a.inverted()));
+        let b = alloc.fresh();
+        assert!(!a.inverted_of(b));
+    }
+
+    #[test]
+    fn two_allocators_agree() {
+        // The Alice/Bob synchronisation property.
+        let mut a = TagAllocator::new();
+        let mut b = TagAllocator::new();
+        for _ in 0..100 {
+            assert_eq!(a.fresh(), b.fresh());
+        }
+    }
+}

@@ -1,0 +1,810 @@
+//! Two-pass assembler.
+//!
+//! This stands in for the paper's `gcc-arm` toolchain (see DESIGN.md):
+//! the SkipGate protocol consumes only the assembled words as the public
+//! input `p`. Syntax follows classic ARM assembly:
+//!
+//! ```text
+//! ; comment            @ comment            // comment
+//! start:  ldi   r0, =table        ; load an address (2 words)
+//!         ldr   r1, [r0, #2]
+//!         subs  r1, r1, #1
+//!         movlt r1, #0
+//!         blt   done
+//!         b     start
+//! done:   halt
+//! .data
+//! table:  .word 1, 2, 3
+//!         .space 4
+//! ```
+//!
+//! Condition suffixes attach to any mnemonic (`addeq`, `strne`, `blt` =
+//! branch-if-less-than), `s` suffixes request flag updates (`subs`,
+//! `movlts`). `ldi` is a pseudo-instruction expanding to `mov` plus up to
+//! three `orr`s.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Cond, DpOp, Instr, MemOffset, Shift, ShiftAmount};
+use crate::machine::DATA_BASE;
+
+/// An assembled program: instruction words plus initialised data words.
+/// Both are public inputs to the protocol.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Instruction memory image.
+    pub text: Vec<u32>,
+    /// Data memory image (placed at [`DATA_BASE`]).
+    pub data: Vec<u32>,
+    /// Resolved symbols (text labels → instruction index, data labels →
+    /// absolute word address).
+    pub symbols: HashMap<String, u32>,
+}
+
+/// Assembly failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Tries to express `value` as ARM-style `imm8 ror (2·rot)`.
+pub fn encode_imm(value: u32) -> Option<(u8, u8)> {
+    for rot in 0..16u32 {
+        let rotated = value.rotate_left(2 * rot);
+        if rotated <= 0xff {
+            return Some((rotated as u8, rot as u8));
+        }
+    }
+    None
+}
+
+#[derive(Clone, Debug)]
+enum Operand2 {
+    Imm(u32),
+    Reg {
+        rm: u8,
+        shift: Shift,
+        amount: ShiftAmount,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Dp {
+        op: DpOp,
+        cond: Cond,
+        s: bool,
+        rd: u8,
+        rn: u8,
+        op2: Operand2,
+    },
+    Mem {
+        load: bool,
+        cond: Cond,
+        rd: u8,
+        rn: u8,
+        offset: MemOffset,
+    },
+    Branch {
+        cond: Cond,
+        link: bool,
+        target: String,
+    },
+    Mul {
+        cond: Cond,
+        rd: u8,
+        rm: u8,
+        rs: u8,
+    },
+    Halt {
+        cond: Cond,
+    },
+    Nop,
+    /// `ldi rd, value-or-symbol` — expands to `mov` + `orr`s.
+    Ldi {
+        cond: Cond,
+        rd: u8,
+        value: LdiValue,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum LdiValue {
+    Imm(u32),
+    Symbol(String),
+}
+
+impl Stmt {
+    /// Number of instruction words this statement occupies.
+    fn size(&self) -> u32 {
+        match self {
+            Stmt::Ldi { value, .. } => match value {
+                // Symbols resolve in pass 2; reserve a fixed two words
+                // (addresses fit in 16 bits).
+                LdiValue::Symbol(_) => 2,
+                LdiValue::Imm(v) => {
+                    let bytes = v.to_le_bytes().iter().filter(|&&b| b != 0).count() as u32;
+                    bytes.max(1)
+                }
+            },
+            _ => 1,
+        }
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
+    match tok {
+        "sp" => return Ok(13),
+        "lr" => return Ok(14),
+        "pc" => return Ok(15),
+        _ => {}
+    }
+    if let Some(num) = tok.strip_prefix('r') {
+        if let Ok(n) = num.parse::<u8>() {
+            if n < 16 {
+                return Ok(n);
+            }
+        }
+    }
+    err(line, format!("expected register, found '{tok}'"))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<u32, AsmError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let parsed = if let Some(hex) = body.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16)
+    } else {
+        body.parse::<u32>()
+    };
+    match parsed {
+        Ok(v) => Ok(if neg { v.wrapping_neg() } else { v }),
+        Err(_) => err(line, format!("bad integer '{tok}'")),
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<u32, AsmError> {
+    let body = tok
+        .strip_prefix('#')
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("expected '#immediate', found '{tok}'"),
+        })?;
+    parse_int(body, line)
+}
+
+/// Splits an operand list on top-level commas (brackets group).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+const DP_NAMES: [(&str, DpOp); 16] = [
+    ("and", DpOp::And),
+    ("eor", DpOp::Eor),
+    ("sub", DpOp::Sub),
+    ("rsb", DpOp::Rsb),
+    ("add", DpOp::Add),
+    ("adc", DpOp::Adc),
+    ("sbc", DpOp::Sbc),
+    ("rsc", DpOp::Rsc),
+    ("tst", DpOp::Tst),
+    ("teq", DpOp::Teq),
+    ("cmp", DpOp::Cmp),
+    ("cmn", DpOp::Cmn),
+    ("orr", DpOp::Orr),
+    ("mov", DpOp::Mov),
+    ("bic", DpOp::Bic),
+    ("mvn", DpOp::Mvn),
+];
+
+fn parse_cond(suffix: &str) -> Option<Cond> {
+    match suffix {
+        "" | "al" => return Some(Cond::Al),
+        "hs" => return Some(Cond::Cs), // unsigned higher-or-same
+        "lo" => return Some(Cond::Cc), // unsigned lower
+        _ => {}
+    }
+    Cond::ALL
+        .iter()
+        .find(|c| c.mnemonic() == suffix)
+        .copied()
+}
+
+/// Splits `mnemonic` into `(base, cond, s)`; tries every known base.
+fn parse_mnemonic(m: &str) -> Option<(&'static str, Cond, bool)> {
+    // Longest bases first so "bl"/"b" and similar prefixes disambiguate.
+    const BASES: [&str; 23] = [
+        "halt", "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc", "tst", "teq", "cmp",
+        "cmn", "orr", "mov", "bic", "mvn", "ldr", "str", "mul", "nop", "ldi", "bl",
+    ];
+    let mut candidates: Vec<(&'static str, Cond, bool)> = Vec::new();
+    let mut try_base = |base: &'static str| {
+        if let Some(rest) = m.strip_prefix(base) {
+            // rest = {cond}{s} or {s}{cond} or cond or s or "".
+            let variants: [(&str, bool); 2] = match rest.strip_suffix('s') {
+                Some(without_s) => [(without_s, true), (rest, false)],
+                None => [(rest, false), (rest, false)],
+            };
+            for (cond_part, s) in variants {
+                if let Some(cond) = parse_cond(cond_part) {
+                    let s_ok = !s
+                        || DP_NAMES.iter().any(|(n, _)| *n == base)
+                            && !matches!(base, "ldr" | "str");
+                    if s_ok {
+                        candidates.push((base, cond, s));
+                        return;
+                    }
+                }
+            }
+        }
+    };
+    for base in BASES {
+        try_base(base);
+    }
+    // Plain branch last (so "bl", "bls" etc. prefer the longer bases).
+    if let Some(rest) = m.strip_prefix('b') {
+        if let Some(cond) = parse_cond(rest) {
+            candidates.push(("b", cond, false));
+        }
+    }
+    candidates.into_iter().next()
+}
+
+fn parse_op2(parts: &[String], line: usize) -> Result<Operand2, AsmError> {
+    if parts.is_empty() {
+        return err(line, "missing operand");
+    }
+    if parts[0].starts_with('#') {
+        return Ok(Operand2::Imm(parse_imm(&parts[0], line)?));
+    }
+    let rm = parse_reg(&parts[0], line)?;
+    if parts.len() == 1 {
+        return Ok(Operand2::Reg {
+            rm,
+            shift: Shift::Lsl,
+            amount: ShiftAmount::Imm(0),
+        });
+    }
+    // "rm, lsl #n" style: shift kind and amount in one token pair.
+    let shift_parts: Vec<&str> = parts[1].split_whitespace().collect();
+    if shift_parts.len() != 2 {
+        return err(line, format!("bad shift '{}'", parts[1]));
+    }
+    let shift = match shift_parts[0] {
+        "lsl" => Shift::Lsl,
+        "lsr" => Shift::Lsr,
+        "asr" => Shift::Asr,
+        "ror" => Shift::Ror,
+        other => return err(line, format!("unknown shift '{other}'")),
+    };
+    let amount = if shift_parts[1].starts_with('#') {
+        let v = parse_imm(shift_parts[1], line)?;
+        if v > 31 {
+            return err(line, "shift amount must be 0..=31");
+        }
+        ShiftAmount::Imm(v as u8)
+    } else {
+        ShiftAmount::Reg(parse_reg(shift_parts[1], line)?)
+    };
+    Ok(Operand2::Reg { rm, shift, amount })
+}
+
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(u8, MemOffset), AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("expected '[rn, offset]', found '{tok}'"),
+        })?;
+    let parts = split_operands(inner);
+    let rn = parse_reg(&parts[0], line)?;
+    let offset = match parts.len() {
+        1 => MemOffset::Imm(0),
+        2 => {
+            if parts[1].starts_with('#') {
+                let v = parse_imm(&parts[1], line)? as i32;
+                if !(-2048..=2047).contains(&v) {
+                    return err(line, "memory offset must fit in 12 bits");
+                }
+                MemOffset::Imm(v)
+            } else {
+                MemOffset::Reg(parse_reg(&parts[1], line)?)
+            }
+        }
+        _ => return err(line, "too many memory operand parts"),
+    };
+    Ok((rn, offset))
+}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+/// Returns the first syntax or encoding error with its line number.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // ---- Pass 1: parse statements, lay out labels ----------------------
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut data: Vec<u32> = Vec::new();
+    let mut data_exprs: Vec<(usize, usize, String)> = Vec::new(); // (line, index, symbol)
+    let mut in_data = false;
+    let mut text_len: u32 = 0;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        for marker in [";", "//", "@"] {
+            if let Some(pos) = text.find(marker) {
+                text = &text[..pos];
+            }
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            let value = if in_data {
+                DATA_BASE + data.len() as u32
+            } else {
+                text_len
+            };
+            if symbols.insert(label.to_string(), value).is_some() {
+                return err(line, format!("duplicate label '{label}'"));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(directive) = text.strip_prefix('.') {
+            let (name, rest) = directive
+                .split_once(char::is_whitespace)
+                .unwrap_or((directive, ""));
+            match name {
+                "data" => in_data = true,
+                "text" => in_data = false,
+                "word" => {
+                    if !in_data {
+                        return err(line, ".word outside .data");
+                    }
+                    for tok in split_operands(rest) {
+                        if tok.starts_with(|c: char| c.is_ascii_digit() || c == '-') {
+                            data.push(parse_int(&tok, line)?);
+                        } else {
+                            data_exprs.push((line, data.len(), tok));
+                            data.push(0);
+                        }
+                    }
+                }
+                "space" => {
+                    if !in_data {
+                        return err(line, ".space outside .data");
+                    }
+                    let n = parse_int(rest.trim(), line)?;
+                    data.extend(std::iter::repeat_n(0, n as usize));
+                }
+                other => return err(line, format!("unknown directive '.{other}'")),
+            }
+            continue;
+        }
+        if in_data {
+            return err(line, "instructions are not allowed in .data");
+        }
+
+        let (mnemonic, operand_text) = text
+            .split_once(char::is_whitespace)
+            .map(|(m, o)| (m, o.trim()))
+            .unwrap_or((text, ""));
+        let Some((base, cond, s)) = parse_mnemonic(mnemonic) else {
+            return err(line, format!("unknown mnemonic '{mnemonic}'"));
+        };
+        let ops = split_operands(operand_text);
+        let stmt = match base {
+            "nop" => Stmt::Nop,
+            "halt" => Stmt::Halt { cond },
+            "b" | "bl" => {
+                if ops.len() != 1 {
+                    return err(line, "branch takes one label");
+                }
+                Stmt::Branch {
+                    cond,
+                    link: base == "bl",
+                    target: ops[0].clone(),
+                }
+            }
+            "mul" => {
+                if ops.len() != 3 {
+                    return err(line, "mul rd, rm, rs");
+                }
+                Stmt::Mul {
+                    cond,
+                    rd: parse_reg(&ops[0], line)?,
+                    rm: parse_reg(&ops[1], line)?,
+                    rs: parse_reg(&ops[2], line)?,
+                }
+            }
+            "ldr" | "str" => {
+                if ops.len() != 2 {
+                    return err(line, "ldr/str rd, [rn, offset]");
+                }
+                let rd = parse_reg(&ops[0], line)?;
+                let (rn, offset) = parse_mem_operand(&ops[1], line)?;
+                Stmt::Mem {
+                    load: base == "ldr",
+                    cond,
+                    rd,
+                    rn,
+                    offset,
+                }
+            }
+            "ldi" => {
+                if ops.len() != 2 {
+                    return err(line, "ldi rd, #imm32 or ldi rd, =symbol");
+                }
+                let rd = parse_reg(&ops[0], line)?;
+                let value = if let Some(sym) = ops[1].strip_prefix('=') {
+                    LdiValue::Symbol(sym.to_string())
+                } else {
+                    LdiValue::Imm(parse_imm(&ops[1], line)?)
+                };
+                Stmt::Ldi { cond, rd, value }
+            }
+            dp => {
+                let op = DP_NAMES
+                    .iter()
+                    .find(|(n, _)| *n == dp)
+                    .map(|(_, o)| *o)
+                    .expect("dp mnemonic");
+                let (rd, rn, op2) = match op {
+                    DpOp::Mov | DpOp::Mvn => {
+                        if ops.len() < 2 {
+                            return err(line, "mov rd, op2");
+                        }
+                        (parse_reg(&ops[0], line)?, 0, parse_op2(&ops[1..], line)?)
+                    }
+                    DpOp::Tst | DpOp::Teq | DpOp::Cmp | DpOp::Cmn => {
+                        if ops.len() < 2 {
+                            return err(line, "cmp rn, op2");
+                        }
+                        (0, parse_reg(&ops[0], line)?, parse_op2(&ops[1..], line)?)
+                    }
+                    _ => {
+                        if ops.len() < 3 {
+                            return err(line, "op rd, rn, op2");
+                        }
+                        (
+                            parse_reg(&ops[0], line)?,
+                            parse_reg(&ops[1], line)?,
+                            parse_op2(&ops[2..], line)?,
+                        )
+                    }
+                };
+                Stmt::Dp {
+                    op,
+                    cond,
+                    s: s || op.is_test(),
+                    rd,
+                    rn,
+                    op2,
+                }
+            }
+        };
+        text_len += stmt.size();
+        stmts.push((line, stmt));
+    }
+
+    // Resolve .word symbol references.
+    for (line, idx, sym) in data_exprs {
+        let v = *symbols
+            .get(&sym)
+            .ok_or_else(|| AsmError {
+                line,
+                message: format!("undefined symbol '{sym}'"),
+            })?;
+        data[idx] = v;
+    }
+
+    // ---- Pass 2: encode --------------------------------------------------
+    let mut text_words: Vec<u32> = Vec::with_capacity(text_len as usize);
+    for (line, stmt) in stmts {
+        let pc = text_words.len() as u32;
+        match stmt {
+            Stmt::Nop => text_words.push(Instr::Nop.encode()),
+            Stmt::Halt { cond } => text_words.push(Instr::Halt { cond }.encode()),
+            Stmt::Mul { cond, rd, rm, rs } => {
+                text_words.push(Instr::Mul { cond, rd, rm, rs }.encode())
+            }
+            Stmt::Branch { cond, link, target } => {
+                let t = *symbols.get(&target).ok_or_else(|| AsmError {
+                    line,
+                    message: format!("undefined label '{target}'"),
+                })?;
+                let offset = t as i64 - (pc as i64 + 1);
+                if !(-(1 << 23)..(1 << 23)).contains(&offset) {
+                    return err(line, "branch target out of range");
+                }
+                text_words.push(
+                    Instr::Branch {
+                        cond,
+                        link,
+                        offset: offset as i32,
+                    }
+                    .encode(),
+                );
+            }
+            Stmt::Mem {
+                load,
+                cond,
+                rd,
+                rn,
+                offset,
+            } => text_words.push(
+                Instr::Mem {
+                    cond,
+                    load,
+                    rn,
+                    rd,
+                    offset,
+                }
+                .encode(),
+            ),
+            Stmt::Dp {
+                op,
+                cond,
+                s,
+                rd,
+                rn,
+                op2,
+            } => {
+                let instr = match op2 {
+                    Operand2::Imm(v) => {
+                        let Some((imm8, rot)) = encode_imm(v) else {
+                            return err(
+                                line,
+                                format!("immediate {v:#x} is not encodable; use ldi"),
+                            );
+                        };
+                        Instr::DpImm {
+                            cond,
+                            op,
+                            s,
+                            rn,
+                            rd,
+                            imm8,
+                            rot,
+                        }
+                    }
+                    Operand2::Reg { rm, shift, amount } => Instr::DpReg {
+                        cond,
+                        op,
+                        s,
+                        rn,
+                        rd,
+                        rm,
+                        shift,
+                        amount,
+                    },
+                };
+                text_words.push(instr.encode());
+            }
+            Stmt::Ldi { cond, rd, value } => {
+                let (v, fixed_words) = match value {
+                    LdiValue::Imm(v) => (v, None),
+                    LdiValue::Symbol(sym) => {
+                        let v = *symbols.get(&sym).ok_or_else(|| AsmError {
+                            line,
+                            message: format!("undefined symbol '{sym}'"),
+                        })?;
+                        if v > 0xffff {
+                            return err(line, "symbol address exceeds 16 bits");
+                        }
+                        (v, Some(2usize))
+                    }
+                };
+                let mut emitted = 0usize;
+                let mut first = true;
+                for k in 0..4usize {
+                    let byte = (v >> (8 * k)) & 0xff;
+                    let include = if let Some(n) = fixed_words {
+                        k < n
+                    } else {
+                        byte != 0 || (v == 0 && k == 0)
+                    };
+                    if !include {
+                        continue;
+                    }
+                    let (imm8, rot) = encode_imm(byte << (8 * k)).expect("byte chunk encodable");
+                    let instr = if first {
+                        Instr::DpImm {
+                            cond,
+                            op: DpOp::Mov,
+                            s: false,
+                            rn: 0,
+                            rd,
+                            imm8,
+                            rot,
+                        }
+                    } else {
+                        Instr::DpImm {
+                            cond,
+                            op: DpOp::Orr,
+                            s: false,
+                            rn: rd,
+                            rd,
+                            imm8,
+                            rot,
+                        }
+                    };
+                    first = false;
+                    emitted += 1;
+                    text_words.push(instr.encode());
+                }
+                debug_assert!(emitted >= 1);
+            }
+        }
+    }
+
+    Ok(Program {
+        text: text_words,
+        data,
+        symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_disambiguation() {
+        assert_eq!(parse_mnemonic("blt"), Some(("b", Cond::Lt, false)));
+        assert_eq!(parse_mnemonic("bl"), Some(("bl", Cond::Al, false)));
+        assert_eq!(parse_mnemonic("bls"), Some(("b", Cond::Ls, false)));
+        assert_eq!(parse_mnemonic("bleq"), Some(("bl", Cond::Eq, false)));
+        assert_eq!(parse_mnemonic("subs"), Some(("sub", Cond::Al, true)));
+        assert_eq!(parse_mnemonic("movlts"), Some(("mov", Cond::Lt, true)));
+        assert_eq!(parse_mnemonic("halt"), Some(("halt", Cond::Al, false)));
+        assert_eq!(parse_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn imm_encoding() {
+        assert_eq!(encode_imm(0xff), Some((0xff, 0)));
+        assert_eq!(encode_imm(0x3fc), Some((0xff, 15)));
+        assert_eq!(encode_imm(0xff00_0000), Some((0xff, 4)));
+        assert!(encode_imm(0x1234_5678).is_none());
+    }
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "start: mov r0, #1
+                    adds r0, r0, #1
+                    bne start
+                    halt",
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 4);
+        assert_eq!(p.symbols["start"], 0);
+        // Branch back from index 2 to 0: offset -3.
+        match Instr::decode(p.text[2]) {
+            Instr::Branch { cond, link, offset } => {
+                assert_eq!(cond, Cond::Ne);
+                assert!(!link);
+                assert_eq!(offset, -3);
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ldi_expansion_sizes() {
+        let p = assemble(
+            "ldi r0, #0x12345678
+             ldi r1, #0xff
+             ldi r2, #0
+             halt",
+        )
+        .unwrap();
+        // 4 + 1 + 1 + 1 words.
+        assert_eq!(p.text.len(), 7);
+    }
+
+    #[test]
+    fn data_section_and_symbols() {
+        let p = assemble(
+            "       ldi r0, =tbl
+                    ldr r1, [r0, #1]
+                    halt
+             .data
+             tbl:   .word 10, 20, 30
+             buf:   .space 3",
+        )
+        .unwrap();
+        assert_eq!(p.data, vec![10, 20, 30, 0, 0, 0]);
+        assert_eq!(p.symbols["tbl"], DATA_BASE);
+        assert_eq!(p.symbols["buf"], DATA_BASE + 3);
+        assert_eq!(p.text.len(), 4); // ldi(2) + ldr + halt
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("mov r0, #1\nfrobnicate r1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn unencodable_immediate_suggests_ldi() {
+        let e = assemble("mov r0, #0x12345678").unwrap_err();
+        assert!(e.message.contains("ldi"));
+    }
+
+    #[test]
+    fn shifted_operands() {
+        let p = assemble("add r0, r1, r2, lsl #4\nadd r0, r1, r2, ror r3\nhalt").unwrap();
+        match Instr::decode(p.text[0]) {
+            Instr::DpReg { shift, amount, .. } => {
+                assert_eq!(shift, Shift::Lsl);
+                assert_eq!(amount, ShiftAmount::Imm(4));
+            }
+            other => panic!("{other:?}"),
+        }
+        match Instr::decode(p.text[1]) {
+            Instr::DpReg { shift, amount, .. } => {
+                assert_eq!(shift, Shift::Ror);
+                assert_eq!(amount, ShiftAmount::Reg(3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The CPU netlist generator.
+//!
+//! Builds the garbled processor as one sequential circuit: each clock
+//! cycle fetches, decodes and executes one instruction (the paper
+//! removes pipelining/caches — §4.2 — since GC cost counts gates, not
+//! critical path). Everything is constructed from the GC-optimised
+//! stdlib, so when the program counter and instruction stream stay
+//! public, SkipGate collapses the control path, register-file muxes and
+//! memory decoders to wires and the run costs only the data-path gates
+//! that actually touch private values.
+
+use arm2gc_circuit::ir::DffInit;
+use arm2gc_circuit::{Bus, Circuit, CircuitBuilder, RamConfig, WireId};
+
+use crate::machine::{CpuConfig, ALICE_BASE, BOB_BASE, DATA_BASE, OUT_BASE};
+
+/// Builds the processor circuit for `config`.
+pub fn build_cpu(config: &CpuConfig) -> Circuit {
+    let mut b = CircuitBuilder::new("arm2gc_cpu");
+    let zero = b.constant(false);
+    let one = b.constant(true);
+
+    // ---- Architectural state -------------------------------------------
+    let pc = b.dff_bus(32, |_| DffInit::Const(false));
+    let flag_n = b.dff(DffInit::Const(false));
+    let flag_z = b.dff(DffInit::Const(false));
+    let flag_c = b.dff(DffInit::Const(false));
+    let flag_v = b.dff(DffInit::Const(false));
+    let halted = b.dff(DffInit::Const(false));
+
+    let regs = b.ram(
+        RamConfig {
+            words: 16,
+            width: 32,
+        },
+        |w, i| DffInit::Const((config.reset_reg(w) >> i) & 1 == 1),
+    );
+
+    // ---- Memories (five regions, §4.1) -----------------------------------
+    let instr_bits = config.instr_words * 32;
+    let instr_rom = b.ram(
+        RamConfig {
+            words: config.instr_words,
+            width: 32,
+        },
+        |w, i| DffInit::Public((w * 32 + i) as u32),
+    );
+    let data_ram = b.ram(
+        RamConfig {
+            words: config.data_words,
+            width: 32,
+        },
+        |w, i| DffInit::Public((instr_bits + w * 32 + i) as u32),
+    );
+    let alice_rom = b.ram(
+        RamConfig {
+            words: config.alice_words,
+            width: 32,
+        },
+        |w, i| DffInit::Alice((w * 32 + i) as u32),
+    );
+    let bob_rom = b.ram(
+        RamConfig {
+            words: config.bob_words,
+            width: 32,
+        },
+        |w, i| DffInit::Bob((w * 32 + i) as u32),
+    );
+    let out_ram = b.ram(
+        RamConfig {
+            words: config.out_words,
+            width: 32,
+        },
+        |w, i| {
+            let _ = (w, i);
+            DffInit::Const(false)
+        },
+    );
+    // Output (and debug) q-buses must be captured before the write ports
+    // consume the RAM handles.
+    let out_words: Vec<Bus> = (0..config.out_words)
+        .map(|w| out_ram.word(w).clone())
+        .collect();
+    let reg_words: Vec<Bus> = (0..16).map(|w| regs.word(w).clone()).collect();
+
+    // ---- Fetch & decode ---------------------------------------------------
+    let kpc = config.instr_words.trailing_zeros() as usize;
+    let instr = instr_rom.read(&mut b, &pc[..kpc].to_vec());
+    instr_rom.connect_rom(&mut b);
+
+    let cond = instr[28..32].to_vec();
+    let class0 = instr[26];
+    let class1 = instr[27];
+    let nclass0 = b.not(class0);
+    let nclass1 = b.not(class1);
+    let is_dp = b.and(nclass1, nclass0);
+    let is_mem = b.and(nclass1, class0);
+    let is_branch = b.and(class1, nclass0);
+    let is_special = b.and(class1, class0);
+
+    // Condition evaluation: all 16 predicates, muxed by the cond field.
+    let (n, z, c, v) = (flag_n, flag_z, flag_c, flag_v);
+    let nn = b.not(n);
+    let nz = b.not(z);
+    let nc = b.not(c);
+    let nv = b.not(v);
+    let hi = b.and(c, nz);
+    let ls = b.not(hi);
+    let ge = b.xnor(n, v);
+    let lt = b.xor(n, v);
+    let gt = b.and(nz, ge);
+    let le = b.not(gt);
+    let preds = [n, z, c, v, nn, nz, nc, nv, hi, ls, ge, lt, gt, le, one, zero];
+    let cond_table = [
+        preds[1],  // EQ: Z
+        preds[5],  // NE
+        preds[2],  // CS
+        preds[6],  // CC
+        preds[0],  // MI
+        preds[4],  // PL
+        preds[3],  // VS
+        preds[7],  // VC
+        preds[8],  // HI
+        preds[9],  // LS
+        preds[10], // GE
+        preds[11], // LT
+        preds[12], // GT
+        preds[13], // LE
+        preds[14], // AL
+        preds[15], // NV
+    ];
+    let mut layer: Vec<WireId> = cond_table.to_vec();
+    for &cb in &cond {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(b.mux(cb, pair[1], pair[0]));
+        }
+        layer = next;
+    }
+    let cond_ok = layer[0];
+    let not_halted = b.not(halted);
+    let exec = b.and(cond_ok, not_halted);
+
+    // ---- Register file reads ------------------------------------------------
+    let rn_idx = instr[16..20].to_vec();
+    let rd_idx = instr[12..16].to_vec();
+    let rm_idx = instr[0..4].to_vec();
+    let rs_idx = instr[8..12].to_vec();
+    // Port C serves shift-by-register and MUL (rs) or stores (rd).
+    let nl_bit = b.not(instr[24]);
+    let is_str = b.and(is_mem, nl_bit);
+    let portc_idx = b.mux_bus(is_str, &rd_idx, &rs_idx);
+
+    let read_port = |b: &mut CircuitBuilder, idx: &Bus| -> Bus {
+        let raw = regs.read(b, idx);
+        let is_pc = b.eq_const(idx, 15);
+        b.mux_bus(is_pc, &pc, &raw)
+    };
+    let rn_val = read_port(&mut b, &rn_idx);
+    let rm_val = read_port(&mut b, &rm_idx);
+    let portc_val = read_port(&mut b, &portc_idx);
+
+    // ---- Operand 2 (shifter operand) ----------------------------------------
+    // Immediate: imm8 rotated right by 2·rot.
+    let mut imm32 = instr[0..8].to_vec();
+    imm32.resize(32, zero);
+    let rot_amt: Bus = vec![zero, instr[8], instr[9], instr[10], instr[11]];
+    let imm_ror = b.ror_var(&imm32, &rot_amt);
+    // Register: rm shifted by imm5 or rs.
+    let shamt_imm: Bus = instr[7..12].to_vec();
+    let shamt_reg: Bus = portc_val[0..5].to_vec();
+    let regshift = instr[4];
+    let shamt = b.mux_bus(regshift, &shamt_reg, &shamt_imm);
+    let lsl = b.shl_var(&rm_val, &shamt);
+    let lsr = b.lshr_var(&rm_val, &shamt);
+    let asr = b.ashr_var(&rm_val, &shamt);
+    let ror = b.ror_var(&rm_val, &shamt);
+    let st0 = instr[5];
+    let st1 = instr[6];
+    let sh_lo = b.mux_bus(st0, &lsr, &lsl);
+    let sh_hi = b.mux_bus(st0, &ror, &asr);
+    let shifted = b.mux_bus(st1, &sh_hi, &sh_lo);
+    let imm_bit = instr[25];
+    let op2 = b.mux_bus(imm_bit, &imm_ror, &shifted);
+
+    // ---- ALU -------------------------------------------------------------
+    let opcode = instr[21..25].to_vec();
+    let oh = b.decoder(&opcode); // one-hot over the 16 dp opcodes
+    let rsb_family = b.or(oh[3], oh[7]);
+    let or_a = b.or(oh[2], oh[3]);
+    let or_b = b.or(oh[6], oh[7]);
+    let or_c = b.or(or_a, or_b);
+    let invert_y = b.or(or_c, oh[10]); // SUB, RSB, SBC, RSC, CMP
+    let cin_one_a = b.or(oh[2], oh[3]);
+    let cin_one = b.or(cin_one_a, oh[10]); // SUB, RSB, CMP
+    let cin_c_a = b.or(oh[5], oh[6]);
+    let cin_c = b.or(cin_c_a, oh[7]); // ADC, SBC, RSC
+
+    let x = b.mux_bus(rsb_family, &op2, &rn_val);
+    let y_raw = b.mux_bus(rsb_family, &rn_val, &op2);
+    let y: Bus = y_raw.iter().map(|&w| b.xor(w, invert_y)).collect();
+    let cin_base = b.mux(cin_one, one, zero);
+    let cin = b.mux(cin_c, c, cin_base);
+    let (sum, cout) = b.add_with_carry(&x, &y, cin);
+
+    let and_v = b.and_bus(&rn_val, &op2);
+    let eor_v = b.xor_bus(&rn_val, &op2);
+    let orr_v: Bus = rn_val.iter().zip(&op2).map(|(&a, &o)| b.or(a, o)).collect();
+    let bic_v: Bus = rn_val.iter().zip(&op2).map(|(&a, &o)| b.andnot(a, o)).collect();
+    let mvn_v = b.not_bus(&op2);
+    let entries: [&Bus; 16] = [
+        &and_v, &eor_v, &sum, &sum, &sum, &sum, &sum, &sum, &and_v, &eor_v, &sum, &sum, &orr_v,
+        &op2, &bic_v, &mvn_v,
+    ];
+    let mut alayer: Vec<Bus> = entries.iter().map(|bus| (*bus).clone()).collect();
+    for &ob in &opcode {
+        let mut next = Vec::with_capacity(alayer.len() / 2);
+        for pair in alayer.chunks(2) {
+            next.push(b.mux_bus(ob, &pair[1], &pair[0]));
+        }
+        alayer = next;
+    }
+    let alu_result = alayer.pop().expect("alu mux tree");
+
+    // Flags.
+    let any_bit = b.or_reduce(&alu_result);
+    let z_new = b.not(any_bit);
+    let n_new = alu_result[31];
+    let xs = b.xor(x[31], sum[31]);
+    let ys = b.xor(y[31], sum[31]);
+    let v_new = b.and(xs, ys);
+    let arith_a = b.or(or_c, oh[4]); // sub/rsb/sbc/rsc/add? (oh[4] = ADD)
+    let arith_b = b.or(oh[5], oh[10]);
+    let arith_c = b.or(arith_a, arith_b);
+    let is_arith = b.or(arith_c, oh[11]); // + ADC, CMP, CMN
+    let c_arith = b.mux(is_arith, cout, c);
+    let v_arith = b.mux(is_arith, v_new, v);
+
+    let s_bit = instr[20];
+    let sflag_a = b.and(is_dp, s_bit);
+    let flag_write = b.and(sflag_a, exec);
+    let n_next = b.mux(flag_write, n_new, n);
+    let z_next = b.mux(flag_write, z_new, z);
+    let c_next = b.mux(flag_write, c_arith, c);
+    let v_next = b.mux(flag_write, v_arith, v);
+    b.connect_dff(flag_n, n_next);
+    b.connect_dff(flag_z, z_next);
+    b.connect_dff(flag_c, c_next);
+    b.connect_dff(flag_v, v_next);
+
+    // ---- Multiplier -------------------------------------------------------
+    let mul_res = b.mul_lo(&rm_val, &portc_val);
+
+    // ---- Memory access -----------------------------------------------------
+    let mut imm12 = instr[0..12].to_vec();
+    let sign = instr[11];
+    imm12.resize(32, sign);
+    let regofs = instr[25];
+    let offs = b.mux_bus(regofs, &rm_val, &imm12);
+    let (addr, _) = b.add(&rn_val, &offs);
+    let region = addr[10..15].to_vec();
+    let sel_data = b.eq_const(&region, (DATA_BASE >> 10) as u64);
+    let sel_alice = b.eq_const(&region, (ALICE_BASE >> 10) as u64);
+    let sel_bob = b.eq_const(&region, (BOB_BASE >> 10) as u64);
+    let sel_out = b.eq_const(&region, (OUT_BASE >> 10) as u64);
+
+    let kd = config.data_words.trailing_zeros() as usize;
+    let ka = config.alice_words.trailing_zeros() as usize;
+    let kb = config.bob_words.trailing_zeros() as usize;
+    let ko = config.out_words.trailing_zeros() as usize;
+    let data_rd = data_ram.read(&mut b, &addr[..kd].to_vec());
+    let alice_rd = alice_rom.read(&mut b, &addr[..ka].to_vec());
+    let bob_rd = bob_rom.read(&mut b, &addr[..kb].to_vec());
+    let out_rd = out_ram.read(&mut b, &addr[..ko].to_vec());
+    alice_rom.connect_rom(&mut b);
+    bob_rom.connect_rom(&mut b);
+
+    let zero32: Bus = vec![zero; 32];
+    let mut ldr_val = b.mux_bus(sel_data, &data_rd, &zero32);
+    ldr_val = b.mux_bus(sel_alice, &alice_rd, &ldr_val);
+    ldr_val = b.mux_bus(sel_bob, &bob_rd, &ldr_val);
+    ldr_val = b.mux_bus(sel_out, &out_rd, &ldr_val);
+
+    let str_exec = b.and(is_str, exec);
+    let we_data = b.and(str_exec, sel_data);
+    let we_out = b.and(str_exec, sel_out);
+    data_ram.connect_write(&mut b, &addr[..kd].to_vec(), we_data, &portc_val);
+    out_ram.connect_write(&mut b, &addr[..ko].to_vec(), we_out, &portc_val);
+
+    // ---- Writeback -----------------------------------------------------------
+    let (pc1, _) = b.inc(&pc);
+    let m_lo = b.mux_bus(class0, &ldr_val, &alu_result);
+    let m_hi = b.mux_bus(class0, &mul_res, &pc1);
+    let wb_val = b.mux_bus(class1, &m_hi, &m_lo);
+
+    let is_test_a = b.or(oh[8], oh[9]);
+    let is_test_b = b.or(oh[10], oh[11]);
+    let is_test = b.or(is_test_a, is_test_b);
+    let not_test = b.not(is_test);
+    let dp_writes = b.and(is_dp, not_test);
+    let load_bit = instr[24];
+    let mem_writes = b.and(is_mem, load_bit);
+    let k0 = instr[24];
+    let k1 = instr[25];
+    let nk0 = b.not(k0);
+    let nk1 = b.not(k1);
+    let kind_mul = b.and(nk1, nk0);
+    let kind_halt = b.and(nk1, k0);
+    let mul_writes = b.and(is_special, kind_mul);
+    let link_bit = instr[25];
+    let branch_writes = b.and(is_branch, link_bit);
+    let wb_a = b.or(dp_writes, mem_writes);
+    let wb_b = b.or(mul_writes, branch_writes);
+    let wb_any = b.or(wb_a, wb_b);
+    let wb_en = b.and(wb_any, exec);
+
+    let const14 = b.const_bus(14, 4);
+    let idx_hi = b.mux_bus(class0, &rn_idx, &const14); // special → [19:16], branch → lr
+    let wb_idx = b.mux_bus(class1, &idx_hi, &rd_idx);
+    let idx_is_pc = b.eq_const(&wb_idx, 15);
+    let wb_to_pc = b.and(wb_en, idx_is_pc);
+    regs.connect_write(&mut b, &wb_idx, wb_en, &wb_val);
+
+    // ---- Program counter -------------------------------------------------------
+    let mut off24 = instr[0..24].to_vec();
+    let bsign = instr[23];
+    off24.resize(32, bsign);
+    let (btarget, _) = b.add(&pc1, &off24);
+    let take_branch = b.and(is_branch, exec);
+    let mut pc_next = b.mux_bus(take_branch, &btarget, &pc1);
+    pc_next = b.mux_bus(wb_to_pc, &wb_val, &pc_next);
+    pc_next = b.mux_bus(halted, &pc, &pc_next);
+    b.connect_dff_bus(&pc, &pc_next);
+
+    // ---- Halt ---------------------------------------------------------------
+    let halt_now = b.and(is_special, kind_halt);
+    let halt_exec = b.and(halt_now, exec);
+    let halted_next = b.or(halted, halt_exec);
+    b.connect_dff(halted, halted_next);
+    b.set_halt(halted_next);
+
+    // ---- Outputs & taps --------------------------------------------------------
+    for w in &out_words {
+        b.outputs(w);
+    }
+    if config.debug_outputs {
+        for w in &reg_words {
+            b.outputs(w);
+        }
+        b.outputs(&[flag_n, flag_z, flag_c, flag_v]);
+        b.outputs(&pc);
+        b.output(halted);
+    }
+    b.tap("pc", &pc);
+    b.tap("halted", &[halted]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_reports_size() {
+        let c = build_cpu(&CpuConfig::small());
+        let stats = arm2gc_circuit::analysis::CircuitStats::of(&c);
+        // The processor must be a "large netlist" (paper: 126,755 for
+        // Amber with memories); the small config is still thousands of
+        // nonlinear gates.
+        assert!(stats.non_xor > 5_000, "non_xor = {}", stats.non_xor);
+        assert!(c.halt_wire().is_some());
+        assert!(c.tap("pc").is_some());
+    }
+
+    #[test]
+    fn bench_config_is_bigger() {
+        let small = build_cpu(&CpuConfig::small()).non_xor_count();
+        let bench = build_cpu(&CpuConfig::bench()).non_xor_count();
+        assert!(bench > 2 * small, "{bench} vs {small}");
+    }
+}

@@ -1,0 +1,523 @@
+//! Instruction-set definition.
+//!
+//! A 32-bit RISC ISA in the spirit of ARMv2a (the paper's Amber core):
+//! every instruction is conditional, data-processing instructions have a
+//! shifter operand, and flags are NZCV. The binary encoding is our own —
+//! the SkipGate protocol only ever sees the words as the public input
+//! `p`, so faithfulness to the paper lies in the *architectural
+//! properties* (conditional execution, flag semantics), not bit layout.
+//!
+//! Layout (bit 31 is the MSB):
+//!
+//! ```text
+//! [31:28] cond   [27:26] class (0 dp, 1 mem, 2 branch, 3 special)
+//! dp:      [25] imm  [24:21] opcode  [20] S  [19:16] Rn  [15:12] Rd
+//!          imm:  [11:8] rot (×2, rotate right)  [7:0] imm8
+//!          reg:  [11:7] shamt ([11:8] Rs if [4])  [6:5] shift  [4] regshift  [3:0] Rm
+//! mem:     [25] regofs  [24] L  [19:16] Rn  [15:12] Rd
+//!          imm: [11:0] signed word offset    reg: [3:0] Rm
+//! branch:  [25] link  [23:0] signed word offset (target = pc + 1 + off)
+//! special: [25:24] 0 MUL ([19:16] Rd, [11:8] Rs, [3:0] Rm), 1 HALT, 2 NOP
+//! ```
+
+/// Condition codes (ARM semantics over NZCV).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq = 0,
+    Ne = 1,
+    Cs = 2,
+    Cc = 3,
+    Mi = 4,
+    Pl = 5,
+    Vs = 6,
+    Vc = 7,
+    Hi = 8,
+    Ls = 9,
+    Ge = 10,
+    Lt = 11,
+    Gt = 12,
+    Le = 13,
+    Al = 14,
+    Nv = 15,
+}
+
+impl Cond {
+    /// All codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+        Cond::Nv,
+    ];
+
+    /// Assembly suffix.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+            Cond::Nv => "nv",
+        }
+    }
+
+    /// Evaluates the condition on flags.
+    pub const fn holds(self, n: bool, z: bool, c: bool, v: bool) -> bool {
+        match self {
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Cs => c,
+            Cond::Cc => !c,
+            Cond::Mi => n,
+            Cond::Pl => !n,
+            Cond::Vs => v,
+            Cond::Vc => !v,
+            Cond::Hi => c && !z,
+            Cond::Ls => !c || z,
+            Cond::Ge => n == v,
+            Cond::Lt => n != v,
+            Cond::Gt => !z && (n == v),
+            Cond::Le => z || (n != v),
+            Cond::Al => true,
+            Cond::Nv => false,
+        }
+    }
+}
+
+/// Data-processing opcodes (ARM encoding order).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum DpOp {
+    And = 0,
+    Eor = 1,
+    Sub = 2,
+    Rsb = 3,
+    Add = 4,
+    Adc = 5,
+    Sbc = 6,
+    Rsc = 7,
+    Tst = 8,
+    Teq = 9,
+    Cmp = 10,
+    Cmn = 11,
+    Orr = 12,
+    Mov = 13,
+    Bic = 14,
+    Mvn = 15,
+}
+
+impl DpOp {
+    /// All opcodes in encoding order.
+    pub const ALL: [DpOp; 16] = [
+        DpOp::And,
+        DpOp::Eor,
+        DpOp::Sub,
+        DpOp::Rsb,
+        DpOp::Add,
+        DpOp::Adc,
+        DpOp::Sbc,
+        DpOp::Rsc,
+        DpOp::Tst,
+        DpOp::Teq,
+        DpOp::Cmp,
+        DpOp::Cmn,
+        DpOp::Orr,
+        DpOp::Mov,
+        DpOp::Bic,
+        DpOp::Mvn,
+    ];
+
+    /// True for TST/TEQ/CMP/CMN (no register writeback, flags always set).
+    pub const fn is_test(self) -> bool {
+        matches!(self, DpOp::Tst | DpOp::Teq | DpOp::Cmp | DpOp::Cmn)
+    }
+
+    /// True for the add/sub family (C and V updated from the adder).
+    pub const fn is_arith(self) -> bool {
+        matches!(
+            self,
+            DpOp::Sub
+                | DpOp::Rsb
+                | DpOp::Add
+                | DpOp::Adc
+                | DpOp::Sbc
+                | DpOp::Rsc
+                | DpOp::Cmp
+                | DpOp::Cmn
+        )
+    }
+}
+
+/// Shift kinds for register operands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Shift {
+    Lsl = 0,
+    Lsr = 1,
+    Asr = 2,
+    Ror = 3,
+}
+
+/// A decoded instruction (shared by the assembler and the ISS; the
+/// circuit decodes the raw word itself).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// Data processing with an immediate operand.
+    DpImm {
+        /// Condition field.
+        cond: Cond,
+        /// Opcode.
+        op: DpOp,
+        /// Set flags.
+        s: bool,
+        /// First operand register.
+        rn: u8,
+        /// Destination register.
+        rd: u8,
+        /// 8-bit immediate.
+        imm8: u8,
+        /// Rotate-right amount ÷ 2.
+        rot: u8,
+    },
+    /// Data processing with a (possibly shifted) register operand.
+    DpReg {
+        /// Condition field.
+        cond: Cond,
+        /// Opcode.
+        op: DpOp,
+        /// Set flags.
+        s: bool,
+        /// First operand register.
+        rn: u8,
+        /// Destination register.
+        rd: u8,
+        /// Second operand register.
+        rm: u8,
+        /// Shift kind.
+        shift: Shift,
+        /// Shift amount: immediate 0–31, or a register number.
+        amount: ShiftAmount,
+    },
+    /// Load/store a word.
+    Mem {
+        /// Condition field.
+        cond: Cond,
+        /// Load (true) or store.
+        load: bool,
+        /// Base register.
+        rn: u8,
+        /// Data register.
+        rd: u8,
+        /// Offset: signed words or a register.
+        offset: MemOffset,
+    },
+    /// PC-relative branch.
+    Branch {
+        /// Condition field.
+        cond: Cond,
+        /// Write `pc + 1` into LR.
+        link: bool,
+        /// Signed word offset from the *next* instruction.
+        offset: i32,
+    },
+    /// `rd = (rm * rs) & 0xffff_ffff`.
+    Mul {
+        /// Condition field.
+        cond: Cond,
+        /// Destination.
+        rd: u8,
+        /// Multiplicand.
+        rm: u8,
+        /// Multiplier.
+        rs: u8,
+    },
+    /// Stop the machine.
+    Halt {
+        /// Condition field.
+        cond: Cond,
+    },
+    /// Do nothing for one cycle.
+    Nop,
+}
+
+/// Shift amount source.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShiftAmount {
+    /// Constant 0–31.
+    Imm(u8),
+    /// Low 5 bits of a register.
+    Reg(u8),
+}
+
+/// Memory offset source.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemOffset {
+    /// Signed word offset −2048..2047.
+    Imm(i32),
+    /// A register, added to the base.
+    Reg(u8),
+}
+
+impl Instr {
+    /// Encodes into a 32-bit word.
+    pub fn encode(self) -> u32 {
+        match self {
+            Instr::DpImm {
+                cond,
+                op,
+                s,
+                rn,
+                rd,
+                imm8,
+                rot,
+            } => {
+                (cond as u32) << 28
+                    | 1 << 25
+                    | (op as u32) << 21
+                    | (s as u32) << 20
+                    | (rn as u32) << 16
+                    | (rd as u32) << 12
+                    | ((rot as u32) & 0xf) << 8
+                    | imm8 as u32
+            }
+            Instr::DpReg {
+                cond,
+                op,
+                s,
+                rn,
+                rd,
+                rm,
+                shift,
+                amount,
+            } => {
+                let base = (cond as u32) << 28
+                    | (op as u32) << 21
+                    | (s as u32) << 20
+                    | (rn as u32) << 16
+                    | (rd as u32) << 12
+                    | (shift as u32) << 5
+                    | rm as u32;
+                match amount {
+                    ShiftAmount::Imm(a) => base | ((a as u32) & 0x1f) << 7,
+                    ShiftAmount::Reg(rs) => base | 1 << 4 | ((rs as u32) & 0xf) << 8,
+                }
+            }
+            Instr::Mem {
+                cond,
+                load,
+                rn,
+                rd,
+                offset,
+            } => {
+                let base = (cond as u32) << 28
+                    | 1 << 26
+                    | (load as u32) << 24
+                    | (rn as u32) << 16
+                    | (rd as u32) << 12;
+                match offset {
+                    MemOffset::Imm(i) => base | (i as u32) & 0xfff,
+                    MemOffset::Reg(rm) => base | 1 << 25 | rm as u32,
+                }
+            }
+            Instr::Branch { cond, link, offset } => {
+                (cond as u32) << 28 | 2 << 26 | (link as u32) << 25 | (offset as u32) & 0xff_ffff
+            }
+            Instr::Mul { cond, rd, rm, rs } => {
+                (cond as u32) << 28 | 3 << 26 | (rd as u32) << 16 | (rs as u32) << 8 | rm as u32
+            }
+            Instr::Halt { cond } => (cond as u32) << 28 | 3 << 26 | 1 << 24,
+            Instr::Nop => (Cond::Al as u32) << 28 | 3 << 26 | 2 << 24,
+        }
+    }
+
+    /// Decodes a 32-bit word.
+    pub fn decode(w: u32) -> Instr {
+        let cond = Cond::ALL[(w >> 28) as usize & 0xf];
+        match (w >> 26) & 3 {
+            0 => {
+                let op = DpOp::ALL[(w >> 21) as usize & 0xf];
+                let s = (w >> 20) & 1 == 1;
+                let rn = ((w >> 16) & 0xf) as u8;
+                let rd = ((w >> 12) & 0xf) as u8;
+                if (w >> 25) & 1 == 1 {
+                    Instr::DpImm {
+                        cond,
+                        op,
+                        s,
+                        rn,
+                        rd,
+                        imm8: (w & 0xff) as u8,
+                        rot: ((w >> 8) & 0xf) as u8,
+                    }
+                } else {
+                    let shift = match (w >> 5) & 3 {
+                        0 => Shift::Lsl,
+                        1 => Shift::Lsr,
+                        2 => Shift::Asr,
+                        _ => Shift::Ror,
+                    };
+                    let amount = if (w >> 4) & 1 == 1 {
+                        ShiftAmount::Reg(((w >> 8) & 0xf) as u8)
+                    } else {
+                        ShiftAmount::Imm(((w >> 7) & 0x1f) as u8)
+                    };
+                    Instr::DpReg {
+                        cond,
+                        op,
+                        s,
+                        rn,
+                        rd,
+                        rm: (w & 0xf) as u8,
+                        shift,
+                        amount,
+                    }
+                }
+            }
+            1 => {
+                let offset = if (w >> 25) & 1 == 1 {
+                    MemOffset::Reg((w & 0xf) as u8)
+                } else {
+                    MemOffset::Imm(((w & 0xfff) as i32) << 20 >> 20)
+                };
+                Instr::Mem {
+                    cond,
+                    load: (w >> 24) & 1 == 1,
+                    rn: ((w >> 16) & 0xf) as u8,
+                    rd: ((w >> 12) & 0xf) as u8,
+                    offset,
+                }
+            }
+            2 => Instr::Branch {
+                cond,
+                link: (w >> 25) & 1 == 1,
+                offset: ((w & 0xff_ffff) as i32) << 8 >> 8,
+            },
+            _ => match (w >> 24) & 3 {
+                0 => Instr::Mul {
+                    cond,
+                    rd: ((w >> 16) & 0xf) as u8,
+                    rs: ((w >> 8) & 0xf) as u8,
+                    rm: (w & 0xf) as u8,
+                },
+                1 => Instr::Halt { cond },
+                _ => Instr::Nop,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let samples = [
+            Instr::DpImm {
+                cond: Cond::Al,
+                op: DpOp::Add,
+                s: true,
+                rn: 1,
+                rd: 2,
+                imm8: 0xff,
+                rot: 3,
+            },
+            Instr::DpReg {
+                cond: Cond::Lt,
+                op: DpOp::Mov,
+                s: false,
+                rn: 0,
+                rd: 7,
+                rm: 9,
+                shift: Shift::Asr,
+                amount: ShiftAmount::Imm(31),
+            },
+            Instr::DpReg {
+                cond: Cond::Hi,
+                op: DpOp::Orr,
+                s: false,
+                rn: 4,
+                rd: 4,
+                rm: 5,
+                shift: Shift::Ror,
+                amount: ShiftAmount::Reg(6),
+            },
+            Instr::Mem {
+                cond: Cond::Al,
+                load: true,
+                rn: 8,
+                rd: 0,
+                offset: MemOffset::Imm(-7),
+            },
+            Instr::Mem {
+                cond: Cond::Ne,
+                load: false,
+                rn: 8,
+                rd: 3,
+                offset: MemOffset::Reg(4),
+            },
+            Instr::Branch {
+                cond: Cond::Eq,
+                link: true,
+                offset: -100,
+            },
+            Instr::Mul {
+                cond: Cond::Al,
+                rd: 3,
+                rm: 4,
+                rs: 5,
+            },
+            Instr::Halt { cond: Cond::Al },
+            Instr::Nop,
+        ];
+        for i in samples {
+            assert_eq!(Instr::decode(i.encode()), i, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn cond_semantics_spot_checks() {
+        assert!(Cond::Eq.holds(false, true, false, false));
+        assert!(!Cond::Eq.holds(false, false, false, false));
+        assert!(Cond::Lt.holds(true, false, false, false));
+        assert!(Cond::Lt.holds(false, false, false, true));
+        assert!(!Cond::Lt.holds(true, false, false, true));
+        assert!(Cond::Hi.holds(false, false, true, false));
+        assert!(!Cond::Hi.holds(false, true, true, false));
+        assert!(Cond::Al.holds(true, true, true, true));
+        assert!(!Cond::Nv.holds(true, true, true, true));
+    }
+
+    #[test]
+    fn every_cond_roundtrips_through_encoding() {
+        for (i, c) in Cond::ALL.iter().enumerate() {
+            let w = Instr::Halt { cond: *c }.encode();
+            assert_eq!((w >> 28) as usize, i);
+            assert_eq!(Instr::decode(w), Instr::Halt { cond: *c });
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Cleartext instruction-set simulator.
+//!
+//! Executes exactly the semantics the CPU circuit implements (one
+//! instruction per cycle, same flag rules, same address decoding), so
+//! circuit and ISS can be differentially tested on random programs.
+
+use crate::asm::Program;
+use crate::isa::{Cond, DpOp, Instr, MemOffset, Shift, ShiftAmount};
+use crate::machine::{CpuConfig, ALICE_BASE, BOB_BASE, DATA_BASE, OUT_BASE};
+
+/// Architectural state + memories.
+#[derive(Clone, Debug)]
+pub struct Iss {
+    regs: [u32; 16],
+    pc: u32,
+    n: bool,
+    z: bool,
+    c: bool,
+    v: bool,
+    halted: bool,
+    cycles: usize,
+    text: Vec<u32>,
+    data: Vec<u32>,
+    alice: Vec<u32>,
+    bob: Vec<u32>,
+    out: Vec<u32>,
+}
+
+impl Iss {
+    /// Loads a program and party inputs into a fresh machine.
+    pub fn new(config: &CpuConfig, prog: &Program, alice: &[u32], bob: &[u32]) -> Self {
+        let mut text = prog.text.clone();
+        text.resize(config.instr_words, 0);
+        let mut data = prog.data.clone();
+        data.resize(config.data_words, 0);
+        let mut a = alice.to_vec();
+        a.resize(config.alice_words, 0);
+        let mut b = bob.to_vec();
+        b.resize(config.bob_words, 0);
+        let mut regs = [0u32; 16];
+        for (r, slot) in regs.iter_mut().enumerate() {
+            *slot = config.reset_reg(r);
+        }
+        Self {
+            regs,
+            pc: 0,
+            n: false,
+            z: false,
+            c: false,
+            v: false,
+            halted: false,
+            cycles: 0,
+            text,
+            data,
+            alice: a,
+            bob: b,
+            out: vec![0; config.out_words],
+        }
+    }
+
+    /// Final output memory.
+    pub fn output(&self) -> &[u32] {
+        &self.out
+    }
+
+    /// Cycles executed so far.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Whether a HALT retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Register contents (r15 reads as PC, like the circuit).
+    pub fn reg(&self, r: usize) -> u32 {
+        if r == 15 {
+            self.pc
+        } else {
+            self.regs[r]
+        }
+    }
+
+    /// Flags (N, Z, C, V).
+    pub fn flags(&self) -> (bool, bool, bool, bool) {
+        (self.n, self.z, self.c, self.v)
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn mem_read(&self, addr: u32) -> u32 {
+        let region = (addr >> 10) & 0x1f;
+        let in_region = |len: usize| (addr as usize) & (len - 1);
+        match region {
+            r if r == DATA_BASE >> 10 => self.data[in_region(self.data.len())],
+            r if r == ALICE_BASE >> 10 => self.alice[in_region(self.alice.len())],
+            r if r == BOB_BASE >> 10 => self.bob[in_region(self.bob.len())],
+            r if r == OUT_BASE >> 10 => self.out[in_region(self.out.len())],
+            _ => 0,
+        }
+    }
+
+    fn mem_write(&mut self, addr: u32, value: u32) {
+        let region = (addr >> 10) & 0x1f;
+        match region {
+            r if r == DATA_BASE >> 10 => {
+                let i = (addr as usize) & (self.data.len() - 1);
+                self.data[i] = value;
+            }
+            r if r == OUT_BASE >> 10 => {
+                let i = (addr as usize) & (self.out.len() - 1);
+                self.out[i] = value;
+            }
+            _ => {} // read-only or unmapped: ignored
+        }
+    }
+
+    fn shifter(&self, rm: u8, shift: Shift, amount: ShiftAmount) -> u32 {
+        let v = self.reg(rm as usize);
+        let amt = match amount {
+            ShiftAmount::Imm(a) => a as u32,
+            ShiftAmount::Reg(rs) => self.reg(rs as usize) & 31,
+        };
+        match shift {
+            Shift::Lsl => v << amt,
+            Shift::Lsr => v >> amt,
+            Shift::Asr => ((v as i32) >> amt) as u32,
+            Shift::Ror => v.rotate_right(amt),
+        }
+    }
+
+    /// Executes one cycle (fetch + execute of one instruction).
+    pub fn step(&mut self) {
+        if self.halted {
+            self.cycles += 1;
+            return;
+        }
+        let word = self.text[(self.pc as usize) & (self.text.len() - 1)];
+        let instr = Instr::decode(word);
+        let cond = match instr {
+            Instr::DpImm { cond, .. }
+            | Instr::DpReg { cond, .. }
+            | Instr::Mem { cond, .. }
+            | Instr::Branch { cond, .. }
+            | Instr::Mul { cond, .. }
+            | Instr::Halt { cond } => cond,
+            Instr::Nop => Cond::Al,
+        };
+        let exec = cond.holds(self.n, self.z, self.c, self.v);
+        let mut next_pc = self.pc.wrapping_add(1);
+
+        if exec {
+            match instr {
+                Instr::Nop => {}
+                Instr::Halt { .. } => self.halted = true,
+                Instr::Branch { link, offset, .. } => {
+                    if link {
+                        self.regs[14] = self.pc.wrapping_add(1);
+                    }
+                    next_pc = self
+                        .pc
+                        .wrapping_add(1)
+                        .wrapping_add(offset as u32);
+                }
+                Instr::Mul { rd, rm, rs, .. } => {
+                    let r = self.reg(rm as usize).wrapping_mul(self.reg(rs as usize));
+                    if rd == 15 {
+                        next_pc = r;
+                    } else {
+                        self.regs[rd as usize] = r;
+                    }
+                }
+                Instr::Mem {
+                    load,
+                    rn,
+                    rd,
+                    offset,
+                    ..
+                } => {
+                    let off = match offset {
+                        MemOffset::Imm(i) => i as u32,
+                        MemOffset::Reg(rm) => self.reg(rm as usize),
+                    };
+                    let addr = self.reg(rn as usize).wrapping_add(off);
+                    if load {
+                        let v = self.mem_read(addr);
+                        if rd == 15 {
+                            next_pc = v;
+                        } else {
+                            self.regs[rd as usize] = v;
+                        }
+                    } else {
+                        self.mem_write(addr, self.reg(rd as usize));
+                    }
+                }
+                Instr::DpImm {
+                    op, s, rn, rd, imm8, rot, ..
+                } => {
+                    let op2 = (imm8 as u32).rotate_right(2 * rot as u32);
+                    next_pc = self.exec_dp(op, s, rn, rd, op2, next_pc);
+                }
+                Instr::DpReg {
+                    op,
+                    s,
+                    rn,
+                    rd,
+                    rm,
+                    shift,
+                    amount,
+                    ..
+                } => {
+                    let op2 = self.shifter(rm, shift, amount);
+                    next_pc = self.exec_dp(op, s, rn, rd, op2, next_pc);
+                }
+            }
+        }
+        self.pc = next_pc;
+        self.cycles += 1;
+    }
+
+    fn exec_dp(&mut self, op: DpOp, s: bool, rn: u8, rd: u8, op2: u32, next_pc: u32) -> u32 {
+        let a = self.reg(rn as usize);
+        let (result, carry, overflow) = match op {
+            DpOp::And | DpOp::Tst => (a & op2, self.c, self.v),
+            DpOp::Eor | DpOp::Teq => (a ^ op2, self.c, self.v),
+            DpOp::Orr => (a | op2, self.c, self.v),
+            DpOp::Bic => (a & !op2, self.c, self.v),
+            DpOp::Mov => (op2, self.c, self.v),
+            DpOp::Mvn => (!op2, self.c, self.v),
+            DpOp::Sub | DpOp::Cmp => add3(a, !op2, true),
+            DpOp::Rsb => add3(op2, !a, true),
+            DpOp::Add | DpOp::Cmn => add3(a, op2, false),
+            DpOp::Adc => add3(a, op2, self.c),
+            DpOp::Sbc => add3(a, !op2, self.c),
+            DpOp::Rsc => add3(op2, !a, self.c),
+        };
+        if s {
+            self.n = result >> 31 == 1;
+            self.z = result == 0;
+            if op.is_arith() {
+                self.c = carry;
+                self.v = overflow;
+            }
+        }
+        if !op.is_test() {
+            if rd == 15 {
+                return result;
+            }
+            self.regs[rd as usize] = result;
+        }
+        next_pc
+    }
+
+    /// Runs until HALT or `max_cycles`.
+    pub fn run(&mut self, max_cycles: usize) {
+        while self.cycles < max_cycles {
+            self.step();
+            if self.halted {
+                break;
+            }
+        }
+    }
+}
+
+/// 32-bit add with carry-in; returns `(sum, carry_out, signed_overflow)`.
+/// Overflow uses the same formula as the circuit:
+/// `V = (x₃₁ ⊕ s₃₁) ∧ (y₃₁ ⊕ s₃₁)`.
+fn add3(x: u32, y: u32, cin: bool) -> (u32, bool, bool) {
+    let wide = x as u64 + y as u64 + cin as u64;
+    let sum = wide as u32;
+    let carry = wide >> 32 == 1;
+    let overflow = ((x ^ sum) & (y ^ sum)) >> 31 == 1;
+    (sum, carry, overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_prog(src: &str, alice: &[u32], bob: &[u32], cycles: usize) -> Iss {
+        let prog = assemble(src).expect("assembles");
+        let mut iss = Iss::new(&CpuConfig::small(), &prog, alice, bob);
+        iss.run(cycles);
+        iss
+    }
+
+    #[test]
+    fn add_store_halt() {
+        let iss = run_prog(
+            "ldr r0, [r8]
+             ldr r1, [r9]
+             add r2, r0, r1
+             str r2, [r10]
+             halt",
+            &[30],
+            &[12],
+            100,
+        );
+        assert!(iss.halted());
+        assert_eq!(iss.output()[0], 42);
+        assert_eq!(iss.cycles(), 5);
+    }
+
+    #[test]
+    fn conditional_execution() {
+        // max(a, b) via cmp + conditional moves (paper Fig. 5 pattern).
+        let iss = run_prog(
+            "ldr r0, [r8]
+             ldr r1, [r9]
+             cmp r0, r1
+             movlo r2, r1
+             movhs r2, r0
+             str r2, [r10]
+             halt",
+            &[100],
+            &[250],
+            100,
+        );
+        assert_eq!(iss.output()[0], 250);
+    }
+
+    #[test]
+    fn loop_with_counter() {
+        // Sum 1..=10 with a down-counting loop.
+        let iss = run_prog(
+            "       mov r0, #0
+                    mov r1, #10
+             loop:  add r0, r0, r1
+                    subs r1, r1, #1
+                    bne loop
+                    str r0, [r10]
+                    halt",
+            &[],
+            &[],
+            1000,
+        );
+        assert_eq!(iss.output()[0], 55);
+    }
+
+    #[test]
+    fn flags_signed_unsigned() {
+        // -1 compared with 1: signed lt, unsigned hs.
+        let iss = run_prog(
+            "mvn r0, #0        ; r0 = 0xffffffff
+             mov r1, #1
+             cmp r0, r1
+             movlt r2, #1     ; signed: -1 < 1
+             movhs r3, #1     ; unsigned: max >= 1
+             str r2, [r10]
+             str r3, [r10, #1]
+             halt",
+            &[],
+            &[],
+            100,
+        );
+        assert_eq!(iss.output()[0], 1);
+        assert_eq!(iss.output()[1], 1);
+    }
+
+    #[test]
+    fn subroutine_call_and_return() {
+        let iss = run_prog(
+            "       bl double
+                    str r0, [r10]
+                    halt
+             double: mov r0, #21
+                    add r0, r0, r0
+                    mov pc, lr",
+            &[],
+            &[],
+            100,
+        );
+        assert_eq!(iss.output()[0], 42);
+    }
+
+    #[test]
+    fn stack_push_pop() {
+        let iss = run_prog(
+            "mov r0, #7
+             sub sp, sp, #1
+             str r0, [sp]
+             mov r0, #0
+             ldr r1, [sp]
+             add sp, sp, #1
+             str r1, [r10]
+             halt",
+            &[],
+            &[],
+            100,
+        );
+        assert_eq!(iss.output()[0], 7);
+    }
+
+    #[test]
+    fn mul_and_shift() {
+        let iss = run_prog(
+            "mov r0, #25
+             mov r1, #5
+             mul r2, r0, r1
+             mov r3, r2, lsl #2
+             str r3, [r10]
+             halt",
+            &[],
+            &[],
+            100,
+        );
+        assert_eq!(iss.output()[0], 500);
+    }
+
+    #[test]
+    fn data_section_lookup() {
+        let iss = run_prog(
+            "       ldi r0, =tbl
+                    ldr r1, [r0, #2]
+                    str r1, [r10]
+                    halt
+             .data
+             tbl:   .word 11, 22, 33",
+            &[],
+            &[],
+            100,
+        );
+        assert_eq!(iss.output()[0], 33);
+    }
+}

@@ -1,0 +1,50 @@
+//! The garbled processor (§4 of the paper): an ARM-like CPU expressed as
+//! a sequential Boolean circuit, plus the toolchain around it.
+//!
+//! * [`isa`] — the instruction set: 32-bit words with a 4-bit condition
+//!   field on *every* instruction (the ARMv2a property §4.2 relies on),
+//!   data-processing/memory/branch/multiply classes and ARM condition
+//!   semantics;
+//! * [`asm`] — a two-pass assembler (the substitution for `gcc-arm`; the
+//!   protocol only consumes the public binary, so the producing
+//!   toolchain is irrelevant — see DESIGN.md);
+//! * [`iss`] — a cleartext instruction-set simulator used as the
+//!   correctness oracle for the CPU circuit;
+//! * [`circuit_gen`] — the CPU netlist generator: register file, barrel
+//!   shifter, ALU, multiplier and the five memory regions of §4.1
+//!   (instruction, data/stack, Alice, Bob, output) built from
+//!   MUX/flip-flop arrays (§4.4: no ORAM);
+//! * [`machine`] — glue: memory map, program loading, and runners that
+//!   execute a program via the ISS, the cleartext circuit simulator, or
+//!   the two-party SkipGate protocol;
+//! * [`programs`] — the paper's benchmark programs in assembly
+//!   (Tables 2–5).
+//!
+//! # Example
+//!
+//! ```
+//! use arm2gc_cpu::asm::assemble;
+//! use arm2gc_cpu::machine::{CpuConfig, GcMachine};
+//!
+//! let prog = assemble(
+//!     "ldr r0, [r8]      ; r8 = Alice base
+//!      ldr r1, [r9]      ; r9 = Bob base
+//!      add r0, r0, r1
+//!      str r0, [r10]     ; r10 = output base
+//!      halt",
+//! ).unwrap();
+//! let machine = GcMachine::new(CpuConfig::small());
+//! let run = machine.run_iss(&prog, &[20], &[22], 100);
+//! assert_eq!(run.output[0], 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod circuit_gen;
+pub mod disasm;
+pub mod isa;
+pub mod iss;
+pub mod machine;
+pub mod programs;

@@ -1,0 +1,546 @@
+//! The paper's benchmark programs (Tables 2–5), written in assembly.
+//!
+//! Each generator returns the source text (parameterised by problem
+//! size); callers assemble it with [`crate::asm::assemble`]. Programs
+//! follow the paper's coding discipline (§4.2): loop bounds and memory
+//! addresses stay public where possible, and *secret-dependent*
+//! decisions use conditional instructions, never branches — so the
+//! program counter stays public and SkipGate strips the control path.
+
+/// `out[0] = a[0] + b[0]` — the paper's "Sum 32".
+pub fn sum32() -> String {
+    "ldr r0, [r8]
+     ldr r1, [r9]
+     add r0, r0, r1
+     str r0, [r10]
+     halt"
+        .to_string()
+}
+
+/// Multi-precision sum of two `words`-word little-endian integers (the
+/// paper's "Sum 1024" uses `words = 32`). The carry rides the C flag
+/// through `adcs`; loop bookkeeping uses `teq`, which leaves C intact.
+pub fn sum_wide(words: usize) -> String {
+    format!(
+        "      ldr r0, [r8]
+               ldr r1, [r9]
+               adds r2, r0, r1
+               str r2, [r10]
+               mov r4, #1
+        loop:  ldr r0, [r8, r4]
+               ldr r1, [r9, r4]
+               adcs r2, r0, r1
+               str r2, [r10, r4]
+               add r4, r4, #1
+               teq r4, #{words}
+               bne loop
+               halt"
+    )
+}
+
+/// `out[0] = (a[0] < b[0]) ? 1 : 0` (unsigned) — the paper's
+/// "Compare 32". `sbc r2, r2, r2` materialises the borrow: the
+/// subtraction of identical registers is category iii, so it garbles
+/// nothing.
+pub fn compare32() -> String {
+    "ldr r0, [r8]
+     ldr r1, [r9]
+     cmp r0, r1        ; C = NOT borrow
+     sbc r2, r2, r2    ; r2 = -(borrow)
+     and r2, r2, #1
+     str r2, [r10]
+     halt"
+        .to_string()
+}
+
+/// Wide unsigned comparison (`a < b` over `words`·32 bits; the paper's
+/// "Compare 16384" uses 512 words), borrow rippled with `sbcs`.
+pub fn compare_wide(words: usize) -> String {
+    format!(
+        "      ldr r0, [r8]
+               ldr r1, [r9]
+               cmp r0, r1
+               mov r4, #1
+        loop:  ldr r0, [r8, r4]
+               ldr r1, [r9, r4]
+               sbcs r2, r0, r1
+               add r4, r4, #1
+               teq r4, #{words}
+               bne loop
+               sbc r2, r2, r2
+               and r2, r2, #1
+               str r2, [r10]
+               halt"
+    )
+}
+
+/// Hamming distance of two `words`·32-bit vectors via the tree/SWAR
+/// popcount (the paper cites Huang et al.'s tree method). The masks are
+/// public, so the AND stages and the even carry chains vanish under
+/// SkipGate — this is how "Hamming 32 = 57" arises.
+pub fn hamming(words: usize) -> String {
+    format!(
+        "      mov r6, #0         ; total
+               mov r4, #0         ; index
+        loop:  ldr r0, [r8, r4]
+               ldr r1, [r9, r4]
+               eor r0, r0, r1     ; free (XOR)
+               ; stage 1: 2-bit field sums, add form (16 ANDs)
+               ldi r2, #0x55555555
+               and r3, r0, r2
+               and r0, r2, r0, lsr #1
+               add r0, r0, r3
+               ; stage 2: 4-bit fields
+               ldi r2, #0x33333333
+               and r3, r0, r2
+               and r0, r2, r0, lsr #2
+               add r0, r0, r3
+               ; stage 3: bytes
+               ldi r2, #0x0f0f0f0f
+               add r0, r0, r0, lsr #4
+               and r0, r0, r2
+               ; stage 4+5: fold bytes
+               add r0, r0, r0, lsr #8
+               add r0, r0, r0, lsr #16
+               and r0, r0, #0xff
+               add r6, r6, r0
+               add r4, r4, #1
+               teq r4, #{words}
+               bne loop
+               str r6, [r10]
+               halt"
+    )
+}
+
+/// `out[0] = a[0] * b[0]` (low 32 bits) — the paper's "Mult 32".
+pub fn mult32() -> String {
+    "ldr r0, [r8]
+     ldr r1, [r9]
+     mul r2, r0, r1
+     str r2, [r10]
+     halt"
+        .to_string()
+}
+
+/// `k×k` 32-bit matrix product (the paper's "MatrixMult k×k 32"):
+/// Alice holds A (row-major), Bob holds B, C goes to the output memory.
+pub fn matmul(k: usize) -> String {
+    format!(
+        "      mov r4, #0          ; i
+        iloop: mov r5, #0          ; j
+        jloop: mov r6, #0          ; l
+               mov r7, #0          ; acc
+               mov r0, #{k}
+               mul r12, r4, r0     ; i*k (public)
+        lloop: add r1, r12, r6
+               ldr r1, [r8, r1]    ; a[i*k + l]
+               mov r0, #{k}
+               mul r2, r6, r0
+               add r2, r2, r5
+               ldr r2, [r9, r2]    ; b[l*k + j]
+               mul r3, r1, r2
+               add r7, r7, r3
+               add r6, r6, #1
+               teq r6, #{k}
+               bne lloop
+               add r1, r12, r5
+               str r7, [r10, r1]   ; c[i*k + j]
+               add r5, r5, #1
+               teq r5, #{k}
+               bne jloop
+               add r4, r4, #1
+               teq r4, #{k}
+               bne iloop
+               halt"
+    )
+}
+
+/// Bubble sort of `n` values (paper §5.7, Table 5). Inputs are
+/// XOR-shares (`value[i] = a[i] ⊕ b[i]`); compare-and-swap uses
+/// conditional moves on secret flags — never branches, so the PC stays
+/// public for the entire run.
+pub fn bubble_sort(n: usize) -> String {
+    format!(
+        "      mov r4, #0
+        load:  ldr r0, [r8, r4]
+               ldr r1, [r9, r4]
+               eor r0, r0, r1
+               str r0, [r11, r4]
+               add r4, r4, #1
+               teq r4, #{n}
+               bne load
+               mov r5, #0          ; pass counter
+        pass:  mov r4, #0
+        inner: add r6, r4, #1
+               ldr r0, [r11, r4]
+               ldr r1, [r11, r6]
+               cmp r0, r1          ; secret flags
+               movhi r2, r1        ; swap if r0 > r1 (unsigned)
+               movhi r1, r0
+               movhi r0, r2
+               str r0, [r11, r4]
+               str r1, [r11, r6]
+               add r4, r4, #1
+               teq r4, #{last}
+               bne inner
+               add r5, r5, #1
+               teq r5, #{last}
+               bne pass
+               mov r4, #0
+        emit:  ldr r0, [r11, r4]
+               str r0, [r10, r4]
+               add r4, r4, #1
+               teq r4, #{n}
+               bne emit
+               halt",
+        last = n - 1
+    )
+}
+
+/// Bottom-up merge sort of `n = 2^k` XOR-shared values (paper §5.7).
+///
+/// Loop bounds (run width, pair base, output slot) are public; the two
+/// run cursors are *secret* (advanced by conditional moves), so element
+/// loads are oblivious reads over the data region — the linear-scan
+/// subset access §4.4 discusses. Ping-pongs between `data[0..n]` and
+/// `data[n..2n]`; needs `data_words ≥ 2n`. The alice/bob base registers
+/// are recycled as scratch once the shares are combined.
+pub fn merge_sort(n: usize) -> String {
+    assert!(n.is_power_of_two() && n >= 2, "size must be a power of two");
+    format!(
+        "      mov r4, #0
+        load:  ldr r0, [r8, r4]
+               ldr r1, [r9, r4]
+               eor r0, r0, r1
+               str r0, [r11, r4]
+               add r4, r4, #1
+               teq r4, #{n}
+               bne load
+               mov r7, #0          ; src offset
+               mov r12, #{n}       ; dst offset
+               mov r5, #1          ; run width
+        wloop: mov r4, #0          ; pair base (public)
+        mloop: add r0, r7, r4      ; i (left cursor; goes secret)
+               add r1, r0, r5      ; j (right cursor)
+               add r3, r0, r5      ; left end (public)
+               add r6, r1, r5      ; right end (public)
+               mov r2, #0          ; k (public output index)
+        merge: ldr r8, [r11, r0]   ; d[i] — oblivious read
+               ldr r9, [r11, r1]   ; d[j] — oblivious read
+               ; take_left = (j >= right_end) | (i < left_end & d[i] <= d[j])
+               mov r14, #0
+               cmp r0, r3
+               movlo r14, #1       ; e = i < left_end
+               cmp r8, r9
+               movhi r14, #0       ; e & (d[i] <= d[j])
+               cmp r1, r6
+               movhs r14, #1       ; force left when right run is done
+               teq r14, #1
+               movne r8, r9        ; value = take_left ? d[i] : d[j]
+               add r9, r12, r4
+               add r9, r9, r2
+               str r8, [r11, r9]   ; public store to dst + base + k
+               add r0, r0, r14     ; i += take_left
+               eor r14, r14, #1
+               add r1, r1, r14     ; j += !take_left
+               add r2, r2, #1
+               teq r2, r5, lsl #1
+               bne merge
+               add r4, r4, r5, lsl #1
+               teq r4, #{n}
+               bne mloop
+               eor r7, r7, r12     ; swap src/dst (public values)
+               eor r12, r12, r7
+               eor r7, r7, r12
+               mov r5, r5, lsl #1
+               teq r5, #{n}
+               bne wloop
+               mov r4, #0
+        emit:  add r9, r7, r4
+               ldr r0, [r11, r9]
+               str r0, [r10, r4]
+               add r4, r4, #1
+               teq r4, #{n}
+               bne emit
+               halt"
+    )
+}
+
+/// Dijkstra single-source shortest paths (paper §5.7): `nodes²`
+/// XOR-shared adjacency weights (missing edges = `0x3fffffff`), output =
+/// distance vector. Outer loops are public; min-extraction and
+/// relaxation use conditional moves; the adjacency-row reads use the
+/// secret node index (oblivious reads).
+pub fn dijkstra(nodes: usize) -> String {
+    let n2 = nodes * nodes;
+    let inf = 0x3f00_0000u32; // encodable as imm8 ror
+    format!(
+        "      ; combine shares: adj -> data[0..n2]
+               mov r4, #0
+        load:  ldr r0, [r8, r4]
+               ldr r1, [r9, r4]
+               eor r0, r0, r1
+               str r0, [r11, r4]
+               add r4, r4, #1
+               teq r4, #{n2}
+               bne load
+               ; dist[v] -> data[n2 .. n2+nodes]; dist[0]=0 else INF
+               ldi r6, #{inf}
+               mov r4, #1
+               mov r0, #0
+               str r0, [r11, #{n2}]
+        init:  add r1, r4, #{n2}
+               str r6, [r11, r1]
+               add r4, r4, #1
+               teq r4, #{nodes}
+               bne init
+               mov r7, #0          ; visited bitmask (becomes secret)
+               mov r12, #0         ; outer counter
+        outer: ; find unvisited u with minimal dist
+               ldi r1, #{inf2}    ; best
+               mov r2, #0          ; argmin
+               mov r4, #0
+        scan:  add r3, r4, #{n2}
+               ldr r0, [r11, r3]   ; dist[i] (public address)
+               mov r3, #1
+               mov r5, r3, lsl r4  ; bit i (public)
+               tst r7, r5          ; visited? (secret)
+               movne r0, r6        ; treat visited as INF
+               cmp r0, r1
+               movlo r1, r0        ; best = dist
+               movlo r2, r4        ; u = i (u becomes secret)
+               add r4, r4, #1
+               teq r4, #{nodes}
+               bne scan
+               ; visited |= 1 << u (secret shift)
+               mov r3, #1
+               mov r3, r3, lsl r2
+               orr r7, r7, r3
+               ; relax: for v in 0..nodes
+               mov r4, #0
+        relax: mov r3, #{nodes}
+               mul r3, r2, r3
+               add r3, r3, r4      ; u*nodes + v (secret address)
+               ldr r0, [r11, r3]   ; w(u,v) — oblivious read
+               add r0, r0, r1      ; alt = best + w
+               add r3, r4, #{n2}
+               ldr r5, [r11, r3]   ; dist[v]
+               cmp r0, r5
+               movlo r5, r0
+               str r5, [r11, r3]
+               add r4, r4, #1
+               teq r4, #{nodes}
+               bne relax
+               add r12, r12, #1
+               teq r12, #{nodes}
+               bne outer
+               ; emit distances
+               mov r4, #0
+        emit:  add r3, r4, #{n2}
+               ldr r0, [r11, r3]
+               str r0, [r10, r4]
+               add r4, r4, #1
+               teq r4, #{nodes}
+               bne emit
+               halt",
+        inf2 = inf + 0x0100_0000 // strictly larger than any dist, encodable
+    )
+}
+
+/// Universal CORDIC in rotation/circular mode (paper §5.7): rotates the
+/// XOR-shared vector `(x, y)` by the XOR-shared angle `z` (2.30 fixed
+/// point), 32 iterations, one bit of convergence per cycle. The arctan
+/// table is public `.data`; shifts use the public loop counter, so only
+/// the three conditional adds/subtracts per iteration cost garbling.
+pub fn cordic(iterations: usize) -> String {
+    // atan(2^-i) in 2.30 fixed point.
+    let mut table = String::new();
+    for i in 0..iterations {
+        let atan = (2f64.powi(-(i as i32))).atan();
+        let fixed = (atan * (1u64 << 30) as f64).round() as i64 as u32;
+        if i > 0 {
+            table.push_str(", ");
+        }
+        table.push_str(&format!("{fixed}"));
+    }
+    format!(
+        "      ldr r0, [r8]        ; x share
+               ldr r3, [r9]
+               eor r0, r0, r3      ; x
+               ldr r1, [r8, #1]
+               ldr r3, [r9, #1]
+               eor r1, r1, r3      ; y
+               ldr r2, [r8, #2]
+               ldr r3, [r9, #2]
+               eor r2, r2, r3      ; z
+               ldi r7, =atan
+               mov r4, #0          ; i
+        loop:  mov r5, r0, asr r4  ; x >> i (public amount)
+               mov r6, r1, asr r4  ; y >> i
+               ldr r3, [r7, r4]    ; atan(2^-i)  (public)
+               cmp r2, #0          ; sign of z (secret N)
+               ; z >= 0: x -= y>>i ; y += x>>i ; z -= atan
+               subge r0, r0, r6
+               addge r1, r1, r5
+               subge r2, r2, r3
+               ; z < 0: opposite directions
+               addlt r0, r0, r6
+               sublt r1, r1, r5
+               addlt r2, r2, r3
+               add r4, r4, #1
+               teq r4, #{iterations}
+               bne loop
+               str r0, [r10]
+               str r1, [r10, #1]
+               str r2, [r10, #2]
+               halt
+        .data
+        atan:  .word {table}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::machine::{CpuConfig, GcMachine};
+
+    fn machine() -> GcMachine {
+        GcMachine::new(CpuConfig::small())
+    }
+
+    #[test]
+    fn sum32_runs() {
+        let m = machine();
+        let prog = assemble(&sum32()).unwrap();
+        let run = m.run_iss(&prog, &[111], &[222], 100);
+        assert!(run.halted);
+        assert_eq!(run.output[0], 333);
+    }
+
+    #[test]
+    fn sum_wide_runs() {
+        let m = machine();
+        let prog = assemble(&sum_wide(4)).unwrap();
+        // 128-bit add with carry propagation across words.
+        let a = [u32::MAX, u32::MAX, 0, 0];
+        let b = [1, 0, 0, 5];
+        let run = m.run_iss(&prog, &a, &b, 10_000);
+        assert_eq!(&run.output[..4], &[0, 0, 1, 5]);
+    }
+
+    #[test]
+    fn compare32_runs() {
+        let m = machine();
+        let prog = assemble(&compare32()).unwrap();
+        assert_eq!(m.run_iss(&prog, &[5], &[9], 100).output[0], 1);
+        assert_eq!(m.run_iss(&prog, &[9], &[5], 100).output[0], 0);
+        assert_eq!(m.run_iss(&prog, &[7], &[7], 100).output[0], 0);
+    }
+
+    #[test]
+    fn compare_wide_runs() {
+        let m = machine();
+        let prog = assemble(&compare_wide(4)).unwrap();
+        let lo = [0, 0, 0, 5];
+        let hi = [1, 0, 0, 5];
+        assert_eq!(m.run_iss(&prog, &lo, &hi, 10_000).output[0], 1);
+        assert_eq!(m.run_iss(&prog, &hi, &lo, 10_000).output[0], 0);
+        assert_eq!(m.run_iss(&prog, &hi, &hi, 10_000).output[0], 0);
+    }
+
+    #[test]
+    fn hamming_runs() {
+        let m = machine();
+        let prog = assemble(&hamming(1)).unwrap();
+        assert_eq!(
+            m.run_iss(&prog, &[0xffff_0000], &[0x0f0f_0f0f], 1000).output[0],
+            16
+        );
+        let prog5 = assemble(&hamming(5)).unwrap();
+        let a: Vec<u32> = (0..5).map(|i| 0x1234_5678u32.rotate_left(i)).collect();
+        let b: Vec<u32> = (0..5).map(|i| 0x8765_4321u32.rotate_left(2 * i)).collect();
+        let expect: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert_eq!(m.run_iss(&prog5, &a, &b, 10_000).output[0], expect);
+    }
+
+    #[test]
+    fn mult32_runs() {
+        let m = machine();
+        let prog = assemble(&mult32()).unwrap();
+        let run = m.run_iss(&prog, &[100_000], &[100_000], 100);
+        assert_eq!(run.output[0], 100_000u32.wrapping_mul(100_000));
+    }
+
+    #[test]
+    fn matmul_runs() {
+        let m = machine();
+        let prog = assemble(&matmul(3)).unwrap();
+        let a: Vec<u32> = (1..=9).collect();
+        let b: Vec<u32> = (10..=18).collect();
+        let run = m.run_iss(&prog, &a, &b, 10_000);
+        assert!(run.halted);
+        let expect = |i: usize, j: usize| -> u32 {
+            (0..3).map(|l| a[i * 3 + l] * b[l * 3 + j]).sum()
+        };
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(run.output[i * 3 + j], expect(i, j), "c[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn bubble_sort_runs() {
+        let m = machine();
+        let prog = assemble(&bubble_sort(8)).unwrap();
+        let a: Vec<u32> = vec![9, 1, 8, 2, 7, 3, 6, 4];
+        let b: Vec<u32> = vec![3, 3, 3, 3, 3, 3, 3, 3];
+        let mut expect: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        expect.sort_unstable();
+        let run = m.run_iss(&prog, &a, &b, 100_000);
+        assert!(run.halted);
+        assert_eq!(&run.output[..8], &expect[..]);
+    }
+
+    #[test]
+    fn dijkstra_runs() {
+        let m = machine();
+        const INF: u32 = 0x3f00_0000;
+        // 4-node graph: 0->1 (1), 1->2 (2), 0->2 (10), 2->3 (1), 0->3 (9).
+        let n = 4;
+        let mut adj = vec![INF; n * n];
+        adj[1] = 1;
+        adj[n + 2] = 2;
+        adj[2] = 10;
+        adj[2 * n + 3] = 1;
+        adj[3] = 9;
+        for i in 0..n {
+            adj[i * n + i] = INF;
+        }
+        let bob = vec![0u32; n * n];
+        let prog = assemble(&dijkstra(n)).unwrap();
+        let run = m.run_iss(&prog, &adj, &bob, 100_000);
+        assert!(run.halted);
+        assert_eq!(&run.output[..4], &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn cordic_runs() {
+        let m = machine();
+        let prog = assemble(&cordic(32)).unwrap();
+        // Rotate (K, 0) by 30°; expect (cos30°, sin30°) scaled by the
+        // CORDIC gain. Use the standard trick: start with x = 1/K.
+        let one_over_k = (0.607_252_935_008_881_3 * (1u64 << 30) as f64) as u32;
+        let angle = (30f64.to_radians() * (1u64 << 30) as f64) as u32;
+        let bob = [0xa5a5_a5a5, 0x5a5a_5a5a, 0x1111_1111];
+        // The program reads x from word 0, y from word 1, z from word 2.
+        let alice = [one_over_k ^ bob[0], bob[1], angle ^ bob[2]];
+        let run = m.run_iss(&prog, &alice, &bob, 10_000);
+        assert!(run.halted);
+        let xs = run.output[0] as i32 as f64 / (1u64 << 30) as f64;
+        let ys = run.output[1] as i32 as f64 / (1u64 << 30) as f64;
+        assert!((xs - 0.866).abs() < 1e-3, "cos: {xs}");
+        assert!((ys - 0.5).abs() < 1e-3, "sin: {ys}");
+    }
+}

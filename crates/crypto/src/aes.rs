@@ -1,0 +1,235 @@
+//! Software AES-128 built from first principles.
+//!
+//! The S-box and its inverse are *computed* (GF(2⁸) inversion followed by
+//! the affine transform) rather than transcribed, so a single FIPS-197
+//! test vector validates the whole construction. Only encryption is
+//! implemented — garbling needs nothing else.
+
+/// Multiply by `x` in GF(2⁸) with the AES reduction polynomial `0x11b`.
+const fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (((a >> 7) & 1) * 0x1b)
+}
+
+/// Full GF(2⁸) product (schoolbook shift-and-add).
+const fn gmul(a: u8, b: u8) -> u8 {
+    let mut acc = 0u8;
+    let mut a = a;
+    let mut b = b;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+        i += 1;
+    }
+    acc
+}
+
+/// GF(2⁸) inverse via `a^254` (square-and-multiply); `inv(0) = 0` as in AES.
+const fn ginv(a: u8) -> u8 {
+    // a^254 = a^(2+4+8+16+32+64+128)
+    let a2 = gmul(a, a);
+    let a4 = gmul(a2, a2);
+    let a8 = gmul(a4, a4);
+    let a16 = gmul(a8, a8);
+    let a32 = gmul(a16, a16);
+    let a64 = gmul(a32, a32);
+    let a128 = gmul(a64, a64);
+    gmul(
+        a128,
+        gmul(a64, gmul(a32, gmul(a16, gmul(a8, gmul(a4, a2))))),
+    )
+}
+
+/// AES affine transform applied after inversion.
+const fn affine(a: u8) -> u8 {
+    a ^ a.rotate_left(1) ^ a.rotate_left(2) ^ a.rotate_left(3) ^ a.rotate_left(4) ^ 0x63
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = affine(ginv(i as u8));
+        i += 1;
+    }
+    t
+}
+
+/// The AES S-box, derived at compile time.
+pub(crate) const SBOX: [u8; 256] = build_sbox();
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// An expanded AES-128 key schedule supporting block encryption.
+///
+/// ```
+/// use arm2gc_crypto::Aes128;
+/// let aes = Aes128::new([0u8; 16]);
+/// let ct = aes.encrypt_block([0u8; 16]);
+/// assert_ne!(ct, [0u8; 16]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys.
+    pub fn new(key: [u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for r in 1..10 {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[r]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+
+    /// Encrypts a block given as a `u128` (big-endian byte order).
+    pub fn encrypt_u128(&self, block: u128) -> u128 {
+        u128::from_be_bytes(self.encrypt_block(block.to_be_bytes()))
+    }
+}
+
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for (b, k) in s.iter_mut().zip(rk) {
+        *b ^= k;
+    }
+}
+
+fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State layout: column-major, `s[4c + r]` is row `r`, column `c`.
+fn shift_rows(s: &mut [u8; 16]) {
+    let orig = *s;
+    for r in 1..4 {
+        for c in 0..4 {
+            s[4 * c + r] = orig[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        s[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        s[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        s[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    /// FIPS-197 Appendix C.1 test vector.
+    #[test]
+    fn fips197_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let aes = Aes128::new(key);
+        let ct = aes.encrypt_block(pt);
+        assert_eq!(
+            ct,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    /// FIPS-197 Appendix B vector (different key/plaintext).
+    #[test]
+    fn fips197_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let ct = Aes128::new(key).encrypt_block(pt);
+        assert_eq!(
+            ct,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn gmul_agrees_with_xtime() {
+        for a in 0u16..256 {
+            assert_eq!(gmul(a as u8, 2), xtime(a as u8));
+            assert_eq!(gmul(a as u8, 1), a as u8);
+        }
+    }
+
+    #[test]
+    fn ginv_is_inverse() {
+        for a in 1u16..256 {
+            assert_eq!(gmul(a as u8, ginv(a as u8)), 1, "a={a}");
+        }
+        assert_eq!(ginv(0), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Wire labels and the free-XOR global offset.
+
+use core::fmt;
+use core::ops::{BitXor, BitXorAssign};
+
+use crate::Prg;
+
+/// A 128-bit garbled-circuit wire label.
+///
+/// Under the free-XOR convention a wire's two labels are `X⁰` and
+/// `X¹ = X⁰ ⊕ Δ`; the least significant bit doubles as the
+/// point-and-permute *colour* bit (Δ has that bit set, so the two labels
+/// of any wire always have opposite colours).
+///
+/// ```
+/// use arm2gc_crypto::Label;
+/// let a = Label::from_u128(0b10);
+/// let b = Label::from_u128(0b11);
+/// assert_eq!((a ^ b).colour(), true);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Label(u128);
+
+impl Label {
+    /// The all-zero label.
+    pub const ZERO: Label = Label(0);
+
+    /// Wraps a raw 128-bit value.
+    pub const fn from_u128(v: u128) -> Self {
+        Label(v)
+    }
+
+    /// Returns the raw 128-bit value.
+    pub const fn to_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Draws a fresh uniformly random label from `prg`.
+    pub fn random(prg: &mut Prg) -> Self {
+        Label(prg.next_u128())
+    }
+
+    /// The point-and-permute colour bit (least significant bit).
+    pub const fn colour(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Doubling in GF(2¹²⁸) modulo `x¹²⁸ + x⁷ + x² + x + 1`; used by the
+    /// MMO garbling hash to make the label input non-malleable.
+    pub const fn gf_double(self) -> Self {
+        let carry = (self.0 >> 127) & 1;
+        Label((self.0 << 1) ^ (carry * 0x87))
+    }
+
+    /// Serialises to 16 little-endian bytes.
+    pub const fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Deserialises from 16 little-endian bytes.
+    pub const fn from_bytes(b: [u8; 16]) -> Self {
+        Label(u128::from_le_bytes(b))
+    }
+}
+
+impl BitXor for Label {
+    type Output = Label;
+    fn bitxor(self, rhs: Label) -> Label {
+        Label(self.0 ^ rhs.0)
+    }
+}
+
+impl BitXorAssign for Label {
+    fn bitxor_assign(&mut self, rhs: Label) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The garbler's global free-XOR offset Δ.
+///
+/// Its colour bit is always 1 so that `X⁰` and `X¹ = X⁰ ⊕ Δ` carry
+/// opposite point-and-permute colours.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Delta(Label);
+
+impl Delta {
+    /// Draws a random Δ with the colour bit forced to 1.
+    ///
+    /// ```
+    /// use arm2gc_crypto::{Delta, Prg};
+    /// let mut prg = Prg::from_seed([1; 16]);
+    /// assert!(Delta::random(&mut prg).as_label().colour());
+    /// ```
+    pub fn random(prg: &mut Prg) -> Self {
+        Delta(Label(prg.next_u128() | 1))
+    }
+
+    /// Wraps an existing label, forcing the colour bit to 1.
+    pub const fn from_label(l: Label) -> Self {
+        Delta(Label(l.0 | 1))
+    }
+
+    /// The offset as a plain [`Label`].
+    pub const fn as_label(self) -> Label {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_roundtrip() {
+        let mut prg = Prg::from_seed([3; 16]);
+        let a = Label::random(&mut prg);
+        let b = Label::random(&mut prg);
+        assert_eq!(a ^ b ^ b, a);
+    }
+
+    #[test]
+    fn delta_colour_forced() {
+        let mut prg = Prg::from_seed([9; 16]);
+        for _ in 0..64 {
+            assert!(Delta::random(&mut prg).as_label().colour());
+        }
+    }
+
+    #[test]
+    fn gf_double_known() {
+        assert_eq!(Label::from_u128(1).gf_double().to_u128(), 2);
+        assert_eq!(Label::from_u128(1u128 << 127).gf_double().to_u128(), 0x87);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut prg = Prg::from_seed([5; 16]);
+        let l = Label::random(&mut prg);
+        assert_eq!(Label::from_bytes(l.to_bytes()), l);
+    }
+}

@@ -1,0 +1,38 @@
+//! Cryptographic substrate for the ARM2GC reproduction.
+//!
+//! This crate provides everything the garbling engines need:
+//!
+//! * [`Label`] — 128-bit wire labels with the free-XOR convention
+//!   (`X¹ = X⁰ ⊕ Δ`) and point-and-permute colour bits,
+//! * [`Aes128`] — a from-scratch software AES-128 block cipher,
+//! * [`GarbleHash`] — the fixed-key MMO-style hash
+//!   `H(L, t) = AES_K(2L ⊕ t) ⊕ 2L` used to encrypt garbled-table rows
+//!   (Bellare et al., "Efficient garbling from a fixed-key blockcipher"),
+//! * [`Prg`] — an AES-CTR pseudo-random generator used for label
+//!   generation and the IKNP OT extension.
+//!
+//! # Example
+//!
+//! ```
+//! use arm2gc_crypto::{Delta, Label, Prg};
+//!
+//! let mut prg = Prg::from_seed([7u8; 16]);
+//! let delta = Delta::random(&mut prg);
+//! let zero = Label::random(&mut prg);
+//! let one = zero ^ delta.as_label();
+//! // The colour (permute) bits of the two labels always differ.
+//! assert_ne!(zero.colour(), one.colour());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+mod hash;
+mod label;
+mod prg;
+
+pub use aes::Aes128;
+pub use hash::GarbleHash;
+pub use label::{Delta, Label};
+pub use prg::Prg;

@@ -1,0 +1,385 @@
+//! The two-party sequential GC protocol (no SkipGate).
+//!
+//! Alice garbles every gate of every cycle and streams the tables; Bob
+//! evaluates them. Input labels are delivered up front: direct transfer
+//! for wires whose value Alice knows (her inputs, constants and the
+//! public input `p` — which this baseline deliberately treats as secret
+//! data, exactly like the paper's "conventional GC" columns), and OT for
+//! Bob's inputs.
+
+use arm2gc_circuit::sim::PartyData;
+use arm2gc_circuit::{Circuit, DffInit, Op, OutputMode, Role};
+use arm2gc_comm::{Channel, ChannelClosed};
+use arm2gc_crypto::{Delta, Label, Prg};
+use arm2gc_ot::{OtError, OtReceiver, OtSender};
+
+use crate::halfgate::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
+
+use std::error::Error;
+use std::fmt;
+
+/// Failures of the two-party protocol.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Transport failure.
+    Channel(ChannelClosed),
+    /// Oblivious-transfer failure.
+    Ot(OtError),
+    /// The peer sent something structurally invalid.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Channel(e) => write!(f, "protocol channel failure: {e}"),
+            ProtocolError::Ot(e) => write!(f, "protocol ot failure: {e}"),
+            ProtocolError::Malformed(m) => write!(f, "malformed protocol message: {m}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+impl From<ChannelClosed> for ProtocolError {
+    fn from(e: ChannelClosed) -> Self {
+        ProtocolError::Channel(e)
+    }
+}
+
+impl From<OtError> for ProtocolError {
+    fn from(e: OtError) -> Self {
+        ProtocolError::Ot(e)
+    }
+}
+
+/// Cost accounting for one protocol run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GarbleStats {
+    /// Garbled tables transferred (= garbled non-XOR gates) — the paper's
+    /// headline metric.
+    pub garbled_tables: u64,
+    /// Bytes of garbled tables.
+    pub table_bytes: u64,
+    /// Number of OTs executed for Bob's input bits.
+    pub ots: u64,
+    /// Clock cycles executed.
+    pub cycles_run: usize,
+}
+
+/// Result of one protocol run.
+#[derive(Clone, Debug)]
+pub struct GarbleOutcome {
+    /// Output bits, one vector per scheduled read (see
+    /// [`OutputMode`]).
+    pub outputs: Vec<Vec<bool>>,
+    /// Cost counters.
+    pub stats: GarbleStats,
+}
+
+impl GarbleOutcome {
+    /// The last (or only) output vector.
+    ///
+    /// # Panics
+    /// Panics if the circuit has no outputs.
+    pub fn final_output(&self) -> &[bool] {
+        self.outputs.last().expect("no outputs")
+    }
+}
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
+}
+
+/// Zero-label of a *linear* gate output on the garbler side.
+fn linear_zero(op: Op, a0: Label, b0: Label, delta: Label) -> Label {
+    match op {
+        Op::XOR => a0 ^ b0,
+        Op::XNOR => a0 ^ b0 ^ delta,
+        Op::BUF_A => a0,
+        Op::NOT_A => a0 ^ delta,
+        Op::BUF_B => b0,
+        Op::NOT_B => b0 ^ delta,
+        _ => panic!("constant-valued gate {op} must not appear in a netlist"),
+    }
+}
+
+/// Active label of a *linear* gate output on the evaluator side.
+fn linear_active(op: Op, a: Label, b: Label) -> Label {
+    match op {
+        Op::XOR | Op::XNOR => a ^ b,
+        Op::BUF_A | Op::NOT_A => a,
+        Op::BUF_B | Op::NOT_B => b,
+        _ => panic!("constant-valued gate {op} must not appear in a netlist"),
+    }
+}
+
+/// Runs the garbler (Alice) side of the classic sequential GC protocol.
+///
+/// `public` is the public input `p`; this engine garbles it like private
+/// data (the whole point of the baseline). Outputs are revealed to both
+/// parties.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+pub fn run_garbler(
+    circuit: &Circuit,
+    alice: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    ot: &mut dyn OtSender,
+    prg: &mut Prg,
+) -> Result<GarbleOutcome, ProtocolError> {
+    let delta = Delta::random(prg);
+    let d = delta.as_label();
+    let garbler = HalfGateGarbler::new(delta);
+    let mut labels = vec![Label::ZERO; circuit.wire_count()];
+    let mut stats = GarbleStats::default();
+
+    // --- Input label distribution -------------------------------------
+    let mut direct: Vec<Label> = Vec::new();
+    let mut ot_pairs: Vec<(Label, Label)> = Vec::new();
+
+    for &(w, v) in circuit.consts() {
+        let x0 = Label::random(prg);
+        labels[w.index()] = x0;
+        direct.push(if v { x0 ^ d } else { x0 });
+    }
+    for dff in circuit.dffs() {
+        let x0 = Label::random(prg);
+        labels[dff.q.index()] = x0;
+        match dff.init {
+            DffInit::Const(v) => direct.push(if v { x0 ^ d } else { x0 }),
+            DffInit::Public(i) => {
+                let v = public.init[i as usize];
+                direct.push(if v { x0 ^ d } else { x0 });
+            }
+            DffInit::Alice(i) => {
+                let v = alice.init[i as usize];
+                direct.push(if v { x0 ^ d } else { x0 });
+            }
+            DffInit::Bob(_) => ot_pairs.push((x0, x0 ^ d)),
+        }
+    }
+    // Fresh labels for every (cycle, input wire).
+    let mut stream_labels: Vec<Vec<Label>> = Vec::with_capacity(cycles);
+    for cycle in 0..cycles {
+        let mut per_cycle = Vec::with_capacity(circuit.inputs().len());
+        let mut idx = [0usize; 3];
+        for input in circuit.inputs() {
+            let x0 = Label::random(prg);
+            per_cycle.push(x0);
+            match input.role {
+                Role::Alice => {
+                    let v = alice.stream[cycle][idx[0]];
+                    idx[0] += 1;
+                    direct.push(if v { x0 ^ d } else { x0 });
+                }
+                Role::Public => {
+                    let v = public.stream[cycle][idx[2]];
+                    idx[2] += 1;
+                    direct.push(if v { x0 ^ d } else { x0 });
+                }
+                Role::Bob => {
+                    idx[1] += 1;
+                    ot_pairs.push((x0, x0 ^ d));
+                }
+            }
+        }
+        stream_labels.push(per_cycle);
+    }
+
+    let direct_bytes: Vec<u8> = direct.iter().flat_map(|l| l.to_bytes()).collect();
+    ch.send(&direct_bytes)?;
+    if !ot_pairs.is_empty() {
+        ot.send(ch, &ot_pairs)?;
+    }
+    stats.ots = ot_pairs.len() as u64;
+
+    // --- Cycle loop ----------------------------------------------------
+    let mut tweak = 0u64;
+    let mut decode_bits: Vec<bool> = Vec::new();
+    for cycle in 0..cycles {
+        for (input, &x0) in circuit.inputs().iter().zip(&stream_labels[cycle]) {
+            labels[input.wire.index()] = x0;
+        }
+        let mut tables: Vec<u8> = Vec::new();
+        for gate in circuit.gates() {
+            let a0 = labels[gate.a.index()];
+            let b0 = labels[gate.b.index()];
+            labels[gate.out.index()] = if gate.op.is_linear() {
+                linear_zero(gate.op, a0, b0, d)
+            } else {
+                let (c0, table) = garbler.garble(gate.op, a0, b0, tweak);
+                tweak += 1;
+                tables.extend_from_slice(&table.to_bytes());
+                stats.garbled_tables += 1;
+                c0
+            };
+        }
+        stats.table_bytes += tables.len() as u64;
+        ch.send(&tables)?;
+
+        if matches!(circuit.output_mode(), OutputMode::PerCycle) {
+            decode_bits.extend(circuit.outputs().iter().map(|w| labels[w.index()].colour()));
+        }
+        let next: Vec<Label> = circuit.dffs().iter().map(|f| labels[f.d.index()]).collect();
+        for (dff, l) in circuit.dffs().iter().zip(next) {
+            labels[dff.q.index()] = l;
+        }
+        stats.cycles_run = cycle + 1;
+    }
+    if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
+        decode_bits.extend(circuit.outputs().iter().map(|w| labels[w.index()].colour()));
+    }
+
+    // --- Output revelation ---------------------------------------------
+    ch.send(&pack_bits(&decode_bits))?;
+    let value_bytes = ch.recv()?;
+    let values = unpack_bits(&value_bytes, decode_bits.len());
+    let outputs = chunk_outputs(circuit, values);
+    Ok(GarbleOutcome { outputs, stats })
+}
+
+/// Runs the evaluator (Bob) side of the classic sequential GC protocol.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+pub fn run_evaluator(
+    circuit: &Circuit,
+    bob: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    ot: &mut dyn OtReceiver,
+) -> Result<GarbleOutcome, ProtocolError> {
+    let evaluator = HalfGateEvaluator::new();
+    let mut active = vec![Label::ZERO; circuit.wire_count()];
+    let mut stats = GarbleStats::default();
+
+    // --- Input labels ----------------------------------------------------
+    let direct_bytes = ch.recv()?;
+    let mut direct = direct_bytes
+        .chunks_exact(16)
+        .map(|c| Label::from_bytes(c.try_into().expect("16")));
+
+    let mut choices: Vec<bool> = Vec::new();
+    for dff in circuit.dffs() {
+        if let DffInit::Bob(i) = dff.init {
+            choices.push(bob.init[i as usize]);
+        }
+    }
+    for cycle in 0..cycles {
+        let mut bidx = 0usize;
+        for input in circuit.inputs() {
+            if input.role == Role::Bob {
+                choices.push(bob.stream[cycle][bidx]);
+                bidx += 1;
+            }
+        }
+    }
+    let mut ot_labels = if choices.is_empty() {
+        Vec::new()
+    } else {
+        ot.receive(ch, &choices)?
+    }
+    .into_iter();
+    stats.ots = choices.len() as u64;
+
+    // Distribute in the same order the garbler produced.
+    for &(w, _) in circuit.consts() {
+        active[w.index()] = direct.next().ok_or(ProtocolError::Malformed("consts"))?;
+    }
+    for dff in circuit.dffs() {
+        active[dff.q.index()] = match dff.init {
+            DffInit::Bob(_) => ot_labels.next().ok_or(ProtocolError::Malformed("ot"))?,
+            _ => direct.next().ok_or(ProtocolError::Malformed("dff"))?,
+        };
+    }
+    let mut stream_active: Vec<Vec<Label>> = Vec::with_capacity(cycles);
+    for _ in 0..cycles {
+        let mut per_cycle = Vec::with_capacity(circuit.inputs().len());
+        for input in circuit.inputs() {
+            per_cycle.push(match input.role {
+                Role::Bob => ot_labels.next().ok_or(ProtocolError::Malformed("ot2"))?,
+                _ => direct.next().ok_or(ProtocolError::Malformed("stream"))?,
+            });
+        }
+        stream_active.push(per_cycle);
+    }
+
+    // --- Cycle loop ----------------------------------------------------
+    let mut tweak = 0u64;
+    let mut my_colours: Vec<bool> = Vec::new();
+    for cycle in 0..cycles {
+        for (input, &l) in circuit.inputs().iter().zip(&stream_active[cycle]) {
+            active[input.wire.index()] = l;
+        }
+        let table_bytes = ch.recv()?;
+        if table_bytes.len() % GarbledTable::BYTES != 0 {
+            return Err(ProtocolError::Malformed("table stream"));
+        }
+        let mut tables = table_bytes
+            .chunks_exact(GarbledTable::BYTES)
+            .map(GarbledTable::from_bytes);
+        stats.table_bytes += table_bytes.len() as u64;
+
+        for gate in circuit.gates() {
+            let a = active[gate.a.index()];
+            let b = active[gate.b.index()];
+            active[gate.out.index()] = if gate.op.is_linear() {
+                linear_active(gate.op, a, b)
+            } else {
+                let t = tables.next().ok_or(ProtocolError::Malformed("tables"))?;
+                stats.garbled_tables += 1;
+                let out = evaluator.eval(a, b, &t, tweak);
+                tweak += 1;
+                out
+            };
+        }
+        if tables.next().is_some() {
+            return Err(ProtocolError::Malformed("extra tables"));
+        }
+
+        if matches!(circuit.output_mode(), OutputMode::PerCycle) {
+            my_colours.extend(circuit.outputs().iter().map(|w| active[w.index()].colour()));
+        }
+        let next: Vec<Label> = circuit.dffs().iter().map(|f| active[f.d.index()]).collect();
+        for (dff, l) in circuit.dffs().iter().zip(next) {
+            active[dff.q.index()] = l;
+        }
+        stats.cycles_run = cycle + 1;
+    }
+    if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
+        my_colours.extend(circuit.outputs().iter().map(|w| active[w.index()].colour()));
+    }
+
+    // --- Output revelation ----------------------------------------------
+    let decode = unpack_bits(&ch.recv()?, my_colours.len());
+    let values: Vec<bool> = my_colours
+        .iter()
+        .zip(&decode)
+        .map(|(&c, &z)| c ^ z)
+        .collect();
+    ch.send(&pack_bits(&values))?;
+    let outputs = chunk_outputs(circuit, values);
+    Ok(GarbleOutcome { outputs, stats })
+}
+
+fn chunk_outputs(circuit: &Circuit, values: Vec<bool>) -> Vec<Vec<bool>> {
+    let per = circuit.outputs().len();
+    if per == 0 {
+        return Vec::new();
+    }
+    values.chunks(per).map(|c| c.to_vec()).collect()
+}

@@ -1,0 +1,33 @@
+//! Classic sequential garbled-circuit engine (the paper's "conventional
+//! GC" baseline, §2.3).
+//!
+//! Implements Yao's protocol with all three standard optimisations the
+//! paper assumes — free-XOR, row reduction and half-gates — over the
+//! sequential-circuit model of TinyGarble: every gate is garbled on every
+//! clock cycle and flip-flop labels are copied across cycles. No gate is
+//! ever skipped; that is what `arm2gc_core`'s SkipGate adds on top.
+//!
+//! * [`halfgate`] — the two-ciphertext half-gate garbling primitive for
+//!   any nonlinear 2-input gate,
+//! * [`rows4`] — the unoptimised 4-row and GRR3 garbling baselines used
+//!   by the ablation benchmarks,
+//! * [`engine`] — the two-party protocol: [`run_garbler`] /
+//!   [`run_evaluator`] over a channel + OT.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod halfgate;
+pub mod rows4;
+
+pub use engine::{run_evaluator, run_garbler, GarbleOutcome, GarbleStats, ProtocolError};
+pub use halfgate::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
+
+use arm2gc_circuit::Circuit;
+
+/// The paper's "w/o SkipGate" cost of a sequential run: every nonlinear
+/// gate is garbled on every cycle (Tables 1, 4 and 5 baseline column).
+pub fn static_non_xor_cost(circuit: &Circuit, cycles: usize) -> u128 {
+    circuit.non_xor_count() as u128 * cycles as u128
+}

@@ -1,0 +1,145 @@
+//! Unoptimised garbled-table baselines for the ablation benchmarks:
+//! the classic 4-row construction and GRR3 row reduction.
+//!
+//! The paper (§2.3) assumes half-gates (2 rows); these variants exist so
+//! `bench/ablation_garbling` can measure the 4 → 3 → 2 ciphertext
+//! progression on real circuits.
+
+use arm2gc_circuit::Op;
+use arm2gc_crypto::{Delta, GarbleHash, Label};
+
+/// A classic point-and-permute garbled table (4 ciphertexts).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table4(pub [Label; 4]);
+
+/// A GRR3 garbled table (3 ciphertexts; the colour-(0,0) row is zero).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table3(pub [Label; 3]);
+
+/// Garbles `op` with the classic 4-row scheme. Returns the output
+/// zero-label and the table, rows ordered by input colours.
+pub fn garble4(
+    hash: &GarbleHash,
+    delta: Delta,
+    op: Op,
+    a0: Label,
+    b0: Label,
+    out0: Label,
+    tweak: u64,
+) -> Table4 {
+    let d = delta.as_label();
+    let mut rows = [Label::ZERO; 4];
+    for va in [false, true] {
+        for vb in [false, true] {
+            let la = if va { a0 ^ d } else { a0 };
+            let lb = if vb { b0 ^ d } else { b0 };
+            let lc = if op.eval(va, vb) { out0 ^ d } else { out0 };
+            let row = ((la.colour() as usize) << 1) | lb.colour() as usize;
+            rows[row] = hash.hash2(la, lb, tweak) ^ lc;
+        }
+    }
+    Table4(rows)
+}
+
+/// Evaluates a 4-row table.
+pub fn eval4(hash: &GarbleHash, a: Label, b: Label, table: &Table4, tweak: u64) -> Label {
+    let row = ((a.colour() as usize) << 1) | b.colour() as usize;
+    hash.hash2(a, b, tweak) ^ table.0[row]
+}
+
+/// Garbles with GRR3: the output zero-label is *derived* so that the
+/// colour-(0,0) row is all zero and need not be sent. Returns
+/// `(out0, table)`.
+pub fn garble3(
+    hash: &GarbleHash,
+    delta: Delta,
+    op: Op,
+    a0: Label,
+    b0: Label,
+    tweak: u64,
+) -> (Label, Table3) {
+    let d = delta.as_label();
+    // Find the (va, vb) whose labels have colours (0,0).
+    let va0 = a0.colour(); // colour of value-0 label of a
+    let vb0 = b0.colour();
+    // value v has colour colour(x0) ^ v; colours (0,0) ⇒ v = colour(x0).
+    let (va, vb) = (va0, vb0);
+    let la = if va { a0 ^ d } else { a0 };
+    let lb = if vb { b0 ^ d } else { b0 };
+    debug_assert!(!la.colour() && !lb.colour());
+    // That row's ciphertext is forced to zero: H ⊕ lc = 0.
+    let lc = hash.hash2(la, lb, tweak);
+    let out0 = if op.eval(va, vb) { lc ^ d } else { lc };
+
+    let full = garble4(hash, delta, op, a0, b0, out0, tweak);
+    debug_assert_eq!(full.0[0], Label::ZERO);
+    (out0, Table3([full.0[1], full.0[2], full.0[3]]))
+}
+
+/// Evaluates a GRR3 table.
+pub fn eval3(hash: &GarbleHash, a: Label, b: Label, table: &Table3, tweak: u64) -> Label {
+    let row = ((a.colour() as usize) << 1) | b.colour() as usize;
+    let ct = if row == 0 {
+        Label::ZERO
+    } else {
+        table.0[row - 1]
+    };
+    hash.hash2(a, b, tweak) ^ ct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm2gc_crypto::Prg;
+
+    #[test]
+    fn four_row_all_ops() {
+        let mut prg = Prg::from_seed([51; 16]);
+        let delta = Delta::random(&mut prg);
+        let h = GarbleHash::fixed();
+        for tt in 0u8..16 {
+            let op = Op::from_table(tt);
+            if op.is_linear() {
+                continue;
+            }
+            let a0 = Label::random(&mut prg);
+            let b0 = Label::random(&mut prg);
+            let c0 = Label::random(&mut prg);
+            let table = garble4(&h, delta, op, a0, b0, c0, 7);
+            let d = delta.as_label();
+            for va in [false, true] {
+                for vb in [false, true] {
+                    let la = if va { a0 ^ d } else { a0 };
+                    let lb = if vb { b0 ^ d } else { b0 };
+                    let want = if op.eval(va, vb) { c0 ^ d } else { c0 };
+                    assert_eq!(eval4(&h, la, lb, &table, 7), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grr3_all_ops() {
+        let mut prg = Prg::from_seed([52; 16]);
+        let delta = Delta::random(&mut prg);
+        let h = GarbleHash::fixed();
+        for tt in 0u8..16 {
+            let op = Op::from_table(tt);
+            if op.is_linear() {
+                continue;
+            }
+            let a0 = Label::random(&mut prg);
+            let b0 = Label::random(&mut prg);
+            let (c0, table) = garble3(&h, delta, op, a0, b0, 9);
+            let d = delta.as_label();
+            for va in [false, true] {
+                for vb in [false, true] {
+                    let la = if va { a0 ^ d } else { a0 };
+                    let lb = if vb { b0 ^ d } else { b0 };
+                    let want = if op.eval(va, vb) { c0 ^ d } else { c0 };
+                    assert_eq!(eval3(&h, la, lb, &table, 9), want);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Differential tests: the classic GC engine must agree with the
+//! cleartext simulator on every circuit, and its table count must equal
+//! `cycles × non-XOR` (no gate is ever skipped in the baseline).
+
+use arm2gc_circuit::bench_circuits::{self, BenchCircuit};
+use arm2gc_circuit::random::{random_circuit, random_inputs, RandomCircuitParams, TestRng};
+use arm2gc_circuit::sim::{PartyData, Simulator};
+use arm2gc_circuit::{Circuit, OutputMode};
+use arm2gc_comm::duplex;
+use arm2gc_crypto::Prg;
+use arm2gc_garble::{run_evaluator, run_garbler, GarbleOutcome};
+use arm2gc_ot::InsecureOt;
+
+fn run_protocol(
+    circuit: &Circuit,
+    alice: &PartyData,
+    bob: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+) -> (GarbleOutcome, GarbleOutcome) {
+    let (mut ca, mut cb) = duplex();
+    let c2 = circuit.clone();
+    let a2 = alice.clone();
+    let p2 = public.clone();
+    let garbler = std::thread::spawn(move || {
+        let mut prg = Prg::from_seed([77; 16]);
+        run_garbler(
+            &c2,
+            &a2,
+            &p2,
+            cycles,
+            &mut ca,
+            &mut InsecureOt,
+            &mut prg,
+        )
+        .expect("garbler")
+    });
+    let bob_out = run_evaluator(circuit, bob, cycles, &mut cb, &mut InsecureOt).expect("evaluator");
+    let alice_out = garbler.join().expect("garbler thread");
+    (alice_out, bob_out)
+}
+
+fn check_bench(bc: &BenchCircuit) {
+    let sim = Simulator::new(&bc.circuit).run(&bc.alice, &bc.bob, &bc.public, bc.cycles);
+    let (alice_out, bob_out) = run_protocol(&bc.circuit, &bc.alice, &bc.bob, &bc.public, bc.cycles);
+    assert_eq!(alice_out.outputs, sim.outputs, "{}", bc.circuit.name());
+    assert_eq!(bob_out.outputs, sim.outputs, "{}", bc.circuit.name());
+    // Baseline garbles every nonlinear gate every cycle.
+    assert_eq!(
+        alice_out.stats.garbled_tables,
+        bc.circuit.non_xor_count() * bc.cycles as u64,
+        "{}",
+        bc.circuit.name()
+    );
+    assert_eq!(alice_out.stats.table_bytes, alice_out.stats.garbled_tables * 32);
+}
+
+#[test]
+fn sum_32_matches_paper_baseline() {
+    let bc = bench_circuits::sum(32, 0x8765_4321, 0x0fed_cba9);
+    check_bench(&bc);
+    // Paper Table 1: Sum 32 without SkipGate = 32 garbled non-XORs.
+    assert_eq!(bc.circuit.non_xor_count() * bc.cycles as u64, 32);
+}
+
+#[test]
+fn compare_32_matches_paper_baseline() {
+    let bc = bench_circuits::compare(32, 1000, 2000);
+    check_bench(&bc);
+    assert_eq!(bc.circuit.non_xor_count() * bc.cycles as u64, 32);
+}
+
+#[test]
+fn hamming_160_matches_paper_baseline() {
+    let a: Vec<u32> = (0..5).map(|i| 0x9e37_79b9u32.wrapping_mul(i + 1)).collect();
+    let b: Vec<u32> = (0..5).map(|i| 0x7f4a_7c15u32.wrapping_mul(i + 3)).collect();
+    let bc = bench_circuits::hamming(160, &a, &b);
+    check_bench(&bc);
+    // Paper Table 1: Hamming 160 without SkipGate = 1,120.
+    assert_eq!(bc.circuit.non_xor_count() * bc.cycles as u64, 1120);
+}
+
+#[test]
+fn mult_32_matches_paper_baseline() {
+    let bc = bench_circuits::mult(32, 0xdead_beef, 0x1234_5678);
+    check_bench(&bc);
+    assert_eq!(bc.circuit.non_xor_count(), 2016);
+}
+
+#[test]
+fn aes_128_protocol_correct() {
+    let key: Vec<u8> = (100..116).collect();
+    let pt: Vec<u8> = (7..23).collect();
+    let bc = bench_circuits::aes128(key.try_into().unwrap(), pt.try_into().unwrap());
+    check_bench(&bc);
+}
+
+#[test]
+fn matmul_3x3_protocol_correct() {
+    let a: Vec<u32> = (0..9).map(|i| i * 1000 + 1).collect();
+    let b: Vec<u32> = (0..9).map(|i| 77 * i + 13).collect();
+    check_bench(&bench_circuits::matrix_mult(3, &a, &b));
+}
+
+#[test]
+fn random_circuits_match_simulator() {
+    let mut rng = TestRng::new(2026);
+    for i in 0..25 {
+        let mode = if i % 2 == 0 {
+            OutputMode::PerCycle
+        } else {
+            OutputMode::FinalOnly
+        };
+        let params = RandomCircuitParams {
+            inputs: (2 + i % 3, 2, 1 + i % 2),
+            dffs: 3 + i % 4,
+            gates: 30 + 5 * (i % 5),
+            outputs: 4,
+            output_mode: mode,
+        };
+        let c = random_circuit(&mut rng, params);
+        let cycles = 1 + i % 5;
+        let (a, b, p) = random_inputs(&mut rng, &c, cycles);
+        let sim = Simulator::new(&c).run(&a, &b, &p, cycles);
+        let (alice_out, bob_out) = run_protocol(&c, &a, &b, &p, cycles);
+        assert_eq!(alice_out.outputs, sim.outputs, "iteration {i}");
+        assert_eq!(bob_out.outputs, sim.outputs, "iteration {i}");
+    }
+}
+
+#[test]
+fn works_over_iknp_extension() {
+    use arm2gc_ot::{IknpReceiver, IknpSender};
+    let bc = bench_circuits::compare(32, 123, 456);
+    let sim = Simulator::new(&bc.circuit).run(&bc.alice, &bc.bob, &bc.public, bc.cycles);
+
+    let (mut ca, mut cb) = duplex();
+    let circuit = bc.circuit.clone();
+    let alice = bc.alice.clone();
+    let public = bc.public.clone();
+    let cycles = bc.cycles;
+    let garbler = std::thread::spawn(move || {
+        let mut prg = Prg::from_seed([78; 16]);
+        let mut setup_prg = Prg::from_seed([79; 16]);
+        let mut base = InsecureOt;
+        let mut ot = IknpSender::setup(&mut base, &mut ca, &mut setup_prg).expect("iknp setup");
+        run_garbler(&circuit, &alice, &public, cycles, &mut ca, &mut ot, &mut prg).expect("garbler")
+    });
+    let mut setup_prg = Prg::from_seed([80; 16]);
+    let mut base = InsecureOt;
+    let mut ot = IknpReceiver::setup(&mut base, &mut cb, &mut setup_prg).expect("iknp setup");
+    let bob_out = run_evaluator(&bc.circuit, &bc.bob, bc.cycles, &mut cb, &mut ot).expect("eval");
+    let alice_out = garbler.join().unwrap();
+    assert_eq!(alice_out.outputs, sim.outputs);
+    assert_eq!(bob_out.outputs, sim.outputs);
+}

@@ -1,0 +1,296 @@
+//! Minimal arbitrary-precision unsigned integers.
+//!
+//! Only what the Naor–Pinkas group arithmetic needs: comparison,
+//! addition, subtraction, schoolbook multiplication, shifts and bit
+//! access. Little-endian `u64` limbs, always normalised (no trailing
+//! zero limbs).
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An unsigned big integer.
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// From a single limb.
+    pub fn from_u64(v: u64) -> Self {
+        let mut b = Self { limbs: vec![v] };
+        b.normalise();
+        b
+    }
+
+    /// From little-endian limbs.
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut b = Self { limbs };
+        b.normalise();
+        b
+    }
+
+    /// From big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// To big-endian bytes (no leading zeros, empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = self
+            .limbs
+            .iter()
+            .rev()
+            .flat_map(|l| l.to_be_bytes())
+            .collect();
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => 64 * self.limbs.len() - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Bit `i` (little-endian).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 64)
+            .map(|l| (l >> (i % 64)) & 1 == 1)
+            .unwrap_or(false)
+    }
+
+    fn normalise(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u128;
+            let s = a + b + carry as u128;
+            out.push(s as u64);
+            carry = (s >> 64) as u64;
+        }
+        out.push(carry);
+        Self::from_limbs(out)
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self.cmp_to(other) != Ordering::Less, "underflow in sub");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i128;
+            let mut d = a - b - borrow;
+            borrow = 0;
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            }
+            out.push(d as u64);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Schoolbook `self * other`.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// `self >> k` for any `k`.
+    pub fn shr(&self, k: usize) -> Self {
+        let limb_shift = k / 64;
+        let bit_shift = k % 64;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let mut out: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift > 0 {
+            for i in 0..out.len() {
+                let hi = if i + 1 < out.len() { out[i + 1] } else { 0 };
+                out[i] = (out[i] >> bit_shift) | (hi << (64 - bit_shift));
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// The low `k` bits of `self`.
+    pub fn low_bits(&self, k: usize) -> Self {
+        let limbs_needed = k.div_ceil(64);
+        let mut out: Vec<u64> = self.limbs.iter().take(limbs_needed).copied().collect();
+        if k % 64 != 0 {
+            if let Some(top) = out.last_mut() {
+                *top &= (1u64 << (k % 64)) - 1;
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Three-way comparison.
+    pub fn cmp_to(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_to(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_to(other)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0x0");
+        }
+        write!(f, "0x")?;
+        for (i, l) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{l:x}")?;
+            } else {
+                write!(f, "{l:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn from_u128(v: u128) -> BigUint {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+
+    fn to_u128(b: &BigUint) -> u128 {
+        b.limbs
+            .iter()
+            .take(2)
+            .enumerate()
+            .fold(0u128, |acc, (i, &l)| acc | ((l as u128) << (64 * i)))
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let b = BigUint::from_be_bytes(&[0x12, 0x34, 0x56, 0x78, 0x9a]);
+        assert_eq!(b.to_be_bytes(), vec![0x12, 0x34, 0x56, 0x78, 0x9a]);
+        assert_eq!(b.bits(), 37);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u128..1u128 << 126, b in 0u128..1u128 << 126) {
+            prop_assert_eq!(to_u128(&from_u128(a).add(&from_u128(b))), a + b);
+        }
+
+        #[test]
+        fn sub_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            prop_assert_eq!(to_u128(&from_u128(hi).sub(&from_u128(lo))), hi - lo);
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            prop_assert_eq!(
+                to_u128(&BigUint::from_u64(a).mul(&BigUint::from_u64(b))),
+                a as u128 * b as u128
+            );
+        }
+
+        #[test]
+        fn shr_matches_u128(a in 0u128..u128::MAX, k in 0usize..127) {
+            prop_assert_eq!(to_u128(&from_u128(a).shr(k)), a >> k);
+        }
+
+        #[test]
+        fn low_bits_matches_u128(a in 0u128..u128::MAX, k in 1usize..127) {
+            prop_assert_eq!(to_u128(&from_u128(a).low_bits(k)), a & ((1u128 << k) - 1));
+        }
+
+        #[test]
+        fn cmp_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+            prop_assert_eq!(from_u128(a).cmp_to(&from_u128(b)), a.cmp(&b));
+        }
+    }
+}

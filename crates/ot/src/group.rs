@@ -1,0 +1,191 @@
+//! The DDH-style group used by the Naor–Pinkas base OT.
+//!
+//! We work in the multiplicative group of `GF(p)` with `p = 2^e − 1` a
+//! Mersenne prime. Mersenne moduli make reduction a cheap bit-fold
+//! (`x ≡ (x >> e) + (x & (2^e − 1))`), which lets the whole base OT run
+//! on our ~200-line [`BigUint`] without Barrett/Montgomery machinery.
+//!
+//! **Substitution note (documented in DESIGN.md):** the paper's
+//! deployments use standardised DH groups or elliptic curves via crypto
+//! libraries we are not allowed to depend on. A 1279-bit Mersenne prime
+//! group with 256-bit exponents preserves the protocol structure and a
+//! comparable (honest-but-curious) hardness story.
+
+use crate::BigUint;
+use arm2gc_crypto::Prg;
+
+/// Mersenne exponents that are known primes.
+const KNOWN_MERSENNE_EXPONENTS: &[u32] = &[13, 17, 19, 31, 61, 89, 107, 127, 521, 607, 1279];
+
+/// The multiplicative group of `GF(2^e − 1)`.
+#[derive(Clone, Debug)]
+pub struct MersenneGroup {
+    e: u32,
+    p: BigUint,
+    /// Exponents are sampled with this many random bits.
+    exp_bits: usize,
+}
+
+impl MersenneGroup {
+    /// The production group: `p = 2^1279 − 1`, 256-bit exponents.
+    pub fn standard() -> Self {
+        Self::new(1279, 256)
+    }
+
+    /// A small, fast group for tests: `p = 2^127 − 1`, 96-bit exponents.
+    /// Not for real use.
+    pub fn test_group() -> Self {
+        Self::new(127, 96)
+    }
+
+    /// Builds the group for Mersenne exponent `e`.
+    ///
+    /// # Panics
+    /// Panics if `2^e − 1` is not a known Mersenne prime.
+    pub fn new(e: u32, exp_bits: usize) -> Self {
+        assert!(
+            KNOWN_MERSENNE_EXPONENTS.contains(&e),
+            "2^{e} - 1 is not a known Mersenne prime"
+        );
+        let limbs = (e as usize).div_ceil(64);
+        let mut v = vec![u64::MAX; limbs];
+        if e as usize % 64 != 0 {
+            v[limbs - 1] = (1u64 << (e % 64)) - 1;
+        }
+        Self {
+            e,
+            p: BigUint::from_limbs(v),
+            exp_bits,
+        }
+    }
+
+    /// The modulus `p`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// A fixed generator-ish base element (7 generates a large subgroup;
+    /// correctness of the OT needs no primitive root).
+    pub fn base(&self) -> BigUint {
+        BigUint::from_u64(7)
+    }
+
+    /// Reduces `x` modulo `2^e − 1` by folding high bits.
+    pub fn reduce(&self, mut x: BigUint) -> BigUint {
+        let e = self.e as usize;
+        while x.bits() > e {
+            x = x.shr(e).add(&x.low_bits(e));
+        }
+        if x.cmp_to(&self.p) != core::cmp::Ordering::Less {
+            x = x.sub(&self.p);
+        }
+        x
+    }
+
+    /// Modular multiplication.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.reduce(a.mul(b))
+    }
+
+    /// Modular exponentiation (square-and-multiply, MSB first).
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let mut acc = BigUint::one();
+        for i in (0..exp.bits()).rev() {
+            acc = self.mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mul(&acc, base);
+            }
+        }
+        acc
+    }
+
+    /// Modular inverse via Fermat: `x^(p−2)`.
+    pub fn inv(&self, x: &BigUint) -> BigUint {
+        let pm2 = self.p.sub(&BigUint::from_u64(2));
+        self.pow(x, &pm2)
+    }
+
+    /// Samples a random exponent (`exp_bits` bits) from `prg`.
+    pub fn random_exponent(&self, prg: &mut Prg) -> BigUint {
+        let mut bytes = vec![0u8; self.exp_bits.div_ceil(8)];
+        prg.fill_bytes(&mut bytes);
+        BigUint::from_be_bytes(&bytes).low_bits(self.exp_bits)
+    }
+
+    /// Serialises a group element as fixed-width big-endian bytes.
+    pub fn element_bytes(&self, x: &BigUint) -> Vec<u8> {
+        let width = (self.e as usize).div_ceil(8);
+        let raw = x.to_be_bytes();
+        let mut out = vec![0u8; width - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a group element, reducing into range.
+    pub fn element_from_bytes(&self, bytes: &[u8]) -> BigUint {
+        self.reduce(BigUint::from_be_bytes(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_folds_correctly() {
+        let g = MersenneGroup::new(13, 12); // p = 8191
+        for x in [0u64, 1, 8190, 8191, 8192, 100_000, u32::MAX as u64] {
+            let got = g.reduce(BigUint::from_u64(x));
+            let want = x % 8191;
+            assert_eq!(got, BigUint::from_u64(want), "x={x}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_small_field() {
+        let g = MersenneGroup::new(13, 12);
+        let p = 8191u64;
+        let modpow = |mut b: u64, mut e: u64| {
+            let mut acc = 1u64;
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = acc * b % p;
+                }
+                b = b * b % p;
+                e >>= 1;
+            }
+            acc
+        };
+        for (b, e) in [(7u64, 13u64), (2, 100), (8190, 3), (1234, 4095)] {
+            assert_eq!(
+                g.pow(&BigUint::from_u64(b), &BigUint::from_u64(e)),
+                BigUint::from_u64(modpow(b, e)),
+                "b={b} e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let g = MersenneGroup::test_group();
+        let mut prg = Prg::from_seed([11; 16]);
+        for _ in 0..4 {
+            let x = g.reduce(g.random_exponent(&mut prg));
+            if x.is_zero() {
+                continue;
+            }
+            let xi = g.inv(&x);
+            assert_eq!(g.mul(&x, &xi), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn element_bytes_roundtrip() {
+        let g = MersenneGroup::test_group();
+        let mut prg = Prg::from_seed([3; 16]);
+        let x = g.reduce(g.random_exponent(&mut prg));
+        let bytes = g.element_bytes(&x);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(g.element_from_bytes(&bytes), x);
+    }
+}

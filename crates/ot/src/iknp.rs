@@ -1,0 +1,278 @@
+//! IKNP oblivious-transfer extension (Ishai–Kilian–Nissim–Petrank).
+//!
+//! Turns `K = 128` base OTs (role-reversed) into arbitrarily many fast
+//! OTs using only symmetric crypto:
+//!
+//! * setup — the extension **sender** acts as base-OT *receiver* with a
+//!   random choice vector `s`, obtaining one seed per column; the
+//!   extension **receiver** acts as base-OT *sender* with seed pairs.
+//! * extend — for `m` OTs the receiver expands both seeds per column
+//!   (`t_j = PRG(k⁰_j)`) and sends `u_j = t_j ⊕ PRG(k¹_j) ⊕ r`; the
+//!   sender reconstructs `q_j = PRG(seed_j) ⊕ s_j·u_j`, so row-wise
+//!   `q_i = t_i ⊕ r_i·s`. Messages are padded with `H(i, q_i)` and
+//!   `H(i, q_i ⊕ s)`.
+
+use arm2gc_comm::Channel;
+use arm2gc_crypto::{GarbleHash, Label, Prg};
+
+use crate::{OtError, OtReceiver, OtSender};
+
+const K: usize = 128;
+
+/// Sender side of the IKNP extension.
+#[derive(Debug)]
+pub struct IknpSender {
+    s: [bool; K],
+    seeds: Vec<Prg>,
+    hash: GarbleHash,
+    counter: u64,
+}
+
+impl IknpSender {
+    /// Runs the setup phase: `K` base OTs with `base` in the *receiver*
+    /// role.
+    ///
+    /// # Errors
+    /// Propagates base-OT failures.
+    pub fn setup(
+        base: &mut dyn OtReceiver,
+        ch: &mut dyn Channel,
+        prg: &mut Prg,
+    ) -> Result<Self, OtError> {
+        let s: [bool; K] = core::array::from_fn(|_| prg.next_bool());
+        let seeds_raw = base.receive(ch, &s)?;
+        let seeds = seeds_raw
+            .into_iter()
+            .map(|l| Prg::from_seed(l.to_bytes()))
+            .collect();
+        Ok(Self {
+            s,
+            seeds,
+            hash: GarbleHash::fixed(),
+            counter: 0,
+        })
+    }
+
+    fn s_label(&self) -> Label {
+        let mut v = 0u128;
+        for (j, &b) in self.s.iter().enumerate() {
+            v |= (b as u128) << j;
+        }
+        Label::from_u128(v)
+    }
+}
+
+impl OtSender for IknpSender {
+    fn send(&mut self, ch: &mut dyn Channel, pairs: &[(Label, Label)]) -> Result<(), OtError> {
+        let m = pairs.len();
+        if m == 0 {
+            return Ok(());
+        }
+        let bytes_per_col = m.div_ceil(8);
+        let u = ch.recv()?;
+        if u.len() != K * bytes_per_col {
+            return Err(OtError::Protocol("u matrix has wrong size"));
+        }
+        // q columns: PRG(seed_j) ⊕ s_j · u_j.
+        let mut q_cols = vec![vec![0u8; bytes_per_col]; K];
+        for (j, col) in q_cols.iter_mut().enumerate() {
+            self.seeds[j].fill_bytes(col);
+            if self.s[j] {
+                for (b, &ub) in col.iter_mut().zip(&u[j * bytes_per_col..]) {
+                    *b ^= ub;
+                }
+            }
+        }
+        // Transpose to rows and pad the messages.
+        let s_lab = self.s_label();
+        let mut payload = Vec::with_capacity(m * 32);
+        for (i, pair) in pairs.iter().enumerate() {
+            let mut row = 0u128;
+            for (j, col) in q_cols.iter().enumerate() {
+                let bit = (col[i / 8] >> (i % 8)) & 1;
+                row |= (bit as u128) << j;
+            }
+            let q = Label::from_u128(row);
+            let t = self.counter + i as u64;
+            let y0 = self.hash.hash(q, t) ^ pair.0;
+            let y1 = self.hash.hash(q ^ s_lab, t) ^ pair.1;
+            payload.extend_from_slice(&y0.to_bytes());
+            payload.extend_from_slice(&y1.to_bytes());
+        }
+        self.counter += m as u64;
+        ch.send(&payload)?;
+        Ok(())
+    }
+}
+
+/// Receiver side of the IKNP extension.
+#[derive(Debug)]
+pub struct IknpReceiver {
+    seeds: Vec<(Prg, Prg)>,
+    hash: GarbleHash,
+    counter: u64,
+}
+
+impl IknpReceiver {
+    /// Runs the setup phase: `K` base OTs with `base` in the *sender*
+    /// role, transferring random seed pairs.
+    ///
+    /// # Errors
+    /// Propagates base-OT failures.
+    pub fn setup(
+        base: &mut dyn OtSender,
+        ch: &mut dyn Channel,
+        prg: &mut Prg,
+    ) -> Result<Self, OtError> {
+        let pairs: Vec<(Label, Label)> = (0..K)
+            .map(|_| (Label::random(prg), Label::random(prg)))
+            .collect();
+        base.send(ch, &pairs)?;
+        let seeds = pairs
+            .into_iter()
+            .map(|(a, b)| (Prg::from_seed(a.to_bytes()), Prg::from_seed(b.to_bytes())))
+            .collect();
+        Ok(Self {
+            seeds,
+            hash: GarbleHash::fixed(),
+            counter: 0,
+        })
+    }
+}
+
+impl OtReceiver for IknpReceiver {
+    fn receive(&mut self, ch: &mut dyn Channel, choices: &[bool]) -> Result<Vec<Label>, OtError> {
+        let m = choices.len();
+        if m == 0 {
+            return Ok(Vec::new());
+        }
+        let bytes_per_col = m.div_ceil(8);
+        let mut r_bits = vec![0u8; bytes_per_col];
+        for (i, &c) in choices.iter().enumerate() {
+            if c {
+                r_bits[i / 8] |= 1 << (i % 8);
+            }
+        }
+        // t columns from seed 0; u = t ⊕ PRG(seed 1) ⊕ r.
+        let mut t_cols = vec![vec![0u8; bytes_per_col]; K];
+        let mut u = Vec::with_capacity(K * bytes_per_col);
+        for (j, col) in t_cols.iter_mut().enumerate() {
+            self.seeds[j].0.fill_bytes(col);
+            let mut other = vec![0u8; bytes_per_col];
+            self.seeds[j].1.fill_bytes(&mut other);
+            for ((&t, o), r) in col.iter().zip(&other).zip(&r_bits) {
+                u.push(t ^ o ^ r);
+            }
+        }
+        ch.send(&u)?;
+
+        let payload = ch.recv()?;
+        if payload.len() != m * 32 {
+            return Err(OtError::Protocol("padded messages have wrong size"));
+        }
+        let mut out = Vec::with_capacity(m);
+        for (i, &c) in choices.iter().enumerate() {
+            let mut row = 0u128;
+            for (j, col) in t_cols.iter().enumerate() {
+                let bit = (col[i / 8] >> (i % 8)) & 1;
+                row |= (bit as u128) << j;
+            }
+            let t_row = Label::from_u128(row);
+            let tweak = self.counter + i as u64;
+            let off = 32 * i + if c { 16 } else { 0 };
+            let y = Label::from_bytes(payload[off..off + 16].try_into().expect("16 bytes"));
+            out.push(self.hash.hash(t_row, tweak) ^ y);
+        }
+        self.counter += m as u64;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InsecureOt, MersenneGroup, NaorPinkasReceiver, NaorPinkasSender};
+    use arm2gc_comm::duplex;
+
+    fn run_extension(mut base_s: impl OtSender + Send + 'static, base_r: impl OtReceiver) {
+        let (mut ca, mut cb) = duplex();
+        let mut prg_a = Prg::from_seed([21; 16]);
+        let mut prg_b = Prg::from_seed([22; 16]);
+
+        let m = 300usize;
+        let mut gen = Prg::from_seed([23; 16]);
+        let pairs: Vec<(Label, Label)> = (0..m)
+            .map(|_| (Label::random(&mut gen), Label::random(&mut gen)))
+            .collect();
+        let choices: Vec<bool> = (0..m).map(|i| (i * 7) % 3 == 1).collect();
+
+        let pairs_clone = pairs.clone();
+        let sender = std::thread::spawn(move || {
+            // Extension receiver drives the base OTs as *sender*.
+            let mut ext_r = IknpReceiver::setup(&mut base_s, &mut ca, &mut prg_a).unwrap();
+            let choices_inner: Vec<bool> = (0..m).map(|i| (i * 7) % 3 == 1).collect();
+            ext_r.receive(&mut ca, &choices_inner).unwrap()
+        });
+
+        let mut base_r = base_r;
+        let mut ext_s = IknpSender::setup(&mut base_r, &mut cb, &mut prg_b).unwrap();
+        ext_s.send(&mut cb, &pairs_clone).unwrap();
+        let got = sender.join().unwrap();
+
+        for ((pair, &c), l) in pairs.iter().zip(&choices).zip(&got) {
+            assert_eq!(*l, if c { pair.1 } else { pair.0 });
+        }
+    }
+
+    #[test]
+    fn extension_over_insecure_base() {
+        run_extension(InsecureOt, InsecureOt);
+    }
+
+    #[test]
+    fn extension_over_naor_pinkas_base() {
+        let group = MersenneGroup::test_group();
+        run_extension(
+            NaorPinkasSender::new(group.clone(), Prg::from_seed([31; 16])),
+            NaorPinkasReceiver::new(group, Prg::from_seed([32; 16])),
+        );
+    }
+
+    #[test]
+    fn multiple_batches_reuse_setup() {
+        let (mut ca, mut cb) = duplex();
+        let mut prg_a = Prg::from_seed([41; 16]);
+        let mut prg_b = Prg::from_seed([42; 16]);
+        let mut gen = Prg::from_seed([43; 16]);
+        let batches: Vec<Vec<(Label, Label)>> = (0..3)
+            .map(|_| {
+                (0..50)
+                    .map(|_| (Label::random(&mut gen), Label::random(&mut gen)))
+                    .collect()
+            })
+            .collect();
+        let batches_clone = batches.clone();
+
+        let receiver = std::thread::spawn(move || {
+            let mut base = InsecureOt;
+            let mut ext_r = IknpReceiver::setup(&mut base, &mut ca, &mut prg_a).unwrap();
+            let mut all = Vec::new();
+            for b in 0..3 {
+                let choices: Vec<bool> = (0..50).map(|i| (i + b) % 2 == 0).collect();
+                all.push((choices.clone(), ext_r.receive(&mut ca, &choices).unwrap()));
+            }
+            all
+        });
+
+        let mut base = InsecureOt;
+        let mut ext_s = IknpSender::setup(&mut base, &mut cb, &mut prg_b).unwrap();
+        for batch in &batches_clone {
+            ext_s.send(&mut cb, batch).unwrap();
+        }
+        for (batch, (choices, got)) in batches.iter().zip(receiver.join().unwrap()) {
+            for ((pair, c), l) in batch.iter().zip(&choices).zip(&got) {
+                assert_eq!(*l, if *c { pair.1 } else { pair.0 });
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! A cleartext **non-private** OT used for tests and gate-count
+//! benchmarking.
+
+use arm2gc_comm::Channel;
+use arm2gc_crypto::Label;
+
+use crate::{OtError, OtReceiver, OtSender};
+
+/// Reference OT that sends the choice bits in the clear.
+///
+/// The receiver learns exactly the chosen labels and the protocol's
+/// message pattern matches a real OT, so engines built on top behave
+/// identically — but the *sender learns the choices*. Use only in tests
+/// and benchmarks, never for actual privacy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InsecureOt;
+
+impl OtSender for InsecureOt {
+    fn send(&mut self, ch: &mut dyn Channel, pairs: &[(Label, Label)]) -> Result<(), OtError> {
+        let raw = ch.recv()?;
+        if raw.len() != pairs.len() {
+            return Err(OtError::Protocol("choice vector length mismatch"));
+        }
+        let mut out = Vec::with_capacity(pairs.len() * 16);
+        for (pair, &c) in pairs.iter().zip(&raw) {
+            let l = if c == 1 { pair.1 } else { pair.0 };
+            out.extend_from_slice(&l.to_bytes());
+        }
+        ch.send(&out)?;
+        Ok(())
+    }
+}
+
+impl OtReceiver for InsecureOt {
+    fn receive(&mut self, ch: &mut dyn Channel, choices: &[bool]) -> Result<Vec<Label>, OtError> {
+        let raw: Vec<u8> = choices.iter().map(|&c| c as u8).collect();
+        ch.send(&raw)?;
+        let data = ch.recv()?;
+        if data.len() != choices.len() * 16 {
+            return Err(OtError::Protocol("label payload length mismatch"));
+        }
+        Ok(data
+            .chunks_exact(16)
+            .map(|c| Label::from_bytes(c.try_into().expect("16-byte chunk")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm2gc_comm::duplex;
+    use arm2gc_crypto::Prg;
+
+    #[test]
+    fn transfers_chosen_labels() {
+        let (mut ca, mut cb) = duplex();
+        let mut prg = Prg::from_seed([1; 16]);
+        let pairs: Vec<(Label, Label)> = (0..64)
+            .map(|_| (Label::random(&mut prg), Label::random(&mut prg)))
+            .collect();
+        let choices: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+
+        let pairs_clone = pairs.clone();
+        let sender = std::thread::spawn(move || {
+            InsecureOt.send(&mut ca, &pairs_clone).unwrap();
+        });
+        let got = InsecureOt.receive(&mut cb, &choices).unwrap();
+        sender.join().unwrap();
+
+        for ((pair, &c), l) in pairs.iter().zip(&choices).zip(&got) {
+            assert_eq!(*l, if c { pair.1 } else { pair.0 });
+        }
+    }
+}

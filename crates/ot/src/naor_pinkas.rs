@@ -1,0 +1,194 @@
+//! Naor–Pinkas 1-out-of-2 oblivious transfer (base OT).
+//!
+//! Honest-but-curious variant over [`crate::MersenneGroup`]:
+//!
+//! 1. Sender picks random `c`, publishes `C = g^c`.
+//! 2. For each OT the receiver with choice `b` picks random `x`, sets
+//!    `PK_b = g^x`, `PK_{1−b} = C · PK_b^{−1}`, and sends `PK_0`.
+//! 3. Sender derives `PK_1 = C · PK_0^{−1}`, picks random `r_j` and sends
+//!    `(g^{r_j}, H(PK_j^{r_j}) ⊕ m_j)` for `j ∈ {0,1}`.
+//! 4. Receiver decrypts its branch with `H((g^{r_b})^x)`.
+//!
+//! The receiver never reveals `b`: `PK_0` is uniform either way. The
+//! unchosen pad `PK_{1−b}^{r}` equals `g^{r(c−x)}`, unknowable without `c`.
+
+use arm2gc_comm::Channel;
+use arm2gc_crypto::{GarbleHash, Label, Prg};
+
+use crate::{BigUint, MersenneGroup, OtError, OtReceiver, OtSender};
+
+/// Sender side of the Naor–Pinkas base OT.
+#[derive(Debug)]
+pub struct NaorPinkasSender {
+    group: MersenneGroup,
+    prg: Prg,
+    hash: GarbleHash,
+}
+
+impl NaorPinkasSender {
+    /// Creates a sender over `group` with randomness from `prg`.
+    pub fn new(group: MersenneGroup, prg: Prg) -> Self {
+        Self {
+            group,
+            prg,
+            hash: GarbleHash::fixed(),
+        }
+    }
+}
+
+/// Receiver side of the Naor–Pinkas base OT.
+#[derive(Debug)]
+pub struct NaorPinkasReceiver {
+    group: MersenneGroup,
+    prg: Prg,
+    hash: GarbleHash,
+}
+
+impl NaorPinkasReceiver {
+    /// Creates a receiver over `group` with randomness from `prg`.
+    pub fn new(group: MersenneGroup, prg: Prg) -> Self {
+        Self {
+            group,
+            prg,
+            hash: GarbleHash::fixed(),
+        }
+    }
+}
+
+fn pad(hash: &GarbleHash, group: &MersenneGroup, elem: &BigUint, tweak: u64) -> Label {
+    hash.hash_bytes(&group.element_bytes(elem), tweak)
+}
+
+impl OtSender for NaorPinkasSender {
+    fn send(&mut self, ch: &mut dyn Channel, pairs: &[(Label, Label)]) -> Result<(), OtError> {
+        let g = self.group.base();
+        let c_exp = self.group.random_exponent(&mut self.prg);
+        let big_c = self.group.pow(&g, &c_exp);
+        ch.send(&self.group.element_bytes(&big_c))?;
+
+        // Receive all PK_0s.
+        let pk0_raw = ch.recv()?;
+        let width = self.group.element_bytes(&big_c).len();
+        if pk0_raw.len() != width * pairs.len() {
+            return Err(OtError::Protocol("PK batch has wrong length"));
+        }
+
+        let mut payload = Vec::with_capacity(pairs.len() * (width + 32));
+        for (i, pair) in pairs.iter().enumerate() {
+            let pk0 = self.group.element_from_bytes(&pk0_raw[i * width..(i + 1) * width]);
+            let pk1 = self.group.mul(&big_c, &self.group.inv(&pk0));
+            let r = self.group.random_exponent(&mut self.prg);
+            let gr = self.group.pow(&g, &r);
+            let e0 = pad(&self.hash, &self.group, &self.group.pow(&pk0, &r), 2 * i as u64)
+                ^ pair.0;
+            let e1 = pad(
+                &self.hash,
+                &self.group,
+                &self.group.pow(&pk1, &r),
+                2 * i as u64 + 1,
+            ) ^ pair.1;
+            payload.extend_from_slice(&self.group.element_bytes(&gr));
+            payload.extend_from_slice(&e0.to_bytes());
+            payload.extend_from_slice(&e1.to_bytes());
+        }
+        ch.send(&payload)?;
+        Ok(())
+    }
+}
+
+impl OtReceiver for NaorPinkasReceiver {
+    fn receive(&mut self, ch: &mut dyn Channel, choices: &[bool]) -> Result<Vec<Label>, OtError> {
+        let g = self.group.base();
+        let big_c_raw = ch.recv()?;
+        let big_c = self.group.element_from_bytes(&big_c_raw);
+        let width = big_c_raw.len();
+
+        let mut exps = Vec::with_capacity(choices.len());
+        let mut pk0s = Vec::with_capacity(choices.len() * width);
+        for &b in choices {
+            let x = self.group.random_exponent(&mut self.prg);
+            let pk_b = self.group.pow(&g, &x);
+            let pk0 = if b {
+                self.group.mul(&big_c, &self.group.inv(&pk_b))
+            } else {
+                pk_b
+            };
+            pk0s.extend_from_slice(&self.group.element_bytes(&pk0));
+            exps.push(x);
+        }
+        ch.send(&pk0s)?;
+
+        let payload = ch.recv()?;
+        let rec_width = width + 32;
+        if payload.len() != rec_width * choices.len() {
+            return Err(OtError::Protocol("ciphertext batch has wrong length"));
+        }
+        let mut out = Vec::with_capacity(choices.len());
+        for (i, (&b, x)) in choices.iter().zip(&exps).enumerate() {
+            let rec = &payload[i * rec_width..(i + 1) * rec_width];
+            let gr = self.group.element_from_bytes(&rec[..width]);
+            let key = self.group.pow(&gr, x);
+            let tweak = 2 * i as u64 + b as u64;
+            let e = if b {
+                &rec[width + 16..width + 32]
+            } else {
+                &rec[width..width + 16]
+            };
+            let e = Label::from_bytes(e.try_into().expect("16 bytes"));
+            out.push(pad(&self.hash, &self.group, &key, tweak) ^ e);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm2gc_comm::duplex;
+
+    #[test]
+    fn transfers_chosen_labels_small_group() {
+        let group = MersenneGroup::test_group();
+        let (mut ca, mut cb) = duplex();
+        let mut prg = Prg::from_seed([2; 16]);
+        let pairs: Vec<(Label, Label)> = (0..16)
+            .map(|_| (Label::random(&mut prg), Label::random(&mut prg)))
+            .collect();
+        let choices: Vec<bool> = (0..16).map(|i| i % 2 == 1).collect();
+
+        let pairs_clone = pairs.clone();
+        let g2 = group.clone();
+        let sender = std::thread::spawn(move || {
+            let mut s = NaorPinkasSender::new(g2, Prg::from_seed([3; 16]));
+            s.send(&mut ca, &pairs_clone).unwrap();
+        });
+        let mut r = NaorPinkasReceiver::new(group, Prg::from_seed([4; 16]));
+        let got = r.receive(&mut cb, &choices).unwrap();
+        sender.join().unwrap();
+
+        for ((pair, &c), l) in pairs.iter().zip(&choices).zip(&got) {
+            assert_eq!(*l, if c { pair.1 } else { pair.0 });
+        }
+    }
+
+    #[test]
+    fn unchosen_label_stays_hidden() {
+        // The receiver's output must differ from the unchosen label
+        // (sanity check that pads are branch-specific).
+        let group = MersenneGroup::test_group();
+        let (mut ca, mut cb) = duplex();
+        let mut prg = Prg::from_seed([7; 16]);
+        let pair = (Label::random(&mut prg), Label::random(&mut prg));
+
+        let g2 = group.clone();
+        let sender = std::thread::spawn(move || {
+            let mut s = NaorPinkasSender::new(g2, Prg::from_seed([8; 16]));
+            s.send(&mut ca, &[pair]).unwrap();
+        });
+        let mut r = NaorPinkasReceiver::new(group, Prg::from_seed([9; 16]));
+        let got = r.receive(&mut cb, &[false]).unwrap();
+        sender.join().unwrap();
+        assert_eq!(got[0], pair.0);
+        assert_ne!(got[0], pair.1);
+    }
+}

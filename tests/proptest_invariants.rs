@@ -1,0 +1,122 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use arm2gc::circuit::random::{random_circuit, random_inputs, RandomCircuitParams, TestRng};
+use arm2gc::circuit::sim::Simulator;
+use arm2gc::circuit::words::{bits_to_words, words_to_bits};
+use arm2gc::circuit::{CircuitBuilder, Op, OutputMode, Role};
+use arm2gc::core::run_two_party;
+use arm2gc::crypto::{Aes128, Delta, GarbleHash, Label, Prg};
+use arm2gc::garble::{HalfGateEvaluator, HalfGateGarbler};
+
+proptest! {
+    /// AES is a permutation: distinct plaintexts encrypt distinctly.
+    #[test]
+    fn aes_injective(key: [u8; 16], a: u128, b: u128) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(key);
+        prop_assert_ne!(aes.encrypt_u128(a), aes.encrypt_u128(b));
+    }
+
+    /// The garbling hash never collides across tweaks on the same label
+    /// (within the tested domain) and is deterministic.
+    #[test]
+    fn garble_hash_tweak_separation(l: u128, t1 in 0u64..1000, t2 in 0u64..1000) {
+        let h = GarbleHash::fixed();
+        let label = Label::from_u128(l);
+        if t1 == t2 {
+            prop_assert_eq!(h.hash(label, t1), h.hash(label, t2));
+        } else {
+            prop_assert_ne!(h.hash(label, t1), h.hash(label, t2));
+        }
+    }
+
+    /// Half-gate garble/eval correctness over random labels, all
+    /// nonlinear ops, all input values.
+    #[test]
+    fn halfgate_correct(seed: [u8; 16], tt in 0u8..16, va: bool, vb: bool, tweak: u64) {
+        let op = Op::from_table(tt);
+        prop_assume!(!op.is_linear());
+        let mut prg = Prg::from_seed(seed);
+        let delta = Delta::random(&mut prg);
+        let g = HalfGateGarbler::new(delta);
+        let e = HalfGateEvaluator::new();
+        let a0 = Label::random(&mut prg);
+        let b0 = Label::random(&mut prg);
+        let (c0, table) = g.garble(op, a0, b0, tweak);
+        let d = delta.as_label();
+        let la = if va { a0 ^ d } else { a0 };
+        let lb = if vb { b0 ^ d } else { b0 };
+        let got = e.eval(la, lb, &table, tweak);
+        let want = if op.eval(va, vb) { c0 ^ d } else { c0 };
+        prop_assert_eq!(got, want);
+    }
+
+    /// Word/bit conversion roundtrips.
+    #[test]
+    fn words_bits_roundtrip(ws in proptest::collection::vec(any::<u32>(), 0..20)) {
+        prop_assert_eq!(bits_to_words(&words_to_bits(&ws)), ws);
+    }
+
+    /// SkipGate equals the cleartext simulator on random sequential
+    /// circuits with random public/private inputs — the paper's
+    /// correctness theorem (§3.5), tested adversarially.
+    #[test]
+    fn skipgate_matches_simulator(seed in 1u64..5000, cycles in 1usize..5) {
+        let mut rng = TestRng::new(seed);
+        let params = RandomCircuitParams {
+            inputs: (2, 2, 2),
+            dffs: 3,
+            gates: 30,
+            outputs: 4,
+            output_mode: if seed % 2 == 0 { OutputMode::PerCycle } else { OutputMode::FinalOnly },
+        };
+        let c = random_circuit(&mut rng, params);
+        let (a, b, p) = random_inputs(&mut rng, &c, cycles);
+        let sim = Simulator::new(&c).run(&a, &b, &p, cycles);
+        let (alice_out, bob_out) = run_two_party(&c, &a, &b, &p, cycles);
+        prop_assert_eq!(&alice_out.outputs, &sim.outputs);
+        prop_assert_eq!(&bob_out.outputs, &sim.outputs);
+        // Cost sanity: never exceeds the static bound.
+        let bound = c.non_xor_count() * cycles as u64;
+        prop_assert!(alice_out.stats.garbled_tables <= bound);
+    }
+
+    /// The circuit adder agrees with machine arithmetic for arbitrary
+    /// widths and operands (stdlib invariant).
+    #[test]
+    fn adder_matches_u64(a: u32, b: u32, width in 1usize..32) {
+        let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let mut bld = CircuitBuilder::new("prop_add");
+        let xa = bld.inputs(Role::Alice, width);
+        let xb = bld.inputs(Role::Bob, width);
+        let (sum, carry) = bld.add(&xa, &xb);
+        bld.outputs(&sum);
+        bld.output(carry);
+        let c = bld.build();
+        let bits_a: Vec<bool> = (0..width).map(|i| (a >> i) & 1 == 1).collect();
+        let bits_b: Vec<bool> = (0..width).map(|i| (b >> i) & 1 == 1).collect();
+        let out = Simulator::new(&c).run_comb(&bits_a, &bits_b, &[]);
+        let total = a as u64 + b as u64;
+        for (i, &bit) in out.iter().enumerate() {
+            prop_assert_eq!(bit, (total >> i) & 1 == 1, "bit {}", i);
+        }
+    }
+
+    /// Multiplier invariant: mul_lo equals wrapping multiplication.
+    #[test]
+    fn mul_lo_matches_wrapping(a: u16, b: u16) {
+        let mut bld = CircuitBuilder::new("prop_mul");
+        let xa = bld.inputs(Role::Alice, 16);
+        let xb = bld.inputs(Role::Bob, 16);
+        let p = bld.mul_lo(&xa, &xb);
+        bld.outputs(&p);
+        let c = bld.build();
+        let bits = |v: u16| (0..16).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>();
+        let out = Simulator::new(&c).run_comb(&bits(a), &bits(b), &[]);
+        let got: u16 = out.iter().enumerate().fold(0, |acc, (i, &bit)| acc | ((bit as u16) << i));
+        prop_assert_eq!(got, a.wrapping_mul(b));
+    }
+}
