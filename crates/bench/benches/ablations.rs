@@ -133,20 +133,16 @@ fn bench_regfile_subset(c: &mut Criterion) {
             stream: vec![vec![true; secret_bits]],
         };
         let none = PartyData::default();
-        let (out, _) = run_two_party_with(
-            &circuit,
-            &alice,
-            &bob,
-            &none,
-            1,
-            SkipGateOptions::default(),
-        );
+        let (out, _) =
+            run_two_party_with(&circuit, &alice, &bob, &none, 1, SkipGateOptions::default());
         println!(
             "oblivious regfile read, subset 2^{secret_bits}: {} tables",
             out.stats.garbled_tables
         );
         g.bench_function(format!("subset_2pow{secret_bits}"), |bch| {
-            bch.iter(|| run_two_party_with(&circuit, &alice, &bob, &none, 1, SkipGateOptions::default()))
+            bch.iter(|| {
+                run_two_party_with(&circuit, &alice, &bob, &none, 1, SkipGateOptions::default())
+            })
         });
     }
     g.finish();

@@ -23,9 +23,7 @@ fn bench_halfgate(c: &mut Criterion) {
     g.bench_function("garble_and", |b| {
         b.iter(|| garbler.garble(Op::AND, a0, b0, 7))
     });
-    g.bench_function("eval_and", |b| {
-        b.iter(|| evaluator.eval(a0, b0, &table, 7))
-    });
+    g.bench_function("eval_and", |b| b.iter(|| evaluator.eval(a0, b0, &table, 7)));
     g.finish();
 }
 

@@ -90,7 +90,12 @@ fn figure_3() {
     let live = b.and(s1, s3);
     b.outputs(&[g3, live]);
     let c = b.build();
-    let names = ["g1 = s1 AND s2", "g2 = g1 OR s3", "g3 = g2 AND 0", "live = s1 AND s3"];
+    let names = [
+        "g1 = s1 AND s2",
+        "g2 = g1 OR s3",
+        "g3 = g2 AND 0",
+        "live = s1 AND s3",
+    ];
     for (name, d) in names.iter().zip(decide_demo(&c)) {
         println!("  {name:18} -> {d:?}");
     }
@@ -138,7 +143,10 @@ fn figures_5_and_6() {
     assert_eq!(got, iss.output[0], "secret-branch run must stay correct");
     assert_eq!(run_a.output[0], 456);
 
-    println!("  cond-exec max():      {:>10} garbled tables", stats_a.garbled_tables);
+    println!(
+        "  cond-exec max():      {:>10} garbled tables",
+        stats_a.garbled_tables
+    );
     println!(
         "  secret-branch max():  {:>10} garbled tables (8-cycle bound)",
         alice_out.stats.garbled_tables

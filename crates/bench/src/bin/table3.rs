@@ -12,8 +12,10 @@ use arm2gc_bench::{fmt_count, paper, Table};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut measured: Vec<(String, u64)> = Vec::new();
-    let mut machines: Vec<(arm2gc_cpu::machine::CpuConfig, arm2gc_cpu::machine::GcMachine)> =
-        Vec::new();
+    let mut machines: Vec<(
+        arm2gc_cpu::machine::CpuConfig,
+        arm2gc_cpu::machine::GcMachine,
+    )> = Vec::new();
     for w in cpu_workloads(quick) {
         let idx = match machines.iter().position(|(c, _)| *c == w.config) {
             Some(i) => i,

@@ -24,8 +24,10 @@ fn main() {
             "paper w/",
         ],
     );
-    let mut machines: Vec<(arm2gc_cpu::machine::CpuConfig, arm2gc_cpu::machine::GcMachine)> =
-        Vec::new();
+    let mut machines: Vec<(
+        arm2gc_cpu::machine::CpuConfig,
+        arm2gc_cpu::machine::GcMachine,
+    )> = Vec::new();
     for w in cpu_workloads(quick) {
         let idx = match machines.iter().position(|(c, _)| *c == w.config) {
             Some(i) => i,

@@ -20,8 +20,10 @@ fn main() {
             "paper w/",
         ],
     );
-    let mut machines: Vec<(arm2gc_cpu::machine::CpuConfig, arm2gc_cpu::machine::GcMachine)> =
-        Vec::new();
+    let mut machines: Vec<(
+        arm2gc_cpu::machine::CpuConfig,
+        arm2gc_cpu::machine::GcMachine,
+    )> = Vec::new();
     for w in complex_workloads(quick) {
         let idx = match machines.iter().position(|(c, _)| *c == w.config) {
             Some(i) => i,

@@ -19,19 +19,71 @@ pub struct Table1Row {
 
 /// Table 1 of the paper.
 pub const TABLE1: &[Table1Row] = &[
-    Table1Row { name: "Sum 32", without: 32, with: 31 },
-    Table1Row { name: "Sum 1024", without: 1_024, with: 1_023 },
-    Table1Row { name: "Compare 32", without: 32, with: 32 },
-    Table1Row { name: "Compare 16384", without: 16_384, with: 16_384 },
-    Table1Row { name: "Hamming 32", without: 160, with: 145 },
-    Table1Row { name: "Hamming 160", without: 1_120, with: 1_092 },
-    Table1Row { name: "Hamming 512", without: 4_608, with: 4_563 },
-    Table1Row { name: "Mult 32", without: 2_048, with: 2_016 },
-    Table1Row { name: "MatrixMult3x3 32", without: 25_947, with: 25_668 },
-    Table1Row { name: "MatrixMult5x5 32", without: 120_125, with: 119_350 },
-    Table1Row { name: "MatrixMult8x8 32", without: 492_032, with: 490_048 },
-    Table1Row { name: "SHA3 256", without: 40_032, with: 38_400 },
-    Table1Row { name: "AES 128", without: 15_807, with: 6_400 },
+    Table1Row {
+        name: "Sum 32",
+        without: 32,
+        with: 31,
+    },
+    Table1Row {
+        name: "Sum 1024",
+        without: 1_024,
+        with: 1_023,
+    },
+    Table1Row {
+        name: "Compare 32",
+        without: 32,
+        with: 32,
+    },
+    Table1Row {
+        name: "Compare 16384",
+        without: 16_384,
+        with: 16_384,
+    },
+    Table1Row {
+        name: "Hamming 32",
+        without: 160,
+        with: 145,
+    },
+    Table1Row {
+        name: "Hamming 160",
+        without: 1_120,
+        with: 1_092,
+    },
+    Table1Row {
+        name: "Hamming 512",
+        without: 4_608,
+        with: 4_563,
+    },
+    Table1Row {
+        name: "Mult 32",
+        without: 2_048,
+        with: 2_016,
+    },
+    Table1Row {
+        name: "MatrixMult3x3 32",
+        without: 25_947,
+        with: 25_668,
+    },
+    Table1Row {
+        name: "MatrixMult5x5 32",
+        without: 120_125,
+        with: 119_350,
+    },
+    Table1Row {
+        name: "MatrixMult8x8 32",
+        without: 492_032,
+        with: 490_048,
+    },
+    Table1Row {
+        name: "SHA3 256",
+        without: 40_032,
+        with: 38_400,
+    },
+    Table1Row {
+        name: "AES 128",
+        without: 15_807,
+        with: 6_400,
+    },
 ];
 
 /// One row of Table 2 (ARM2GC vs TinyGarble HDL synthesis).
@@ -47,19 +99,71 @@ pub struct Table2Row {
 
 /// Table 2 of the paper.
 pub const TABLE2: &[Table2Row] = &[
-    Table2Row { name: "Sum 32", tinygarble: 31, arm2gc: 31 },
-    Table2Row { name: "Sum 1024", tinygarble: 1_023, arm2gc: 1_023 },
-    Table2Row { name: "Compare 32", tinygarble: 32, arm2gc: 32 },
-    Table2Row { name: "Compare 16384", tinygarble: 16_384, arm2gc: 16_384 },
-    Table2Row { name: "Hamming 32", tinygarble: 145, arm2gc: 57 },
-    Table2Row { name: "Hamming 160", tinygarble: 1_092, arm2gc: 247 },
-    Table2Row { name: "Hamming 512", tinygarble: 4_563, arm2gc: 1_012 },
-    Table2Row { name: "Mult 32", tinygarble: 2_016, arm2gc: 993 },
-    Table2Row { name: "MatrixMult3x3 32", tinygarble: 25_668, arm2gc: 27_369 },
-    Table2Row { name: "MatrixMult5x5 32", tinygarble: 119_350, arm2gc: 127_225 },
-    Table2Row { name: "MatrixMult8x8 32", tinygarble: 490_048, arm2gc: 522_304 },
-    Table2Row { name: "SHA3 256", tinygarble: 38_400, arm2gc: 37_760 },
-    Table2Row { name: "AES 128", tinygarble: 6_400, arm2gc: 6_400 },
+    Table2Row {
+        name: "Sum 32",
+        tinygarble: 31,
+        arm2gc: 31,
+    },
+    Table2Row {
+        name: "Sum 1024",
+        tinygarble: 1_023,
+        arm2gc: 1_023,
+    },
+    Table2Row {
+        name: "Compare 32",
+        tinygarble: 32,
+        arm2gc: 32,
+    },
+    Table2Row {
+        name: "Compare 16384",
+        tinygarble: 16_384,
+        arm2gc: 16_384,
+    },
+    Table2Row {
+        name: "Hamming 32",
+        tinygarble: 145,
+        arm2gc: 57,
+    },
+    Table2Row {
+        name: "Hamming 160",
+        tinygarble: 1_092,
+        arm2gc: 247,
+    },
+    Table2Row {
+        name: "Hamming 512",
+        tinygarble: 4_563,
+        arm2gc: 1_012,
+    },
+    Table2Row {
+        name: "Mult 32",
+        tinygarble: 2_016,
+        arm2gc: 993,
+    },
+    Table2Row {
+        name: "MatrixMult3x3 32",
+        tinygarble: 25_668,
+        arm2gc: 27_369,
+    },
+    Table2Row {
+        name: "MatrixMult5x5 32",
+        tinygarble: 119_350,
+        arm2gc: 127_225,
+    },
+    Table2Row {
+        name: "MatrixMult8x8 32",
+        tinygarble: 490_048,
+        arm2gc: 522_304,
+    },
+    Table2Row {
+        name: "SHA3 256",
+        tinygarble: 38_400,
+        arm2gc: 37_760,
+    },
+    Table2Row {
+        name: "AES 128",
+        tinygarble: 6_400,
+        arm2gc: 6_400,
+    },
 ];
 
 /// One row of Table 3 (vs high-level frameworks; `None` = not reported).
@@ -77,17 +181,72 @@ pub struct Table3Row {
 
 /// Table 3 of the paper.
 pub const TABLE3: &[Table3Row] = &[
-    Table3Row { name: "Sum 32", cbmc_gc: None, frigate: Some(31), arm2gc: 31 },
-    Table3Row { name: "Sum 1024", cbmc_gc: None, frigate: Some(1_025), arm2gc: 1_023 },
-    Table3Row { name: "Compare 32", cbmc_gc: None, frigate: Some(32), arm2gc: 32 },
-    Table3Row { name: "Compare 16384", cbmc_gc: None, frigate: Some(16_386), arm2gc: 16_384 },
-    Table3Row { name: "Hamming 160", cbmc_gc: Some(449), frigate: Some(719), arm2gc: 247 },
-    Table3Row { name: "Mult 32", cbmc_gc: None, frigate: Some(995), arm2gc: 993 },
-    Table3Row { name: "MatrixMult5x5 32", cbmc_gc: Some(127_225), frigate: Some(128_252), arm2gc: 127_225 },
-    Table3Row { name: "MatrixMult8x8 32", cbmc_gc: Some(522_304), frigate: None, arm2gc: 522_304 },
-    Table3Row { name: "AES 128", cbmc_gc: None, frigate: Some(10_383), arm2gc: 6_400 },
-    Table3Row { name: "a = a op a", cbmc_gc: Some(0), frigate: Some(0), arm2gc: 0 },
-    Table3Row { name: "SHA3 256", cbmc_gc: None, frigate: None, arm2gc: 37_760 },
+    Table3Row {
+        name: "Sum 32",
+        cbmc_gc: None,
+        frigate: Some(31),
+        arm2gc: 31,
+    },
+    Table3Row {
+        name: "Sum 1024",
+        cbmc_gc: None,
+        frigate: Some(1_025),
+        arm2gc: 1_023,
+    },
+    Table3Row {
+        name: "Compare 32",
+        cbmc_gc: None,
+        frigate: Some(32),
+        arm2gc: 32,
+    },
+    Table3Row {
+        name: "Compare 16384",
+        cbmc_gc: None,
+        frigate: Some(16_386),
+        arm2gc: 16_384,
+    },
+    Table3Row {
+        name: "Hamming 160",
+        cbmc_gc: Some(449),
+        frigate: Some(719),
+        arm2gc: 247,
+    },
+    Table3Row {
+        name: "Mult 32",
+        cbmc_gc: None,
+        frigate: Some(995),
+        arm2gc: 993,
+    },
+    Table3Row {
+        name: "MatrixMult5x5 32",
+        cbmc_gc: Some(127_225),
+        frigate: Some(128_252),
+        arm2gc: 127_225,
+    },
+    Table3Row {
+        name: "MatrixMult8x8 32",
+        cbmc_gc: Some(522_304),
+        frigate: None,
+        arm2gc: 522_304,
+    },
+    Table3Row {
+        name: "AES 128",
+        cbmc_gc: None,
+        frigate: Some(10_383),
+        arm2gc: 6_400,
+    },
+    Table3Row {
+        name: "a = a op a",
+        cbmc_gc: Some(0),
+        frigate: Some(0),
+        arm2gc: 0,
+    },
+    Table3Row {
+        name: "SHA3 256",
+        cbmc_gc: None,
+        frigate: None,
+        arm2gc: 37_760,
+    },
 ];
 
 /// One row of Table 4 (SkipGate on the garbled ARM).
@@ -103,19 +262,71 @@ pub struct Table4Row {
 
 /// Table 4 of the paper.
 pub const TABLE4: &[Table4Row] = &[
-    Table4Row { name: "Sum 32", without: 3_817_680, with: 31 },
-    Table4Row { name: "Sum 1024", without: 76_483_260, with: 1_023 },
-    Table4Row { name: "Compare 32", without: 4_072_192, with: 130 },
-    Table4Row { name: "Compare 16384", without: 1_047_095_280, with: 16_384 },
-    Table4Row { name: "Hamming 32", without: 67_063_912, with: 57 },
-    Table4Row { name: "Hamming 160", without: 242_931_704, with: 247 },
-    Table4Row { name: "Hamming 512", without: 863_559_216, with: 1_012 },
-    Table4Row { name: "Mult 32", without: 4_199_448, with: 993 },
-    Table4Row { name: "MatrixMult3x3 32", without: 72_790_432, with: 27_369 },
-    Table4Row { name: "MatrixMult5x5 32", without: 286_071_488, with: 127_225 },
-    Table4Row { name: "MatrixMult8x8 32", without: 1_079_894_416, with: 522_304 },
-    Table4Row { name: "SHA3 256", without: 29_354_783_052, with: 37_760 },
-    Table4Row { name: "AES 128", without: 54_621_701_856, with: 6_400 },
+    Table4Row {
+        name: "Sum 32",
+        without: 3_817_680,
+        with: 31,
+    },
+    Table4Row {
+        name: "Sum 1024",
+        without: 76_483_260,
+        with: 1_023,
+    },
+    Table4Row {
+        name: "Compare 32",
+        without: 4_072_192,
+        with: 130,
+    },
+    Table4Row {
+        name: "Compare 16384",
+        without: 1_047_095_280,
+        with: 16_384,
+    },
+    Table4Row {
+        name: "Hamming 32",
+        without: 67_063_912,
+        with: 57,
+    },
+    Table4Row {
+        name: "Hamming 160",
+        without: 242_931_704,
+        with: 247,
+    },
+    Table4Row {
+        name: "Hamming 512",
+        without: 863_559_216,
+        with: 1_012,
+    },
+    Table4Row {
+        name: "Mult 32",
+        without: 4_199_448,
+        with: 993,
+    },
+    Table4Row {
+        name: "MatrixMult3x3 32",
+        without: 72_790_432,
+        with: 27_369,
+    },
+    Table4Row {
+        name: "MatrixMult5x5 32",
+        without: 286_071_488,
+        with: 127_225,
+    },
+    Table4Row {
+        name: "MatrixMult8x8 32",
+        without: 1_079_894_416,
+        with: 522_304,
+    },
+    Table4Row {
+        name: "SHA3 256",
+        without: 29_354_783_052,
+        with: 37_760,
+    },
+    Table4Row {
+        name: "AES 128",
+        without: 54_621_701_856,
+        with: 6_400,
+    },
 ];
 
 /// One row of Table 5 (complex functions, XOR-shared inputs).
@@ -131,10 +342,26 @@ pub struct Table5Row {
 
 /// Table 5 of the paper.
 pub const TABLE5: &[Table5Row] = &[
-    Table5Row { name: "Bubble-Sort32 32", without: 1_366_390_620, with: 65_472 },
-    Table5Row { name: "Merge-Sort32 32", without: 981_712_458, with: 540_645 },
-    Table5Row { name: "Dijkstra64 32", without: 1_493_339_886, with: 59_282 },
-    Table5Row { name: "CORDIC 32", without: 228_847_596, with: 4_601 },
+    Table5Row {
+        name: "Bubble-Sort32 32",
+        without: 1_366_390_620,
+        with: 65_472,
+    },
+    Table5Row {
+        name: "Merge-Sort32 32",
+        without: 981_712_458,
+        with: 540_645,
+    },
+    Table5Row {
+        name: "Dijkstra64 32",
+        without: 1_493_339_886,
+        with: 59_282,
+    },
+    Table5Row {
+        name: "CORDIC 32",
+        without: 228_847_596,
+        with: 4_601,
+    },
 ];
 
 /// §5.3's garbled-MIPS comparison: Hamming over 32 32-bit integers.

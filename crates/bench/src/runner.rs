@@ -207,7 +207,14 @@ pub fn cpu_workloads(quick: bool) -> Vec<CpuWorkload> {
             words(16),
             4_000,
         ),
-        CpuWorkload::new("Mult 32", small, &programs::mult32(), words(1), words(1), 100),
+        CpuWorkload::new(
+            "Mult 32",
+            small,
+            &programs::mult32(),
+            words(1),
+            words(1),
+            100,
+        ),
         CpuWorkload::new(
             "MatrixMult3x3 32",
             small,

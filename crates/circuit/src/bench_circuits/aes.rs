@@ -56,7 +56,9 @@ fn gf16_sq(x: u8) -> u8 {
 /// the polynomial irreducible (no d with d² + d = λ).
 fn lambda() -> u8 {
     let roots: Vec<u8> = (0..16).map(|d| gf16_sq(d) ^ d).collect();
-    (1..16).find(|l| !roots.contains(l)).expect("irreducible λ exists")
+    (1..16)
+        .find(|l| !roots.contains(l))
+        .expect("irreducible λ exists")
 }
 
 /// Tower-field GF(256) multiply; 8-bit values, high nibble = W coefficient.
@@ -396,7 +398,10 @@ pub fn aes128(key: [u8; 16], pt: [u8; 16]) -> BenchCircuit {
         .collect();
 
     // SubBytes.
-    let sb: Vec<Bus> = t.iter().map(|byte| sbox_circ(&mut bld, &maps, byte)).collect();
+    let sb: Vec<Bus> = t
+        .iter()
+        .map(|byte| sbox_circ(&mut bld, &maps, byte))
+        .collect();
     // ShiftRows: new[4c+r] = old[4((c+r)%4)+r].
     let sr: Vec<Bus> = (0..16)
         .map(|i| {
@@ -634,8 +639,8 @@ mod tests {
         assert_eq!(
             reference_encrypt(key, pt),
             [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-                0xb4, 0xc5, 0x5a
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
             ]
         );
     }

@@ -88,7 +88,8 @@ pub fn keccak_f1600(state: &mut [u64; 25]) {
         // χ
         for x in 0..5 {
             for y in 0..5 {
-                state[x + 5 * y] = b[x + 5 * y] ^ ((!b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
+                state[x + 5 * y] =
+                    b[x + 5 * y] ^ ((!b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
             }
         }
         // ι
@@ -294,6 +295,9 @@ mod tests {
         // 1600 χ ANDs + public controller muxes per cycle.
         let per_cycle = bc.circuit.non_xor_count();
         assert!(per_cycle >= 1600, "χ must contribute 1600 ANDs");
-        assert!(per_cycle < 1900, "controller should stay small: {per_cycle}");
+        assert!(
+            per_cycle < 1900,
+            "controller should stay small: {per_cycle}"
+        );
     }
 }

@@ -26,9 +26,7 @@ pub fn sum(n: usize, a: u64, b: u64) -> BenchCircuit {
     let alice = PartyData::from_stream((0..n).map(|i| vec![bit(a, i)]).collect());
     let bob = PartyData::from_stream((0..n).map(|i| vec![bit(b, i)]).collect());
     let total = (a as u128) + (b as u128);
-    let expected = (0..n)
-        .map(|i| i < 128 && (total >> i) & 1 == 1)
-        .collect();
+    let expected = (0..n).map(|i| i < 128 && (total >> i) & 1 == 1).collect();
 
     BenchCircuit {
         circuit,

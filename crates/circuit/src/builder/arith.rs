@@ -73,13 +73,7 @@ impl CircuitBuilder {
         let bits: Bus = a
             .iter()
             .enumerate()
-            .map(|(i, &x)| {
-                if (v >> i) & 1 == 1 {
-                    x
-                } else {
-                    self.not(x)
-                }
-            })
+            .map(|(i, &x)| if (v >> i) & 1 == 1 { x } else { self.not(x) })
             .collect();
         self.and_reduce(&bits)
     }

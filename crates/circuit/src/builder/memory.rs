@@ -101,7 +101,13 @@ impl Ram {
     /// Connects the write port: on every cycle each word `w` becomes
     /// `sel_w ∧ we ? data : q_w`. Consumes the memory (the write port
     /// is connected exactly once).
-    pub fn connect_write(self, b: &mut CircuitBuilder, addr: &[WireId], we: WireId, data: &[WireId]) {
+    pub fn connect_write(
+        self,
+        b: &mut CircuitBuilder,
+        addr: &[WireId],
+        we: WireId,
+        data: &[WireId],
+    ) {
         assert_eq!(1 << addr.len(), self.words.len(), "address width mismatch");
         assert_eq!(data.len(), self.width(), "data width mismatch");
         let sel = b.decoder(addr);
@@ -143,10 +149,9 @@ mod tests {
     fn ram_read_cost() {
         let mut b = CircuitBuilder::new("r");
         let addr = b.inputs(Role::Bob, 3);
-        let ram = b.ram(
-            RamConfig { words: 8, width: 4 },
-            |w, i| DffInit::Const((w + i) % 2 == 0),
-        );
+        let ram = b.ram(RamConfig { words: 8, width: 4 }, |w, i| {
+            DffInit::Const((w + i) % 2 == 0)
+        });
         let out = ram.read(&mut b, &addr);
         ram.connect_rom(&mut b);
         b.outputs(&out);

@@ -118,9 +118,7 @@ fn parse_wire(tok: &str, line: usize) -> Result<WireId, NetlistError> {
 }
 
 fn op_by_name(name: &str) -> Option<Op> {
-    (0u8..16)
-        .map(Op::from_table)
-        .find(|op| op.name() == name)
+    (0u8..16).map(Op::from_table).find(|op| op.name() == name)
 }
 
 /// Parses the textual format back into a [`Circuit`].
@@ -152,12 +150,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                     return err(line, "expected: circuit <name> <n> wires");
                 }
                 name = toks[1].to_string();
-                wire_count = toks[2]
-                    .parse()
-                    .map_err(|_| NetlistError {
-                        line,
-                        message: "bad wire count".into(),
-                    })?;
+                wire_count = toks[2].parse().map_err(|_| NetlistError {
+                    line,
+                    message: "bad wire count".into(),
+                })?;
             }
             "output_mode" => {
                 output_mode = match toks.get(1) {
@@ -197,12 +193,12 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 let init = match toks[5] {
                     "const" => DffInit::Const(toks.get(6) == Some(&"1")),
                     kind => {
-                        let idx: u32 = toks
-                            .get(6)
-                            .and_then(|t| t.parse().ok())
-                            .ok_or_else(|| NetlistError {
-                                line,
-                                message: "missing init index".into(),
+                        let idx: u32 =
+                            toks.get(6).and_then(|t| t.parse().ok()).ok_or_else(|| {
+                                NetlistError {
+                                    line,
+                                    message: "missing init index".into(),
+                                }
                             })?;
                         match kind {
                             "public" => DffInit::Public(idx),
@@ -219,11 +215,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 if toks.len() != 6 || toks[3] != "=" {
                     return err(line, "expected: gate OP wO = wA wB");
                 }
-                let op = op_by_name(toks[1])
-                    .ok_or_else(|| NetlistError {
-                        line,
-                        message: format!("unknown op '{}'", toks[1]),
-                    })?;
+                let op = op_by_name(toks[1]).ok_or_else(|| NetlistError {
+                    line,
+                    message: format!("unknown op '{}'", toks[1]),
+                })?;
                 gates.push(Gate {
                     op,
                     out: parse_wire(toks[2], line)?,

@@ -169,7 +169,10 @@ impl<'c> Simulator<'c> {
         let a = PartyData::from_stream(vec![alice.to_vec()]);
         let b = PartyData::from_stream(vec![bob.to_vec()]);
         let p = PartyData::from_stream(vec![public.to_vec()]);
-        self.run(&a, &b, &p, 1).outputs.pop().expect("one output set")
+        self.run(&a, &b, &p, 1)
+            .outputs
+            .pop()
+            .expect("one output set")
     }
 }
 
@@ -206,11 +209,7 @@ mod tests {
         b.outputs(&acc);
         let c = b.build();
 
-        let stream = vec![
-            u32_to_bits(3, 4),
-            u32_to_bits(5, 4),
-            u32_to_bits(1, 4),
-        ];
+        let stream = vec![u32_to_bits(3, 4), u32_to_bits(5, 4), u32_to_bits(1, 4)];
         let res = Simulator::new(&c).run(
             &PartyData::from_stream(stream),
             &PartyData::default(),

@@ -66,9 +66,13 @@ impl Channel for TcpChannel {
 
     fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
         let mut len = [0u8; 4];
-        self.stream.read_exact(&mut len).map_err(|_| ChannelClosed)?;
+        self.stream
+            .read_exact(&mut len)
+            .map_err(|_| ChannelClosed)?;
         let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
-        self.stream.read_exact(&mut buf).map_err(|_| ChannelClosed)?;
+        self.stream
+            .read_exact(&mut buf)
+            .map_err(|_| ChannelClosed)?;
         Ok(buf)
     }
 }

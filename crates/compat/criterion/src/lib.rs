@@ -1,0 +1,300 @@
+//! Offline API-compatible subset of the `criterion` crate.
+//!
+//! This workspace builds without network access, so the criterion API
+//! surface its benches use is reimplemented here as a plain wall-clock
+//! harness: warm-up, a fixed number of timed samples, and a median /
+//! mean report on stdout. No statistics beyond that, no HTML reports,
+//! no comparison against saved baselines. Swap this crate's `path`
+//! dependency for the registry `criterion` to get the real thing.
+//!
+//! Supported: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::throughput`],
+//! [`Bencher::iter`], [`Throughput`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`], plus the CLI filter and
+//! the `--bench` / `--test` flags cargo passes to `harness = false`
+//! targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a benchmark's throughput is expressed in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            default_sample_size: 100,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies the subset of criterion's CLI this shim understands:
+    /// a positional substring filter, `--bench` (ignored) and `--test`
+    /// (run each benchmark exactly once, as `cargo test --benches` does).
+    /// Other criterion flags are skipped — including the value of
+    /// value-taking ones, so e.g. `--sample-size 50` is not mistaken
+    /// for a filter.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        // Real-criterion flags that consume a separate value argument.
+        const VALUE_FLAGS: &[&str] = &[
+            "--baseline",
+            "--color",
+            "--confidence-level",
+            "--load-baseline",
+            "--measurement-time",
+            "--noise-threshold",
+            "--nresamples",
+            "--output-format",
+            "--plotting-backend",
+            "--profile-time",
+            "--sample-size",
+            "--save-baseline",
+            "--significance-level",
+            "--warm-up-time",
+        ];
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => self.test_mode = true,
+                a if VALUE_FLAGS.contains(&a) => {
+                    let _ = args.next();
+                }
+                a if a.starts_with('-') => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        self.run_one(&id, sample_size, None, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: if self.test_mode { 1 } else { sample_size },
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        report(id, throughput, &mut bencher.samples);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Records the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, sample_size, throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op in this shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measures `routine`: a short warm-up, then `sample_size` timed
+    /// samples, each batching enough iterations to be measurable.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up and batch sizing: aim for samples of >= ~1ms each.
+        let warmup_start = Instant::now();
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+            if warmup_start.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn report(id: &str, throughput: Option<Throughput>, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<40} median {:>12?}  mean {:>12?}  ({} samples){rate}",
+        median,
+        mean,
+        samples.len()
+    );
+}
+
+/// Declares a benchmark group function, criterion-style:
+/// `criterion_group!(name, bench_fn_a, bench_fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running every `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 100,
+            test_mode: true,
+        };
+        let mut ran = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(1));
+        g.bench_function("one", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 1, "test mode runs the routine exactly once");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match_me".into()),
+            default_sample_size: 10,
+            test_mode: true,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes_match_me_yes", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,568 @@
+//! Offline API-compatible subset of the `proptest` crate.
+//!
+//! This workspace builds without network access, so the proptest surface
+//! its tests use is reimplemented here: the [`proptest!`] macro (typed
+//! params via [`any`], `name in strategy` params, an optional inner
+//! `#![proptest_config(..)]`), integer-range and [`collection::vec`]
+//! strategies, the `prop_assert*` / [`prop_assume!`] macros and a
+//! deterministic per-test RNG. **No shrinking**: a failing case reports
+//! its inputs (params must be `Debug`) and panics as-is. Case counts
+//! come from [`ProptestConfig`](test_runner::Config) or the
+//! `PROPTEST_CASES` environment variable (default 256). Swap this
+//! crate's `path` dependency for the registry `proptest` to get the
+//! real thing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Configuration, RNG and error plumbing for generated test fns.
+
+    /// Aborts a test case without failing it (see [`crate::prop_assume!`])
+    /// or fails it with a message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case's inputs don't satisfy a `prop_assume!` filter.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a rejection (filtered case).
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+
+        /// Builds a failure.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// True when this is a `prop_assume!` rejection.
+        pub fn is_reject(&self) -> bool {
+            matches!(self, TestCaseError::Reject(_))
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// Test-run configuration (the prelude re-exports this as
+    /// `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful (non-rejected) cases each test must run.
+        pub cases: u32,
+        /// Upper bound on rejected cases before the test errors out.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        /// Defaults to 256 cases, overridable with `PROPTEST_CASES`.
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config {
+                cases,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running exactly `cases` successful cases. As in real
+        /// proptest, an explicit count is authoritative: `PROPTEST_CASES`
+        /// only influences [`Config::default`].
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG; seeded per test from the test's
+    /// path (so tests are independent) and `PROPTEST_SEED` if set.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a raw value.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Seeds deterministically from a test's name, mixed with the
+        /// `PROPTEST_SEED` environment variable when present.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test path.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let env_seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0x9e37_79b9_7f4a_7c15);
+            TestRng::from_seed(h ^ env_seed)
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Next 128 uniform bits.
+        pub fn next_u128(&mut self) -> u128 {
+            (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the range strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values (no shrinking in this shim).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! uint_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Modulo bias is irrelevant at test-sampling fidelity.
+                    let span = (self.end - self.start) as u128;
+                    self.start.wrapping_add((rng.next_u128() % span) as $t)
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128;
+                    if span == u128::MAX {
+                        return rng.next_u128() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u128() % (span + 1)) as $t)
+                }
+            }
+        )*};
+    }
+
+    uint_range_strategy!(u8, u16, u32, u64, u128, usize);
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u128() % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize);
+}
+
+pub mod arbitrary {
+    //! [`any`] and the [`Arbitrary`] trait for common types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u128() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_uint!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+        fn arbitrary(rng: &mut TestRng) -> (A, B) {
+            (A::arbitrary(rng), B::arbitrary(rng))
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset: [`vec`]).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty vec size range");
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test file needs in scope.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// Supported grammar (a subset of real proptest's). Doc comments and
+/// attributes — in particular `#[test]` and `#[ignore]` — pass through
+/// to the emitted zero-argument functions:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///
+///     fn typed_params(a: u32, flag: bool) {
+///         prop_assume!(a != 17);
+///         prop_assert!(flag || !flag, "a = {}", a);
+///     }
+///
+///     fn strategy_params(x in 0u64..100, v in proptest::collection::vec(any::<u32>(), 0..9)) {
+///         prop_assert!(x < 100);
+///         prop_assert_ne!(v.len(), 9);
+///     }
+/// }
+///
+/// // In a test file these would be `#[test]` fns; call them directly here.
+/// typed_params();
+/// strategy_params();
+/// ```
+///
+/// Each parameter type must implement `Debug` (inputs are reported on
+/// failure). There is no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_params!(
+                ($cfg)
+                (concat!(module_path!(), "::", stringify!($name)))
+                []
+                ($($params)*)
+                $body
+            );
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // `name in strategy`, further params follow.
+    (($cfg:expr) ($fname:expr) [$($acc:tt)*] ($v:ident in $s:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_params!(($cfg) ($fname) [$($acc)* ($v, $s)] ($($rest)*) $body)
+    };
+    // `name in strategy`, last param.
+    (($cfg:expr) ($fname:expr) [$($acc:tt)*] ($v:ident in $s:expr) $body:block) => {
+        $crate::__proptest_params!(($cfg) ($fname) [$($acc)* ($v, $s)] () $body)
+    };
+    // `name: Type`, further params follow.
+    (($cfg:expr) ($fname:expr) [$($acc:tt)*] ($v:ident : $t:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_params!(
+            ($cfg) ($fname) [$($acc)* ($v, $crate::arbitrary::any::<$t>())] ($($rest)*) $body
+        )
+    };
+    // `name: Type`, last param.
+    (($cfg:expr) ($fname:expr) [$($acc:tt)*] ($v:ident : $t:ty) $body:block) => {
+        $crate::__proptest_params!(
+            ($cfg) ($fname) [$($acc)* ($v, $crate::arbitrary::any::<$t>())] () $body
+        )
+    };
+    // All params parsed: run the cases.
+    (($cfg:expr) ($fname:expr) [$(($v:ident, $s:expr))*] () $body:block) => {{
+        let __config: $crate::test_runner::Config = $cfg;
+        let __cases = __config.cases;
+        let mut __rng = $crate::test_runner::TestRng::for_test($fname);
+        let mut __valid: u32 = 0;
+        let mut __rejects: u32 = 0;
+        while __valid < __cases {
+            $(let $v = $crate::strategy::Strategy::sample(&($s), &mut __rng);)*
+            let __inputs =
+                ::std::format!(concat!($(stringify!($v), " = {:?}; "),*), $(&$v),*);
+            // catch_unwind so that a panic *inside* the code under test
+            // still reports which inputs triggered it, same as an
+            // assertion failure would.
+            let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })) {
+                    ::std::result::Result::Ok(__r) => __r,
+                    ::std::result::Result::Err(__payload) => {
+                        ::std::eprintln!(
+                            "proptest `{}` panicked after {} passing case(s)\n  inputs: {}\n  \
+                             (deterministic; rerun with PROPTEST_SEED to vary)",
+                            $fname, __valid, __inputs
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                };
+            match __result {
+                ::std::result::Result::Ok(()) => __valid += 1,
+                ::std::result::Result::Err(ref __e) if __e.is_reject() => {
+                    __rejects += 1;
+                    assert!(
+                        __rejects <= __config.max_global_rejects,
+                        "proptest `{}`: too many prop_assume! rejections ({})",
+                        $fname,
+                        __rejects
+                    );
+                }
+                ::std::result::Result::Err(__e) => {
+                    panic!(
+                        "proptest `{}` failed after {} passing case(s): {}\n  inputs: {}\n  \
+                         (deterministic; rerun with PROPTEST_SEED to vary)",
+                        $fname, __valid, __e, __inputs
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right),
+                    ::std::format!($($fmt)+), __l, __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (does not count toward the case total)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_rng() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(a.next_u128(), b.next_u128());
+        let mut c = crate::test_runner::TestRng::for_test("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::sample(&(0u8..16), &mut rng);
+            assert!(w < 16);
+            let x = Strategy::sample(&(1usize..5), &mut rng);
+            assert!((1..5).contains(&x));
+            let y = Strategy::sample(&(0u128..u128::MAX), &mut rng);
+            assert!(y < u128::MAX);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = crate::test_runner::TestRng::from_seed(9);
+        for _ in 0..200 {
+            let v = Strategy::sample(&crate::collection::vec(any::<u32>(), 0..20), &mut rng);
+            assert!(v.len() < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro grammar: typed + `in` params, assume and asserts.
+        #[test]
+        fn macro_smoke(a: u32, b in 1u64..100, flag: bool, arr: [u8; 16]) {
+            prop_assume!(a != 17);
+            prop_assert!(b >= 1);
+            prop_assert!(b < 100, "b = {}", b);
+            prop_assert_eq!(arr.len(), 16);
+            prop_assert_ne!(b, 0);
+            let _ = flag;
+        }
+    }
+}

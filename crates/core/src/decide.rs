@@ -104,8 +104,7 @@ impl<'c> DecideContext<'c> {
             base_fan[g.a.index()] += 1;
             base_fan[g.b.index()] += 1;
         }
-        let q_set: std::collections::HashSet<WireId> =
-            circuit.dffs().iter().map(|d| d.q).collect();
+        let q_set: std::collections::HashSet<WireId> = circuit.dffs().iter().map(|d| d.q).collect();
         let output_set: std::collections::HashSet<WireId> =
             circuit.outputs().iter().copied().collect();
         Self {
@@ -343,9 +342,9 @@ impl<'c> DecideContext<'c> {
                     }
                 }
                 GateDecision::Garble => (decision, WireVal::Secret(alloc.fresh())),
-                GateDecision::Alias { .. }
-                | GateDecision::Skipped
-                | GateDecision::SkippedFree => unreachable!(),
+                GateDecision::Alias { .. } | GateDecision::Skipped | GateDecision::SkippedFree => {
+                    unreachable!()
+                }
             };
             states[gate.out.index()] = out_state;
             if let WireVal::Secret(t) = out_state {

@@ -325,9 +325,7 @@ pub fn run_skipgate_garbler(
         let mut tables = Vec::new();
         for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
             match *decision {
-                GateDecision::PublicOut(_)
-                | GateDecision::Skipped
-                | GateDecision::SkippedFree => {}
+                GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {}
                 GateDecision::Pass { from_a, flip } => {
                     let src = if from_a { gate.a } else { gate.b };
                     labels[gate.out.index()] =
@@ -343,8 +341,12 @@ pub fn run_skipgate_garbler(
                         ^ if flip { d } else { Label::ZERO };
                 }
                 GateDecision::Garble => {
-                    let (c0, table) =
-                        garbler.garble(gate.op, labels[gate.a.index()], labels[gate.b.index()], tweak);
+                    let (c0, table) = garbler.garble(
+                        gate.op,
+                        labels[gate.a.index()],
+                        labels[gate.b.index()],
+                        tweak,
+                    );
                     tweak += 1;
                     labels[gate.out.index()] = c0;
                     tables.extend_from_slice(&table.to_bytes());
@@ -420,7 +422,9 @@ pub fn run_skipgate_evaluator(
         .chunks_exact(16)
         .map(|c| Label::from_bytes(c.try_into().expect("16 bytes")));
     for &w in &alice_wires {
-        active[w.index()] = direct.next().ok_or(ProtocolError::Malformed("alice dffs"))?;
+        active[w.index()] = direct
+            .next()
+            .ok_or(ProtocolError::Malformed("alice dffs"))?;
     }
 
     let mut choices = Vec::new();
@@ -497,9 +501,7 @@ pub fn run_skipgate_evaluator(
 
         for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
             match *decision {
-                GateDecision::PublicOut(_)
-                | GateDecision::Skipped
-                | GateDecision::SkippedFree => {}
+                GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {}
                 GateDecision::Pass { from_a, .. } => {
                     let src = if from_a { gate.a } else { gate.b };
                     active[gate.out.index()] = active[src.index()];
@@ -514,12 +516,8 @@ pub fn run_skipgate_evaluator(
                     let t = tables
                         .next()
                         .ok_or(ProtocolError::Malformed("missing table"))?;
-                    active[gate.out.index()] = evaluator.eval(
-                        active[gate.a.index()],
-                        active[gate.b.index()],
-                        &t,
-                        tweak,
-                    );
+                    active[gate.out.index()] =
+                        evaluator.eval(active[gate.a.index()], active[gate.b.index()], &t, tweak);
                     tweak += 1;
                 }
             }
@@ -584,7 +582,14 @@ pub fn run_two_party(
     public: &PartyData,
     cycles: usize,
 ) -> (SkipGateOutcome, SkipGateOutcome) {
-    run_two_party_with(circuit, alice, bob, public, cycles, SkipGateOptions::default())
+    run_two_party_with(
+        circuit,
+        alice,
+        bob,
+        public,
+        cycles,
+        SkipGateOptions::default(),
+    )
 }
 
 /// [`run_two_party`] with explicit options.

@@ -59,10 +59,7 @@ mod tests {
         let a = alloc.fresh();
         let cancelled = a.xor(a);
         assert_eq!(WireVal::secret(cancelled), WireVal::Public(false));
-        assert_eq!(
-            WireVal::secret(cancelled.inverted()),
-            WireVal::Public(true)
-        );
+        assert_eq!(WireVal::secret(cancelled.inverted()), WireVal::Public(true));
         assert!(WireVal::secret(a).is_secret());
     }
 }

@@ -14,7 +14,11 @@ use arm2gc_core::{run_two_party, run_two_party_with, SkipGateOptions};
 fn public_selector_mux_collapses() {
     let build = |sel_public: bool| {
         let mut b = CircuitBuilder::new("mux_demo");
-        let sel = b.input(if sel_public { Role::Public } else { Role::Alice });
+        let sel = b.input(if sel_public {
+            Role::Public
+        } else {
+            Role::Alice
+        });
         let x0 = b.input(Role::Alice);
         let x1 = b.input(Role::Alice);
         let y = b.input(Role::Bob);

@@ -13,7 +13,8 @@ use arm2gc_core::{run_two_party, SkipGateOutcome};
 
 fn check(bc: &BenchCircuit) -> SkipGateOutcome {
     let sim = Simulator::new(&bc.circuit).run(&bc.alice, &bc.bob, &bc.public, bc.cycles);
-    let (alice_out, bob_out) = run_two_party(&bc.circuit, &bc.alice, &bc.bob, &bc.public, bc.cycles);
+    let (alice_out, bob_out) =
+        run_two_party(&bc.circuit, &bc.alice, &bc.bob, &bc.public, bc.cycles);
     assert_eq!(alice_out.outputs, sim.outputs, "{}", bc.circuit.name());
     assert_eq!(bob_out.outputs, sim.outputs, "{}", bc.circuit.name());
     assert_eq!(

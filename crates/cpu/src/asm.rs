@@ -186,12 +186,10 @@ fn parse_int(tok: &str, line: usize) -> Result<u32, AsmError> {
 }
 
 fn parse_imm(tok: &str, line: usize) -> Result<u32, AsmError> {
-    let body = tok
-        .strip_prefix('#')
-        .ok_or_else(|| AsmError {
-            line,
-            message: format!("expected '#immediate', found '{tok}'"),
-        })?;
+    let body = tok.strip_prefix('#').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected '#immediate', found '{tok}'"),
+    })?;
     parse_int(body, line)
 }
 
@@ -249,18 +247,15 @@ fn parse_cond(suffix: &str) -> Option<Cond> {
         "lo" => return Some(Cond::Cc), // unsigned lower
         _ => {}
     }
-    Cond::ALL
-        .iter()
-        .find(|c| c.mnemonic() == suffix)
-        .copied()
+    Cond::ALL.iter().find(|c| c.mnemonic() == suffix).copied()
 }
 
 /// Splits `mnemonic` into `(base, cond, s)`; tries every known base.
 fn parse_mnemonic(m: &str) -> Option<(&'static str, Cond, bool)> {
     // Longest bases first so "bl"/"b" and similar prefixes disambiguate.
     const BASES: [&str; 23] = [
-        "halt", "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc", "tst", "teq", "cmp",
-        "cmn", "orr", "mov", "bic", "mvn", "ldr", "str", "mul", "nop", "ldi", "bl",
+        "halt", "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc", "tst", "teq", "cmp", "cmn",
+        "orr", "mov", "bic", "mvn", "ldr", "str", "mul", "nop", "ldi", "bl",
     ];
     let mut candidates: Vec<(&'static str, Cond, bool)> = Vec::new();
     let mut try_base = |base: &'static str| {
@@ -544,12 +539,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 
     // Resolve .word symbol references.
     for (line, idx, sym) in data_exprs {
-        let v = *symbols
-            .get(&sym)
-            .ok_or_else(|| AsmError {
-                line,
-                message: format!("undefined symbol '{sym}'"),
-            })?;
+        let v = *symbols.get(&sym).ok_or_else(|| AsmError {
+            line,
+            message: format!("undefined symbol '{sym}'"),
+        })?;
         data[idx] = v;
     }
 

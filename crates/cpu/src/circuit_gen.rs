@@ -110,7 +110,9 @@ pub fn build_cpu(config: &CpuConfig) -> Circuit {
     let lt = b.xor(n, v);
     let gt = b.and(nz, ge);
     let le = b.not(gt);
-    let preds = [n, z, c, v, nn, nz, nc, nv, hi, ls, ge, lt, gt, le, one, zero];
+    let preds = [
+        n, z, c, v, nn, nz, nc, nv, hi, ls, ge, lt, gt, le, one, zero,
+    ];
     let cond_table = [
         preds[1],  // EQ: Z
         preds[5],  // NE
@@ -206,7 +208,11 @@ pub fn build_cpu(config: &CpuConfig) -> Circuit {
     let and_v = b.and_bus(&rn_val, &op2);
     let eor_v = b.xor_bus(&rn_val, &op2);
     let orr_v: Bus = rn_val.iter().zip(&op2).map(|(&a, &o)| b.or(a, o)).collect();
-    let bic_v: Bus = rn_val.iter().zip(&op2).map(|(&a, &o)| b.andnot(a, o)).collect();
+    let bic_v: Bus = rn_val
+        .iter()
+        .zip(&op2)
+        .map(|(&a, &o)| b.andnot(a, o))
+        .collect();
     let mvn_v = b.not_bus(&op2);
     let entries: [&Bus; 16] = [
         &and_v, &eor_v, &sum, &sum, &sum, &sum, &sum, &sum, &and_v, &eor_v, &sum, &sum, &orr_v,

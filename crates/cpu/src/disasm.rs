@@ -52,7 +52,13 @@ pub fn disassemble(word: u32, pc: u32) -> String {
         Instr::Nop => "nop".into(),
         Instr::Halt { cond } => format!("halt{}", cond.mnemonic()),
         Instr::Mul { cond, rd, rm, rs } => {
-            format!("mul{} {}, {}, {}", cond.mnemonic(), reg(rd), reg(rm), reg(rs))
+            format!(
+                "mul{} {}, {}, {}",
+                cond.mnemonic(),
+                reg(rd),
+                reg(rm),
+                reg(rs)
+            )
         }
         Instr::Branch { cond, link, offset } => {
             let target = pc.wrapping_add(1).wrapping_add(offset as u32);
@@ -110,7 +116,9 @@ pub fn disassemble(word: u32, pc: u32) -> String {
             let op2 = match (shift, amount) {
                 (Shift::Lsl, ShiftAmount::Imm(0)) => reg(rm),
                 (sh, ShiftAmount::Imm(k)) => format!("{}, {} #{k}", reg(rm), shift_name(sh)),
-                (sh, ShiftAmount::Reg(rs)) => format!("{}, {} {}", reg(rm), shift_name(sh), reg(rs)),
+                (sh, ShiftAmount::Reg(rs)) => {
+                    format!("{}, {} {}", reg(rm), shift_name(sh), reg(rs))
+                }
             };
             match op {
                 DpOp::Mov | DpOp::Mvn => format!("{}{} {}, {op2}", dp_name(op), sfx, reg(rd)),

@@ -161,10 +161,7 @@ impl Iss {
                     if link {
                         self.regs[14] = self.pc.wrapping_add(1);
                     }
-                    next_pc = self
-                        .pc
-                        .wrapping_add(1)
-                        .wrapping_add(offset as u32);
+                    next_pc = self.pc.wrapping_add(1).wrapping_add(offset as u32);
                 }
                 Instr::Mul { rd, rm, rs, .. } => {
                     let r = self.reg(rm as usize).wrapping_mul(self.reg(rs as usize));
@@ -198,7 +195,13 @@ impl Iss {
                     }
                 }
                 Instr::DpImm {
-                    op, s, rn, rd, imm8, rot, ..
+                    op,
+                    s,
+                    rn,
+                    rd,
+                    imm8,
+                    rot,
+                    ..
                 } => {
                     let op2 = (imm8 as u32).rotate_right(2 * rot as u32);
                     next_pc = self.exec_dp(op, s, rn, rd, op2, next_pc);

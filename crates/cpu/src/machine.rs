@@ -193,7 +193,13 @@ impl GcMachine {
     }
 
     /// Runs on the instruction-set simulator (the reference).
-    pub fn run_iss(&self, prog: &Program, alice: &[u32], bob: &[u32], max_cycles: usize) -> MachineRun {
+    pub fn run_iss(
+        &self,
+        prog: &Program,
+        alice: &[u32],
+        bob: &[u32],
+        max_cycles: usize,
+    ) -> MachineRun {
         let mut iss = Iss::new(&self.config, prog, alice, bob);
         iss.run(max_cycles);
         MachineRun {
@@ -204,7 +210,13 @@ impl GcMachine {
     }
 
     /// Runs the circuit on the cleartext simulator.
-    pub fn run_sim(&self, prog: &Program, alice: &[u32], bob: &[u32], max_cycles: usize) -> MachineRun {
+    pub fn run_sim(
+        &self,
+        prog: &Program,
+        alice: &[u32],
+        bob: &[u32],
+        max_cycles: usize,
+    ) -> MachineRun {
         let (a, b, p) = self.party_data(prog, alice, bob);
         let res = arm2gc_circuit::Simulator::new(&self.circuit).run(&a, &b, &p, max_cycles);
         let out_bits = &res.final_output()[..self.config.out_words * 32];

@@ -454,7 +454,8 @@ mod tests {
         let m = machine();
         let prog = assemble(&hamming(1)).unwrap();
         assert_eq!(
-            m.run_iss(&prog, &[0xffff_0000], &[0x0f0f_0f0f], 1000).output[0],
+            m.run_iss(&prog, &[0xffff_0000], &[0x0f0f_0f0f], 1000)
+                .output[0],
             16
         );
         let prog5 = assemble(&hamming(5)).unwrap();
@@ -480,9 +481,8 @@ mod tests {
         let b: Vec<u32> = (10..=18).collect();
         let run = m.run_iss(&prog, &a, &b, 10_000);
         assert!(run.halted);
-        let expect = |i: usize, j: usize| -> u32 {
-            (0..3).map(|l| a[i * 3 + l] * b[l * 3 + j]).sum()
-        };
+        let expect =
+            |i: usize, j: usize| -> u32 { (0..3).map(|l| a[i * 3 + l] * b[l * 3 + j]).sum() };
         for i in 0..3 {
             for j in 0..3 {
                 assert_eq!(run.output[i * 3 + j], expect(i, j), "c[{i}][{j}]");

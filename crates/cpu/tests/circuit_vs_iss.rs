@@ -26,8 +26,20 @@ fn benchmark_programs_match_iss() {
     check_program(&m, &programs::compare32(), &[5], &[6], 100);
     check_program(&m, &programs::compare32(), &[6], &[5], 100);
     check_program(&m, &programs::mult32(), &[0x1234_5678], &[0x9abc_def0], 100);
-    check_program(&m, &programs::hamming(2), &[0xaaaa_aaaa, 1], &[0x5555_5555, 3], 2000);
-    check_program(&m, &programs::sum_wide(3), &[u32::MAX, u32::MAX, 7], &[1, 0, 1], 2000);
+    check_program(
+        &m,
+        &programs::hamming(2),
+        &[0xaaaa_aaaa, 1],
+        &[0x5555_5555, 3],
+        2000,
+    );
+    check_program(
+        &m,
+        &programs::sum_wide(3),
+        &[u32::MAX, u32::MAX, 7],
+        &[1, 0, 1],
+        2000,
+    );
     check_program(&m, &programs::compare_wide(3), &[0, 0, 9], &[1, 0, 9], 2000);
 }
 
@@ -148,7 +160,12 @@ fn random_instruction_soup_matches_iss() {
                     rd,
                     offset: MemOffset::Imm(((r >> 43) % 16) as i32),
                 },
-                _ => Instr::Mul { cond, rd, rm, rs: rn },
+                _ => Instr::Mul {
+                    cond,
+                    rd,
+                    rm,
+                    rs: rn,
+                },
             };
             words.push(instr.encode());
         }

@@ -28,11 +28,15 @@ impl Prg {
         }
     }
 
-    /// Creates a PRG from OS entropy via `rand`.
+    /// Creates a PRG seeded from OS entropy (`/dev/urandom` on unix).
+    ///
+    /// # Panics
+    /// On platforms with no secure entropy source wired up (anything
+    /// non-unix): a weak seed would silently break the protocol's
+    /// security, so this fails loudly instead.
     pub fn from_entropy() -> Self {
-        use rand::RngCore;
         let mut seed = [0u8; 16];
-        rand::rngs::OsRng.fill_bytes(&mut seed);
+        os_entropy(&mut seed);
         Self::from_seed(seed)
     }
 
@@ -60,6 +64,25 @@ impl Prg {
             chunk.copy_from_slice(&block[..chunk.len()]);
         }
     }
+}
+
+#[cfg(unix)]
+fn os_entropy(buf: &mut [u8]) {
+    use std::io::Read;
+    let mut f = std::fs::File::open("/dev/urandom").expect("open /dev/urandom");
+    f.read_exact(buf).expect("read OS entropy");
+}
+
+#[cfg(not(unix))]
+fn os_entropy(_buf: &mut [u8]) {
+    // No std-only source on this platform is cryptographically secure
+    // (`RandomState`/SipHash is documented as not being one), and these
+    // seeds key wire labels and the free-XOR delta. Fail loudly rather
+    // than run the protocol with predictable randomness.
+    unimplemented!(
+        "no secure OS entropy source wired up for this platform; \
+         use Prg::from_seed with externally sourced entropy"
+    );
 }
 
 #[cfg(test)]

@@ -24,16 +24,7 @@ fn run_protocol(
     let p2 = public.clone();
     let garbler = std::thread::spawn(move || {
         let mut prg = Prg::from_seed([77; 16]);
-        run_garbler(
-            &c2,
-            &a2,
-            &p2,
-            cycles,
-            &mut ca,
-            &mut InsecureOt,
-            &mut prg,
-        )
-        .expect("garbler")
+        run_garbler(&c2, &a2, &p2, cycles, &mut ca, &mut InsecureOt, &mut prg).expect("garbler")
     });
     let bob_out = run_evaluator(circuit, bob, cycles, &mut cb, &mut InsecureOt).expect("evaluator");
     let alice_out = garbler.join().expect("garbler thread");
@@ -52,7 +43,10 @@ fn check_bench(bc: &BenchCircuit) {
         "{}",
         bc.circuit.name()
     );
-    assert_eq!(alice_out.stats.table_bytes, alice_out.stats.garbled_tables * 32);
+    assert_eq!(
+        alice_out.stats.table_bytes,
+        alice_out.stats.garbled_tables * 32
+    );
 }
 
 #[test]
@@ -144,7 +138,10 @@ fn works_over_iknp_extension() {
         let mut setup_prg = Prg::from_seed([79; 16]);
         let mut base = InsecureOt;
         let mut ot = IknpSender::setup(&mut base, &mut ca, &mut setup_prg).expect("iknp setup");
-        run_garbler(&circuit, &alice, &public, cycles, &mut ca, &mut ot, &mut prg).expect("garbler")
+        run_garbler(
+            &circuit, &alice, &public, cycles, &mut ca, &mut ot, &mut prg,
+        )
+        .expect("garbler")
     });
     let mut setup_prg = Prg::from_seed([80; 16]);
     let mut base = InsecureOt;

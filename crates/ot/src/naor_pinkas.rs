@@ -75,12 +75,18 @@ impl OtSender for NaorPinkasSender {
 
         let mut payload = Vec::with_capacity(pairs.len() * (width + 32));
         for (i, pair) in pairs.iter().enumerate() {
-            let pk0 = self.group.element_from_bytes(&pk0_raw[i * width..(i + 1) * width]);
+            let pk0 = self
+                .group
+                .element_from_bytes(&pk0_raw[i * width..(i + 1) * width]);
             let pk1 = self.group.mul(&big_c, &self.group.inv(&pk0));
             let r = self.group.random_exponent(&mut self.prg);
             let gr = self.group.pow(&g, &r);
-            let e0 = pad(&self.hash, &self.group, &self.group.pow(&pk0, &r), 2 * i as u64)
-                ^ pair.0;
+            let e0 = pad(
+                &self.hash,
+                &self.group,
+                &self.group.pow(&pk0, &r),
+                2 * i as u64,
+            ) ^ pair.0;
             let e1 = pad(
                 &self.hash,
                 &self.group,

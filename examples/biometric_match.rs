@@ -56,7 +56,11 @@ fn main() {
     println!("  true Hamming distance (neither party learns this): {distance}");
     println!(
         "  protocol output: {}",
-        if out.final_output()[0] { "ACCEPT" } else { "REJECT" }
+        if out.final_output()[0] {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        }
     );
     println!("  garbled tables: {}", out.stats.garbled_tables);
     assert_eq!(out.final_output()[0], distance < THRESHOLD as usize);

@@ -52,7 +52,10 @@ fn main() {
     println!("sealed-bid second-price auction (4 bids per party)");
     println!("  highest bid:    {}", run.output[0]);
     println!("  clearing price: {}", run.output[1]);
-    println!("  cycles: {}, garbled tables: {}", run.cycles, stats.garbled_tables);
+    println!(
+        "  cycles: {}, garbled tables: {}",
+        run.cycles, stats.garbled_tables
+    );
     assert_eq!(run.output[0], 455);
     assert_eq!(run.output[1], 444);
 }

@@ -32,7 +32,10 @@ fn main() {
     let (run, stats) = machine.run_skipgate(&program, &[alice_worth], &[bob_worth], 100);
 
     println!("millionaires' problem on the garbled ARM2GC processor");
-    println!("  program: {} instructions (public input p)", program.text.len());
+    println!(
+        "  program: {} instructions (public input p)",
+        program.text.len()
+    );
     println!("  cycles executed: {}", run.cycles);
     println!(
         "  result: {} is richer",

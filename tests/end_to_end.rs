@@ -2,11 +2,9 @@
 //! every crate (crypto → ot → garble/core → cpu).
 
 use arm2gc::circuit::bench_circuits;
-use arm2gc::circuit::sim::{PartyData, Simulator};
+use arm2gc::circuit::sim::Simulator;
 use arm2gc::comm::{duplex, Channel, CountingChannel};
-use arm2gc::core::{
-    run_skipgate_evaluator, run_skipgate_garbler, run_two_party, SkipGateOptions,
-};
+use arm2gc::core::{run_skipgate_evaluator, run_skipgate_garbler, run_two_party, SkipGateOptions};
 use arm2gc::cpu::asm::assemble;
 use arm2gc::cpu::machine::{CpuConfig, GcMachine};
 use arm2gc::cpu::programs;
@@ -78,8 +76,12 @@ fn full_stack_cpu_run_with_real_ot() {
 #[test]
 fn communication_accounting_matches_tables() {
     let bc = bench_circuits::hamming(160, &[1, 2, 3, 4, 5], &[5, 4, 3, 2, 1]);
-    let (alice_out, bob_out) = run_two_party(&bc.circuit, &bc.alice, &bc.bob, &bc.public, bc.cycles);
-    assert_eq!(alice_out.stats.table_bytes, alice_out.stats.garbled_tables * 32);
+    let (alice_out, bob_out) =
+        run_two_party(&bc.circuit, &bc.alice, &bc.bob, &bc.public, bc.cycles);
+    assert_eq!(
+        alice_out.stats.table_bytes,
+        alice_out.stats.garbled_tables * 32
+    );
     assert_eq!(alice_out.stats.table_bytes, bob_out.stats.table_bytes);
     assert_eq!(alice_out.stats.garbled_tables, 1092); // paper Table 1
 }
@@ -172,6 +174,35 @@ fn baseline_and_skipgate_agree_on_aes() {
 
     // SkipGate strictly cheaper than the baseline on the same circuit.
     assert!(skip_a.stats.garbled_tables < base_a.stats.garbled_tables);
+}
+
+/// Slow tier (`cargo test -- --ignored`): the executor-agreement check
+/// on a much larger sort — thousands of CPU cycles through the full
+/// SkipGate protocol.
+#[test]
+#[ignore = "slow tier: run with `cargo test -- --ignored`"]
+fn three_executors_agree_on_large_sort() {
+    let machine = GcMachine::new(CpuConfig::small());
+    let n = 16;
+    let program = assemble(&programs::bubble_sort(n)).expect("assembles");
+    let alice: Vec<u32> = (0..n as u32)
+        .map(|i| i.wrapping_mul(2_654_435_761) ^ 0xa5a5)
+        .collect();
+    let bob: Vec<u32> = (0..n as u32).map(|i| i * 97 + 13).collect();
+
+    let iss = machine.run_iss(&program, &alice, &bob, 1_000_000);
+    let sim = machine.run_sim(&program, &alice, &bob, 1_000_000);
+    let (skip, stats) = machine.run_skipgate(&program, &alice, &bob, 1_000_000);
+
+    assert!(iss.halted);
+    assert_eq!(sim.output, iss.output);
+    assert_eq!(skip.output, iss.output);
+    assert_eq!(sim.cycles, iss.cycles);
+    assert_eq!(stats.cycles_run, iss.cycles);
+
+    let mut expected: Vec<u32> = alice.iter().zip(&bob).map(|(a, b)| a ^ b).collect();
+    expected.sort_unstable();
+    assert_eq!(&skip.output[..n], &expected[..]);
 }
 
 /// Channels deliver arbitrary message sizes in order under threading.

@@ -1,0 +1,43 @@
+//! Smoke test: the shipped examples build, and `quickstart` runs to
+//! completion. Backed by a real `cargo` invocation so the check is the
+//! same one a user's first `cargo run --example quickstart` performs.
+
+use std::process::Command;
+
+fn cargo() -> Command {
+    // `cargo test` exports the path of the cargo that invoked it.
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR")).arg("--offline");
+    cmd
+}
+
+#[test]
+fn examples_build() {
+    let out = cargo()
+        .args(["build", "--examples"])
+        .output()
+        .expect("spawn cargo");
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let out = cargo()
+        .args(["run", "--example", "quickstart"])
+        .output()
+        .expect("spawn cargo");
+    assert!(
+        out.status.success(),
+        "quickstart exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("garbled tables sent"),
+        "quickstart printed unexpected output:\n{stdout}"
+    );
+}

@@ -1,4 +1,13 @@
 //! Property-based tests (proptest) on the workspace's core invariants.
+//!
+//! Two tiers:
+//!
+//! * **fast** (default) — every property below runs a bounded number of
+//!   cases (256, overridable with the `PROPTEST_CASES` environment
+//!   variable) so `cargo test -q` stays interactive;
+//! * **slow** — the `#[ignore]`d deep-fuzz properties at the bottom run
+//!   far more and larger cases: `cargo test -- --ignored`, optionally
+//!   with `PROPTEST_CASES=<n>` to push further.
 
 use proptest::prelude::*;
 
@@ -10,7 +19,19 @@ use arm2gc::core::run_two_party;
 use arm2gc::crypto::{Aes128, Delta, GarbleHash, Label, Prg};
 use arm2gc::garble::{HalfGateEvaluator, HalfGateGarbler};
 
+/// `PROPTEST_CASES` (via `ProptestConfig::default`) wins over the tier's
+/// bounded default, with both the real proptest and the offline shim.
+fn cases_or(default_cases: u32) -> ProptestConfig {
+    if std::env::var_os("PROPTEST_CASES").is_some() {
+        ProptestConfig::default()
+    } else {
+        ProptestConfig::with_cases(default_cases)
+    }
+}
+
 proptest! {
+    #![proptest_config(cases_or(256))]
+
     /// AES is a permutation: distinct plaintexts encrypt distinctly.
     #[test]
     fn aes_injective(key: [u8; 16], a: u128, b: u128) {
@@ -118,5 +139,36 @@ proptest! {
         let out = Simulator::new(&c).run_comb(&bits(a), &bits(b), &[]);
         let got: u16 = out.iter().enumerate().fold(0, |acc, (i, &bit)| acc | ((bit as u16) << i));
         prop_assert_eq!(got, a.wrapping_mul(b));
+    }
+}
+
+// --- slow tier -----------------------------------------------------------
+//
+// Run with `cargo test -- --ignored` (and optionally `PROPTEST_CASES=<n>`).
+
+proptest! {
+    #![proptest_config(cases_or(20_000))]
+
+    /// Deep version of `skipgate_matches_simulator`: bigger circuits,
+    /// more flip-flops, longer runs, many more seeds.
+    #[test]
+    #[ignore = "slow tier: run with `cargo test -- --ignored`"]
+    fn skipgate_matches_simulator_deep(seed in 1u64..1_000_000, cycles in 1usize..12) {
+        let mut rng = TestRng::new(seed);
+        let params = RandomCircuitParams {
+            inputs: (4, 4, 4),
+            dffs: 8,
+            gates: 120,
+            outputs: 8,
+            output_mode: if seed % 2 == 0 { OutputMode::PerCycle } else { OutputMode::FinalOnly },
+        };
+        let c = random_circuit(&mut rng, params);
+        let (a, b, p) = random_inputs(&mut rng, &c, cycles);
+        let sim = Simulator::new(&c).run(&a, &b, &p, cycles);
+        let (alice_out, bob_out) = run_two_party(&c, &a, &b, &p, cycles);
+        prop_assert_eq!(&alice_out.outputs, &sim.outputs);
+        prop_assert_eq!(&bob_out.outputs, &sim.outputs);
+        let bound = c.non_xor_count() * cycles as u64;
+        prop_assert!(alice_out.stats.garbled_tables <= bound);
     }
 }
