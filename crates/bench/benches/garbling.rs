@@ -1,11 +1,13 @@
 //! Criterion micro-benchmarks of the garbling substrate: half-gate
-//! throughput and end-to-end protocol runs on the Table 1 circuits.
+//! throughput, end-to-end protocol runs on the Table 1 circuits, and
+//! the session layer's table streaming (lockstep vs. chunked flush).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use arm2gc_bench::runner::{run_baseline, run_skipgate};
+use arm2gc_bench::runner::{run_baseline, run_baseline_with, run_skipgate, run_skipgate_with};
 use arm2gc_circuit::bench_circuits;
 use arm2gc_circuit::Op;
+use arm2gc_core::{OtBackend, StreamConfig, TwoPartyConfig};
 use arm2gc_crypto::{Delta, Label, Prg};
 use arm2gc_garble::{HalfGateEvaluator, HalfGateGarbler};
 
@@ -58,5 +60,47 @@ fn bench_protocols(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_halfgate, bench_protocols);
+/// Table streaming: the legacy per-cycle lockstep flush vs. the
+/// session layer's chunked, pipelined flush. `sum_1024` is the
+/// many-cycles/few-tables extreme (per-message overhead dominates);
+/// `aes_128` is the table-heavy extreme (pipelining garbling against
+/// evaluation dominates).
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming");
+    g.sample_size(10);
+    let sum = bench_circuits::sum(1024, u64::MAX, 0x1234_5678);
+    let key: Vec<u8> = (0..16).collect();
+    let pt: Vec<u8> = (16..32).collect();
+    let aes = bench_circuits::aes128(key.try_into().expect("16"), pt.try_into().expect("16"));
+
+    g.bench_function("sum1024_baseline_lockstep", |b| {
+        b.iter(|| run_baseline_with(&sum, OtBackend::Insecure, StreamConfig::lockstep()))
+    });
+    g.bench_function("sum1024_baseline_chunked", |b| {
+        b.iter(|| run_baseline_with(&sum, OtBackend::Insecure, StreamConfig::default()))
+    });
+    g.bench_function("aes128_baseline_lockstep", |b| {
+        b.iter(|| run_baseline_with(&aes, OtBackend::Insecure, StreamConfig::lockstep()))
+    });
+    g.bench_function("aes128_baseline_chunked", |b| {
+        b.iter(|| run_baseline_with(&aes, OtBackend::Insecure, StreamConfig::default()))
+    });
+    g.bench_function("sum1024_skipgate_lockstep", |b| {
+        b.iter(|| {
+            run_skipgate_with(
+                &sum,
+                TwoPartyConfig {
+                    stream: StreamConfig::lockstep(),
+                    ..TwoPartyConfig::default()
+                },
+            )
+        })
+    });
+    g.bench_function("sum1024_skipgate_chunked", |b| {
+        b.iter(|| run_skipgate_with(&sum, TwoPartyConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_halfgate, bench_protocols, bench_streaming);
 criterion_main!(benches);

@@ -4,13 +4,12 @@ use arm2gc_circuit::bench_circuits::{self, BenchCircuit};
 use arm2gc_circuit::random::TestRng;
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_comm::duplex;
-use arm2gc_core::{run_two_party, SkipGateStats};
+use arm2gc_core::{run_two_party, run_two_party_cfg, OtBackend, SkipGateStats, TwoPartyConfig};
 use arm2gc_cpu::asm::{assemble, Program};
 use arm2gc_cpu::machine::{CpuConfig, GcMachine};
 use arm2gc_cpu::programs;
 use arm2gc_crypto::Prg;
-use arm2gc_garble::{run_evaluator, run_garbler, GarbleStats};
-use arm2gc_ot::InsecureOt;
+use arm2gc_garble::{run_evaluator, run_garbler_with, GarbleStats, StreamConfig};
 
 /// Measured circuit-level result: baseline vs SkipGate.
 #[derive(Clone, Copy, Debug)]
@@ -22,24 +21,35 @@ pub struct CircuitMeasurement {
     pub skipgate: u64,
 }
 
-/// Runs a benchmark circuit under the classic engine (real garbling).
+/// Runs a benchmark circuit under the classic engine (real garbling)
+/// with the default session configuration.
 pub fn run_baseline(bc: &BenchCircuit) -> GarbleStats {
+    run_baseline_with(bc, OtBackend::Insecure, StreamConfig::default())
+}
+
+/// [`run_baseline`] with an explicit OT backend and table-streaming
+/// configuration.
+pub fn run_baseline_with(bc: &BenchCircuit, ot: OtBackend, stream: StreamConfig) -> GarbleStats {
     let (mut ca, mut cb) = duplex();
     let outcome = std::thread::scope(|s| {
-        let g = s.spawn(|| {
+        let g = s.spawn(move || {
             let mut prg = Prg::from_seed([91; 16]);
-            run_garbler(
+            let mut ot = ot.sender(&mut prg);
+            run_garbler_with(
                 &bc.circuit,
                 &bc.alice,
                 &bc.public,
                 bc.cycles,
                 &mut ca,
-                &mut InsecureOt,
+                ot.as_mut(),
                 &mut prg,
+                stream,
             )
             .expect("baseline garbler")
         });
-        let b = run_evaluator(&bc.circuit, &bc.bob, bc.cycles, &mut cb, &mut InsecureOt)
+        let mut prg = Prg::from_seed([92; 16]);
+        let mut ot = ot.receiver(&mut prg);
+        let b = run_evaluator(&bc.circuit, &bc.bob, bc.cycles, &mut cb, ot.as_mut())
             .expect("baseline evaluator");
         let a = g.join().expect("garbler thread");
         assert_eq!(a.outputs, b.outputs);
@@ -53,7 +63,13 @@ pub fn run_baseline(bc: &BenchCircuit) -> GarbleStats {
 /// Runs a benchmark circuit under SkipGate (real two-party run) and
 /// verifies the output against the semantic expectation.
 pub fn run_skipgate(bc: &BenchCircuit) -> SkipGateStats {
-    let (a, b) = run_two_party(&bc.circuit, &bc.alice, &bc.bob, &bc.public, bc.cycles);
+    run_skipgate_with(bc, TwoPartyConfig::default())
+}
+
+/// [`run_skipgate`] with an explicit session configuration (OT backend,
+/// table streaming, SkipGate options).
+pub fn run_skipgate_with(bc: &BenchCircuit, cfg: TwoPartyConfig) -> SkipGateStats {
+    let (a, b) = run_two_party_cfg(&bc.circuit, &bc.alice, &bc.bob, &bc.public, bc.cycles, cfg);
     assert_eq!(a.outputs, b.outputs);
     let got: Vec<bool> = a.outputs.concat();
     assert_eq!(got, bc.expected, "skipgate output mismatch");
@@ -271,9 +287,9 @@ pub fn complex_workloads(quick: bool) -> Vec<CpuWorkload> {
         })
         .collect();
     // Keep some edges missing for realism.
-    for i in 0..nodes * nodes {
+    for edge in adj.iter_mut() {
         if rng.below(3) == 0 {
-            adj[i] = INF;
+            *edge = INF;
         }
     }
     let mut words = |n: usize| -> Vec<u32> { (0..n).map(|_| rng.next_u64() as u32).collect() };

@@ -1,0 +1,62 @@
+//! The OT endpoint is pluggable end to end: the same runs over the real
+//! Naor–Pinkas + IKNP stack must produce the same outputs and the same
+//! cost stats as over the insecure reference OT.
+
+use arm2gc_bench::runner::{run_baseline_with, run_skipgate_with};
+use arm2gc_circuit::bench_circuits;
+use arm2gc_core::{OtBackend, StreamConfig, TwoPartyConfig};
+use arm2gc_cpu::asm::assemble;
+use arm2gc_cpu::machine::{CpuConfig, GcMachine};
+use arm2gc_cpu::programs;
+
+#[test]
+fn skipgate_circuit_over_naor_pinkas_iknp() {
+    let bc = bench_circuits::compare(32, 123_456, 654_321);
+    let insecure = run_skipgate_with(&bc, TwoPartyConfig::default());
+    let real = run_skipgate_with(
+        &bc,
+        TwoPartyConfig {
+            ot: OtBackend::NaorPinkasIknp,
+            ..TwoPartyConfig::default()
+        },
+    );
+    // The OT backend is transparent to the cost model: same number of
+    // logical OTs, same tables, same bytes.
+    assert_eq!(insecure, real);
+}
+
+#[test]
+fn baseline_circuit_over_naor_pinkas_iknp() {
+    let bc = bench_circuits::sum(32, 777, 888);
+    let insecure = run_baseline_with(&bc, OtBackend::Insecure, StreamConfig::default());
+    let real = run_baseline_with(&bc, OtBackend::NaorPinkasIknp, StreamConfig::lockstep());
+    assert_eq!(insecure, real);
+}
+
+/// The full garbled processor over the real OT stack, through the
+/// pluggable `GcMachine` entry point: SkipGate runs a CPU program
+/// end-to-end over Naor–Pinkas base OTs + IKNP extension and agrees
+/// with the instruction-set simulator.
+#[test]
+fn cpu_program_over_naor_pinkas_iknp() {
+    let machine = GcMachine::new(CpuConfig::small());
+    let program = assemble(&programs::sum32()).expect("assembles");
+    let (alice, bob) = (&[40u32][..], &[2u32][..]);
+
+    let iss = machine.run_iss(&program, alice, bob, 100);
+    assert!(iss.halted);
+
+    let cfg = TwoPartyConfig {
+        ot: OtBackend::NaorPinkasIknp,
+        ..TwoPartyConfig::default()
+    };
+    let (run, stats) = machine.run_skipgate_with(&program, alice, bob, 100, cfg);
+    assert_eq!(run.output, iss.output);
+    assert_eq!(run.cycles, iss.cycles);
+    assert_eq!(run.output[0], 42);
+
+    // Same cost as the insecure-OT run: the backend changes only *how*
+    // labels transfer, not how many.
+    let (_, insecure_stats) = machine.run_skipgate(&program, alice, bob, 100);
+    assert_eq!(stats, insecure_stats);
+}

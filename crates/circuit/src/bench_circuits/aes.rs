@@ -137,10 +137,10 @@ impl BitMatrix {
                 .expect("matrix is invertible");
             rows.swap(col, pivot);
             let (pr, pi) = rows[col];
-            for r in 0..8 {
-                if r != col && (rows[r].0 >> col) & 1 == 1 {
-                    rows[r].0 ^= pr;
-                    rows[r].1 ^= pi;
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != col && (row.0 >> col) & 1 == 1 {
+                    row.0 ^= pr;
+                    row.1 ^= pi;
                 }
             }
         }

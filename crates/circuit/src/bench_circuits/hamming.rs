@@ -25,10 +25,10 @@ pub fn hamming(n: usize, a: &[u32], b: &[u32]) -> BenchCircuit {
     // bit (the counter is wide enough never to overflow).
     let mut carry = x;
     let mut next = Vec::with_capacity(w);
-    for i in 0..w {
-        next.push(bld.xor(counter[i], carry));
+    for (i, &c) in counter.iter().enumerate() {
+        next.push(bld.xor(c, carry));
         if i + 1 < w {
-            carry = bld.and(counter[i], carry);
+            carry = bld.and(c, carry);
         }
     }
     bld.connect_dff_bus(&counter, &next);

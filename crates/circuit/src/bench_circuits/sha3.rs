@@ -117,7 +117,7 @@ pub fn sha3_256_digest(msg: &[u8]) -> [u8; 32] {
 
 /// SHA3 pads `msg` into a full 200-byte Keccak state image.
 fn padded_state(msg: &[u8]) -> [u8; 200] {
-    assert!(msg.len() <= RATE_BITS / 8 - 1, "single-block messages only");
+    assert!(msg.len() < RATE_BITS / 8, "single-block messages only");
     let mut st = [0u8; 200];
     st[..msg.len()].copy_from_slice(msg);
     st[msg.len()] ^= 0x06; // SHA3 domain separation

@@ -118,7 +118,7 @@ impl CircuitBuilder {
         for i in 1..n {
             let pp: Bus = b.iter().map(|&bi| self.and(a[i], bi)).collect();
             // Add pp into acc[i .. i+n]; propagate carry one more bit.
-            let (sum, carry) = self.add(&acc[i..i + n].to_vec(), &pp);
+            let (sum, carry) = self.add(&acc[i..i + n], &pp);
             acc.splice(i..i + n, sum);
             if i + n < 2 * n {
                 acc[i + n] = carry;

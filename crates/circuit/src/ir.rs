@@ -119,7 +119,7 @@ impl Op {
     /// Restricts input `a` to the constant `val`; the gate becomes a unary
     /// function of `b`.
     pub const fn restrict_a(self, val: bool) -> Unary {
-        let f0 = (self.0 >> (((val as u8) << 1) | 0)) & 1 == 1; // b = 0
+        let f0 = (self.0 >> ((val as u8) << 1)) & 1 == 1; // b = 0
         let f1 = (self.0 >> (((val as u8) << 1) | 1)) & 1 == 1; // b = 1
         Self::unary(f0, f1)
     }

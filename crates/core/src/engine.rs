@@ -11,14 +11,19 @@
 //!   without any extra communication;
 //! * output bits on public wires are reported without interaction; only
 //!   secret outputs go through the colour-bit exchange.
+//!
+//! Transport is the shared typed session layer ([`arm2gc_proto`]): both
+//! engines deliver labels, stream tables and reveal outputs through the
+//! same [`GarblerSession`]/[`EvaluatorSession`] code paths.
 
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_circuit::{Circuit, DffInit, Op, OutputMode, Role, WireId};
 use arm2gc_comm::{duplex, Channel};
-use arm2gc_crypto::{Delta, Label, Prg};
+use arm2gc_crypto::{Label, Prg};
 use arm2gc_garble::engine::ProtocolError;
 use arm2gc_garble::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
-use arm2gc_ot::{InsecureOt, OtReceiver, OtSender};
+use arm2gc_ot::{OtReceiver, OtSender};
+use arm2gc_proto::{EvaluatorSession, GarblerSession, OtBackend, StreamConfig};
 
 use crate::decide::{DecideContext, GateDecision};
 use crate::state::WireVal;
@@ -63,20 +68,6 @@ impl SkipGateOutcome {
     pub fn final_output(&self) -> &[bool] {
         self.outputs.last().expect("no outputs")
     }
-}
-
-fn pack_bits(bits: &[bool]) -> Vec<u8> {
-    let mut out = vec![0u8; bits.len().div_ceil(8)];
-    for (i, &b) in bits.iter().enumerate() {
-        if b {
-            out[i / 8] |= 1 << (i % 8);
-        }
-    }
-    out
-}
-
-fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
-    (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
 }
 
 /// An output bit scheduled for revelation.
@@ -225,10 +216,24 @@ impl Default for SkipGateOptions {
     }
 }
 
-/// Runs Alice's side (Algorithm 1): garbles only what SkipGate keeps.
+/// Full configuration of an in-process two-party run: SkipGate options
+/// plus the session layer's OT backend and table-streaming chunking.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoPartyConfig {
+    /// SkipGate decision-engine options.
+    pub options: SkipGateOptions,
+    /// Which OT stack the parties use.
+    pub ot: OtBackend,
+    /// Garbler-side table-streaming configuration.
+    pub stream: StreamConfig,
+}
+
+/// Runs Alice's side (Algorithm 1) with the default streaming
+/// configuration: garbles only what SkipGate keeps.
 ///
 /// # Errors
 /// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
 pub fn run_skipgate_garbler(
     circuit: &Circuit,
     alice: &PartyData,
@@ -239,9 +244,39 @@ pub fn run_skipgate_garbler(
     prg: &mut Prg,
     options: SkipGateOptions,
 ) -> Result<SkipGateOutcome, ProtocolError> {
-    let delta = Delta::random(prg);
-    let d = delta.as_label();
-    let garbler = HalfGateGarbler::new(delta);
+    run_skipgate_garbler_with(
+        circuit,
+        alice,
+        public,
+        cycles,
+        ch,
+        ot,
+        prg,
+        options,
+        StreamConfig::default(),
+    )
+}
+
+/// [`run_skipgate_garbler`] with an explicit table-streaming
+/// configuration.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_skipgate_garbler_with(
+    circuit: &Circuit,
+    alice: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    ot: &mut dyn OtSender,
+    prg: &mut Prg,
+    options: SkipGateOptions,
+    stream: StreamConfig,
+) -> Result<SkipGateOutcome, ProtocolError> {
+    let mut session = GarblerSession::establish(ch, ot, prg, stream)?;
+    let d = session.delta().as_label();
+    let garbler = HalfGateGarbler::new(session.delta());
     let mut shared = Shared::new(circuit, options.filter_dead_gates);
     let mut labels = vec![Label::ZERO; circuit.wire_count()];
 
@@ -255,7 +290,7 @@ pub fn run_skipgate_garbler(
         .filter(|f| matches!(f.init, DffInit::Alice(_)))
         .map(|f| (f.q, f))
     {
-        let x0 = Label::random(prg);
+        let x0 = session.fresh_label();
         labels[w.index()] = x0;
         let DffInit::Alice(i) = dff.init else {
             unreachable!()
@@ -267,7 +302,7 @@ pub fn run_skipgate_garbler(
         .iter()
         .filter(|f| matches!(f.init, DffInit::Bob(_)))
     {
-        let x0 = Label::random(prg);
+        let x0 = session.fresh_label();
         labels[dff.q.index()] = x0;
         ot_pairs.push((x0, x0 ^ d));
     }
@@ -282,14 +317,14 @@ pub fn run_skipgate_garbler(
         for input in circuit.inputs() {
             match input.role {
                 Role::Alice => {
-                    let x0 = Label::random(prg);
+                    let x0 = session.fresh_label();
                     let v = alice.stream[cycle][aidx];
                     aidx += 1;
                     direct.push(if v { x0 ^ d } else { x0 });
                     per_cycle.push((input.wire, x0));
                 }
                 Role::Bob => {
-                    let x0 = Label::random(prg);
+                    let x0 = session.fresh_label();
                     ot_pairs.push((x0, x0 ^ d));
                     per_cycle.push((input.wire, x0));
                 }
@@ -298,19 +333,15 @@ pub fn run_skipgate_garbler(
         }
         stream_labels.push(per_cycle);
     }
-    let direct_bytes: Vec<u8> = direct.iter().flat_map(|l| l.to_bytes()).collect();
-    ch.send(&direct_bytes)?;
-    if !ot_pairs.is_empty() {
-        ot.send(ch, &ot_pairs)?;
-    }
-    shared.stats.ots = ot_pairs.len() as u64;
+    session.send_direct_labels(&direct)?;
+    session.ot_send(&ot_pairs)?;
 
     // --- Cycle loop -------------------------------------------------------
     let mut tweak = 0u64;
     let mut decode_bits: Vec<bool> = Vec::new();
-    for cycle in 0..cycles {
+    for (cycle, cycle_labels) in stream_labels.iter().enumerate() {
         shared.set_cycle_inputs(cycle, public);
-        for &(w, x0) in &stream_labels[cycle] {
+        for &(w, x0) in cycle_labels {
             labels[w.index()] = x0;
         }
         let is_last = cycle + 1 == cycles;
@@ -322,7 +353,6 @@ pub fn run_skipgate_garbler(
         };
         shared.absorb_counts(&decisions.counts);
 
-        let mut tables = Vec::new();
         for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
             match *decision {
                 GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {}
@@ -349,20 +379,21 @@ pub fn run_skipgate_garbler(
                     );
                     tweak += 1;
                     labels[gate.out.index()] = c0;
-                    tables.extend_from_slice(&table.to_bytes());
+                    session.push_table(&table.to_bytes())?;
                 }
             }
         }
-        shared.stats.table_bytes += tables.len() as u64;
-        ch.send(&tables)?;
+        session.end_cycle()?;
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
             shared.record_frame();
-            decode_bits.extend(circuit.outputs().iter().filter_map(|w| {
-                shared.states[w.index()]
-                    .is_secret()
-                    .then(|| labels[w.index()].colour())
-            }));
+            decode_bits.extend(
+                circuit
+                    .outputs()
+                    .iter()
+                    .filter(|&w| shared.states[w.index()].is_secret())
+                    .map(|w| labels[w.index()].colour()),
+            );
         }
         let halted = shared.halted();
 
@@ -379,19 +410,22 @@ pub fn run_skipgate_garbler(
     }
     if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
         shared.record_frame();
-        decode_bits.extend(circuit.outputs().iter().filter_map(|w| {
-            shared.states[w.index()]
-                .is_secret()
-                .then(|| labels[w.index()].colour())
-        }));
+        decode_bits.extend(
+            circuit
+                .outputs()
+                .iter()
+                .filter(|&w| shared.states[w.index()].is_secret())
+                .map(|w| labels[w.index()].colour()),
+        );
     }
 
     // --- Output revelation -------------------------------------------------
-    ch.send(&pack_bits(&decode_bits))?;
-    let secret_values = unpack_bits(&ch.recv()?, decode_bits.len());
+    let secret_values = session.reveal_outputs(&decode_bits)?;
     let outputs = shared.assemble_outputs(&secret_values);
     let mut stats = shared.stats;
-    stats.garbled_tables = stats.table_bytes / GarbledTable::BYTES as u64;
+    stats.ots = session.stats().ots;
+    stats.table_bytes = session.stats().table_bytes;
+    stats.garbled_tables = session.stats().garbled_tables;
     Ok(SkipGateOutcome { outputs, stats })
 }
 
@@ -412,15 +446,13 @@ pub fn run_skipgate_evaluator(
     options: SkipGateOptions,
 ) -> Result<SkipGateOutcome, ProtocolError> {
     let evaluator = HalfGateEvaluator::new();
+    let mut session = EvaluatorSession::establish(ch, ot, GarbledTable::BYTES)?;
     let mut shared = Shared::new(circuit, options.filter_dead_gates);
     let mut active = vec![Label::ZERO; circuit.wire_count()];
 
     // --- Input labels -----------------------------------------------------
     let (alice_wires, bob_wires) = shared.init_states(public);
-    let direct_bytes = ch.recv()?;
-    let mut direct = direct_bytes
-        .chunks_exact(16)
-        .map(|c| Label::from_bytes(c.try_into().expect("16 bytes")));
+    let mut direct = session.recv_direct_labels()?.into_iter();
     for &w in &alice_wires {
         active[w.index()] = direct
             .next()
@@ -455,12 +487,7 @@ pub fn run_skipgate_evaluator(
         }
         stream_slots.push(per_cycle);
     }
-    let ot_labels = if choices.is_empty() {
-        Vec::new()
-    } else {
-        ot.receive(ch, &choices)?
-    };
-    let mut ot_iter = ot_labels.into_iter();
+    let mut ot_iter = session.ot_receive(&choices)?.into_iter();
     for &w in &bob_wires {
         active[w.index()] = ot_iter.next().ok_or(ProtocolError::Malformed("bob ot"))?;
     }
@@ -471,14 +498,13 @@ pub fn run_skipgate_evaluator(
             }
         }
     }
-    shared.stats.ots = choices.len() as u64;
 
     // --- Cycle loop ---------------------------------------------------------
     let mut tweak = 0u64;
     let mut my_colours: Vec<bool> = Vec::new();
-    for cycle in 0..cycles {
+    for (cycle, cycle_slots) in stream_slots.iter().enumerate() {
         shared.set_cycle_inputs(cycle, public);
-        for &(w, l) in &stream_slots[cycle] {
+        for &(w, l) in cycle_slots {
             active[w.index()] = l.expect("filled above");
         }
         let is_last = cycle + 1 == cycles;
@@ -489,15 +515,6 @@ pub fn run_skipgate_evaluator(
             ctx.decide_cycle(states, alloc, is_last)
         };
         shared.absorb_counts(&decisions.counts);
-
-        let table_bytes = ch.recv()?;
-        if table_bytes.len() % GarbledTable::BYTES != 0 {
-            return Err(ProtocolError::Malformed("table stream"));
-        }
-        shared.stats.table_bytes += table_bytes.len() as u64;
-        let mut tables = table_bytes
-            .chunks_exact(GarbledTable::BYTES)
-            .map(GarbledTable::from_bytes);
 
         for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
             match *decision {
@@ -513,26 +530,23 @@ pub fn run_skipgate_evaluator(
                     active[gate.out.index()] = active[gate.a.index()] ^ active[gate.b.index()];
                 }
                 GateDecision::Garble => {
-                    let t = tables
-                        .next()
-                        .ok_or(ProtocolError::Malformed("missing table"))?;
+                    let t = GarbledTable::from_bytes(session.next_table(GarbledTable::BYTES)?);
                     active[gate.out.index()] =
                         evaluator.eval(active[gate.a.index()], active[gate.b.index()], &t, tweak);
                     tweak += 1;
                 }
             }
         }
-        if tables.next().is_some() {
-            return Err(ProtocolError::Malformed("extra tables"));
-        }
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
             shared.record_frame();
-            my_colours.extend(circuit.outputs().iter().filter_map(|w| {
-                shared.states[w.index()]
-                    .is_secret()
-                    .then(|| active[w.index()].colour())
-            }));
+            my_colours.extend(
+                circuit
+                    .outputs()
+                    .iter()
+                    .filter(|&w| shared.states[w.index()].is_secret())
+                    .map(|w| active[w.index()].colour()),
+            );
         }
         let halted = shared.halted();
 
@@ -548,24 +562,22 @@ pub fn run_skipgate_evaluator(
     }
     if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
         shared.record_frame();
-        my_colours.extend(circuit.outputs().iter().filter_map(|w| {
-            shared.states[w.index()]
-                .is_secret()
-                .then(|| active[w.index()].colour())
-        }));
+        my_colours.extend(
+            circuit
+                .outputs()
+                .iter()
+                .filter(|&w| shared.states[w.index()].is_secret())
+                .map(|w| active[w.index()].colour()),
+        );
     }
 
     // --- Output revelation ----------------------------------------------
-    let decode = unpack_bits(&ch.recv()?, my_colours.len());
-    let secret_values: Vec<bool> = my_colours
-        .iter()
-        .zip(&decode)
-        .map(|(&c, &z)| c ^ z)
-        .collect();
-    ch.send(&pack_bits(&secret_values))?;
+    let secret_values = session.reveal_outputs(&my_colours)?;
     let outputs = shared.assemble_outputs(&secret_values);
     let mut stats = shared.stats;
-    stats.garbled_tables = stats.table_bytes / GarbledTable::BYTES as u64;
+    stats.ots = session.stats().ots;
+    stats.table_bytes = session.stats().table_bytes;
+    stats.garbled_tables = session.stats().garbled_tables;
     Ok(SkipGateOutcome { outputs, stats })
 }
 
@@ -582,17 +594,17 @@ pub fn run_two_party(
     public: &PartyData,
     cycles: usize,
 ) -> (SkipGateOutcome, SkipGateOutcome) {
-    run_two_party_with(
+    run_two_party_cfg(
         circuit,
         alice,
         bob,
         public,
         cycles,
-        SkipGateOptions::default(),
+        TwoPartyConfig::default(),
     )
 }
 
-/// [`run_two_party`] with explicit options.
+/// [`run_two_party`] with explicit SkipGate options.
 ///
 /// # Panics
 /// Panics if either party fails (test harness semantics).
@@ -604,35 +616,64 @@ pub fn run_two_party_with(
     cycles: usize,
     options: SkipGateOptions,
 ) -> (SkipGateOutcome, SkipGateOutcome) {
+    run_two_party_cfg(
+        circuit,
+        alice,
+        bob,
+        public,
+        cycles,
+        TwoPartyConfig {
+            options,
+            ..TwoPartyConfig::default()
+        },
+    )
+}
+
+/// [`run_two_party`] with a full [`TwoPartyConfig`]: pluggable OT
+/// backend and table-streaming configuration.
+///
+/// # Panics
+/// Panics if either party fails (test harness semantics).
+pub fn run_two_party_cfg(
+    circuit: &Circuit,
+    alice: &PartyData,
+    bob: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    cfg: TwoPartyConfig,
+) -> (SkipGateOutcome, SkipGateOutcome) {
     let (mut ca, mut cb) = duplex();
-    let alice_outcome = std::thread::scope(|s| {
-        let garbler = s.spawn(|| {
+    std::thread::scope(|s| {
+        let garbler = s.spawn(move || {
             let mut prg = Prg::from_entropy();
-            run_skipgate_garbler(
+            let mut ot = cfg.ot.sender(&mut prg);
+            run_skipgate_garbler_with(
                 circuit,
                 alice,
                 public,
                 cycles,
                 &mut ca,
-                &mut InsecureOt,
+                ot.as_mut(),
                 &mut prg,
-                options,
+                cfg.options,
+                cfg.stream,
             )
             .expect("skipgate garbler")
         });
+        let mut prg = Prg::from_entropy();
+        let mut ot = cfg.ot.receiver(&mut prg);
         let bob_outcome = run_skipgate_evaluator(
             circuit,
             bob,
             public,
             cycles,
             &mut cb,
-            &mut InsecureOt,
-            options,
+            ot.as_mut(),
+            cfg.options,
         )
         .expect("skipgate evaluator");
         (garbler.join().expect("garbler thread"), bob_outcome)
-    });
-    alice_outcome
+    })
 }
 
 /// Sanity helper used by docs/tests: a netlist must not contain

@@ -425,7 +425,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                         return err(line, ".space outside .data");
                     }
                     let n = parse_int(rest.trim(), line)?;
-                    data.extend(std::iter::repeat_n(0, n as usize));
+                    data.resize(data.len() + n as usize, 0);
                 }
                 other => return err(line, format!("unknown directive '.{other}'")),
             }

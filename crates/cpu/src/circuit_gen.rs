@@ -85,7 +85,7 @@ pub fn build_cpu(config: &CpuConfig) -> Circuit {
 
     // ---- Fetch & decode ---------------------------------------------------
     let kpc = config.instr_words.trailing_zeros() as usize;
-    let instr = instr_rom.read(&mut b, &pc[..kpc].to_vec());
+    let instr = instr_rom.read(&mut b, &pc[..kpc]);
     instr_rom.connect_rom(&mut b);
 
     let cond = instr[28..32].to_vec();
@@ -274,10 +274,10 @@ pub fn build_cpu(config: &CpuConfig) -> Circuit {
     let ka = config.alice_words.trailing_zeros() as usize;
     let kb = config.bob_words.trailing_zeros() as usize;
     let ko = config.out_words.trailing_zeros() as usize;
-    let data_rd = data_ram.read(&mut b, &addr[..kd].to_vec());
-    let alice_rd = alice_rom.read(&mut b, &addr[..ka].to_vec());
-    let bob_rd = bob_rom.read(&mut b, &addr[..kb].to_vec());
-    let out_rd = out_ram.read(&mut b, &addr[..ko].to_vec());
+    let data_rd = data_ram.read(&mut b, &addr[..kd]);
+    let alice_rd = alice_rom.read(&mut b, &addr[..ka]);
+    let bob_rd = bob_rom.read(&mut b, &addr[..kb]);
+    let out_rd = out_ram.read(&mut b, &addr[..ko]);
     alice_rom.connect_rom(&mut b);
     bob_rom.connect_rom(&mut b);
 
@@ -290,8 +290,8 @@ pub fn build_cpu(config: &CpuConfig) -> Circuit {
     let str_exec = b.and(is_str, exec);
     let we_data = b.and(str_exec, sel_data);
     let we_out = b.and(str_exec, sel_out);
-    data_ram.connect_write(&mut b, &addr[..kd].to_vec(), we_data, &portc_val);
-    out_ram.connect_write(&mut b, &addr[..ko].to_vec(), we_out, &portc_val);
+    data_ram.connect_write(&mut b, &addr[..kd], we_data, &portc_val);
+    out_ram.connect_write(&mut b, &addr[..ko], we_out, &portc_val);
 
     // ---- Writeback -----------------------------------------------------------
     let (pc1, _) = b.inc(&pc);

@@ -19,7 +19,7 @@
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_circuit::words::{bits_to_words, u32_to_bits};
 use arm2gc_circuit::Circuit;
-use arm2gc_core::{run_two_party, SkipGateStats};
+use arm2gc_core::{run_two_party_cfg, SkipGateStats, TwoPartyConfig};
 
 use crate::asm::Program;
 use crate::circuit_gen::build_cpu;
@@ -227,8 +227,10 @@ impl GcMachine {
         }
     }
 
-    /// Runs the two-party SkipGate protocol (both parties in-process).
-    /// Returns the run plus the garbler's cost statistics.
+    /// Runs the two-party SkipGate protocol (both parties in-process)
+    /// with the default session configuration (insecure reference OT,
+    /// chunked table streaming). Returns the run plus the garbler's cost
+    /// statistics.
     pub fn run_skipgate(
         &self,
         prog: &Program,
@@ -236,8 +238,22 @@ impl GcMachine {
         bob: &[u32],
         max_cycles: usize,
     ) -> (MachineRun, SkipGateStats) {
+        self.run_skipgate_with(prog, alice, bob, max_cycles, TwoPartyConfig::default())
+    }
+
+    /// [`GcMachine::run_skipgate`] with an explicit session
+    /// configuration: pluggable OT backend (e.g. the real Naor–Pinkas +
+    /// IKNP stack) and table-streaming chunking.
+    pub fn run_skipgate_with(
+        &self,
+        prog: &Program,
+        alice: &[u32],
+        bob: &[u32],
+        max_cycles: usize,
+        cfg: TwoPartyConfig,
+    ) -> (MachineRun, SkipGateStats) {
         let (a, b, p) = self.party_data(prog, alice, bob);
-        let (alice_out, bob_out) = run_two_party(&self.circuit, &a, &b, &p, max_cycles);
+        let (alice_out, bob_out) = run_two_party_cfg(&self.circuit, &a, &b, &p, max_cycles, cfg);
         assert_eq!(alice_out.outputs, bob_out.outputs, "party outputs differ");
         let out_bits = &alice_out.final_output()[..self.config.out_words * 32];
         (

@@ -6,52 +6,24 @@
 //! public input `p` — which this baseline deliberately treats as secret
 //! data, exactly like the paper's "conventional GC" columns), and OT for
 //! Bob's inputs.
+//!
+//! All transport goes through the typed session layer in
+//! [`arm2gc_proto`]: the garbler pushes tables into the session's
+//! buffered sink (flushed in [`StreamConfig`] chunks, overlapping
+//! Alice's garbling with Bob's evaluation) and the evaluator pulls them
+//! on demand.
 
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_circuit::{Circuit, DffInit, Op, OutputMode, Role};
-use arm2gc_comm::{Channel, ChannelClosed};
-use arm2gc_crypto::{Delta, Label, Prg};
-use arm2gc_ot::{OtError, OtReceiver, OtSender};
+use arm2gc_comm::Channel;
+use arm2gc_crypto::{Label, Prg};
+use arm2gc_ot::{OtReceiver, OtSender};
+use arm2gc_proto::{EvaluatorSession, GarblerSession, StreamConfig};
 
 use crate::halfgate::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
 
-use std::error::Error;
-use std::fmt;
-
-/// Failures of the two-party protocol.
-#[derive(Debug)]
-pub enum ProtocolError {
-    /// Transport failure.
-    Channel(ChannelClosed),
-    /// Oblivious-transfer failure.
-    Ot(OtError),
-    /// The peer sent something structurally invalid.
-    Malformed(&'static str),
-}
-
-impl fmt::Display for ProtocolError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProtocolError::Channel(e) => write!(f, "protocol channel failure: {e}"),
-            ProtocolError::Ot(e) => write!(f, "protocol ot failure: {e}"),
-            ProtocolError::Malformed(m) => write!(f, "malformed protocol message: {m}"),
-        }
-    }
-}
-
-impl Error for ProtocolError {}
-
-impl From<ChannelClosed> for ProtocolError {
-    fn from(e: ChannelClosed) -> Self {
-        ProtocolError::Channel(e)
-    }
-}
-
-impl From<OtError> for ProtocolError {
-    fn from(e: OtError) -> Self {
-        ProtocolError::Ot(e)
-    }
-}
+/// Failures of the two-party protocol (the proto layer's error type).
+pub use arm2gc_proto::ProtoError as ProtocolError;
 
 /// Cost accounting for one protocol run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -87,20 +59,6 @@ impl GarbleOutcome {
     }
 }
 
-fn pack_bits(bits: &[bool]) -> Vec<u8> {
-    let mut out = vec![0u8; bits.len().div_ceil(8)];
-    for (i, &b) in bits.iter().enumerate() {
-        if b {
-            out[i / 8] |= 1 << (i % 8);
-        }
-    }
-    out
-}
-
-fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
-    (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
-}
-
 /// Zero-label of a *linear* gate output on the garbler side.
 fn linear_zero(op: Op, a0: Label, b0: Label, delta: Label) -> Label {
     match op {
@@ -124,7 +82,8 @@ fn linear_active(op: Op, a: Label, b: Label) -> Label {
     }
 }
 
-/// Runs the garbler (Alice) side of the classic sequential GC protocol.
+/// Runs the garbler (Alice) side of the classic sequential GC protocol
+/// with the default streaming configuration.
 ///
 /// `public` is the public input `p`; this engine garbles it like private
 /// data (the whole point of the baseline). Outputs are revealed to both
@@ -141,23 +100,49 @@ pub fn run_garbler(
     ot: &mut dyn OtSender,
     prg: &mut Prg,
 ) -> Result<GarbleOutcome, ProtocolError> {
-    let delta = Delta::random(prg);
-    let d = delta.as_label();
-    let garbler = HalfGateGarbler::new(delta);
+    run_garbler_with(
+        circuit,
+        alice,
+        public,
+        cycles,
+        ch,
+        ot,
+        prg,
+        StreamConfig::default(),
+    )
+}
+
+/// [`run_garbler`] with an explicit table-streaming configuration.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_garbler_with(
+    circuit: &Circuit,
+    alice: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    ot: &mut dyn OtSender,
+    prg: &mut Prg,
+    stream: StreamConfig,
+) -> Result<GarbleOutcome, ProtocolError> {
+    let mut session = GarblerSession::establish(ch, ot, prg, stream)?;
+    let d = session.delta().as_label();
+    let garbler = HalfGateGarbler::new(session.delta());
     let mut labels = vec![Label::ZERO; circuit.wire_count()];
-    let mut stats = GarbleStats::default();
 
     // --- Input label distribution -------------------------------------
     let mut direct: Vec<Label> = Vec::new();
     let mut ot_pairs: Vec<(Label, Label)> = Vec::new();
 
     for &(w, v) in circuit.consts() {
-        let x0 = Label::random(prg);
+        let x0 = session.fresh_label();
         labels[w.index()] = x0;
         direct.push(if v { x0 ^ d } else { x0 });
     }
     for dff in circuit.dffs() {
-        let x0 = Label::random(prg);
+        let x0 = session.fresh_label();
         labels[dff.q.index()] = x0;
         match dff.init {
             DffInit::Const(v) => direct.push(if v { x0 ^ d } else { x0 }),
@@ -178,7 +163,7 @@ pub fn run_garbler(
         let mut per_cycle = Vec::with_capacity(circuit.inputs().len());
         let mut idx = [0usize; 3];
         for input in circuit.inputs() {
-            let x0 = Label::random(prg);
+            let x0 = session.fresh_label();
             per_cycle.push(x0);
             match input.role {
                 Role::Alice => {
@@ -200,21 +185,17 @@ pub fn run_garbler(
         stream_labels.push(per_cycle);
     }
 
-    let direct_bytes: Vec<u8> = direct.iter().flat_map(|l| l.to_bytes()).collect();
-    ch.send(&direct_bytes)?;
-    if !ot_pairs.is_empty() {
-        ot.send(ch, &ot_pairs)?;
-    }
-    stats.ots = ot_pairs.len() as u64;
+    session.send_direct_labels(&direct)?;
+    session.ot_send(&ot_pairs)?;
 
     // --- Cycle loop ----------------------------------------------------
     let mut tweak = 0u64;
+    let mut cycles_run = 0usize;
     let mut decode_bits: Vec<bool> = Vec::new();
-    for cycle in 0..cycles {
-        for (input, &x0) in circuit.inputs().iter().zip(&stream_labels[cycle]) {
+    for (cycle, cycle_labels) in stream_labels.iter().enumerate() {
+        for (input, &x0) in circuit.inputs().iter().zip(cycle_labels) {
             labels[input.wire.index()] = x0;
         }
-        let mut tables: Vec<u8> = Vec::new();
         for gate in circuit.gates() {
             let a0 = labels[gate.a.index()];
             let b0 = labels[gate.b.index()];
@@ -223,13 +204,11 @@ pub fn run_garbler(
             } else {
                 let (c0, table) = garbler.garble(gate.op, a0, b0, tweak);
                 tweak += 1;
-                tables.extend_from_slice(&table.to_bytes());
-                stats.garbled_tables += 1;
+                session.push_table(&table.to_bytes())?;
                 c0
             };
         }
-        stats.table_bytes += tables.len() as u64;
-        ch.send(&tables)?;
+        session.end_cycle()?;
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
             decode_bits.extend(circuit.outputs().iter().map(|w| labels[w.index()].colour()));
@@ -238,18 +217,25 @@ pub fn run_garbler(
         for (dff, l) in circuit.dffs().iter().zip(next) {
             labels[dff.q.index()] = l;
         }
-        stats.cycles_run = cycle + 1;
+        cycles_run = cycle + 1;
     }
     if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
         decode_bits.extend(circuit.outputs().iter().map(|w| labels[w.index()].colour()));
     }
 
     // --- Output revelation ---------------------------------------------
-    ch.send(&pack_bits(&decode_bits))?;
-    let value_bytes = ch.recv()?;
-    let values = unpack_bits(&value_bytes, decode_bits.len());
+    let values = session.reveal_outputs(&decode_bits)?;
     let outputs = chunk_outputs(circuit, values);
-    Ok(GarbleOutcome { outputs, stats })
+    let s = session.stats();
+    Ok(GarbleOutcome {
+        outputs,
+        stats: GarbleStats {
+            garbled_tables: s.garbled_tables,
+            table_bytes: s.table_bytes,
+            ots: s.ots,
+            cycles_run,
+        },
+    })
 }
 
 /// Runs the evaluator (Bob) side of the classic sequential GC protocol.
@@ -264,14 +250,11 @@ pub fn run_evaluator(
     ot: &mut dyn OtReceiver,
 ) -> Result<GarbleOutcome, ProtocolError> {
     let evaluator = HalfGateEvaluator::new();
+    let mut session = EvaluatorSession::establish(ch, ot, GarbledTable::BYTES)?;
     let mut active = vec![Label::ZERO; circuit.wire_count()];
-    let mut stats = GarbleStats::default();
 
     // --- Input labels ----------------------------------------------------
-    let direct_bytes = ch.recv()?;
-    let mut direct = direct_bytes
-        .chunks_exact(16)
-        .map(|c| Label::from_bytes(c.try_into().expect("16")));
+    let mut direct = session.recv_direct_labels()?.into_iter();
 
     let mut choices: Vec<bool> = Vec::new();
     for dff in circuit.dffs() {
@@ -288,13 +271,7 @@ pub fn run_evaluator(
             }
         }
     }
-    let mut ot_labels = if choices.is_empty() {
-        Vec::new()
-    } else {
-        ot.receive(ch, &choices)?
-    }
-    .into_iter();
-    stats.ots = choices.len() as u64;
+    let mut ot_labels = session.ot_receive(&choices)?.into_iter();
 
     // Distribute in the same order the garbler produced.
     for &(w, _) in circuit.consts() {
@@ -320,35 +297,23 @@ pub fn run_evaluator(
 
     // --- Cycle loop ----------------------------------------------------
     let mut tweak = 0u64;
+    let mut cycles_run = 0usize;
     let mut my_colours: Vec<bool> = Vec::new();
-    for cycle in 0..cycles {
-        for (input, &l) in circuit.inputs().iter().zip(&stream_active[cycle]) {
+    for (cycle, cycle_labels) in stream_active.iter().enumerate() {
+        for (input, &l) in circuit.inputs().iter().zip(cycle_labels) {
             active[input.wire.index()] = l;
         }
-        let table_bytes = ch.recv()?;
-        if table_bytes.len() % GarbledTable::BYTES != 0 {
-            return Err(ProtocolError::Malformed("table stream"));
-        }
-        let mut tables = table_bytes
-            .chunks_exact(GarbledTable::BYTES)
-            .map(GarbledTable::from_bytes);
-        stats.table_bytes += table_bytes.len() as u64;
-
         for gate in circuit.gates() {
             let a = active[gate.a.index()];
             let b = active[gate.b.index()];
             active[gate.out.index()] = if gate.op.is_linear() {
                 linear_active(gate.op, a, b)
             } else {
-                let t = tables.next().ok_or(ProtocolError::Malformed("tables"))?;
-                stats.garbled_tables += 1;
+                let t = GarbledTable::from_bytes(session.next_table(GarbledTable::BYTES)?);
                 let out = evaluator.eval(a, b, &t, tweak);
                 tweak += 1;
                 out
             };
-        }
-        if tables.next().is_some() {
-            return Err(ProtocolError::Malformed("extra tables"));
         }
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
@@ -358,22 +323,25 @@ pub fn run_evaluator(
         for (dff, l) in circuit.dffs().iter().zip(next) {
             active[dff.q.index()] = l;
         }
-        stats.cycles_run = cycle + 1;
+        cycles_run = cycle + 1;
     }
     if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
         my_colours.extend(circuit.outputs().iter().map(|w| active[w.index()].colour()));
     }
 
     // --- Output revelation ----------------------------------------------
-    let decode = unpack_bits(&ch.recv()?, my_colours.len());
-    let values: Vec<bool> = my_colours
-        .iter()
-        .zip(&decode)
-        .map(|(&c, &z)| c ^ z)
-        .collect();
-    ch.send(&pack_bits(&values))?;
+    let values = session.reveal_outputs(&my_colours)?;
     let outputs = chunk_outputs(circuit, values);
-    Ok(GarbleOutcome { outputs, stats })
+    let s = session.stats();
+    Ok(GarbleOutcome {
+        outputs,
+        stats: GarbleStats {
+            garbled_tables: s.garbled_tables,
+            table_bytes: s.table_bytes,
+            ots: s.ots,
+            cycles_run,
+        },
+    })
 }
 
 fn chunk_outputs(circuit: &Circuit, values: Vec<bool>) -> Vec<Vec<bool>> {

@@ -21,7 +21,10 @@ pub mod engine;
 pub mod halfgate;
 pub mod rows4;
 
-pub use engine::{run_evaluator, run_garbler, GarbleOutcome, GarbleStats, ProtocolError};
+pub use arm2gc_proto::StreamConfig;
+pub use engine::{
+    run_evaluator, run_garbler, run_garbler_with, GarbleOutcome, GarbleStats, ProtocolError,
+};
 pub use halfgate::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
 
 use arm2gc_circuit::Circuit;

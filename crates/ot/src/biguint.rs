@@ -201,7 +201,7 @@ impl BigUint {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_to(other))
+        Some(self.cmp(other))
     }
 }
 

@@ -1,0 +1,88 @@
+//! Bit-vector packing, shared by the wire codec and both engines.
+//!
+//! The output-revelation phase of every engine exchanges bit vectors
+//! (decode colours one way, output values the other). Bits are packed
+//! LSB-first within each byte; the final byte of a non-multiple-of-8
+//! vector is zero-padded.
+
+/// Packs `bits` LSB-first into `ceil(len / 8)` bytes.
+///
+/// ```
+/// use arm2gc_proto::bits::pack_bits;
+/// assert_eq!(pack_bits(&[true, false, false, true]), vec![0b1001]);
+/// ```
+pub fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpacks the first `n` bits of `bytes` (LSB-first).
+///
+/// # Panics
+/// Panics if `bytes` holds fewer than `n` bits.
+pub fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    assert!(
+        bytes.len() >= n.div_ceil(8),
+        "unpack_bits: {} bytes cannot hold {n} bits",
+        bytes.len()
+    );
+    (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(pack_bits(&[]), Vec::<u8>::new());
+        assert_eq!(unpack_bits(&[], 0), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn exact_byte_lengths() {
+        let bits: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let packed = pack_bits(&bits);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(unpack_bits(&packed, 16), bits);
+    }
+
+    #[test]
+    fn non_multiple_of_eight_lengths() {
+        for n in [1usize, 3, 7, 9, 13, 17, 23, 31, 63, 65] {
+            let bits: Vec<bool> = (0..n).map(|i| (i * 7) % 5 < 2).collect();
+            let packed = pack_bits(&bits);
+            assert_eq!(packed.len(), n.div_ceil(8), "n = {n}");
+            assert_eq!(unpack_bits(&packed, n), bits, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn padding_bits_are_zero() {
+        let packed = pack_bits(&[true; 5]);
+        assert_eq!(packed, vec![0b0001_1111]);
+    }
+
+    #[test]
+    fn bit_order_is_lsb_first() {
+        assert_eq!(
+            pack_bits(&[true, false, false, false, false, false, false, false]),
+            vec![1]
+        );
+        assert_eq!(
+            pack_bits(&[false, false, false, false, false, false, false, true]),
+            vec![128]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn unpack_rejects_short_buffers() {
+        unpack_bits(&[0xff], 9);
+    }
+}

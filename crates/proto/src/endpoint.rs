@@ -1,0 +1,149 @@
+//! Pluggable OT endpoint selection.
+//!
+//! Engines take `&mut dyn OtSender` / `&mut dyn OtReceiver`, so any OT
+//! stack plugs in; this module packages the two stacks the workspace
+//! ships behind one enum so runners, the CPU machine and examples can
+//! switch by configuration instead of hardwiring [`InsecureOt`].
+//!
+//! Setup is *lazy*: the Naor–Pinkas base OTs and IKNP extension run on
+//! the first `send`/`receive`, over whatever channel that call receives.
+//! Inside a session that channel is the [`OtTunnel`], so the whole OT
+//! stack — setup included — travels as typed `OtPayload` frames after
+//! the version handshake.
+//!
+//! [`OtTunnel`]: crate::session::OtTunnel
+
+use arm2gc_comm::Channel;
+use arm2gc_crypto::{Label, Prg};
+use arm2gc_ot::{
+    IknpReceiver, IknpSender, InsecureOt, MersenneGroup, NaorPinkasReceiver, NaorPinkasSender,
+    OtError, OtReceiver, OtSender,
+};
+
+/// Which OT stack a protocol run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OtBackend {
+    /// Cleartext reference OT: fast, **non-private**; tests and
+    /// gate-count benchmarks only.
+    #[default]
+    Insecure,
+    /// Naor–Pinkas base OTs (over the small 127-bit Mersenne test
+    /// group) extended with IKNP. Real protocol flow; swap in
+    /// [`MersenneGroup::standard`] for production-size base OTs.
+    NaorPinkasIknp,
+}
+
+impl OtBackend {
+    /// Builds the sending endpoint. `prg` seeds any setup randomness;
+    /// network setup (if any) is deferred to the first OT batch.
+    pub fn sender(self, prg: &mut Prg) -> Box<dyn OtSender + Send> {
+        match self {
+            OtBackend::Insecure => Box::new(InsecureOt),
+            OtBackend::NaorPinkasIknp => Box::new(LazyIknpSender {
+                prg: Prg::from_seed(prg.next_u128().to_le_bytes()),
+                inner: None,
+            }),
+        }
+    }
+
+    /// Builds the receiving endpoint; see [`OtBackend::sender`].
+    pub fn receiver(self, prg: &mut Prg) -> Box<dyn OtReceiver + Send> {
+        match self {
+            OtBackend::Insecure => Box::new(InsecureOt),
+            OtBackend::NaorPinkasIknp => Box::new(LazyIknpReceiver {
+                prg: Prg::from_seed(prg.next_u128().to_le_bytes()),
+                inner: None,
+            }),
+        }
+    }
+}
+
+/// IKNP sender that runs its base-OT setup on first use.
+struct LazyIknpSender {
+    prg: Prg,
+    inner: Option<IknpSender>,
+}
+
+impl OtSender for LazyIknpSender {
+    fn send(&mut self, ch: &mut dyn Channel, pairs: &[(Label, Label)]) -> Result<(), OtError> {
+        if self.inner.is_none() {
+            let mut base = NaorPinkasReceiver::new(
+                MersenneGroup::test_group(),
+                Prg::from_seed(self.prg.next_u128().to_le_bytes()),
+            );
+            self.inner = Some(IknpSender::setup(&mut base, ch, &mut self.prg)?);
+        }
+        self.inner.as_mut().expect("set above").send(ch, pairs)
+    }
+}
+
+/// IKNP receiver that runs its base-OT setup on first use.
+struct LazyIknpReceiver {
+    prg: Prg,
+    inner: Option<IknpReceiver>,
+}
+
+impl OtReceiver for LazyIknpReceiver {
+    fn receive(&mut self, ch: &mut dyn Channel, choices: &[bool]) -> Result<Vec<Label>, OtError> {
+        if self.inner.is_none() {
+            let mut base = NaorPinkasSender::new(
+                MersenneGroup::test_group(),
+                Prg::from_seed(self.prg.next_u128().to_le_bytes()),
+            );
+            self.inner = Some(IknpReceiver::setup(&mut base, ch, &mut self.prg)?);
+        }
+        self.inner.as_mut().expect("set above").receive(ch, choices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm2gc_comm::duplex;
+
+    fn exercise(backend: OtBackend) {
+        let (mut ca, mut cb) = duplex();
+        let mut gen = Prg::from_seed([5; 16]);
+        let pairs: Vec<(Label, Label)> = (0..150)
+            .map(|_| (Label::random(&mut gen), Label::random(&mut gen)))
+            .collect();
+        let choices: Vec<bool> = (0..150).map(|i| i % 5 < 2).collect();
+        let pairs2 = pairs.clone();
+        let choices2 = choices.clone();
+
+        let got = std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut prg = Prg::from_seed([6; 16]);
+                let mut sender = backend.sender(&mut prg);
+                // Two batches: the second reuses the lazy setup.
+                sender.send(&mut ca, &pairs2[..100]).expect("batch 1");
+                sender.send(&mut ca, &pairs2[100..]).expect("batch 2");
+            });
+            let mut prg = Prg::from_seed([7; 16]);
+            let mut receiver = backend.receiver(&mut prg);
+            let mut got = receiver
+                .receive(&mut cb, &choices2[..100])
+                .expect("batch 1");
+            got.extend(
+                receiver
+                    .receive(&mut cb, &choices2[100..])
+                    .expect("batch 2"),
+            );
+            got
+        });
+
+        for ((pair, &c), l) in pairs.iter().zip(&choices).zip(&got) {
+            assert_eq!(*l, if c { pair.1 } else { pair.0 });
+        }
+    }
+
+    #[test]
+    fn insecure_backend_transfers_chosen_labels() {
+        exercise(OtBackend::Insecure);
+    }
+
+    #[test]
+    fn naor_pinkas_iknp_backend_transfers_chosen_labels() {
+        exercise(OtBackend::NaorPinkasIknp);
+    }
+}

@@ -1,0 +1,37 @@
+//! Typed session/wire-protocol layer shared by both ARM2GC engines.
+//!
+//! The conventional-GC baseline (`arm2gc_garble`) and the SkipGate
+//! protocol (`arm2gc_core`) speak the *same* two-party protocol: deliver
+//! input labels (directly or via OT), stream garbled tables, exchange
+//! decode bits. This crate factors that shared substrate out of the
+//! engines:
+//!
+//! * [`wire`] — the versioned [`Message`] enum with explicit
+//!   little-endian framing and a strict round-trip-tested codec;
+//! * [`session`] — [`GarblerSession`] / [`EvaluatorSession`], owning the
+//!   channel, PRG/Δ, OT endpoint and cost counters, with **pipelined
+//!   table streaming**: the garbler's buffered sink flushes in
+//!   configurable chunks ([`StreamConfig`]) while the evaluator pulls
+//!   tables on demand, so garbling runs ahead of evaluation instead of
+//!   rendezvousing once per clock cycle;
+//! * [`endpoint`] — [`OtBackend`], pluggable selection between the
+//!   insecure reference OT and the real Naor–Pinkas + IKNP stack;
+//! * [`bits`] — the bit-packing helpers the codec and engines share.
+//!
+//! ```
+//! use arm2gc_proto::{Message, SessionRole, PROTOCOL_VERSION};
+//! let hello = Message::Hello { version: PROTOCOL_VERSION, role: SessionRole::Garbler };
+//! assert_eq!(Message::decode(&hello.encode()).unwrap(), hello);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod endpoint;
+pub mod session;
+pub mod wire;
+
+pub use endpoint::OtBackend;
+pub use session::{EvaluatorSession, GarblerSession, OtTunnel, SessionStats, StreamConfig};
+pub use wire::{Message, ProtoError, SessionRole, MAGIC, PROTOCOL_VERSION};

@@ -1,0 +1,642 @@
+//! Garbler/evaluator session abstractions.
+//!
+//! A session owns one side of a protocol run: the framed channel, the
+//! party's crypto context (PRG and free-XOR Δ on the garbler side), the
+//! OT endpoint and the cost counters. Both engines (`arm2gc_garble`'s
+//! conventional baseline and `arm2gc_core`'s SkipGate) are thin loops
+//! over this shared layer, which provides:
+//!
+//! * the versioned [`Message::Hello`] handshake at establishment,
+//! * input-label delivery — direct labels one way, OT (tunnelled through
+//!   typed [`Message::OtPayload`] frames) the other,
+//! * **pipelined table streaming**: the garbler pushes tables into a
+//!   buffered sink that flushes in [`StreamConfig`]-sized chunks, while
+//!   the evaluator *pulls* tables on demand, so garbling of cycle `t+1`
+//!   overlaps evaluation of cycle `t` instead of rendezvousing once per
+//!   cycle,
+//! * the output-revelation exchange (decode colours vs. values).
+
+use arm2gc_comm::{Channel, ChannelClosed};
+use arm2gc_crypto::{Delta, Label, Prg};
+use arm2gc_ot::{OtError, OtReceiver, OtSender};
+
+use crate::wire::{Message, ProtoError, SessionRole, PROTOCOL_VERSION, TAG_OT_PAYLOAD, TAG_TABLES};
+
+/// How the garbler's table sink batches tables onto the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Flush whenever at least this many table bytes are buffered.
+    /// `None` reproduces the legacy lockstep behaviour: one flush at
+    /// every cycle boundary, regardless of size.
+    pub chunk_bytes: Option<usize>,
+}
+
+impl StreamConfig {
+    /// Legacy per-cycle flushing (one `Tables` frame per clock cycle).
+    pub const fn lockstep() -> Self {
+        Self { chunk_bytes: None }
+    }
+
+    /// Flush in chunks of at least `bytes` table bytes.
+    pub const fn chunked(bytes: usize) -> Self {
+        Self {
+            chunk_bytes: Some(bytes),
+        }
+    }
+}
+
+impl Default for StreamConfig {
+    /// 64 KiB chunks (2048 half-gate tables): large enough to amortise
+    /// per-frame overhead, small enough that the evaluator starts while
+    /// the garbler is still working.
+    fn default() -> Self {
+        Self::chunked(64 * 1024)
+    }
+}
+
+/// Cost counters a session accumulates; engines fold these into their
+/// public stats structs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Garbled tables pushed (garbler) or pulled (evaluator).
+    pub garbled_tables: u64,
+    /// Bytes of garbled tables, excluding framing.
+    pub table_bytes: u64,
+    /// 1-out-of-2 OTs executed for the evaluator's input bits.
+    pub ots: u64,
+}
+
+/// Adapter that tunnels an OT sub-protocol's raw messages through typed
+/// [`Message::OtPayload`] frames.
+///
+/// OT implementations keep speaking [`Channel`]; wrapping the session
+/// channel in an `OtTunnel` makes every byte they exchange a well-formed
+/// protocol frame. A non-`OtPayload` frame arriving mid-OT is recorded
+/// and surfaced as [`ProtoError::Malformed`] once the OT call returns.
+pub struct OtTunnel<'a> {
+    ch: &'a mut dyn Channel,
+    malformed: Option<&'static str>,
+}
+
+impl<'a> OtTunnel<'a> {
+    /// Wraps a channel.
+    pub fn new(ch: &'a mut dyn Channel) -> Self {
+        Self {
+            ch,
+            malformed: None,
+        }
+    }
+
+    /// Converts an OT result, preferring a recorded framing error (the
+    /// OT layer only sees a closed channel when the tunnel rejects a
+    /// frame, so the tunnel's diagnosis is the accurate one).
+    pub fn finish<T>(self, res: Result<T, OtError>) -> Result<T, ProtoError> {
+        match self.malformed {
+            Some(m) => Err(ProtoError::Malformed(m)),
+            None => res.map_err(ProtoError::Ot),
+        }
+    }
+}
+
+impl Channel for OtTunnel<'_> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+        // Frame in place (tag + body) — IKNP correction matrices run to
+        // hundreds of KB, so avoid the Message round-trip's extra copy.
+        self.ch.send(&crate::wire::prefixed(TAG_OT_PAYLOAD, data))
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+        let raw = self.ch.recv()?;
+        match Message::decode(&raw) {
+            Ok(Message::OtPayload(p)) => Ok(p),
+            _ => {
+                self.malformed = Some("expected ot payload frame");
+                Err(ChannelClosed)
+            }
+        }
+    }
+}
+
+fn send_msg(ch: &mut dyn Channel, msg: &Message) -> Result<(), ProtoError> {
+    ch.send(&msg.encode())?;
+    Ok(())
+}
+
+fn recv_msg(ch: &mut dyn Channel) -> Result<Message, ProtoError> {
+    Message::decode(&ch.recv()?)
+}
+
+/// Runs the versioned hello exchange. The garbler speaks first.
+fn handshake(ch: &mut dyn Channel, role: SessionRole) -> Result<(), ProtoError> {
+    let mine = Message::Hello {
+        version: PROTOCOL_VERSION,
+        role,
+    };
+    if role == SessionRole::Garbler {
+        send_msg(ch, &mine)?;
+    }
+    let peer = recv_msg(ch)?;
+    if role == SessionRole::Evaluator {
+        send_msg(ch, &mine)?;
+    }
+    match peer {
+        Message::Hello { version, .. } if version != PROTOCOL_VERSION => {
+            Err(ProtoError::Malformed("protocol version mismatch"))
+        }
+        Message::Hello {
+            role: peer_role, ..
+        } if peer_role != role.peer() => Err(ProtoError::Malformed("peer claims the same role")),
+        Message::Hello { .. } => Ok(()),
+        _ => Err(ProtoError::Malformed("expected hello frame")),
+    }
+}
+
+/// Alice's side of a protocol run.
+///
+/// Owns the channel, the PRG, the global free-XOR offset Δ (drawn at
+/// establishment), the OT sender and the buffered table sink.
+pub struct GarblerSession<'a> {
+    ch: &'a mut dyn Channel,
+    ot: &'a mut dyn OtSender,
+    prg: &'a mut Prg,
+    delta: Delta,
+    stream: StreamConfig,
+    /// Pre-framed `Tables` message under construction: `[TAG_TABLES]`
+    /// followed by buffered table bytes, sent as-is on flush.
+    table_buf: Vec<u8>,
+    stats: SessionStats,
+}
+
+impl<'a> GarblerSession<'a> {
+    /// Performs the versioned handshake and draws Δ.
+    ///
+    /// # Errors
+    /// Channel failures, or a peer with the wrong version or role.
+    pub fn establish(
+        ch: &'a mut dyn Channel,
+        ot: &'a mut dyn OtSender,
+        prg: &'a mut Prg,
+        stream: StreamConfig,
+    ) -> Result<Self, ProtoError> {
+        handshake(ch, SessionRole::Garbler)?;
+        let delta = Delta::random(prg);
+        Ok(Self {
+            ch,
+            ot,
+            prg,
+            delta,
+            stream,
+            table_buf: vec![TAG_TABLES],
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// The session's global free-XOR offset.
+    pub fn delta(&self) -> Delta {
+        self.delta
+    }
+
+    /// Draws a fresh uniformly random wire label.
+    pub fn fresh_label(&mut self) -> Label {
+        Label::random(self.prg)
+    }
+
+    /// Delivers the direct (non-OT) input labels. Always sends a frame,
+    /// even when empty — the evaluator always expects one.
+    ///
+    /// # Errors
+    /// Channel failures.
+    pub fn send_direct_labels(&mut self, labels: &[Label]) -> Result<(), ProtoError> {
+        send_msg(self.ch, &Message::DirectLabels(labels.to_vec()))
+    }
+
+    /// Runs the OT batch for the evaluator's input bits (no-op when
+    /// `pairs` is empty, matching the receiving side).
+    ///
+    /// # Errors
+    /// Channel, OT and framing failures.
+    pub fn ot_send(&mut self, pairs: &[(Label, Label)]) -> Result<(), ProtoError> {
+        if !pairs.is_empty() {
+            let mut tunnel = OtTunnel::new(&mut *self.ch);
+            let res = self.ot.send(&mut tunnel, pairs);
+            tunnel.finish(res)?;
+        }
+        self.stats.ots += pairs.len() as u64;
+        Ok(())
+    }
+
+    /// Buffers one garbled table, flushing when the configured chunk
+    /// size is reached.
+    ///
+    /// # Errors
+    /// Channel failures on flush.
+    pub fn push_table(&mut self, table: &[u8]) -> Result<(), ProtoError> {
+        self.table_buf.extend_from_slice(table);
+        self.stats.garbled_tables += 1;
+        self.stats.table_bytes += table.len() as u64;
+        if let Some(chunk) = self.stream.chunk_bytes {
+            if self.table_buf.len() > chunk {
+                self.flush_tables()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a clock-cycle boundary; in lockstep mode this flushes the
+    /// cycle's tables.
+    ///
+    /// # Errors
+    /// Channel failures on flush.
+    pub fn end_cycle(&mut self) -> Result<(), ProtoError> {
+        if self.stream.chunk_bytes.is_none() {
+            self.flush_tables()?;
+        }
+        Ok(())
+    }
+
+    fn flush_tables(&mut self) -> Result<(), ProtoError> {
+        if self.table_buf.len() > 1 {
+            self.ch.send(&self.table_buf)?;
+            self.table_buf.truncate(1);
+        }
+        Ok(())
+    }
+
+    /// Sends the decode (colour) bits, receives the evaluator's revealed
+    /// values. Flushes any still-buffered tables first, so this can
+    /// never deadlock against an evaluator still pulling tables.
+    ///
+    /// # Errors
+    /// Channel failures, or an `Outputs` frame of the wrong length.
+    pub fn reveal_outputs(&mut self, decode_bits: &[bool]) -> Result<Vec<bool>, ProtoError> {
+        self.flush_tables()?;
+        send_msg(self.ch, &Message::DecodeBits(decode_bits.to_vec()))?;
+        match recv_msg(self.ch)? {
+            Message::Outputs(values) if values.len() == decode_bits.len() => Ok(values),
+            Message::Outputs(_) => Err(ProtoError::Malformed("output bit count")),
+            _ => Err(ProtoError::Malformed("expected outputs frame")),
+        }
+    }
+
+    /// The accumulated cost counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for GarblerSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GarblerSession")
+            .field("stream", &self.stream)
+            .field("buffered_table_bytes", &(self.table_buf.len() - 1))
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Bob's side of a protocol run.
+///
+/// Owns the channel, the OT receiver and a pull-based table source fed
+/// by the garbler's chunked `Tables` frames.
+pub struct EvaluatorSession<'a> {
+    ch: &'a mut dyn Channel,
+    ot: &'a mut dyn OtReceiver,
+    /// Every received `Tables` frame must be a multiple of this (the
+    /// engine's table size); 0 disables the check.
+    table_align: usize,
+    table_buf: Vec<u8>,
+    table_pos: usize,
+    stats: SessionStats,
+}
+
+impl<'a> EvaluatorSession<'a> {
+    /// Performs the versioned handshake.
+    ///
+    /// `table_align` is the engine's garbled-table byte size; incoming
+    /// table frames are validated against it.
+    ///
+    /// # Errors
+    /// Channel failures, or a peer with the wrong version or role.
+    pub fn establish(
+        ch: &'a mut dyn Channel,
+        ot: &'a mut dyn OtReceiver,
+        table_align: usize,
+    ) -> Result<Self, ProtoError> {
+        handshake(ch, SessionRole::Evaluator)?;
+        Ok(Self {
+            ch,
+            ot,
+            table_align,
+            table_buf: Vec::new(),
+            table_pos: 0,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// Receives the direct input labels.
+    ///
+    /// # Errors
+    /// Channel failures or a non-`DirectLabels` frame.
+    pub fn recv_direct_labels(&mut self) -> Result<Vec<Label>, ProtoError> {
+        match recv_msg(self.ch)? {
+            Message::DirectLabels(labels) => Ok(labels),
+            _ => Err(ProtoError::Malformed("expected direct labels frame")),
+        }
+    }
+
+    /// Runs the OT batch for this party's choice bits (no-op when
+    /// `choices` is empty, matching the sending side).
+    ///
+    /// # Errors
+    /// Channel, OT and framing failures.
+    pub fn ot_receive(&mut self, choices: &[bool]) -> Result<Vec<Label>, ProtoError> {
+        let labels = if choices.is_empty() {
+            Vec::new()
+        } else {
+            let mut tunnel = OtTunnel::new(&mut *self.ch);
+            let res = self.ot.receive(&mut tunnel, choices);
+            tunnel.finish(res)?
+        };
+        self.stats.ots += choices.len() as u64;
+        Ok(labels)
+    }
+
+    /// Pulls the next `len` bytes of garbled table from the stream,
+    /// receiving further `Tables` frames as needed.
+    ///
+    /// # Errors
+    /// Channel failures, a non-`Tables` frame, or a frame that is not a
+    /// whole number of tables.
+    pub fn next_table(&mut self, len: usize) -> Result<&[u8], ProtoError> {
+        while self.table_buf.len() - self.table_pos < len {
+            if self.table_pos > 0 {
+                self.table_buf.drain(..self.table_pos);
+                self.table_pos = 0;
+            }
+            // Hot path: append the frame body straight into the buffer
+            // instead of materialising a `Message::Tables` copy.
+            let raw = self.ch.recv()?;
+            match raw.split_first() {
+                Some((&TAG_TABLES, body)) => {
+                    if self.table_align != 0 && body.len() % self.table_align != 0 {
+                        return Err(ProtoError::Malformed("table stream"));
+                    }
+                    self.table_buf.extend_from_slice(body);
+                }
+                _ => return Err(ProtoError::Malformed("expected tables frame")),
+            }
+        }
+        let start = self.table_pos;
+        self.table_pos += len;
+        self.stats.garbled_tables += 1;
+        self.stats.table_bytes += len as u64;
+        Ok(&self.table_buf[start..start + len])
+    }
+
+    /// Asserts the table stream was fully consumed.
+    ///
+    /// # Errors
+    /// [`ProtoError::Malformed`] when buffered table bytes remain.
+    pub fn finish_tables(&self) -> Result<(), ProtoError> {
+        if self.table_buf.len() > self.table_pos {
+            return Err(ProtoError::Malformed("extra tables"));
+        }
+        Ok(())
+    }
+
+    /// Receives the decode bits, XORs them against this party's output
+    /// colours, sends the revealed values back, and returns them.
+    ///
+    /// # Errors
+    /// Channel failures, leftover tables, or a `DecodeBits` frame of the
+    /// wrong length.
+    pub fn reveal_outputs(&mut self, colours: &[bool]) -> Result<Vec<bool>, ProtoError> {
+        self.finish_tables()?;
+        let decode = match recv_msg(self.ch)? {
+            Message::DecodeBits(bits) => bits,
+            _ => return Err(ProtoError::Malformed("expected decode bits frame")),
+        };
+        if decode.len() != colours.len() {
+            return Err(ProtoError::Malformed("decode bit count"));
+        }
+        let values: Vec<bool> = colours.iter().zip(&decode).map(|(&c, &z)| c ^ z).collect();
+        send_msg(self.ch, &Message::Outputs(values.clone()))?;
+        Ok(values)
+    }
+
+    /// The accumulated cost counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for EvaluatorSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvaluatorSession")
+            .field("table_align", &self.table_align)
+            .field(
+                "buffered_table_bytes",
+                &(self.table_buf.len() - self.table_pos),
+            )
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm2gc_comm::duplex;
+    use arm2gc_ot::InsecureOt;
+
+    fn pair_up<F, G, R, S>(garbler: F, evaluator: G) -> (R, S)
+    where
+        F: FnOnce(&mut dyn Channel) -> R + Send,
+        G: FnOnce(&mut dyn Channel) -> S,
+        R: Send,
+    {
+        let (mut ca, mut cb) = duplex();
+        std::thread::scope(|s| {
+            let g = s.spawn(move || garbler(&mut ca));
+            let e = evaluator(&mut cb);
+            (g.join().expect("garbler thread"), e)
+        })
+    }
+
+    #[test]
+    fn handshake_and_streaming_roundtrip() {
+        let chunk = StreamConfig::chunked(64);
+        let (sent, got) = pair_up(
+            |ch| {
+                let mut ot = InsecureOt;
+                let mut prg = Prg::from_seed([1; 16]);
+                let mut s = GarblerSession::establish(ch, &mut ot, &mut prg, chunk).expect("g");
+                let mut sent = Vec::new();
+                for cycle in 0..10u8 {
+                    for t in 0..3u8 {
+                        let table = [cycle * 16 + t; 32];
+                        s.push_table(&table).expect("push");
+                        sent.push(table.to_vec());
+                    }
+                    s.end_cycle().expect("end");
+                }
+                let values = s.reveal_outputs(&[true, false, true]).expect("reveal");
+                assert_eq!(s.stats().garbled_tables, 30);
+                assert_eq!(s.stats().table_bytes, 960);
+                (sent, values)
+            },
+            |ch| {
+                let mut ot = InsecureOt;
+                let mut s = EvaluatorSession::establish(ch, &mut ot, 32).expect("e");
+                let mut got = Vec::new();
+                for _ in 0..30 {
+                    got.push(s.next_table(32).expect("pull").to_vec());
+                }
+                let values = s.reveal_outputs(&[false, false, false]).expect("reveal");
+                (got, values)
+            },
+        );
+        assert_eq!(sent.0, got.0);
+        // Evaluator's colours were all-false, so values == decode bits.
+        assert_eq!(sent.1, vec![true, false, true]);
+        assert_eq!(got.1, vec![true, false, true]);
+    }
+
+    #[test]
+    fn lockstep_flushes_per_cycle_and_chunked_batches() {
+        for (cfg, expect_table_frames) in [
+            (StreamConfig::lockstep(), 4u64),    // one frame per non-empty cycle
+            (StreamConfig::chunked(1 << 20), 1), // everything in the final flush
+        ] {
+            let (frames, ()) = pair_up(
+                move |ch| {
+                    let (counted, stats) = arm2gc_comm::CountingChannel::new(&mut *ch);
+                    let mut counted = counted;
+                    let mut ot = InsecureOt;
+                    let mut prg = Prg::from_seed([2; 16]);
+                    let mut s =
+                        GarblerSession::establish(&mut counted, &mut ot, &mut prg, cfg).expect("g");
+                    for _ in 0..4 {
+                        s.push_table(&[7u8; 32]).expect("push");
+                        s.end_cycle().expect("end");
+                    }
+                    s.reveal_outputs(&[]).expect("reveal");
+                    // hello + table frames + decode bits.
+                    stats.sent_msgs() - 2
+                },
+                |ch| {
+                    let mut ot = InsecureOt;
+                    let mut s = EvaluatorSession::establish(ch, &mut ot, 32).expect("e");
+                    for _ in 0..4 {
+                        s.next_table(32).expect("pull");
+                    }
+                    s.reveal_outputs(&[]).expect("reveal");
+                },
+            );
+            assert_eq!(frames, expect_table_frames);
+        }
+    }
+
+    #[test]
+    fn ot_roundtrip_is_tunnelled() {
+        let mut prg = Prg::from_seed([3; 16]);
+        let pairs: Vec<(Label, Label)> = (0..40)
+            .map(|_| (Label::random(&mut prg), Label::random(&mut prg)))
+            .collect();
+        let choices: Vec<bool> = (0..40).map(|i| i % 3 == 1).collect();
+        let expected: Vec<Label> = pairs
+            .iter()
+            .zip(&choices)
+            .map(|(p, &c)| if c { p.1 } else { p.0 })
+            .collect();
+        let pairs2 = pairs.clone();
+        let choices2 = choices.clone();
+        let (g_ots, labels) = pair_up(
+            move |ch| {
+                let mut ot = InsecureOt;
+                let mut prg = Prg::from_seed([4; 16]);
+                let mut s =
+                    GarblerSession::establish(ch, &mut ot, &mut prg, StreamConfig::default())
+                        .expect("g");
+                s.ot_send(&pairs2).expect("ot send");
+                s.ot_send(&[]).expect("empty ot is a no-op");
+                s.reveal_outputs(&[]).expect("reveal");
+                s.stats().ots
+            },
+            move |ch| {
+                let mut ot = InsecureOt;
+                let mut s = EvaluatorSession::establish(ch, &mut ot, 32).expect("e");
+                let labels = s.ot_receive(&choices2).expect("ot receive");
+                assert!(s.ot_receive(&[]).expect("empty").is_empty());
+                s.reveal_outputs(&[]).expect("reveal");
+                assert_eq!(s.stats().ots, 40);
+                labels
+            },
+        );
+        assert_eq!(g_ots, 40);
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (mut ca, mut cb) = duplex();
+        // A fake peer speaking a future version.
+        ca.send(
+            &Message::Hello {
+                version: PROTOCOL_VERSION + 1,
+                role: SessionRole::Garbler,
+            }
+            .encode(),
+        )
+        .expect("send");
+        let mut ot = InsecureOt;
+        let err = EvaluatorSession::establish(&mut cb, &mut ot, 32).expect_err("must reject");
+        assert!(matches!(
+            err,
+            ProtoError::Malformed("protocol version mismatch")
+        ));
+    }
+
+    #[test]
+    fn same_role_is_rejected() {
+        let (mut ca, mut cb) = duplex();
+        ca.send(
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+                role: SessionRole::Evaluator,
+            }
+            .encode(),
+        )
+        .expect("send");
+        let mut ot = InsecureOt;
+        let err = EvaluatorSession::establish(&mut cb, &mut ot, 32).expect_err("must reject");
+        assert!(matches!(
+            err,
+            ProtoError::Malformed("peer claims the same role")
+        ));
+    }
+
+    #[test]
+    fn misaligned_table_frame_is_rejected() {
+        let (mut ca, mut cb) = duplex();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                ca.send(
+                    &Message::Hello {
+                        version: PROTOCOL_VERSION,
+                        role: SessionRole::Garbler,
+                    }
+                    .encode(),
+                )
+                .expect("hello");
+                ca.recv().expect("peer hello");
+                ca.send(&Message::Tables(vec![1, 2, 3]).encode())
+                    .expect("tables");
+            });
+            let mut ot = InsecureOt;
+            let mut sess = EvaluatorSession::establish(&mut cb, &mut ot, 32).expect("e");
+            let err = sess.next_table(32).expect_err("misaligned");
+            assert!(matches!(err, ProtoError::Malformed("table stream")));
+        });
+    }
+}

@@ -1,0 +1,310 @@
+//! The typed, versioned wire protocol spoken between the two parties.
+//!
+//! Every frame a session puts on a [`arm2gc_comm::Channel`] is one
+//! encoded [`Message`]. The outer length framing belongs to the channel;
+//! this module defines the *payload* layout — a one-byte tag followed by
+//! a tag-specific body, all integers little-endian:
+//!
+//! | tag | message | body |
+//! |-----|---------|------|
+//! | `1` | [`Message::Hello`] | magic `u32`, version `u16`, role `u8` |
+//! | `2` | [`Message::DirectLabels`] | 16-byte labels, back to back |
+//! | `3` | [`Message::OtPayload`] | opaque OT sub-protocol bytes |
+//! | `4` | [`Message::Tables`] | garbled-table bytes, back to back |
+//! | `5` | [`Message::DecodeBits`] | bit count `u32`, packed bits |
+//! | `6` | [`Message::Outputs`] | bit count `u32`, packed bits |
+//!
+//! Decoding is strict: unknown tags, truncated bodies, bad magic and
+//! inconsistent lengths all yield [`ProtoError::Malformed`] — never a
+//! panic.
+
+use std::error::Error;
+use std::fmt;
+
+use arm2gc_comm::ChannelClosed;
+use arm2gc_crypto::Label;
+use arm2gc_ot::OtError;
+
+use crate::bits::{pack_bits, unpack_bits};
+
+/// Version spoken by this build; [`Message::Hello`] carries it and
+/// sessions reject a peer with a different one.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame magic ("A2GC"), guarding against a non-ARM2GC peer.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"A2GC");
+
+pub(crate) const TAG_HELLO: u8 = 1;
+pub(crate) const TAG_DIRECT_LABELS: u8 = 2;
+pub(crate) const TAG_OT_PAYLOAD: u8 = 3;
+pub(crate) const TAG_TABLES: u8 = 4;
+pub(crate) const TAG_DECODE_BITS: u8 = 5;
+pub(crate) const TAG_OUTPUTS: u8 = 6;
+
+/// Which side of the protocol a session plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionRole {
+    /// Alice: garbles and streams tables.
+    Garbler,
+    /// Bob: evaluates the streamed tables.
+    Evaluator,
+}
+
+impl SessionRole {
+    /// The opposite role.
+    pub fn peer(self) -> Self {
+        match self {
+            SessionRole::Garbler => SessionRole::Evaluator,
+            SessionRole::Evaluator => SessionRole::Garbler,
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            SessionRole::Garbler => 0,
+            SessionRole::Evaluator => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(SessionRole::Garbler),
+            1 => Ok(SessionRole::Evaluator),
+            _ => Err(ProtoError::Malformed("unknown session role")),
+        }
+    }
+}
+
+/// Failures of the typed protocol layer (and of the engines built on it).
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure.
+    Channel(ChannelClosed),
+    /// Oblivious-transfer failure.
+    Ot(OtError),
+    /// The peer sent something structurally invalid.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Channel(e) => write!(f, "protocol channel failure: {e}"),
+            ProtoError::Ot(e) => write!(f, "protocol ot failure: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed protocol message: {m}"),
+        }
+    }
+}
+
+impl Error for ProtoError {}
+
+impl From<ChannelClosed> for ProtoError {
+    fn from(e: ChannelClosed) -> Self {
+        ProtoError::Channel(e)
+    }
+}
+
+impl From<OtError> for ProtoError {
+    fn from(e: OtError) -> Self {
+        ProtoError::Ot(e)
+    }
+}
+
+/// One typed protocol frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Handshake: first frame each side sends.
+    Hello {
+        /// Protocol version (see [`PROTOCOL_VERSION`]).
+        version: u16,
+        /// The sender's role.
+        role: SessionRole,
+    },
+    /// Input labels delivered directly (wires whose value Alice knows).
+    DirectLabels(Vec<Label>),
+    /// One message of an OT sub-protocol, tunnelled opaquely.
+    OtPayload(Vec<u8>),
+    /// A batch of garbled-table bytes from the streaming sink.
+    Tables(Vec<u8>),
+    /// Decode (colour) bits for the scheduled secret outputs.
+    DecodeBits(Vec<bool>),
+    /// Revealed output values, mirrored back by the evaluator.
+    Outputs(Vec<bool>),
+}
+
+impl Message {
+    /// Serialises the frame payload (tag byte + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Hello { version, role } => {
+                let mut out = Vec::with_capacity(8);
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&MAGIC.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.push(role.to_byte());
+                out
+            }
+            Message::DirectLabels(labels) => {
+                let mut out = Vec::with_capacity(1 + labels.len() * 16);
+                out.push(TAG_DIRECT_LABELS);
+                for l in labels {
+                    out.extend_from_slice(&l.to_bytes());
+                }
+                out
+            }
+            Message::OtPayload(bytes) => prefixed(TAG_OT_PAYLOAD, bytes),
+            Message::Tables(bytes) => prefixed(TAG_TABLES, bytes),
+            Message::DecodeBits(bits) => encode_bits(TAG_DECODE_BITS, bits),
+            Message::Outputs(bits) => encode_bits(TAG_OUTPUTS, bits),
+        }
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    /// [`ProtoError::Malformed`] on unknown tags, truncated bodies, bad
+    /// magic or inconsistent lengths.
+    pub fn decode(raw: &[u8]) -> Result<Message, ProtoError> {
+        let (&tag, body) = raw
+            .split_first()
+            .ok_or(ProtoError::Malformed("empty frame"))?;
+        match tag {
+            TAG_HELLO => {
+                if body.len() != 7 {
+                    return Err(ProtoError::Malformed("hello frame size"));
+                }
+                let magic = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+                if magic != MAGIC {
+                    return Err(ProtoError::Malformed("bad magic"));
+                }
+                let version = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
+                let role = SessionRole::from_byte(body[6])?;
+                Ok(Message::Hello { version, role })
+            }
+            TAG_DIRECT_LABELS => {
+                if body.len() % 16 != 0 {
+                    return Err(ProtoError::Malformed("direct labels not 16-byte aligned"));
+                }
+                Ok(Message::DirectLabels(
+                    body.chunks_exact(16)
+                        .map(|c| Label::from_bytes(c.try_into().expect("16 bytes")))
+                        .collect(),
+                ))
+            }
+            TAG_OT_PAYLOAD => Ok(Message::OtPayload(body.to_vec())),
+            TAG_TABLES => Ok(Message::Tables(body.to_vec())),
+            TAG_DECODE_BITS => Ok(Message::DecodeBits(decode_bits(body)?)),
+            TAG_OUTPUTS => Ok(Message::Outputs(decode_bits(body)?)),
+            _ => Err(ProtoError::Malformed("unknown frame tag")),
+        }
+    }
+}
+
+pub(crate) fn prefixed(tag: u8, bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + bytes.len());
+    out.push(tag);
+    out.extend_from_slice(bytes);
+    out
+}
+
+fn encode_bits(tag: u8, bits: &[bool]) -> Vec<u8> {
+    let packed = pack_bits(bits);
+    let mut out = Vec::with_capacity(5 + packed.len());
+    out.push(tag);
+    out.extend_from_slice(&(bits.len() as u32).to_le_bytes());
+    out.extend_from_slice(&packed);
+    out
+}
+
+fn decode_bits(body: &[u8]) -> Result<Vec<bool>, ProtoError> {
+    if body.len() < 4 {
+        return Err(ProtoError::Malformed("bit frame too short"));
+    }
+    let n = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+    let packed = &body[4..];
+    if packed.len() != n.div_ceil(8) {
+        return Err(ProtoError::Malformed("bit frame length mismatch"));
+    }
+    // Canonical encodings only: padding bits in the last byte are zero.
+    if n % 8 != 0 {
+        if let Some(&last) = packed.last() {
+            if last >> (n % 8) != 0 {
+                return Err(ProtoError::Malformed("nonzero bit-frame padding"));
+            }
+        }
+    }
+    Ok(unpack_bits(packed, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        assert_eq!(Message::decode(&msg.encode()).expect("decode"), msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::Hello {
+            version: PROTOCOL_VERSION,
+            role: SessionRole::Garbler,
+        });
+        roundtrip(Message::Hello {
+            version: 7,
+            role: SessionRole::Evaluator,
+        });
+        roundtrip(Message::DirectLabels(vec![]));
+        roundtrip(Message::DirectLabels(
+            (0..5).map(|i| Label::from_u128(i * 37)).collect(),
+        ));
+        roundtrip(Message::OtPayload(vec![]));
+        roundtrip(Message::OtPayload((0..255).collect()));
+        roundtrip(Message::Tables(vec![9u8; 96]));
+        roundtrip(Message::DecodeBits(vec![]));
+        roundtrip(Message::DecodeBits(vec![true, false, true]));
+        roundtrip(Message::Outputs((0..29).map(|i| i % 4 == 1).collect()));
+    }
+
+    #[test]
+    fn malformed_frames_error_cleanly() {
+        let cases: &[&[u8]] = &[
+            &[],                                     // empty
+            &[99, 1, 2, 3],                          // unknown tag
+            &[TAG_HELLO, 1, 2],                      // truncated hello
+            &[TAG_HELLO, 0, 0, 0, 0, 1, 0, 0],       // bad magic
+            &[TAG_DIRECT_LABELS, 1, 2, 3],           // not 16-byte aligned
+            &[TAG_DECODE_BITS, 1],                   // too short for count
+            &[TAG_DECODE_BITS, 9, 0, 0, 0, 0xff],    // says 9 bits, holds 8
+            &[TAG_DECODE_BITS, 3, 0, 0, 0, 0xff],    // nonzero padding bits
+            &[TAG_OUTPUTS, 1, 0, 0, 0, 0xff, 0xff],  // says 1 bit, holds 16
+            &[TAG_OUTPUTS, 5, 0, 0, 0, 0b0010_0000], // padding bit set
+        ];
+        for raw in cases {
+            assert!(
+                matches!(Message::decode(raw), Err(ProtoError::Malformed(_))),
+                "frame {raw:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_rejects_bad_role_byte() {
+        let mut raw = Message::Hello {
+            version: 1,
+            role: SessionRole::Garbler,
+        }
+        .encode();
+        *raw.last_mut().expect("role byte") = 9;
+        assert!(matches!(
+            Message::decode(&raw),
+            Err(ProtoError::Malformed("unknown session role"))
+        ));
+    }
+
+    #[test]
+    fn role_peer_flips() {
+        assert_eq!(SessionRole::Garbler.peer(), SessionRole::Evaluator);
+        assert_eq!(SessionRole::Evaluator.peer(), SessionRole::Garbler);
+    }
+}

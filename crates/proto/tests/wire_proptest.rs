@@ -1,0 +1,97 @@
+//! Property tests for the wire codec: arbitrary payloads round-trip,
+//! and corrupted frames fail with a clean `Malformed` error — never a
+//! panic.
+
+use arm2gc_crypto::Label;
+use arm2gc_proto::bits::{pack_bits, unpack_bits};
+use arm2gc_proto::{Message, ProtoError, SessionRole};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary label vectors survive encode/decode.
+    #[test]
+    fn direct_labels_roundtrip(raw in proptest::collection::vec(any::<u128>(), 0..200)) {
+        let msg = Message::DirectLabels(raw.iter().map(|&v| Label::from_u128(v)).collect());
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decode"), msg);
+    }
+
+    /// Arbitrary table batches (any whole number of 32-byte tables)
+    /// survive encode/decode.
+    #[test]
+    fn table_batches_roundtrip(tables in proptest::collection::vec(any::<[u8; 32]>(), 0..64)) {
+        let bytes: Vec<u8> = tables.iter().flatten().copied().collect();
+        let msg = Message::Tables(bytes);
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decode"), msg);
+    }
+
+    /// Opaque OT payloads of any length survive encode/decode.
+    #[test]
+    fn ot_payloads_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..500)) {
+        let msg = Message::OtPayload(payload);
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decode"), msg);
+    }
+
+    /// Decode/output bit vectors of every length — multiples of 8 or
+    /// not — survive encode/decode, both variants.
+    #[test]
+    fn bit_frames_roundtrip(seed in any::<u64>(), n in 0usize..200) {
+        let bits: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let decode = Message::DecodeBits(bits.clone());
+        prop_assert_eq!(Message::decode(&decode.encode()).expect("decode"), decode);
+        let outputs = Message::Outputs(bits);
+        prop_assert_eq!(Message::decode(&outputs.encode()).expect("decode"), outputs);
+    }
+
+    /// pack/unpack is the identity for every length.
+    #[test]
+    fn pack_unpack_identity(seed in any::<u128>(), n in 0usize..130) {
+        let bits: Vec<bool> = (0..n).map(|i| (seed >> (i % 128)) & 1 == 1).collect();
+        prop_assert_eq!(unpack_bits(&pack_bits(&bits), n), bits);
+    }
+
+    /// Hello frames round-trip for every version.
+    #[test]
+    fn hello_roundtrip(version: u16, evaluator: bool) {
+        let role = if evaluator { SessionRole::Evaluator } else { SessionRole::Garbler };
+        let msg = Message::Hello { version, role };
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decode"), msg);
+    }
+
+    /// Truncating any valid frame yields `Malformed` or a shorter valid
+    /// frame of the same tag — never a panic, never a misparse into a
+    /// different variant.
+    #[test]
+    fn truncation_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..80), cut in 0usize..80) {
+        let msg = Message::OtPayload(raw);
+        let mut encoded = msg.encode();
+        encoded.truncate(cut.min(encoded.len()));
+        match Message::decode(&encoded) {
+            Ok(Message::OtPayload(_)) | Err(ProtoError::Malformed(_)) => {}
+            other => prop_assert!(false, "unexpected decode result: {:?}", other),
+        }
+    }
+
+    /// Arbitrary byte soup either decodes to *some* message or fails
+    /// with `Malformed` — the decoder never panics on garbage.
+    #[test]
+    fn garbage_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..200)) {
+        match Message::decode(&raw) {
+            Ok(_) | Err(ProtoError::Malformed(_)) => {}
+            other => prop_assert!(false, "unexpected decode result: {:?}", other),
+        }
+    }
+}
+
+/// A bit-count field inconsistent with the payload is rejected, not
+/// unpacked out of bounds.
+#[test]
+fn oversized_bit_count_is_malformed() {
+    let mut raw = Message::DecodeBits(vec![true; 8]).encode();
+    raw[1] = 200; // claim 200 bits, provide 1 byte
+    assert!(matches!(
+        Message::decode(&raw),
+        Err(ProtoError::Malformed(_))
+    ));
+}

@@ -26,10 +26,10 @@ fn main() {
     let counter = b.dff_bus(width, |_| DffInit::Const(false));
     let mut carry = x;
     let mut next = Vec::with_capacity(width);
-    for i in 0..width {
-        next.push(b.xor(counter[i], carry));
+    for (i, &c) in counter.iter().enumerate() {
+        next.push(b.xor(c, carry));
         if i + 1 < width {
-            carry = b.and(counter[i], carry);
+            carry = b.and(c, carry);
         }
     }
     b.connect_dff_bus(&counter, &next);

@@ -16,3 +16,4 @@ pub use arm2gc_cpu as cpu;
 pub use arm2gc_crypto as crypto;
 pub use arm2gc_garble as garble;
 pub use arm2gc_ot as ot;
+pub use arm2gc_proto as proto;

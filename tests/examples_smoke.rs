@@ -1,6 +1,7 @@
-//! Smoke test: the shipped examples build, and `quickstart` runs to
-//! completion. Backed by a real `cargo` invocation so the check is the
-//! same one a user's first `cargo run --example quickstart` performs.
+//! Smoke test: the shipped examples build, and `quickstart` plus the
+//! two-process `tcp_two_party` demo run to completion. Backed by real
+//! `cargo` invocations so the check is the same one a user's first
+//! `cargo run --example quickstart` performs.
 
 use std::process::Command;
 
@@ -39,5 +40,23 @@ fn quickstart_runs_to_completion() {
     assert!(
         stdout.contains("garbled tables sent"),
         "quickstart printed unexpected output:\n{stdout}"
+    );
+}
+
+#[test]
+fn tcp_two_party_runs_both_processes() {
+    let out = cargo()
+        .args(["run", "--example", "tcp_two_party"])
+        .output()
+        .expect("spawn cargo");
+    assert!(
+        out.status.success(),
+        "tcp_two_party exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("evaluator process exited cleanly"),
+        "tcp_two_party printed unexpected output:\n{stdout}"
     );
 }
