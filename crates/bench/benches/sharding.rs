@@ -1,0 +1,71 @@
+//! Criterion benchmarks of sharded table streaming: the same
+//! many-cycle circuits at 1, 2 and 4 shards, for both engines.
+//!
+//! Sharding moves frame assembly and channel sends onto per-shard
+//! worker threads; the cryptographic garbling core stays on the main
+//! thread (half-gate output labels feed downstream gates), so the win
+//! is transport overlap, not fewer AES calls. These benches track that
+//! overlap — and above all that sharding never regresses the
+//! single-shard path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use arm2gc_bench::runner::{run_baseline_sharded, run_skipgate_with, table1_circuits};
+use arm2gc_circuit::bench_circuits;
+use arm2gc_core::{OtBackend, ShardConfig, StreamConfig, TwoPartyConfig};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bench_skipgate_sharded(c: &mut Criterion) {
+    // Many-cycle circuits: the per-cycle partition is recomputed every
+    // cycle, so these exercise the steady-state streaming path.
+    let circuits = [
+        bench_circuits::sum(1024, u64::MAX, 0x1234_5678),
+        bench_circuits::hamming(512, &[7u32; 16], &[9u32; 16]),
+    ];
+    let mut g = c.benchmark_group("skipgate_sharded");
+    g.sample_size(10);
+    for bc in &circuits {
+        for shards in SHARD_COUNTS {
+            g.throughput(Throughput::Elements(bc.cycles as u64));
+            g.bench_function(format!("{}/shards{shards}", bc.circuit.name()), |b| {
+                b.iter(|| {
+                    run_skipgate_with(
+                        bc,
+                        TwoPartyConfig {
+                            shards: ShardConfig::new(shards),
+                            ..TwoPartyConfig::default()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_baseline_sharded(c: &mut Criterion) {
+    // The baseline garbles every nonlinear gate every cycle — the
+    // densest table stream the workspace produces, i.e. the best case
+    // for parallel transport.
+    let bc = &table1_circuits(true)[6]; // hamming_512: 4608 tables
+    let mut g = c.benchmark_group("baseline_sharded");
+    g.sample_size(10);
+    for shards in SHARD_COUNTS {
+        g.throughput(Throughput::Bytes(32 * 9 * bc.cycles as u64));
+        g.bench_function(format!("{}/shards{shards}", bc.circuit.name()), |b| {
+            b.iter(|| {
+                run_baseline_sharded(
+                    bc,
+                    OtBackend::Insecure,
+                    StreamConfig::default(),
+                    ShardConfig::new(shards),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_skipgate_sharded, bench_baseline_sharded);
+criterion_main!(benches);

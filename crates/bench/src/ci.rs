@@ -1,0 +1,112 @@
+//! The CI perf-regression gate: a deterministic cost report in JSON.
+//!
+//! Wall-clock numbers are useless as a CI gate (shared runners jitter
+//! by 2×), but the paper's actual cost model — garbled tables, table
+//! bytes, OTs — is exactly reproducible. [`report`] runs both engines
+//! on the small Table 1 circuits and serialises every counter; CI diffs
+//! the output against the checked-in baseline
+//! (`crates/bench/baselines/BENCH_ci.json`) and fails on any drift.
+//!
+//! The report deliberately omits the shard count it was produced with:
+//! sharding is transport-only, so the gate doubles as a CI-enforced
+//! proof that counts are shard-invariant (the workflow runs it sharded
+//! against the unsharded baseline).
+
+use std::fmt::Write as _;
+
+use arm2gc_core::{OtBackend, ShardConfig, StreamConfig, TwoPartyConfig};
+
+use crate::runner::{run_baseline_sharded, run_skipgate_with, table1_circuits};
+
+/// Identifies the report layout; bump when fields change.
+pub const SCHEMA: &str = "arm2gc-bench-ci/v1";
+
+/// Builds the deterministic cost report for the small (quick) Table 1
+/// circuits, running both engines at the given shard count.
+///
+/// The returned string is complete JSON, newline-terminated, with a
+/// stable field order — suitable for byte-exact diffing.
+pub fn report(shards: ShardConfig) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    out.push_str(
+        "  \"note\": \"deterministic gate/table/byte counts; wall-clock excluded by design\",\n",
+    );
+    out.push_str("  \"circuits\": [\n");
+    let circuits = table1_circuits(true);
+    for (i, bc) in circuits.iter().enumerate() {
+        let skip = run_skipgate_with(
+            bc,
+            TwoPartyConfig {
+                shards,
+                ..TwoPartyConfig::default()
+            },
+        );
+        let base = run_baseline_sharded(bc, OtBackend::Insecure, StreamConfig::default(), shards);
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", bc.circuit.name());
+        let _ = writeln!(out, "      \"cycles\": {},", bc.cycles);
+        let _ = writeln!(
+            out,
+            "      \"baseline\": {{ \"garbled_tables\": {}, \"table_bytes\": {}, \"ots\": {} }},",
+            base.garbled_tables, base.table_bytes, base.ots
+        );
+        let _ = writeln!(
+            out,
+            "      \"skipgate\": {{ \"garbled_tables\": {}, \"table_bytes\": {}, \"ots\": {}, \
+             \"skipped_nonlinear\": {}, \"public_gates\": {}, \"pass_gates\": {}, \
+             \"free_xor\": {} }}",
+            skip.garbled_tables,
+            skip.table_bytes,
+            skip.ots,
+            skip.skipped_nonlinear,
+            skip.public_gates,
+            skip.pass_gates,
+            skip.free_xor
+        );
+        out.push_str(if i + 1 == circuits.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Line-by-line comparison of a fresh report against a baseline;
+/// returns the mismatching lines (empty = gate passes).
+pub fn diff(baseline: &str, current: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let (b_lines, c_lines): (Vec<_>, Vec<_>) =
+        (baseline.lines().collect(), current.lines().collect());
+    let n = b_lines.len().max(c_lines.len());
+    for i in 0..n {
+        let b = b_lines.get(i).copied().unwrap_or("<missing>");
+        let c = c_lines.get(i).copied().unwrap_or("<missing>");
+        if b != c {
+            out.push(format!(
+                "line {}: baseline `{}` != current `{}`",
+                i + 1,
+                b,
+                c
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_reports_changed_lines_only() {
+        assert!(diff("a\nb\n", "a\nb\n").is_empty());
+        let d = diff("a\nb\n", "a\nc\nd\n");
+        assert_eq!(d.len(), 2);
+        assert!(d[0].contains("line 2"));
+        assert!(d[1].contains("<missing>"));
+    }
+}

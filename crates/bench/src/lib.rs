@@ -5,6 +5,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ci;
 pub mod paper;
 pub mod runner;
 

@@ -4,12 +4,15 @@ use arm2gc_circuit::bench_circuits::{self, BenchCircuit};
 use arm2gc_circuit::random::TestRng;
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_comm::duplex;
-use arm2gc_core::{run_two_party, run_two_party_cfg, OtBackend, SkipGateStats, TwoPartyConfig};
+use arm2gc_core::{
+    run_two_party, run_two_party_cfg, shard_duplexes, OtBackend, ShardConfig, SkipGateStats,
+    TwoPartyConfig,
+};
 use arm2gc_cpu::asm::{assemble, Program};
 use arm2gc_cpu::machine::{CpuConfig, GcMachine};
 use arm2gc_cpu::programs;
 use arm2gc_crypto::Prg;
-use arm2gc_garble::{run_evaluator, run_garbler_with, GarbleStats, StreamConfig};
+use arm2gc_garble::{run_evaluator_sharded, run_garbler_sharded, GarbleStats, StreamConfig};
 
 /// Measured circuit-level result: baseline vs SkipGate.
 #[derive(Clone, Copy, Debug)]
@@ -30,33 +33,58 @@ pub fn run_baseline(bc: &BenchCircuit) -> GarbleStats {
 /// [`run_baseline`] with an explicit OT backend and table-streaming
 /// configuration.
 pub fn run_baseline_with(bc: &BenchCircuit, ot: OtBackend, stream: StreamConfig) -> GarbleStats {
+    run_baseline_sharded(bc, ot, stream, ShardConfig::single())
+}
+
+/// [`run_baseline_with`] over a sharded table stream: one in-memory
+/// channel pair per shard, mirroring [`run_two_party_cfg`]'s setup.
+pub fn run_baseline_sharded(
+    bc: &BenchCircuit,
+    ot: OtBackend,
+    stream: StreamConfig,
+    shards: ShardConfig,
+) -> GarbleStats {
     let (mut ca, mut cb) = duplex();
-    let outcome = std::thread::scope(|s| {
-        let g = s.spawn(move || {
+    let (g_shards, e_shards) = shard_duplexes(shards);
+    let outcome = crossbeam::thread::scope(|s| {
+        let g = s.spawn(move |_| {
             let mut prg = Prg::from_seed([91; 16]);
             let mut ot = ot.sender(&mut prg);
-            run_garbler_with(
+            run_garbler_sharded(
                 &bc.circuit,
                 &bc.alice,
                 &bc.public,
                 bc.cycles,
                 &mut ca,
+                g_shards,
                 ot.as_mut(),
                 &mut prg,
                 stream,
+                shards,
             )
             .expect("baseline garbler")
         });
         let mut prg = Prg::from_seed([92; 16]);
         let mut ot = ot.receiver(&mut prg);
-        let b = run_evaluator(&bc.circuit, &bc.bob, bc.cycles, &mut cb, ot.as_mut())
-            .expect("baseline evaluator");
+        let b = run_evaluator_sharded(
+            &bc.circuit,
+            &bc.bob,
+            bc.cycles,
+            &mut cb,
+            e_shards,
+            ot.as_mut(),
+            shards,
+        )
+        .expect("baseline evaluator");
         let a = g.join().expect("garbler thread");
         assert_eq!(a.outputs, b.outputs);
         let got: Vec<bool> = a.outputs.concat();
         assert_eq!(got, bc.expected, "baseline output mismatch");
         a
-    });
+    })
+    // Re-raise with the original payload so assertion messages from
+    // either party survive the scope's catch_unwind.
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
     outcome.stats
 }
 

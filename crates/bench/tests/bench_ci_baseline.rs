@@ -1,0 +1,31 @@
+//! The checked-in CI bench baseline must always match what the gate
+//! regenerates, so baseline drift is caught by `cargo test` locally
+//! before the `bench-gate` CI job ever runs.
+
+use arm2gc_bench::ci;
+use arm2gc_core::ShardConfig;
+
+const BASELINE: &str = include_str!("../baselines/BENCH_ci.json");
+
+#[test]
+fn checked_in_baseline_is_current() {
+    let report = ci::report(ShardConfig::single());
+    let drift = ci::diff(BASELINE, &report);
+    assert!(
+        drift.is_empty(),
+        "crates/bench/baselines/BENCH_ci.json is stale:\n{}\nregenerate with \
+         `cargo run --release -p arm2gc-bench --bin bench_ci -- --out \
+         crates/bench/baselines/BENCH_ci.json`",
+        drift.join("\n")
+    );
+}
+
+#[test]
+fn report_is_shard_invariant() {
+    // The report omits the shard count on purpose: running the gate
+    // sharded must produce byte-identical JSON.
+    assert_eq!(
+        ci::report(ShardConfig::single()),
+        ci::report(ShardConfig::new(3))
+    );
+}

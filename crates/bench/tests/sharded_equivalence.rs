@@ -1,0 +1,99 @@
+//! Sharding is transport-only: splitting the table stream across
+//! sub-channels must not change *anything* the protocol computes — not
+//! the decoded outputs (checked inside the runners against the
+//! semantic expectation) and not a single cost counter.
+//!
+//! Every seed Table 1 benchmark circuit is run at shard counts 2 and 4
+//! and compared field-for-field against the unsharded run.
+
+use arm2gc_bench::runner::{
+    run_baseline_sharded, run_baseline_with, run_skipgate_with, table1_circuits,
+};
+use arm2gc_core::{OtBackend, ShardConfig, StreamConfig, TwoPartyConfig};
+
+#[test]
+fn skipgate_sharding_preserves_outputs_and_stats() {
+    for bc in &table1_circuits(true) {
+        let name = bc.circuit.name().to_string();
+        // `run_skipgate_with` asserts both parties' outputs match the
+        // semantic expectation, so output equivalence is checked inside
+        // every run below; here we pin the stats.
+        let unsharded = run_skipgate_with(bc, TwoPartyConfig::default());
+        for shards in [2, 4] {
+            let sharded = run_skipgate_with(
+                bc,
+                TwoPartyConfig {
+                    shards: ShardConfig::new(shards),
+                    ..TwoPartyConfig::default()
+                },
+            );
+            assert_eq!(
+                unsharded, sharded,
+                "{name}: skipgate stats at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_sharding_preserves_outputs_and_stats() {
+    for bc in &table1_circuits(true) {
+        let name = bc.circuit.name().to_string();
+        let unsharded = run_baseline_with(bc, OtBackend::Insecure, StreamConfig::default());
+        for shards in [2, 4] {
+            let sharded = run_baseline_sharded(
+                bc,
+                OtBackend::Insecure,
+                StreamConfig::default(),
+                ShardConfig::new(shards),
+            );
+            assert_eq!(
+                unsharded, sharded,
+                "{name}: baseline stats at {shards} shards"
+            );
+        }
+    }
+}
+
+/// Sharding composes with the rest of the session configuration:
+/// lockstep streaming and the real OT stack behave identically sharded.
+#[test]
+fn sharding_composes_with_streaming_and_ot_backends() {
+    let circuits = table1_circuits(true);
+    for bc in &circuits[..3] {
+        let name = bc.circuit.name().to_string();
+        let base = run_skipgate_with(
+            bc,
+            TwoPartyConfig {
+                stream: StreamConfig::lockstep(),
+                ..TwoPartyConfig::default()
+            },
+        );
+        let sharded = run_skipgate_with(
+            bc,
+            TwoPartyConfig {
+                stream: StreamConfig::lockstep(),
+                shards: ShardConfig::new(3),
+                ..TwoPartyConfig::default()
+            },
+        );
+        assert_eq!(base, sharded, "{name}: lockstep sharding");
+    }
+    let bc = &circuits[2]; // compare_32: small enough for real OT
+    let base = run_skipgate_with(
+        bc,
+        TwoPartyConfig {
+            ot: OtBackend::NaorPinkasIknp,
+            ..TwoPartyConfig::default()
+        },
+    );
+    let sharded = run_skipgate_with(
+        bc,
+        TwoPartyConfig {
+            ot: OtBackend::NaorPinkasIknp,
+            shards: ShardConfig::new(2),
+            ..TwoPartyConfig::default()
+        },
+    );
+    assert_eq!(base, sharded, "sharding with the Naor-Pinkas + IKNP stack");
+}

@@ -2,13 +2,117 @@
 //!
 //! This workspace builds without network access, so the handful of
 //! `crossbeam` items it uses are reimplemented here over the standard
-//! library. Only [`channel::unbounded`] and the associated
-//! [`channel::Sender`] / [`channel::Receiver`] types are provided; swap
-//! this crate's `path` dependency for the registry `crossbeam` to get
-//! the real thing (the API surface is drop-in compatible).
+//! library. Provided: [`channel::unbounded`] with the associated
+//! [`channel::Sender`] / [`channel::Receiver`] types, and
+//! [`thread::scope`] with crossbeam's closure-takes-`&Scope` spawning
+//! API. Swap this crate's `path` dependency for the registry
+//! `crossbeam` to get the real thing (the API surface is drop-in
+//! compatible).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads (subset: [`scope`] over `std::thread::scope`).
+    //!
+    //! Matches crossbeam's API shape — the closure passed to
+    //! [`Scope::spawn`] receives the scope again (`|_| ...` when
+    //! unused), and [`scope`] returns a [`Result`] that is `Err` when
+    //! any unjoined spawned thread (or the closure itself) panicked —
+    //! rather than std's propagate-by-panic behaviour.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// `Ok`, or the payload of a panic that escaped the scope.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle spawning threads inside a [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries its panic
+        /// payload.
+        ///
+        /// # Errors
+        /// Returns the panic payload when the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope; the closure receives the
+        /// scope so it can spawn further threads (crossbeam's shape).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope whose spawned threads may borrow from the
+    /// enclosing stack frame; all are joined before `scope` returns.
+    ///
+    /// # Errors
+    /// Returns the panic payload when the closure or any unjoined
+    /// spawned thread panicked (instead of propagating the panic, as
+    /// `std::thread::scope` does).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn nested_spawn_through_the_scope_argument() {
+            let got = scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(got, 7);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let res = scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(res.is_err());
+        }
+    }
+}
 
 pub mod channel {
     //! MPMC-style channels (subset: unbounded MPSC over `std::sync::mpsc`).

@@ -2,7 +2,7 @@
 //!
 //! This workspace builds without network access, so the proptest surface
 //! its tests use is reimplemented here: the [`proptest!`] macro (typed
-//! params via [`any`], `name in strategy` params, an optional inner
+//! params via [`any`](arbitrary::any), `name in strategy` params, an optional inner
 //! `#![proptest_config(..)]`), integer-range and [`collection::vec`]
 //! strategies, the `prop_assert*` / [`prop_assume!`] macros and a
 //! deterministic per-test RNG. **No shrinking**: a failing case reports
@@ -258,13 +258,13 @@ pub mod arbitrary {
 }
 
 pub mod collection {
-    //! Collection strategies (subset: [`vec`]).
+    //! Collection strategies (subset: [`vec()`]).
 
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -14,7 +14,12 @@
 //!
 //! Transport is the shared typed session layer ([`arm2gc_proto`]): both
 //! engines deliver labels, stream tables and reveal outputs through the
-//! same [`GarblerSession`]/[`EvaluatorSession`] code paths.
+//! same [`GarblerSession`]/[`EvaluatorSession`] code paths. The
+//! `_sharded` entry points split the table stream across several
+//! sub-channels ([`ShardConfig`]): the SkipGate decision pass is shared
+//! and deterministic, so each cycle's surviving-table count — and hence
+//! the per-cycle shard partition — is known to both parties without
+//! coordination.
 
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_circuit::{Circuit, DffInit, Op, OutputMode, Role, WireId};
@@ -23,7 +28,7 @@ use arm2gc_crypto::{Label, Prg};
 use arm2gc_garble::engine::ProtocolError;
 use arm2gc_garble::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
 use arm2gc_ot::{OtReceiver, OtSender};
-use arm2gc_proto::{EvaluatorSession, GarblerSession, OtBackend, StreamConfig};
+use arm2gc_proto::{EvaluatorSession, GarblerSession, OtBackend, ShardConfig, StreamConfig};
 
 use crate::decide::{DecideContext, GateDecision};
 use crate::state::WireVal;
@@ -217,7 +222,8 @@ impl Default for SkipGateOptions {
 }
 
 /// Full configuration of an in-process two-party run: SkipGate options
-/// plus the session layer's OT backend and table-streaming chunking.
+/// plus the session layer's OT backend, table-streaming chunking and
+/// table-stream sharding.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TwoPartyConfig {
     /// SkipGate decision-engine options.
@@ -226,6 +232,8 @@ pub struct TwoPartyConfig {
     pub ot: OtBackend,
     /// Garbler-side table-streaming configuration.
     pub stream: StreamConfig,
+    /// How many parallel sub-streams carry the table stream.
+    pub shards: ShardConfig,
 }
 
 /// Runs Alice's side (Algorithm 1) with the default streaming
@@ -274,7 +282,44 @@ pub fn run_skipgate_garbler_with(
     options: SkipGateOptions,
     stream: StreamConfig,
 ) -> Result<SkipGateOutcome, ProtocolError> {
-    let mut session = GarblerSession::establish(ch, ot, prg, stream)?;
+    run_skipgate_garbler_sharded(
+        circuit,
+        alice,
+        public,
+        cycles,
+        ch,
+        Vec::new(),
+        ot,
+        prg,
+        options,
+        stream,
+        ShardConfig::single(),
+    )
+}
+
+/// [`run_skipgate_garbler_with`] over a sharded table stream: each
+/// shard's slice of every cycle's surviving tables travels on its own
+/// channel from `shard_chs`, framed and sent by a dedicated worker
+/// thread. With [`ShardConfig::single`] (and no shard channels) this is
+/// exactly [`run_skipgate_garbler_with`].
+///
+/// # Errors
+/// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_skipgate_garbler_sharded(
+    circuit: &Circuit,
+    alice: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtSender,
+    prg: &mut Prg,
+    options: SkipGateOptions,
+    stream: StreamConfig,
+    shards: ShardConfig,
+) -> Result<SkipGateOutcome, ProtocolError> {
+    let mut session = GarblerSession::establish_sharded(ch, shard_chs, ot, prg, stream, shards)?;
     let d = session.delta().as_label();
     let garbler = HalfGateGarbler::new(session.delta());
     let mut shared = Shared::new(circuit, options.filter_dead_gates);
@@ -352,6 +397,7 @@ pub fn run_skipgate_garbler_with(
             ctx.decide_cycle(states, alloc, is_last)
         };
         shared.absorb_counts(&decisions.counts);
+        session.begin_cycle(decisions.counts.garbled as usize);
 
         for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
             match *decision {
@@ -445,8 +491,39 @@ pub fn run_skipgate_evaluator(
     ot: &mut dyn OtReceiver,
     options: SkipGateOptions,
 ) -> Result<SkipGateOutcome, ProtocolError> {
+    run_skipgate_evaluator_sharded(
+        circuit,
+        bob,
+        public,
+        cycles,
+        ch,
+        Vec::new(),
+        ot,
+        options,
+        ShardConfig::single(),
+    )
+}
+
+/// [`run_skipgate_evaluator`] over a sharded table stream; the mirror
+/// of [`run_skipgate_garbler_sharded`].
+///
+/// # Errors
+/// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_skipgate_evaluator_sharded(
+    circuit: &Circuit,
+    bob: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtReceiver,
+    options: SkipGateOptions,
+    shards: ShardConfig,
+) -> Result<SkipGateOutcome, ProtocolError> {
     let evaluator = HalfGateEvaluator::new();
-    let mut session = EvaluatorSession::establish(ch, ot, GarbledTable::BYTES)?;
+    let mut session =
+        EvaluatorSession::establish_sharded(ch, shard_chs, ot, GarbledTable::BYTES, shards)?;
     let mut shared = Shared::new(circuit, options.filter_dead_gates);
     let mut active = vec![Label::ZERO; circuit.wire_count()];
 
@@ -515,6 +592,7 @@ pub fn run_skipgate_evaluator(
             ctx.decide_cycle(states, alloc, is_last)
         };
         shared.absorb_counts(&decisions.counts);
+        session.begin_cycle(decisions.counts.garbled as usize);
 
         for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
             match *decision {
@@ -629,8 +707,27 @@ pub fn run_two_party_with(
     )
 }
 
+/// Connected shard-channel bundles for an in-process sharded run: one
+/// [`duplex`] pair per shard (empty vectors when unsharded), garbler
+/// ends first. Harnesses and tests building their own two-party runs
+/// use this to mirror [`run_two_party_cfg`]'s channel setup.
+#[allow(clippy::type_complexity)]
+pub fn shard_duplexes(shards: ShardConfig) -> (Vec<Box<dyn Channel>>, Vec<Box<dyn Channel>>) {
+    let mut garbler: Vec<Box<dyn Channel>> = Vec::new();
+    let mut evaluator: Vec<Box<dyn Channel>> = Vec::new();
+    if shards.is_sharded() {
+        for _ in 0..shards.shards {
+            let (g, e) = duplex();
+            garbler.push(Box::new(g));
+            evaluator.push(Box::new(e));
+        }
+    }
+    (garbler, evaluator)
+}
+
 /// [`run_two_party`] with a full [`TwoPartyConfig`]: pluggable OT
-/// backend and table-streaming configuration.
+/// backend, table-streaming configuration and table-stream sharding
+/// (one extra in-memory channel pair per shard).
 ///
 /// # Panics
 /// Panics if either party fails (test harness semantics).
@@ -643,37 +740,45 @@ pub fn run_two_party_cfg(
     cfg: TwoPartyConfig,
 ) -> (SkipGateOutcome, SkipGateOutcome) {
     let (mut ca, mut cb) = duplex();
-    std::thread::scope(|s| {
-        let garbler = s.spawn(move || {
+    let (g_shards, e_shards) = shard_duplexes(cfg.shards);
+    crossbeam::thread::scope(|s| {
+        let garbler = s.spawn(move |_| {
             let mut prg = Prg::from_entropy();
             let mut ot = cfg.ot.sender(&mut prg);
-            run_skipgate_garbler_with(
+            run_skipgate_garbler_sharded(
                 circuit,
                 alice,
                 public,
                 cycles,
                 &mut ca,
+                g_shards,
                 ot.as_mut(),
                 &mut prg,
                 cfg.options,
                 cfg.stream,
+                cfg.shards,
             )
             .expect("skipgate garbler")
         });
         let mut prg = Prg::from_entropy();
         let mut ot = cfg.ot.receiver(&mut prg);
-        let bob_outcome = run_skipgate_evaluator(
+        let bob_outcome = run_skipgate_evaluator_sharded(
             circuit,
             bob,
             public,
             cycles,
             &mut cb,
+            e_shards,
             ot.as_mut(),
             cfg.options,
+            cfg.shards,
         )
         .expect("skipgate evaluator");
         (garbler.join().expect("garbler thread"), bob_outcome)
     })
+    // Re-raise with the original payload so assertion messages from
+    // either party survive the scope's catch_unwind.
+    .unwrap_or_else(|e| std::panic::resume_unwind(e))
 }
 
 /// Sanity helper used by docs/tests: a netlist must not contain

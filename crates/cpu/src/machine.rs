@@ -2,7 +2,7 @@
 //!
 //! The framework keeps the paper's five memories (§4.1): instruction,
 //! data/stack, Alice input, Bob input and output. All are word-addressed
-//! flip-flop arrays; region selection uses address bits [14:10]:
+//! flip-flop arrays; region selection uses address bits \[14:10\]:
 //!
 //! | region | base (words) | contents | init |
 //! |--------|--------------|----------|------|
@@ -243,7 +243,10 @@ impl GcMachine {
 
     /// [`GcMachine::run_skipgate`] with an explicit session
     /// configuration: pluggable OT backend (e.g. the real Naor–Pinkas +
-    /// IKNP stack) and table-streaming chunking.
+    /// IKNP stack), table-streaming chunking, and table-stream sharding
+    /// (`cfg.shards` — each shard's slice of every cycle's surviving
+    /// tables travels over its own in-process channel, sent by a
+    /// dedicated worker thread).
     pub fn run_skipgate_with(
         &self,
         prog: &Program,

@@ -11,14 +11,17 @@
 //! [`arm2gc_proto`]: the garbler pushes tables into the session's
 //! buffered sink (flushed in [`StreamConfig`] chunks, overlapping
 //! Alice's garbling with Bob's evaluation) and the evaluator pulls them
-//! on demand.
+//! on demand. The `_sharded` entry points split the table stream across
+//! several sub-channels ([`ShardConfig`]): every cycle garbles the same
+//! `non_xor_count` tables, so both parties derive the per-cycle shard
+//! partition without coordination.
 
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_circuit::{Circuit, DffInit, Op, OutputMode, Role};
 use arm2gc_comm::Channel;
 use arm2gc_crypto::{Label, Prg};
 use arm2gc_ot::{OtReceiver, OtSender};
-use arm2gc_proto::{EvaluatorSession, GarblerSession, StreamConfig};
+use arm2gc_proto::{EvaluatorSession, GarblerSession, ShardConfig, StreamConfig};
 
 use crate::halfgate::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
 
@@ -127,7 +130,42 @@ pub fn run_garbler_with(
     prg: &mut Prg,
     stream: StreamConfig,
 ) -> Result<GarbleOutcome, ProtocolError> {
-    let mut session = GarblerSession::establish(ch, ot, prg, stream)?;
+    run_garbler_sharded(
+        circuit,
+        alice,
+        public,
+        cycles,
+        ch,
+        Vec::new(),
+        ot,
+        prg,
+        stream,
+        ShardConfig::single(),
+    )
+}
+
+/// [`run_garbler_with`] over a sharded table stream: each shard's slice
+/// of every cycle's tables travels on its own channel from `shard_chs`,
+/// framed and sent by a dedicated worker thread. With
+/// [`ShardConfig::single`] (and no shard channels) this is exactly
+/// [`run_garbler_with`].
+///
+/// # Errors
+/// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_garbler_sharded(
+    circuit: &Circuit,
+    alice: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtSender,
+    prg: &mut Prg,
+    stream: StreamConfig,
+    shards: ShardConfig,
+) -> Result<GarbleOutcome, ProtocolError> {
+    let mut session = GarblerSession::establish_sharded(ch, shard_chs, ot, prg, stream, shards)?;
     let d = session.delta().as_label();
     let garbler = HalfGateGarbler::new(session.delta());
     let mut labels = vec![Label::ZERO; circuit.wire_count()];
@@ -193,6 +231,7 @@ pub fn run_garbler_with(
     let mut cycles_run = 0usize;
     let mut decode_bits: Vec<bool> = Vec::new();
     for (cycle, cycle_labels) in stream_labels.iter().enumerate() {
+        session.begin_cycle(circuit.non_xor_count() as usize);
         for (input, &x0) in circuit.inputs().iter().zip(cycle_labels) {
             labels[input.wire.index()] = x0;
         }
@@ -249,8 +288,34 @@ pub fn run_evaluator(
     ch: &mut dyn Channel,
     ot: &mut dyn OtReceiver,
 ) -> Result<GarbleOutcome, ProtocolError> {
+    run_evaluator_sharded(
+        circuit,
+        bob,
+        cycles,
+        ch,
+        Vec::new(),
+        ot,
+        ShardConfig::single(),
+    )
+}
+
+/// [`run_evaluator`] over a sharded table stream; the mirror of
+/// [`run_garbler_sharded`].
+///
+/// # Errors
+/// Propagates channel and OT failures.
+pub fn run_evaluator_sharded(
+    circuit: &Circuit,
+    bob: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtReceiver,
+    shards: ShardConfig,
+) -> Result<GarbleOutcome, ProtocolError> {
     let evaluator = HalfGateEvaluator::new();
-    let mut session = EvaluatorSession::establish(ch, ot, GarbledTable::BYTES)?;
+    let mut session =
+        EvaluatorSession::establish_sharded(ch, shard_chs, ot, GarbledTable::BYTES, shards)?;
     let mut active = vec![Label::ZERO; circuit.wire_count()];
 
     // --- Input labels ----------------------------------------------------
@@ -300,6 +365,7 @@ pub fn run_evaluator(
     let mut cycles_run = 0usize;
     let mut my_colours: Vec<bool> = Vec::new();
     for (cycle, cycle_labels) in stream_active.iter().enumerate() {
+        session.begin_cycle(circuit.non_xor_count() as usize);
         for (input, &l) in circuit.inputs().iter().zip(cycle_labels) {
             active[input.wire.index()] = l;
         }

@@ -21,9 +21,10 @@ pub mod engine;
 pub mod halfgate;
 pub mod rows4;
 
-pub use arm2gc_proto::StreamConfig;
+pub use arm2gc_proto::{ShardConfig, StreamConfig};
 pub use engine::{
-    run_evaluator, run_garbler, run_garbler_with, GarbleOutcome, GarbleStats, ProtocolError,
+    run_evaluator, run_evaluator_sharded, run_garbler, run_garbler_sharded, run_garbler_with,
+    GarbleOutcome, GarbleStats, ProtocolError,
 };
 pub use halfgate::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
 

@@ -6,7 +6,7 @@ use arm2gc_circuit::{Circuit, CircuitBuilder, Role};
 use arm2gc_comm::{duplex, Channel};
 use arm2gc_garble::{run_evaluator, ProtocolError};
 use arm2gc_ot::InsecureOt;
-use arm2gc_proto::{Message, SessionRole, PROTOCOL_VERSION};
+use arm2gc_proto::{Message, SessionRole, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 
 /// A circuit with no Bob inputs, so the evaluator needs no OT and every
 /// abuse below hits the label-distribution path.
@@ -20,6 +20,15 @@ fn alice_only_circuit() -> Circuit {
 
 /// Plays garbler for the handshake, then hands the channel to `abuse`.
 fn against_fake_garbler(abuse: impl FnOnce(&mut dyn Channel) + Send) -> Result<(), ProtocolError> {
+    against_fake_garbler_at_version(PROTOCOL_VERSION, abuse)
+}
+
+/// [`against_fake_garbler`] with the fake peer's hello advertising
+/// `version`.
+fn against_fake_garbler_at_version(
+    version: u16,
+    abuse: impl FnOnce(&mut dyn Channel) + Send,
+) -> Result<(), ProtocolError> {
     let circuit = alice_only_circuit();
     let bob = PartyData::default();
     let (mut ca, mut cb) = duplex();
@@ -27,7 +36,7 @@ fn against_fake_garbler(abuse: impl FnOnce(&mut dyn Channel) + Send) -> Result<(
         s.spawn(move || {
             ca.send(
                 &Message::Hello {
-                    version: PROTOCOL_VERSION,
+                    version,
                     role: SessionRole::Garbler,
                 }
                 .encode(),
@@ -94,7 +103,9 @@ fn truncated_label_vector() {
 }
 
 #[test]
-fn version_mismatch_is_clean() {
+fn incompatible_version_is_clean() {
+    // Versions negotiate to the lowest common one, so a *newer* peer is
+    // fine; only a peer below the supported minimum must be rejected.
     let circuit = alice_only_circuit();
     let bob = PartyData::default();
     let (mut ca, mut cb) = duplex();
@@ -102,7 +113,7 @@ fn version_mismatch_is_clean() {
         s.spawn(move || {
             ca.send(
                 &Message::Hello {
-                    version: PROTOCOL_VERSION + 40,
+                    version: MIN_PROTOCOL_VERSION - 1,
                     role: SessionRole::Garbler,
                 }
                 .encode(),
@@ -113,5 +124,19 @@ fn version_mismatch_is_clean() {
         });
         run_evaluator(&circuit, &bob, 1, &mut cb, &mut InsecureOt).map(|_| ())
     });
-    assert_malformed(res, "version mismatch");
+    assert_malformed(res, "incompatible version");
+}
+
+#[test]
+fn newer_peer_version_is_compatible() {
+    // A peer advertising a future version must get past the handshake
+    // (the failure then comes from the missing label frame, not the
+    // hello): lowest-common negotiation instead of exact match.
+    assert_malformed(
+        against_fake_garbler_at_version(PROTOCOL_VERSION + 40, |ch| {
+            ch.send(&Message::DirectLabels(vec![]).encode())
+                .expect("empty labels");
+        }),
+        "too few labels from a newer peer",
+    );
 }

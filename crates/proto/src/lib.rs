@@ -14,6 +14,10 @@
 //!   configurable chunks ([`StreamConfig`]) while the evaluator pulls
 //!   tables on demand, so garbling runs ahead of evaluation instead of
 //!   rendezvousing once per clock cycle;
+//! * [`shard`] — [`ShardConfig`] / [`ShardPlan`], partitioning each
+//!   cycle's table stream into contiguous per-shard ranges that travel
+//!   over parallel sub-streams (per-shard worker threads on the garbler
+//!   side, lazily pulled sub-sources on the evaluator side);
 //! * [`endpoint`] — [`OtBackend`], pluggable selection between the
 //!   insecure reference OT and the real Naor–Pinkas + IKNP stack;
 //! * [`bits`] — the bit-packing helpers the codec and engines share.
@@ -30,8 +34,10 @@
 pub mod bits;
 pub mod endpoint;
 pub mod session;
+pub mod shard;
 pub mod wire;
 
 pub use endpoint::OtBackend;
 pub use session::{EvaluatorSession, GarblerSession, OtTunnel, SessionStats, StreamConfig};
-pub use wire::{Message, ProtoError, SessionRole, MAGIC, PROTOCOL_VERSION};
+pub use shard::{ShardConfig, ShardPlan};
+pub use wire::{Message, ProtoError, SessionRole, MAGIC, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};

@@ -14,13 +14,26 @@
 //!   the evaluator *pulls* tables on demand, so garbling of cycle `t+1`
 //!   overlaps evaluation of cycle `t` instead of rendezvousing once per
 //!   cycle,
+//! * **sharded parallel streaming** ([`ShardConfig`]): each cycle's
+//!   tables are partitioned into contiguous ranges and each range rides
+//!   its own sub-stream — a dedicated worker thread on the garbler side
+//!   buffers, frames and sends it (overlapping serialisation and wire
+//!   I/O with garbling, which itself stays in topological order because
+//!   half-gate output labels are hash-derived and feed downstream
+//!   gates), while the evaluator pulls from each sub-stream lazily and
+//!   reassembles tables in gate order,
 //! * the output-revelation exchange (decode colours vs. values).
 
 use arm2gc_comm::{Channel, ChannelClosed};
 use arm2gc_crypto::{Delta, Label, Prg};
 use arm2gc_ot::{OtError, OtReceiver, OtSender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::wire::{Message, ProtoError, SessionRole, PROTOCOL_VERSION, TAG_OT_PAYLOAD, TAG_TABLES};
+use crate::shard::{ShardConfig, ShardPlan};
+use crate::wire::{
+    Message, ProtoError, SessionRole, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, TAG_OT_PAYLOAD,
+    TAG_TABLES, TAG_TABLE_SHARD,
+};
 
 /// How the garbler's table sink batches tables onto the wire.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -127,7 +140,12 @@ fn recv_msg(ch: &mut dyn Channel) -> Result<Message, ProtoError> {
 }
 
 /// Runs the versioned hello exchange. The garbler speaks first.
-fn handshake(ch: &mut dyn Channel, role: SessionRole) -> Result<(), ProtoError> {
+///
+/// Each side advertises the highest version it speaks
+/// ([`PROTOCOL_VERSION`]); the session then runs at the *lowest common*
+/// version. Only a peer older than [`MIN_PROTOCOL_VERSION`] is rejected,
+/// so mismatched-but-compatible builds interoperate.
+fn handshake(ch: &mut dyn Channel, role: SessionRole) -> Result<u16, ProtoError> {
     let mine = Message::Hello {
         version: PROTOCOL_VERSION,
         role,
@@ -140,30 +158,124 @@ fn handshake(ch: &mut dyn Channel, role: SessionRole) -> Result<(), ProtoError> 
         send_msg(ch, &mine)?;
     }
     match peer {
-        Message::Hello { version, .. } if version != PROTOCOL_VERSION => {
-            Err(ProtoError::Malformed("protocol version mismatch"))
+        Message::Hello { version, .. } if version < MIN_PROTOCOL_VERSION => {
+            Err(ProtoError::Malformed("incompatible protocol version"))
         }
         Message::Hello {
             role: peer_role, ..
         } if peer_role != role.peer() => Err(ProtoError::Malformed("peer claims the same role")),
-        Message::Hello { .. } => Ok(()),
+        Message::Hello { version, .. } => Ok(version.min(PROTOCOL_VERSION)),
         _ => Err(ProtoError::Malformed("expected hello frame")),
     }
+}
+
+/// Commands the garbler's main thread feeds a shard worker.
+enum ShardCmd {
+    /// One garbled table's bytes, to buffer and eventually send.
+    Bytes(Vec<u8>),
+    /// Flush the buffer now (lockstep cycle boundary).
+    Flush,
+}
+
+/// A per-shard sender thread plus its command queue. Dropping the
+/// sender makes the worker flush its tail and exit.
+struct ShardWorker {
+    tx: Option<Sender<ShardCmd>>,
+    handle: Option<std::thread::JoinHandle<Result<(), ChannelClosed>>>,
+}
+
+impl ShardWorker {
+    /// Spawns the worker owning `ch`; it assembles `TableShard` frames
+    /// for `shard`, flushing by `chunk` bytes (`None` = only on `Flush`
+    /// commands and at shutdown).
+    fn spawn(shard: u8, mut ch: Box<dyn Channel>, chunk: Option<usize>) -> Self {
+        let (tx, rx): (Sender<ShardCmd>, Receiver<ShardCmd>) = unbounded();
+        let handle = std::thread::spawn(move || {
+            // Pre-framed `TableShard` message under construction.
+            let mut buf = vec![TAG_TABLE_SHARD, shard];
+            const HDR: usize = 2;
+            let mut flush = |buf: &mut Vec<u8>| -> Result<(), ChannelClosed> {
+                if buf.len() > HDR {
+                    ch.send(buf)?;
+                    buf.truncate(HDR);
+                }
+                Ok(())
+            };
+            loop {
+                match rx.recv() {
+                    Ok(ShardCmd::Bytes(b)) => {
+                        buf.extend_from_slice(&b);
+                        if chunk.is_some_and(|c| buf.len() - HDR > c) {
+                            flush(&mut buf)?;
+                        }
+                    }
+                    Ok(ShardCmd::Flush) => flush(&mut buf)?,
+                    // Sender dropped: orderly shutdown, flush the tail.
+                    Err(_) => return flush(&mut buf),
+                }
+            }
+        });
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    fn push(&self, cmd: ShardCmd) -> Result<(), ProtoError> {
+        self.tx
+            .as_ref()
+            .ok_or(ProtoError::Channel(ChannelClosed))?
+            .send(cmd)
+            .map_err(|_| ProtoError::Channel(ChannelClosed))
+    }
+
+    /// Signals shutdown (drops the queue) and joins, surfacing send
+    /// failures the worker hit.
+    fn finish(&mut self) -> Result<(), ProtoError> {
+        drop(self.tx.take());
+        match self.handle.take() {
+            Some(h) => match h.join() {
+                Ok(res) => res.map_err(ProtoError::Channel),
+                Err(_) => Err(ProtoError::Malformed("shard worker panicked")),
+            },
+            None => Ok(()),
+        }
+    }
+}
+
+/// The garbler's table transport: the legacy single inline stream, or
+/// one worker per shard.
+enum GarblerTables {
+    /// Pre-framed `Tables` message under construction: `[TAG_TABLES]`
+    /// followed by buffered table bytes, sent as-is on flush.
+    Inline { buf: Vec<u8> },
+    /// Sharded: per-shard worker threads plus the current cycle's
+    /// partition and position. Because shard ranges are contiguous,
+    /// tables for the current shard accumulate in `pending` and are
+    /// handed to the worker in chunk-sized batches (or at a shard
+    /// switch / cycle end), not one channel send per table.
+    Sharded {
+        workers: Vec<ShardWorker>,
+        plan: ShardPlan,
+        next_index: usize,
+        current: usize,
+        pending: Vec<u8>,
+    },
 }
 
 /// Alice's side of a protocol run.
 ///
 /// Owns the channel, the PRG, the global free-XOR offset Δ (drawn at
-/// establishment), the OT sender and the buffered table sink.
+/// establishment), the OT sender and the table transport (buffered sink
+/// or per-shard workers).
 pub struct GarblerSession<'a> {
     ch: &'a mut dyn Channel,
     ot: &'a mut dyn OtSender,
     prg: &'a mut Prg,
     delta: Delta,
+    version: u16,
     stream: StreamConfig,
-    /// Pre-framed `Tables` message under construction: `[TAG_TABLES]`
-    /// followed by buffered table bytes, sent as-is on flush.
-    table_buf: Vec<u8>,
+    tables: GarblerTables,
     stats: SessionStats,
 }
 
@@ -178,15 +290,41 @@ impl<'a> GarblerSession<'a> {
         prg: &'a mut Prg,
         stream: StreamConfig,
     ) -> Result<Self, ProtoError> {
-        handshake(ch, SessionRole::Garbler)?;
+        Self::establish_sharded(ch, Vec::new(), ot, prg, stream, ShardConfig::single())
+    }
+
+    /// [`GarblerSession::establish`] with a sharded table stream: each
+    /// of the `shards.shards` sub-streams gets a dedicated channel from
+    /// `shard_chs` and a worker thread that frames and sends its share
+    /// of every cycle's tables.
+    ///
+    /// With `shards == 1` the transport is the legacy inline stream
+    /// (byte-identical to an unsharded session) and `shard_chs` must be
+    /// empty; engines must then still call
+    /// [`GarblerSession::begin_cycle`], which is a no-op.
+    ///
+    /// # Errors
+    /// Channel failures, a peer with an incompatible version or the
+    /// wrong role, or a `shard_chs` count not matching `shards`.
+    pub fn establish_sharded(
+        ch: &'a mut dyn Channel,
+        shard_chs: Vec<Box<dyn Channel>>,
+        ot: &'a mut dyn OtSender,
+        prg: &'a mut Prg,
+        stream: StreamConfig,
+        shards: ShardConfig,
+    ) -> Result<Self, ProtoError> {
+        let tables = garbler_tables(shard_chs, stream, shards)?;
+        let version = handshake(ch, SessionRole::Garbler)?;
         let delta = Delta::random(prg);
         Ok(Self {
             ch,
             ot,
             prg,
             delta,
+            version,
             stream,
-            table_buf: vec![TAG_TABLES],
+            tables,
             stats: SessionStats::default(),
         })
     }
@@ -194,6 +332,12 @@ impl<'a> GarblerSession<'a> {
     /// The session's global free-XOR offset.
     pub fn delta(&self) -> Delta {
         self.delta
+    }
+
+    /// The protocol version negotiated at the handshake (the lowest
+    /// common version of the two builds).
+    pub fn negotiated_version(&self) -> u16 {
+        self.version
     }
 
     /// Draws a fresh uniformly random wire label.
@@ -225,51 +369,150 @@ impl<'a> GarblerSession<'a> {
         Ok(())
     }
 
+    /// Announces the number of tables the coming cycle will produce.
+    ///
+    /// In a sharded session this fixes the cycle's contiguous partition
+    /// (both parties derive the same one from public knowledge); in an
+    /// unsharded session it is a no-op. Engines call it once per clock
+    /// cycle, before the first [`GarblerSession::push_table`].
+    pub fn begin_cycle(&mut self, tables: usize) {
+        if let GarblerTables::Sharded {
+            workers,
+            plan,
+            next_index,
+            current,
+            ..
+        } = &mut self.tables
+        {
+            *plan = ShardPlan::new(tables, workers.len());
+            *next_index = 0;
+            *current = 0;
+        }
+    }
+
     /// Buffers one garbled table, flushing when the configured chunk
-    /// size is reached.
+    /// size is reached. In a sharded session the table is handed to the
+    /// worker owning the current gate range instead.
+    ///
+    /// # Errors
+    /// Channel failures on flush, or (sharded) a push beyond the count
+    /// announced via [`GarblerSession::begin_cycle`].
+    pub fn push_table(&mut self, table: &[u8]) -> Result<(), ProtoError> {
+        self.stats.garbled_tables += 1;
+        self.stats.table_bytes += table.len() as u64;
+        match &mut self.tables {
+            GarblerTables::Inline { buf } => {
+                buf.extend_from_slice(table);
+                if self
+                    .stream
+                    .chunk_bytes
+                    .is_some_and(|chunk| buf.len() > chunk)
+                {
+                    flush_inline(self.ch, buf)?;
+                }
+                Ok(())
+            }
+            GarblerTables::Sharded {
+                workers,
+                plan,
+                next_index,
+                current,
+                pending,
+            } => {
+                if *next_index >= plan.tables() {
+                    return Err(ProtoError::Malformed(
+                        "table outside the cycle's shard plan",
+                    ));
+                }
+                let shard = plan.shard_of(*next_index, *current);
+                if shard != *current && !pending.is_empty() {
+                    workers[*current].push(ShardCmd::Bytes(std::mem::take(pending)))?;
+                }
+                *current = shard;
+                *next_index += 1;
+                pending.extend_from_slice(table);
+                if self
+                    .stream
+                    .chunk_bytes
+                    .is_some_and(|chunk| pending.len() > chunk)
+                {
+                    workers[*current].push(ShardCmd::Bytes(std::mem::take(pending)))?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Marks a clock-cycle boundary; in lockstep mode this flushes the
+    /// cycle's tables (on every shard). A sharded session also hands
+    /// the current shard's locally batched tables to its worker here,
+    /// so `pending` never spans a cycle boundary.
     ///
     /// # Errors
     /// Channel failures on flush.
-    pub fn push_table(&mut self, table: &[u8]) -> Result<(), ProtoError> {
-        self.table_buf.extend_from_slice(table);
-        self.stats.garbled_tables += 1;
-        self.stats.table_bytes += table.len() as u64;
-        if let Some(chunk) = self.stream.chunk_bytes {
-            if self.table_buf.len() > chunk {
-                self.flush_tables()?;
+    pub fn end_cycle(&mut self) -> Result<(), ProtoError> {
+        let lockstep = self.stream.chunk_bytes.is_none();
+        match &mut self.tables {
+            GarblerTables::Inline { buf } => {
+                if lockstep {
+                    flush_inline(self.ch, buf)?;
+                }
+            }
+            GarblerTables::Sharded {
+                workers,
+                current,
+                pending,
+                ..
+            } => {
+                if !pending.is_empty() {
+                    workers[*current].push(ShardCmd::Bytes(std::mem::take(pending)))?;
+                }
+                if lockstep {
+                    for w in workers {
+                        w.push(ShardCmd::Flush)?;
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    /// Marks a clock-cycle boundary; in lockstep mode this flushes the
-    /// cycle's tables.
-    ///
-    /// # Errors
-    /// Channel failures on flush.
-    pub fn end_cycle(&mut self) -> Result<(), ProtoError> {
-        if self.stream.chunk_bytes.is_none() {
-            self.flush_tables()?;
+    /// Flushes whatever table transport is active; sharded workers are
+    /// shut down and joined (they flush their tails on the way out).
+    fn finish_table_stream(&mut self) -> Result<(), ProtoError> {
+        match &mut self.tables {
+            GarblerTables::Inline { buf } => flush_inline(self.ch, buf),
+            GarblerTables::Sharded {
+                workers,
+                current,
+                pending,
+                ..
+            } => {
+                let mut res = if pending.is_empty() {
+                    Ok(())
+                } else {
+                    workers[*current].push(ShardCmd::Bytes(std::mem::take(pending)))
+                };
+                for w in workers {
+                    let r = w.finish();
+                    if res.is_ok() {
+                        res = r;
+                    }
+                }
+                res
+            }
         }
-        Ok(())
-    }
-
-    fn flush_tables(&mut self) -> Result<(), ProtoError> {
-        if self.table_buf.len() > 1 {
-            self.ch.send(&self.table_buf)?;
-            self.table_buf.truncate(1);
-        }
-        Ok(())
     }
 
     /// Sends the decode (colour) bits, receives the evaluator's revealed
-    /// values. Flushes any still-buffered tables first, so this can
-    /// never deadlock against an evaluator still pulling tables.
+    /// values. Flushes any still-buffered tables first (joining shard
+    /// workers), so this can never deadlock against an evaluator still
+    /// pulling tables.
     ///
     /// # Errors
     /// Channel failures, or an `Outputs` frame of the wrong length.
     pub fn reveal_outputs(&mut self, decode_bits: &[bool]) -> Result<Vec<bool>, ProtoError> {
-        self.flush_tables()?;
+        self.finish_table_stream()?;
         send_msg(self.ch, &Message::DecodeBits(decode_bits.to_vec()))?;
         match recv_msg(self.ch)? {
             Message::Outputs(values) if values.len() == decode_bits.len() => Ok(values),
@@ -284,28 +527,159 @@ impl<'a> GarblerSession<'a> {
     }
 }
 
+/// Builds the garbler's table transport, validating the shard setup.
+fn garbler_tables(
+    shard_chs: Vec<Box<dyn Channel>>,
+    stream: StreamConfig,
+    shards: ShardConfig,
+) -> Result<GarblerTables, ProtoError> {
+    validate_shards(shards, shard_chs.len())?;
+    if !shards.is_sharded() {
+        return Ok(GarblerTables::Inline {
+            buf: vec![TAG_TABLES],
+        });
+    }
+    let workers = shard_chs
+        .into_iter()
+        .enumerate()
+        .map(|(k, ch)| ShardWorker::spawn(k as u8, ch, stream.chunk_bytes))
+        .collect();
+    Ok(GarblerTables::Sharded {
+        workers,
+        plan: ShardPlan::new(0, shards.shards),
+        next_index: 0,
+        current: 0,
+        pending: Vec::new(),
+    })
+}
+
+/// A sharded session needs exactly one dedicated channel per shard; an
+/// unsharded one rides the main channel and must not be handed any.
+fn validate_shards(shards: ShardConfig, channels: usize) -> Result<(), ProtoError> {
+    if shards.shards == 0 || shards.shards > ShardConfig::MAX_SHARDS {
+        return Err(ProtoError::Malformed("shard count out of range"));
+    }
+    let expected = if shards.is_sharded() {
+        shards.shards
+    } else {
+        0
+    };
+    if channels != expected {
+        return Err(ProtoError::Malformed("shard channel count mismatch"));
+    }
+    Ok(())
+}
+
+/// Sends a pre-framed `Tables` buffer and resets it to just the tag.
+fn flush_inline(ch: &mut dyn Channel, buf: &mut Vec<u8>) -> Result<(), ProtoError> {
+    if buf.len() > 1 {
+        ch.send(buf)?;
+        buf.truncate(1);
+    }
+    Ok(())
+}
+
 impl std::fmt::Debug for GarblerSession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shards = match &self.tables {
+            GarblerTables::Inline { .. } => 1,
+            GarblerTables::Sharded { workers, .. } => workers.len(),
+        };
         f.debug_struct("GarblerSession")
             .field("stream", &self.stream)
-            .field("buffered_table_bytes", &(self.table_buf.len() - 1))
+            .field("shards", &shards)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
 }
 
+/// One shard's pull-based sub-stream on the evaluator side: its own
+/// channel, expected shard id and reassembly buffer.
+struct ShardSource {
+    ch: Box<dyn Channel>,
+    shard: u8,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl ShardSource {
+    fn drained(&self) -> bool {
+        self.buf.len() == self.pos
+    }
+}
+
+/// The shared pull loop of every table sub-stream: tops `buf` up to
+/// `len` unconsumed bytes, receiving frames from `ch` as needed and
+/// compacting the consumed prefix first. `shard` selects the frame
+/// layout: `None` accepts legacy `Tables` frames, `Some(id)` accepts
+/// `TableShard` frames for exactly that shard. Frame bodies are
+/// appended straight into the buffer instead of materialising a
+/// [`Message`] copy (hot path), and validated to hold a whole number
+/// of `align`-byte tables (0 disables the check).
+fn pull_tables(
+    ch: &mut dyn Channel,
+    buf: &mut Vec<u8>,
+    pos: &mut usize,
+    len: usize,
+    align: usize,
+    shard: Option<u8>,
+) -> Result<(), ProtoError> {
+    while buf.len() - *pos < len {
+        if *pos > 0 {
+            buf.drain(..*pos);
+            *pos = 0;
+        }
+        let raw = ch.recv()?;
+        let tables = match (shard, raw.split_first()) {
+            (None, Some((&TAG_TABLES, body))) => body,
+            (Some(want), Some((&TAG_TABLE_SHARD, body))) => {
+                let (&got, tables) = body
+                    .split_first()
+                    .ok_or(ProtoError::Malformed("table shard frame too short"))?;
+                if got != want {
+                    return Err(ProtoError::Malformed("table shard id mismatch"));
+                }
+                tables
+            }
+            (None, _) => return Err(ProtoError::Malformed("expected tables frame")),
+            (Some(_), _) => return Err(ProtoError::Malformed("expected table shard frame")),
+        };
+        if align != 0 && tables.len() % align != 0 {
+            return Err(ProtoError::Malformed("table stream"));
+        }
+        buf.extend_from_slice(tables);
+    }
+    Ok(())
+}
+
+/// The evaluator's table transport: the legacy single inline stream, or
+/// one pull source per shard.
+enum EvaluatorTables {
+    Inline {
+        buf: Vec<u8>,
+        pos: usize,
+    },
+    Sharded {
+        subs: Vec<ShardSource>,
+        plan: ShardPlan,
+        next_index: usize,
+        current: usize,
+    },
+}
+
 /// Bob's side of a protocol run.
 ///
 /// Owns the channel, the OT receiver and a pull-based table source fed
-/// by the garbler's chunked `Tables` frames.
+/// by the garbler's chunked `Tables` frames (or, sharded, one source
+/// per `TableShard` sub-stream, reassembled in gate order).
 pub struct EvaluatorSession<'a> {
     ch: &'a mut dyn Channel,
     ot: &'a mut dyn OtReceiver,
-    /// Every received `Tables` frame must be a multiple of this (the
+    /// Every received table frame must be a multiple of this (the
     /// engine's table size); 0 disables the check.
     table_align: usize,
-    table_buf: Vec<u8>,
-    table_pos: usize,
+    version: u16,
+    tables: EvaluatorTables,
     stats: SessionStats,
 }
 
@@ -316,21 +690,85 @@ impl<'a> EvaluatorSession<'a> {
     /// table frames are validated against it.
     ///
     /// # Errors
-    /// Channel failures, or a peer with the wrong version or role.
+    /// Channel failures, or a peer with an incompatible version or the
+    /// wrong role.
     pub fn establish(
         ch: &'a mut dyn Channel,
         ot: &'a mut dyn OtReceiver,
         table_align: usize,
     ) -> Result<Self, ProtoError> {
-        handshake(ch, SessionRole::Evaluator)?;
+        Self::establish_sharded(ch, Vec::new(), ot, table_align, ShardConfig::single())
+    }
+
+    /// [`EvaluatorSession::establish`] with a sharded table stream; the
+    /// mirror of [`GarblerSession::establish_sharded`]. Tables are
+    /// pulled lazily from each shard's channel and reassembled in gate
+    /// order using the partition both parties derive per cycle.
+    ///
+    /// # Errors
+    /// Channel failures, a peer with an incompatible version or the
+    /// wrong role, or a `shard_chs` count not matching `shards`.
+    pub fn establish_sharded(
+        ch: &'a mut dyn Channel,
+        shard_chs: Vec<Box<dyn Channel>>,
+        ot: &'a mut dyn OtReceiver,
+        table_align: usize,
+        shards: ShardConfig,
+    ) -> Result<Self, ProtoError> {
+        validate_shards(shards, shard_chs.len())?;
+        let tables = if shards.is_sharded() {
+            EvaluatorTables::Sharded {
+                subs: shard_chs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, ch)| ShardSource {
+                        ch,
+                        shard: k as u8,
+                        buf: Vec::new(),
+                        pos: 0,
+                    })
+                    .collect(),
+                plan: ShardPlan::new(0, shards.shards),
+                next_index: 0,
+                current: 0,
+            }
+        } else {
+            EvaluatorTables::Inline {
+                buf: Vec::new(),
+                pos: 0,
+            }
+        };
+        let version = handshake(ch, SessionRole::Evaluator)?;
         Ok(Self {
             ch,
             ot,
             table_align,
-            table_buf: Vec::new(),
-            table_pos: 0,
+            version,
+            tables,
             stats: SessionStats::default(),
         })
+    }
+
+    /// The protocol version negotiated at the handshake (the lowest
+    /// common version of the two builds).
+    pub fn negotiated_version(&self) -> u16 {
+        self.version
+    }
+
+    /// Announces the number of tables the coming cycle will consume;
+    /// the mirror of [`GarblerSession::begin_cycle`]. No-op unsharded.
+    pub fn begin_cycle(&mut self, tables: usize) {
+        if let EvaluatorTables::Sharded {
+            subs,
+            plan,
+            next_index,
+            current,
+        } = &mut self.tables
+        {
+            *plan = ShardPlan::new(tables, subs.len());
+            *next_index = 0;
+            *current = 0;
+        }
     }
 
     /// Receives the direct input labels.
@@ -362,43 +800,67 @@ impl<'a> EvaluatorSession<'a> {
     }
 
     /// Pulls the next `len` bytes of garbled table from the stream,
-    /// receiving further `Tables` frames as needed.
+    /// receiving further table frames as needed. In a sharded session
+    /// the pull is routed to the sub-stream carrying the current gate
+    /// range.
     ///
     /// # Errors
-    /// Channel failures, a non-`Tables` frame, or a frame that is not a
-    /// whole number of tables.
+    /// Channel failures, an unexpected frame, a frame that is not a
+    /// whole number of tables, or (sharded) a pull beyond the count
+    /// announced via [`EvaluatorSession::begin_cycle`].
     pub fn next_table(&mut self, len: usize) -> Result<&[u8], ProtoError> {
-        while self.table_buf.len() - self.table_pos < len {
-            if self.table_pos > 0 {
-                self.table_buf.drain(..self.table_pos);
-                self.table_pos = 0;
-            }
-            // Hot path: append the frame body straight into the buffer
-            // instead of materialising a `Message::Tables` copy.
-            let raw = self.ch.recv()?;
-            match raw.split_first() {
-                Some((&TAG_TABLES, body)) => {
-                    if self.table_align != 0 && body.len() % self.table_align != 0 {
-                        return Err(ProtoError::Malformed("table stream"));
-                    }
-                    self.table_buf.extend_from_slice(body);
-                }
-                _ => return Err(ProtoError::Malformed("expected tables frame")),
-            }
-        }
-        let start = self.table_pos;
-        self.table_pos += len;
         self.stats.garbled_tables += 1;
         self.stats.table_bytes += len as u64;
-        Ok(&self.table_buf[start..start + len])
+        // Route to the buffer/channel/frame-layout of the active
+        // sub-stream; the pull loop itself ([`pull_tables`]) is shared.
+        let align = self.table_align;
+        match &mut self.tables {
+            EvaluatorTables::Inline { buf, pos } => {
+                pull_tables(&mut *self.ch, buf, pos, len, align, None)?;
+                let start = *pos;
+                *pos += len;
+                Ok(&buf[start..start + len])
+            }
+            EvaluatorTables::Sharded {
+                subs,
+                plan,
+                next_index,
+                current,
+            } => {
+                if *next_index >= plan.tables() {
+                    return Err(ProtoError::Malformed(
+                        "table pull outside the cycle's shard plan",
+                    ));
+                }
+                *current = plan.shard_of(*next_index, *current);
+                *next_index += 1;
+                let sub = &mut subs[*current];
+                pull_tables(
+                    &mut *sub.ch,
+                    &mut sub.buf,
+                    &mut sub.pos,
+                    len,
+                    align,
+                    Some(sub.shard),
+                )?;
+                let start = sub.pos;
+                sub.pos += len;
+                Ok(&sub.buf[start..start + len])
+            }
+        }
     }
 
-    /// Asserts the table stream was fully consumed.
+    /// Asserts the table stream (every sub-stream, if sharded) was fully
+    /// consumed.
     ///
     /// # Errors
     /// [`ProtoError::Malformed`] when buffered table bytes remain.
     pub fn finish_tables(&self) -> Result<(), ProtoError> {
-        if self.table_buf.len() > self.table_pos {
+        let drained = match &self.tables {
+            EvaluatorTables::Inline { buf, pos } => buf.len() == *pos,
+            EvaluatorTables::Sharded { subs, .. } => subs.iter().all(ShardSource::drained),
+        };
+        if !drained {
             return Err(ProtoError::Malformed("extra tables"));
         }
         Ok(())
@@ -432,12 +894,13 @@ impl<'a> EvaluatorSession<'a> {
 
 impl std::fmt::Debug for EvaluatorSession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shards = match &self.tables {
+            EvaluatorTables::Inline { .. } => 1,
+            EvaluatorTables::Sharded { subs, .. } => subs.len(),
+        };
         f.debug_struct("EvaluatorSession")
             .field("table_align", &self.table_align)
-            .field(
-                "buffered_table_bytes",
-                &(self.table_buf.len() - self.table_pos),
-            )
+            .field("shards", &shards)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
@@ -578,12 +1041,38 @@ mod tests {
     }
 
     #[test]
-    fn version_mismatch_is_rejected() {
+    fn newer_peer_negotiates_down_to_lowest_common() {
         let (mut ca, mut cb) = duplex();
-        // A fake peer speaking a future version.
+        // A fake peer speaking a future version: compatible, and the
+        // session must run at *our* (the lower) version.
         ca.send(
             &Message::Hello {
-                version: PROTOCOL_VERSION + 1,
+                version: PROTOCOL_VERSION + 3,
+                role: SessionRole::Garbler,
+            }
+            .encode(),
+        )
+        .expect("send");
+        let mut ot = InsecureOt;
+        let sess = EvaluatorSession::establish(&mut cb, &mut ot, 32).expect("compatible peer");
+        assert_eq!(sess.negotiated_version(), PROTOCOL_VERSION);
+        // The evaluator still advertised its own (highest) version.
+        match Message::decode(&ca.recv().expect("peer hello")).expect("decode") {
+            Message::Hello { version, role } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(role, SessionRole::Evaluator);
+            }
+            other => panic!("expected hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incompatible_version_is_rejected() {
+        let (mut ca, mut cb) = duplex();
+        // A fake peer below the minimum supported version.
+        ca.send(
+            &Message::Hello {
+                version: MIN_PROTOCOL_VERSION - 1,
                 role: SessionRole::Garbler,
             }
             .encode(),
@@ -593,7 +1082,7 @@ mod tests {
         let err = EvaluatorSession::establish(&mut cb, &mut ot, 32).expect_err("must reject");
         assert!(matches!(
             err,
-            ProtoError::Malformed("protocol version mismatch")
+            ProtoError::Malformed("incompatible protocol version")
         ));
     }
 
@@ -614,6 +1103,243 @@ mod tests {
             err,
             ProtoError::Malformed("peer claims the same role")
         ));
+    }
+
+    /// A scripted pair of connected shard-channel vectors.
+    #[allow(clippy::type_complexity)]
+    fn shard_duplexes(n: usize) -> (Vec<Box<dyn Channel>>, Vec<Box<dyn Channel>>) {
+        let mut g: Vec<Box<dyn Channel>> = Vec::new();
+        let mut e: Vec<Box<dyn Channel>> = Vec::new();
+        for _ in 0..n {
+            let (x, y) = duplex();
+            g.push(Box::new(x));
+            e.push(Box::new(y));
+        }
+        (g, e)
+    }
+
+    #[test]
+    fn sharded_streaming_reassembles_in_gate_order() {
+        // Cycles with zero tables, fewer tables than shards, and more:
+        // every partition shape the plan can produce.
+        const COUNTS: [usize; 6] = [5, 0, 1, 2, 7, 3];
+        for cfg in [StreamConfig::lockstep(), StreamConfig::chunked(48)] {
+            let shards = 3;
+            let (mut ca, mut cb) = duplex();
+            let (g_shards, e_shards) = shard_duplexes(shards);
+            std::thread::scope(|s| {
+                let g = s.spawn(move || {
+                    let mut ot = InsecureOt;
+                    let mut prg = Prg::from_seed([9; 16]);
+                    let mut sess = GarblerSession::establish_sharded(
+                        &mut ca,
+                        g_shards,
+                        &mut ot,
+                        &mut prg,
+                        cfg,
+                        ShardConfig::new(shards),
+                    )
+                    .expect("garbler");
+                    let mut sent = Vec::new();
+                    let mut v = 0u8;
+                    for &n in &COUNTS {
+                        sess.begin_cycle(n);
+                        for _ in 0..n {
+                            v = v.wrapping_add(1);
+                            let table = [v; 32];
+                            sess.push_table(&table).expect("push");
+                            sent.push(table.to_vec());
+                        }
+                        sess.end_cycle().expect("end");
+                    }
+                    sess.reveal_outputs(&[]).expect("reveal");
+                    (sent, sess.stats())
+                });
+                let mut ot = InsecureOt;
+                let mut sess = EvaluatorSession::establish_sharded(
+                    &mut cb,
+                    e_shards,
+                    &mut ot,
+                    32,
+                    ShardConfig::new(shards),
+                )
+                .expect("evaluator");
+                let mut got = Vec::new();
+                for &n in &COUNTS {
+                    sess.begin_cycle(n);
+                    for _ in 0..n {
+                        got.push(sess.next_table(32).expect("pull").to_vec());
+                    }
+                }
+                sess.reveal_outputs(&[]).expect("reveal");
+                let (sent, g_stats) = g.join().expect("garbler thread");
+                assert_eq!(sent, got, "tables reassembled out of order");
+                assert_eq!(g_stats, sess.stats());
+            });
+        }
+    }
+
+    /// Channel wrapper recording every frame the garbler sends.
+    struct Recording<'a> {
+        inner: &'a mut dyn Channel,
+        sent: Vec<Vec<u8>>,
+    }
+
+    impl Channel for Recording<'_> {
+        fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+            self.sent.push(data.to_vec());
+            self.inner.send(data)
+        }
+
+        fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+            self.inner.recv()
+        }
+    }
+
+    #[test]
+    fn single_shard_stream_is_byte_identical_to_legacy() {
+        // The exact frame sequences the pre-sharding implementation put
+        // on the wire for 2 cycles × 3 32-byte tables, pinned as bytes.
+        let table = |i: u8| [i; 32];
+        let frame = |ts: &[u8]| {
+            let mut f = vec![TAG_TABLES];
+            for &i in ts {
+                f.extend_from_slice(&table(i));
+            }
+            f
+        };
+        for (cfg, table_frames) in [
+            // Lockstep: one frame per cycle.
+            (
+                StreamConfig::lockstep(),
+                vec![frame(&[1, 2, 3]), frame(&[4, 5, 6])],
+            ),
+            // 64-byte chunks: flush whenever the buffer exceeds 64 bytes,
+            // irrespective of cycle boundaries.
+            (
+                StreamConfig::chunked(64),
+                vec![frame(&[1, 2]), frame(&[3, 4]), frame(&[5, 6])],
+            ),
+        ] {
+            let (frames, ()) = pair_up(
+                move |ch| {
+                    let mut rec = Recording {
+                        inner: ch,
+                        sent: Vec::new(),
+                    };
+                    let mut ot = InsecureOt;
+                    let mut prg = Prg::from_seed([3; 16]);
+                    let mut sess = GarblerSession::establish(&mut rec, &mut ot, &mut prg, cfg)
+                        .expect("garbler");
+                    for cycle in 0..2u8 {
+                        sess.begin_cycle(3);
+                        for t in 0..3u8 {
+                            sess.push_table(&table(cycle * 3 + t + 1)).expect("push");
+                        }
+                        sess.end_cycle().expect("end");
+                    }
+                    sess.reveal_outputs(&[]).expect("reveal");
+                    rec.sent
+                },
+                |ch| {
+                    let mut ot = InsecureOt;
+                    let mut sess = EvaluatorSession::establish(ch, &mut ot, 32).expect("e");
+                    for _ in 0..6 {
+                        sess.next_table(32).expect("pull");
+                    }
+                    sess.reveal_outputs(&[]).expect("reveal");
+                },
+            );
+            let mut expected = vec![Message::Hello {
+                version: PROTOCOL_VERSION,
+                role: SessionRole::Garbler,
+            }
+            .encode()];
+            expected.extend(table_frames);
+            expected.push(Message::DecodeBits(vec![]).encode());
+            assert_eq!(frames, expected, "shards=1 wire bytes changed");
+        }
+    }
+
+    #[test]
+    fn shard_channel_count_mismatch_is_rejected() {
+        let (mut ca, _cb) = duplex();
+        let (g_shards, _e_shards) = shard_duplexes(1);
+        let mut ot = InsecureOt;
+        let mut prg = Prg::from_seed([1; 16]);
+        let err = GarblerSession::establish_sharded(
+            &mut ca,
+            g_shards,
+            &mut ot,
+            &mut prg,
+            StreamConfig::default(),
+            ShardConfig::new(2),
+        )
+        .expect_err("one channel for two shards");
+        assert!(matches!(
+            err,
+            ProtoError::Malformed("shard channel count mismatch")
+        ));
+
+        let (mut cb, _ca) = duplex();
+        let (e_shards, _g_shards) = shard_duplexes(2);
+        let mut ot = InsecureOt;
+        let err = EvaluatorSession::establish_sharded(
+            &mut cb,
+            e_shards,
+            &mut ot,
+            32,
+            ShardConfig::single(),
+        )
+        .expect_err("channels for an unsharded session");
+        assert!(matches!(
+            err,
+            ProtoError::Malformed("shard channel count mismatch")
+        ));
+    }
+
+    #[test]
+    fn misrouted_shard_frame_is_rejected() {
+        let (mut ca, mut cb) = duplex();
+        let (mut g_shards, e_shards) = shard_duplexes(2);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                ca.send(
+                    &Message::Hello {
+                        version: PROTOCOL_VERSION,
+                        role: SessionRole::Garbler,
+                    }
+                    .encode(),
+                )
+                .expect("hello");
+                ca.recv().expect("peer hello");
+                // Shard 1's frame arriving on shard 0's channel.
+                g_shards[0]
+                    .send(
+                        &Message::TableShard {
+                            shard: 1,
+                            tables: vec![0; 32],
+                        }
+                        .encode(),
+                    )
+                    .expect("misrouted frame");
+            });
+            let mut ot = InsecureOt;
+            let mut sess = EvaluatorSession::establish_sharded(
+                &mut cb,
+                e_shards,
+                &mut ot,
+                32,
+                ShardConfig::new(2),
+            )
+            .expect("evaluator");
+            sess.begin_cycle(2);
+            let err = sess.next_table(32).expect_err("wrong shard id");
+            assert!(matches!(
+                err,
+                ProtoError::Malformed("table shard id mismatch")
+            ));
+        });
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Sharded table-stream partitioning.
+//!
+//! A protocol run can split its garbled-table stream across several
+//! *shards*: each clock cycle's tables are partitioned into contiguous
+//! index ranges, one per shard, and every shard travels over its own
+//! logical sub-stream (its own [`Message::TableShard`] frames, usually
+//! on its own channel/socket). On the garbler side each shard gets a
+//! dedicated worker thread that buffers, frames and sends its range, so
+//! serialisation and wire I/O overlap with garbling; the evaluator pulls
+//! from each sub-stream lazily and reassembles the tables in gate order.
+//!
+//! Both parties derive the *same* partition independently: the number of
+//! tables a cycle produces is public knowledge (the baseline garbles
+//! every nonlinear gate; SkipGate's decision pass is shared and
+//! deterministic), so no extra coordination frames are needed.
+//!
+//! [`Message::TableShard`]: crate::wire::Message::TableShard
+
+/// How a protocol run shards its garbled-table stream.
+///
+/// Like the evaluator's `table_align` and the garbler's
+/// [`StreamConfig`](crate::session::StreamConfig), the shard count is
+/// *out-of-band session configuration*: both parties must be
+/// constructed with the same value (it determines how many channels a
+/// run opens, so it cannot travel inside the stream it configures).
+/// Deployments that take it from a CLI flag — see the workspace's
+/// `tcp_two_party` example — must pass the same `--shards` to both
+/// processes; a mismatch stalls channel setup rather than decoding
+/// garbage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of parallel table sub-streams. `1` (the default) keeps the
+    /// single legacy `Tables` stream on the session's main channel,
+    /// byte-identical to an unsharded run.
+    pub shards: usize,
+}
+
+impl ShardConfig {
+    /// The largest supported shard count (shard ids travel as one byte).
+    pub const MAX_SHARDS: usize = 255;
+
+    /// The unsharded (legacy single-stream) configuration.
+    pub const fn single() -> Self {
+        Self { shards: 1 }
+    }
+
+    /// A configuration with `shards` parallel sub-streams.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or exceeds [`Self::MAX_SHARDS`].
+    pub fn new(shards: usize) -> Self {
+        assert!(
+            (1..=Self::MAX_SHARDS).contains(&shards),
+            "shard count must be in 1..={}",
+            Self::MAX_SHARDS
+        );
+        Self { shards }
+    }
+
+    /// Whether this configuration actually shards (more than one
+    /// sub-stream).
+    pub fn is_sharded(&self) -> bool {
+        self.shards > 1
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// The contiguous partition of one cycle's `n` tables across `shards`
+/// sub-streams: shard `k` carries table indices
+/// `[k·n/shards, (k+1)·n/shards)`.
+///
+/// Tables are produced and consumed in index order, so lookups advance a
+/// cursor instead of searching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    n: usize,
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// Partition of `n` tables across `shards` sub-streams.
+    pub fn new(n: usize, shards: usize) -> Self {
+        debug_assert!(shards >= 1);
+        Self { n, shards }
+    }
+
+    /// Number of tables in the planned cycle.
+    pub fn tables(&self) -> usize {
+        self.n
+    }
+
+    /// First table index of shard `k` (for `k == shards`, `n` itself).
+    pub fn bound(&self, k: usize) -> usize {
+        k * self.n / self.shards
+    }
+
+    /// The shard carrying table index `i`, starting the scan at
+    /// `cursor` (callers walk indices in order and feed the previous
+    /// result back in).
+    pub fn shard_of(&self, i: usize, cursor: usize) -> usize {
+        debug_assert!(i < self.n, "table index {i} outside plan of {}", self.n);
+        let mut k = cursor;
+        while k + 1 < self.shards && i >= self.bound(k + 1) {
+            k += 1;
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_default_and_unsharded() {
+        assert_eq!(ShardConfig::default(), ShardConfig::single());
+        assert!(!ShardConfig::single().is_sharded());
+        assert!(ShardConfig::new(4).is_sharded());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_rejected() {
+        let _ = ShardConfig::new(0);
+    }
+
+    #[test]
+    fn plan_partitions_contiguously_and_exactly() {
+        for &(n, s) in &[(0usize, 1usize), (1, 4), (7, 3), (10, 4), (100, 8)] {
+            let plan = ShardPlan::new(n, s);
+            assert_eq!(plan.bound(0), 0);
+            assert_eq!(plan.bound(s), n);
+            // Boundaries are monotone and cover every index exactly once.
+            let mut cursor = 0;
+            for i in 0..n {
+                let k = plan.shard_of(i, cursor);
+                assert!(k >= cursor, "cursor never moves backwards");
+                assert!(plan.bound(k) <= i && i < plan.bound(k + 1));
+                cursor = k;
+            }
+        }
+    }
+
+    #[test]
+    fn plan_balances_within_one() {
+        let plan = ShardPlan::new(10, 4);
+        let sizes: Vec<usize> = (0..4).map(|k| plan.bound(k + 1) - plan.bound(k)).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+}

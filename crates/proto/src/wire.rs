@@ -13,6 +13,7 @@
 //! | `4` | [`Message::Tables`] | garbled-table bytes, back to back |
 //! | `5` | [`Message::DecodeBits`] | bit count `u32`, packed bits |
 //! | `6` | [`Message::Outputs`] | bit count `u32`, packed bits |
+//! | `7` | [`Message::TableShard`] | shard id `u8`, garbled-table bytes |
 //!
 //! Decoding is strict: unknown tags, truncated bodies, bad magic and
 //! inconsistent lengths all yield [`ProtoError::Malformed`] — never a
@@ -27,9 +28,15 @@ use arm2gc_ot::OtError;
 
 use crate::bits::{pack_bits, unpack_bits};
 
-/// Version spoken by this build; [`Message::Hello`] carries it and
-/// sessions reject a peer with a different one.
+/// Highest version spoken by this build; [`Message::Hello`] carries it.
+/// Sessions negotiate the *lowest common* version with the peer and
+/// reject only peers below [`MIN_PROTOCOL_VERSION`].
 pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Oldest version this build still speaks. A peer advertising anything
+/// `>= MIN_PROTOCOL_VERSION` is accepted; the session then runs at
+/// `min(PROTOCOL_VERSION, peer_version)`.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Frame magic ("A2GC"), guarding against a non-ARM2GC peer.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"A2GC");
@@ -40,6 +47,7 @@ pub(crate) const TAG_OT_PAYLOAD: u8 = 3;
 pub(crate) const TAG_TABLES: u8 = 4;
 pub(crate) const TAG_DECODE_BITS: u8 = 5;
 pub(crate) const TAG_OUTPUTS: u8 = 6;
+pub(crate) const TAG_TABLE_SHARD: u8 = 7;
 
 /// Which side of the protocol a session plays.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -130,6 +138,14 @@ pub enum Message {
     DecodeBits(Vec<bool>),
     /// Revealed output values, mirrored back by the evaluator.
     Outputs(Vec<bool>),
+    /// A batch of garbled-table bytes belonging to one shard of a
+    /// sharded table stream (see [`crate::shard::ShardConfig`]).
+    TableShard {
+        /// Which sub-stream this batch belongs to.
+        shard: u8,
+        /// Garbled-table bytes, back to back.
+        tables: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -156,6 +172,13 @@ impl Message {
             Message::Tables(bytes) => prefixed(TAG_TABLES, bytes),
             Message::DecodeBits(bits) => encode_bits(TAG_DECODE_BITS, bits),
             Message::Outputs(bits) => encode_bits(TAG_OUTPUTS, bits),
+            Message::TableShard { shard, tables } => {
+                let mut out = Vec::with_capacity(2 + tables.len());
+                out.push(TAG_TABLE_SHARD);
+                out.push(*shard);
+                out.extend_from_slice(tables);
+                out
+            }
         }
     }
 
@@ -195,6 +218,15 @@ impl Message {
             TAG_TABLES => Ok(Message::Tables(body.to_vec())),
             TAG_DECODE_BITS => Ok(Message::DecodeBits(decode_bits(body)?)),
             TAG_OUTPUTS => Ok(Message::Outputs(decode_bits(body)?)),
+            TAG_TABLE_SHARD => {
+                let (&shard, tables) = body
+                    .split_first()
+                    .ok_or(ProtoError::Malformed("table shard frame too short"))?;
+                Ok(Message::TableShard {
+                    shard,
+                    tables: tables.to_vec(),
+                })
+            }
             _ => Err(ProtoError::Malformed("unknown frame tag")),
         }
     }
@@ -264,6 +296,14 @@ mod tests {
         roundtrip(Message::DecodeBits(vec![]));
         roundtrip(Message::DecodeBits(vec![true, false, true]));
         roundtrip(Message::Outputs((0..29).map(|i| i % 4 == 1).collect()));
+        roundtrip(Message::TableShard {
+            shard: 0,
+            tables: vec![],
+        });
+        roundtrip(Message::TableShard {
+            shard: 3,
+            tables: vec![7u8; 64],
+        });
     }
 
     #[test]
@@ -279,6 +319,7 @@ mod tests {
             &[TAG_DECODE_BITS, 3, 0, 0, 0, 0xff],    // nonzero padding bits
             &[TAG_OUTPUTS, 1, 0, 0, 0, 0xff, 0xff],  // says 1 bit, holds 16
             &[TAG_OUTPUTS, 5, 0, 0, 0, 0b0010_0000], // padding bit set
+            &[TAG_TABLE_SHARD],                      // missing shard id
         ];
         for raw in cases {
             assert!(

@@ -5,23 +5,36 @@
 //! The parent process plays Alice (garbler): it binds an ephemeral
 //! port, re-launches this same binary as the evaluator child, and runs
 //! the SkipGate protocol over [`TcpChannel`] — versioned session
-//! handshake, real Naor–Pinkas + IKNP OT, chunked table streaming. Both
+//! handshake, real Naor–Pinkas + IKNP OT, chunked table streaming. With
+//! `--shards N` (the orchestrated default is 2) the garbled-table
+//! stream is sharded: the evaluator opens one extra socket per shard
+//! and each shard's slice of every cycle's tables travels over its own
+//! connection, sent by a dedicated garbler-side worker thread. Both
 //! processes independently check the result against the cleartext
 //! circuit simulator.
 //!
 //! Run with: `cargo run --release --example tcp_two_party`
-//! (or manually: `... -- --role evaluator --addr HOST:PORT` in a second
-//! terminal after starting `... -- --role garbler --addr HOST:PORT`).
+//! (or manually: `... -- --role evaluator --addr HOST:PORT --shards N`
+//! in a second terminal after starting
+//! `... -- --role garbler --addr HOST:PORT --shards N`).
+//!
+//! The shard count is out-of-band session configuration (it decides
+//! how many sockets each side opens before the protocol even starts),
+//! so in manual mode both processes must be given the same `--shards`;
+//! mismatched values leave one side waiting in socket setup. The
+//! orchestrated mode passes the flag through to the child itself.
 
 use std::process::{Command, Stdio};
 
 use arm2gc::circuit::bench_circuits::{self, BenchCircuit};
 use arm2gc::circuit::sim::Simulator;
-use arm2gc::comm::TcpChannel;
+use arm2gc::comm::{Channel, TcpChannel};
 use arm2gc::core::{
-    run_skipgate_evaluator, run_skipgate_garbler, OtBackend, SkipGateOptions, SkipGateOutcome,
+    run_skipgate_evaluator_sharded, run_skipgate_garbler_sharded, OtBackend, ShardConfig,
+    SkipGateOptions, SkipGateOutcome,
 };
 use arm2gc::crypto::Prg;
+use arm2gc::garble::StreamConfig;
 use arm2gc::proto::PROTOCOL_VERSION;
 
 /// Both processes derive the same workload deterministically: the
@@ -40,25 +53,38 @@ fn check_against_simulator(who: &str, bc: &BenchCircuit, outcome: &SkipGateOutco
     );
 }
 
-fn run_garbler(mut ch: TcpChannel) {
+fn run_garbler(mut ch: TcpChannel, shard_chs: Vec<Box<dyn Channel>>, shards: ShardConfig) {
     let bc = workload();
     let mut prg = Prg::from_entropy();
     let mut ot = OtBackend::NaorPinkasIknp.sender(&mut prg);
-    let outcome = run_skipgate_garbler(
+    let outcome = run_skipgate_garbler_sharded(
         &bc.circuit,
         &bc.alice,
         &bc.public,
         bc.cycles,
         &mut ch,
+        shard_chs,
         ot.as_mut(),
         &mut prg,
         SkipGateOptions::default(),
+        StreamConfig::default(),
+        shards,
     )
     .expect("garbler protocol run");
     check_against_simulator("garbler", &bc, &outcome);
 
     println!("two-process SkipGate over TCP (protocol v{PROTOCOL_VERSION})");
     println!("  circuit: {} ({} cycles)", bc.circuit.name(), bc.cycles);
+    println!(
+        "  table-stream shards:  {} ({} socket{})",
+        shards.shards,
+        1 + if shards.is_sharded() {
+            shards.shards
+        } else {
+            0
+        },
+        if shards.is_sharded() { "s" } else { "" },
+    );
     println!("  garbled tables sent: {}", outcome.stats.garbled_tables);
     println!("  OTs executed:        {}", outcome.stats.ots);
     println!(
@@ -72,22 +98,58 @@ fn run_garbler(mut ch: TcpChannel) {
     println!("  verified against the in-process simulator ✓");
 }
 
-fn run_evaluator(addr: &str) {
+fn run_evaluator(addr: &str, shards: ShardConfig) {
     let bc = workload();
+    // Connection order fixes shard identity: main channel first, then
+    // one socket per shard, in shard order.
     let mut ch = TcpChannel::connect(addr).expect("connect to garbler");
+    let shard_chs = connect_shards(addr, shards);
     let mut prg = Prg::from_entropy();
     let mut ot = OtBackend::NaorPinkasIknp.receiver(&mut prg);
-    let outcome = run_skipgate_evaluator(
+    let outcome = run_skipgate_evaluator_sharded(
         &bc.circuit,
         &bc.bob,
         &bc.public,
         bc.cycles,
         &mut ch,
+        shard_chs,
         ot.as_mut(),
         SkipGateOptions::default(),
+        shards,
     )
     .expect("evaluator protocol run");
     check_against_simulator("evaluator", &bc, &outcome);
+}
+
+/// Opens the evaluator's per-shard sockets (none when unsharded).
+fn connect_shards(addr: &str, shards: ShardConfig) -> Vec<Box<dyn Channel>> {
+    if !shards.is_sharded() {
+        return Vec::new();
+    }
+    (0..shards.shards)
+        .map(|k| {
+            Box::new(TcpChannel::connect(addr).unwrap_or_else(|e| panic!("shard {k} socket: {e}")))
+                as Box<dyn Channel>
+        })
+        .collect()
+}
+
+/// Accepts the garbler's per-shard sockets off `listener` (none when
+/// unsharded). TCP queues connections in order, so the `k`-th accepted
+/// socket is shard `k`.
+fn accept_shards(listener: &std::net::TcpListener, shards: ShardConfig) -> Vec<Box<dyn Channel>> {
+    if !shards.is_sharded() {
+        return Vec::new();
+    }
+    (0..shards.shards)
+        .map(|k| {
+            let (stream, _) = listener
+                .accept()
+                .unwrap_or_else(|e| panic!("accept shard {k}: {e}"));
+            Box::new(TcpChannel::from_stream(stream).expect("wrap shard stream"))
+                as Box<dyn Channel>
+        })
+        .collect()
 }
 
 fn arg_after(flag: &str) -> Option<String> {
@@ -98,27 +160,40 @@ fn arg_after(flag: &str) -> Option<String> {
         .cloned()
 }
 
+fn shard_config(default: usize) -> ShardConfig {
+    let n = arg_after("--shards")
+        .map(|s| s.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(default);
+    ShardConfig::new(n)
+}
+
 fn main() {
     match arg_after("--role").as_deref() {
         Some("evaluator") => {
             let addr = arg_after("--addr").expect("--addr required for the evaluator role");
-            run_evaluator(&addr);
+            run_evaluator(&addr, shard_config(1));
         }
         Some("garbler") => {
             let addr = arg_after("--addr").expect("--addr required for the garbler role");
+            let shards = shard_config(1);
             let listener = TcpChannel::listener(&*addr).expect("bind");
             let (stream, _) = listener.accept().expect("accept");
-            run_garbler(TcpChannel::from_stream(stream).expect("wrap stream"));
+            let main_ch = TcpChannel::from_stream(stream).expect("wrap stream");
+            let shard_chs = accept_shards(&listener, shards);
+            run_garbler(main_ch, shard_chs, shards);
         }
         Some(other) => panic!("unknown --role {other} (use garbler|evaluator)"),
         None => {
             // Orchestrate both processes: bind first so the child can
             // connect immediately, then spawn ourselves as evaluator.
+            // The default exercises a sharded stream over two sockets.
+            let shards = shard_config(2);
             let listener = TcpChannel::listener("127.0.0.1:0").expect("bind ephemeral port");
             let addr = listener.local_addr().expect("local addr").to_string();
             let exe = std::env::current_exe().expect("own path");
             let mut child = Command::new(exe)
                 .args(["--role", "evaluator", "--addr", &addr])
+                .args(["--shards", &shards.shards.to_string()])
                 .stdout(Stdio::inherit())
                 .stderr(Stdio::inherit())
                 .spawn()
@@ -126,7 +201,9 @@ fn main() {
 
             let (stream, peer) = listener.accept().expect("accept");
             println!("evaluator process connected from {peer}");
-            run_garbler(TcpChannel::from_stream(stream).expect("wrap stream"));
+            let main_ch = TcpChannel::from_stream(stream).expect("wrap stream");
+            let shard_chs = accept_shards(&listener, shards);
+            run_garbler(main_ch, shard_chs, shards);
 
             let status = child.wait().expect("wait for evaluator");
             assert!(status.success(), "evaluator process failed: {status}");
