@@ -1,0 +1,185 @@
+//! Criterion micro-benchmarks of the crypto core: raw block encryption
+//! per backend (scalar reference vs portable bitsliced vs AES-NI when
+//! detected), the batched garbling hash, and per-gate vs batched
+//! half-gate garbling sized to a Table 1 circuit's per-cycle wavefront.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use arm2gc_bench::runner::{run_baseline, run_skipgate};
+use arm2gc_circuit::bench_circuits;
+use arm2gc_circuit::Op;
+use arm2gc_crypto::{Aes128, AesBackend, Delta, GarbleHash, Label, Prg};
+use arm2gc_garble::halfgate::GarbleJob;
+use arm2gc_garble::{rows4, HalfGateEvaluator, HalfGateGarbler};
+
+const BLOCKS: usize = 4096;
+
+fn available_backends() -> Vec<AesBackend> {
+    AesBackend::ALL
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+/// Raw AES-128 throughput per backend: the ≥4× sliced-vs-scalar win the
+/// crypto-core refactor is gated on shows up here.
+fn bench_aes_backends(c: &mut Criterion) {
+    let key = *b"ARM2GC-fixed-key";
+    let mut g = c.benchmark_group("aes_blocks");
+    g.throughput(Throughput::Bytes(16 * BLOCKS as u64));
+    for backend in available_backends() {
+        let aes = Aes128::with_backend(key, backend);
+        let blocks: Vec<u128> = (0..BLOCKS as u128).collect();
+        g.bench_function(backend.name(), |b| {
+            b.iter(|| {
+                let mut buf = blocks.clone();
+                aes.encrypt_u128s(&mut buf);
+                black_box(buf)
+            })
+        });
+        // Single-block dispatch, for the per-call overhead comparison.
+        g.bench_function(format!("{}_single", backend.name()), |b| {
+            b.iter(|| black_box(aes.encrypt_u128(black_box(42))))
+        });
+    }
+    g.finish();
+}
+
+/// The garbling hash: one call per input vs one wide batch.
+fn bench_hash_batch(c: &mut Criterion) {
+    let h = GarbleHash::fixed();
+    let mut prg = Prg::from_seed([3; 16]);
+    let inputs: Vec<(Label, u64)> = (0..1024u64).map(|i| (Label::random(&mut prg), i)).collect();
+
+    let mut g = c.benchmark_group("garble_hash");
+    g.throughput(Throughput::Elements(inputs.len() as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            inputs
+                .iter()
+                .map(|&(l, t)| h.hash(l, t))
+                .fold(Label::ZERO, |acc, x| acc ^ x)
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            h.hash_batch(&inputs)
+                .into_iter()
+                .fold(Label::ZERO, |acc, x| acc ^ x)
+        })
+    });
+    g.finish();
+}
+
+/// Per-gate vs batched half-gate garbling/evaluation, with the batch
+/// sized to one cycle's non-XOR wavefront of a Table 1 circuit (the
+/// AES-128 benchmark circuit: ~1100 garbled gates per cycle).
+fn bench_garbling_batched(c: &mut Criterion) {
+    let key: Vec<u8> = (0..16).collect();
+    let pt: Vec<u8> = (16..32).collect();
+    let circuit = bench_circuits::aes128(key.try_into().expect("16"), pt.try_into().expect("16"));
+    let gates = circuit.circuit.non_xor_count() as usize;
+    let mut prg = Prg::from_seed([9; 16]);
+    let delta = Delta::random(&mut prg);
+    let garbler = HalfGateGarbler::new(delta);
+    let evaluator = HalfGateEvaluator::new();
+    let jobs: Vec<GarbleJob> = (0..gates)
+        .map(|i| GarbleJob {
+            op: Op::AND,
+            a0: Label::random(&mut prg),
+            b0: Label::random(&mut prg),
+            tweak: i as u64,
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("halfgate_wavefront");
+    g.throughput(Throughput::Elements(gates as u64));
+    g.bench_function("garble_per_gate", |b| {
+        b.iter(|| {
+            jobs.iter()
+                .map(|j| garbler.garble(j.op, j.a0, j.b0, j.tweak).0)
+                .fold(Label::ZERO, |acc, x| acc ^ x)
+        })
+    });
+    g.bench_function("garble_batched", |b| {
+        b.iter(|| {
+            garbler
+                .garble_batch(&jobs)
+                .into_iter()
+                .fold(Label::ZERO, |acc, (c0, _)| acc ^ c0)
+        })
+    });
+
+    let tables = garbler.garble_batch(&jobs);
+    let eval_jobs: Vec<arm2gc_garble::EvalJob> = jobs
+        .iter()
+        .zip(&tables)
+        .map(|(j, (_, t))| arm2gc_garble::EvalJob {
+            a: j.a0,
+            b: j.b0,
+            table: *t,
+            tweak: j.tweak,
+        })
+        .collect();
+    g.bench_function("eval_per_gate", |b| {
+        b.iter(|| {
+            eval_jobs
+                .iter()
+                .map(|j| evaluator.eval(j.a, j.b, &j.table, j.tweak))
+                .fold(Label::ZERO, |acc, x| acc ^ x)
+        })
+    });
+    g.bench_function("eval_batched", |b| {
+        b.iter(|| {
+            evaluator
+                .eval_batch(&eval_jobs)
+                .into_iter()
+                .fold(Label::ZERO, |acc, x| acc ^ x)
+        })
+    });
+
+    // The 4-row ablation baseline batches too (4 hashes per gate).
+    let rows4_gates: Vec<(Op, Label, Label, Label, u64)> = (0..gates)
+        .map(|i| {
+            (
+                Op::AND,
+                Label::random(&mut prg),
+                Label::random(&mut prg),
+                Label::random(&mut prg),
+                i as u64,
+            )
+        })
+        .collect();
+    let h = GarbleHash::fixed();
+    g.bench_function("rows4_per_gate", |b| {
+        b.iter(|| {
+            for &(op, a0, b0, c0, t) in &rows4_gates {
+                black_box(rows4::garble4(&h, delta, op, a0, b0, c0, t));
+            }
+        })
+    });
+    g.bench_function("rows4_batched", |b| {
+        b.iter(|| black_box(rows4::garble4_batch(&h, delta, &rows4_gates)).len())
+    });
+    g.finish();
+}
+
+/// End-to-end protocol runs on a Table 1 circuit — the wavefront
+/// batching inside both engines is exercised implicitly.
+fn bench_protocol_end_to_end(c: &mut Criterion) {
+    let circuit = bench_circuits::hamming(160, &[1, 2, 3, 4, 5], &[6, 7, 8, 9, 10]);
+    let mut g = c.benchmark_group("aes_core_protocol");
+    g.sample_size(10);
+    g.bench_function("hamming160_baseline", |b| b.iter(|| run_baseline(&circuit)));
+    g.bench_function("hamming160_skipgate", |b| b.iter(|| run_skipgate(&circuit)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aes_backends,
+    bench_hash_batch,
+    bench_garbling_batched,
+    bench_protocol_end_to_end
+);
+criterion_main!(benches);

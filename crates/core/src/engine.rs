@@ -26,7 +26,9 @@ use arm2gc_circuit::{Circuit, DffInit, Op, OutputMode, Role, WireId};
 use arm2gc_comm::{duplex, Channel};
 use arm2gc_crypto::{Label, Prg};
 use arm2gc_garble::engine::ProtocolError;
-use arm2gc_garble::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
+use arm2gc_garble::{
+    EvalWavefront, GarbleWavefront, GarbledTable, HalfGateEvaluator, HalfGateGarbler,
+};
 use arm2gc_ot::{OtReceiver, OtSender};
 use arm2gc_proto::{EvaluatorSession, GarblerSession, OtBackend, ShardConfig, StreamConfig};
 
@@ -382,6 +384,10 @@ pub fn run_skipgate_garbler_sharded(
     session.ot_send(&ot_pairs)?;
 
     // --- Cycle loop -------------------------------------------------------
+    // Surviving gates are scheduled through the wavefront batcher:
+    // independent garbled gates hash through the wide AES core together
+    // while the table stream stays byte-identical to a sequential walk.
+    let mut wavefront = GarbleWavefront::new(circuit.wire_count());
     let mut tweak = 0u64;
     let mut decode_bits: Vec<bool> = Vec::new();
     for (cycle, cycle_labels) in stream_labels.iter().enumerate() {
@@ -404,31 +410,39 @@ pub fn run_skipgate_garbler_sharded(
                 GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {}
                 GateDecision::Pass { from_a, flip } => {
                     let src = if from_a { gate.a } else { gate.b };
-                    labels[gate.out.index()] =
-                        labels[src.index()] ^ if flip { d } else { Label::ZERO };
+                    wavefront.copy(&garbler, &mut labels, src.index(), gate.out.index(), flip);
                 }
                 GateDecision::Alias { src, flip } => {
-                    labels[gate.out.index()] =
-                        labels[src.index()] ^ if flip { d } else { Label::ZERO };
+                    wavefront.copy(&garbler, &mut labels, src.index(), gate.out.index(), flip);
                 }
                 GateDecision::FreeXor { flip } => {
-                    labels[gate.out.index()] = labels[gate.a.index()]
-                        ^ labels[gate.b.index()]
-                        ^ if flip { d } else { Label::ZERO };
+                    wavefront.xor(
+                        &garbler,
+                        &mut labels,
+                        gate.a.index(),
+                        gate.b.index(),
+                        gate.out.index(),
+                        flip,
+                    );
                 }
                 GateDecision::Garble => {
-                    let (c0, table) = garbler.garble(
+                    wavefront.garble(
+                        &garbler,
+                        &mut labels,
                         gate.op,
-                        labels[gate.a.index()],
-                        labels[gate.b.index()],
+                        gate.a.index(),
+                        gate.b.index(),
+                        gate.out.index(),
                         tweak,
-                    );
+                        &mut |t| session.push_table(&t.to_bytes()),
+                    )?;
                     tweak += 1;
-                    labels[gate.out.index()] = c0;
-                    session.push_table(&table.to_bytes())?;
                 }
             }
         }
+        wavefront.flush(&garbler, &mut labels, &mut |t| {
+            session.push_table(&t.to_bytes())
+        })?;
         session.end_cycle()?;
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
@@ -577,6 +591,9 @@ pub fn run_skipgate_evaluator_sharded(
     }
 
     // --- Cycle loop ---------------------------------------------------------
+    // Mirror of the garbler's wavefront batching: tables are pulled in
+    // gate order, hashes run per wavefront.
+    let mut wavefront = EvalWavefront::new(circuit.wire_count());
     let mut tweak = 0u64;
     let mut my_colours: Vec<bool> = Vec::new();
     for (cycle, cycle_slots) in stream_slots.iter().enumerate() {
@@ -599,22 +616,35 @@ pub fn run_skipgate_evaluator_sharded(
                 GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {}
                 GateDecision::Pass { from_a, .. } => {
                     let src = if from_a { gate.a } else { gate.b };
-                    active[gate.out.index()] = active[src.index()];
+                    wavefront.copy(&mut active, src.index(), gate.out.index());
                 }
                 GateDecision::Alias { src, .. } => {
-                    active[gate.out.index()] = active[src.index()];
+                    wavefront.copy(&mut active, src.index(), gate.out.index());
                 }
                 GateDecision::FreeXor { .. } => {
-                    active[gate.out.index()] = active[gate.a.index()] ^ active[gate.b.index()];
+                    wavefront.xor(
+                        &mut active,
+                        gate.a.index(),
+                        gate.b.index(),
+                        gate.out.index(),
+                    );
                 }
                 GateDecision::Garble => {
                     let t = GarbledTable::from_bytes(session.next_table(GarbledTable::BYTES)?);
-                    active[gate.out.index()] =
-                        evaluator.eval(active[gate.a.index()], active[gate.b.index()], &t, tweak);
+                    wavefront.eval(
+                        &evaluator,
+                        &mut active,
+                        gate.a.index(),
+                        gate.b.index(),
+                        gate.out.index(),
+                        t,
+                        tweak,
+                    );
                     tweak += 1;
                 }
             }
         }
+        wavefront.flush(&evaluator, &mut active);
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
             shared.record_frame();

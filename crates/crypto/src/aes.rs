@@ -1,9 +1,20 @@
-//! Software AES-128 built from first principles.
+//! AES-128 built from first principles, with a batched multi-backend
+//! engine on top.
 //!
-//! The S-box and its inverse are *computed* (GF(2⁸) inversion followed by
-//! the affine transform) rather than transcribed, so a single FIPS-197
-//! test vector validates the whole construction. Only encryption is
-//! implemented — garbling needs nothing else.
+//! The scalar reference implementation computes the S-box and its
+//! inverse (GF(2⁸) inversion followed by the affine transform) rather
+//! than transcribing them, so a single FIPS-197 test vector validates
+//! the whole construction. Only encryption is implemented — garbling
+//! needs nothing else.
+//!
+//! [`Aes128`] wraps that reference in a pluggable engine
+//! ([`AesBackend`]): the portable bitsliced core in
+//! [`crate::aes_sliced`] and the hardware path in [`crate::x86`]
+//! both produce byte-identical output, dispatch is decided once at
+//! construction, and the batch entry points ([`Aes128::encrypt_blocks`],
+//! [`Aes128::encrypt_u128s`]) push many blocks through one wide pass.
+
+use crate::backend::AesBackend;
 
 /// Multiply by `x` in GF(2⁸) with the AES reduction polynomial `0x11b`.
 const fn xtime(a: u8) -> u8 {
@@ -11,7 +22,7 @@ const fn xtime(a: u8) -> u8 {
 }
 
 /// Full GF(2⁸) product (schoolbook shift-and-add).
-const fn gmul(a: u8, b: u8) -> u8 {
+pub(crate) const fn gmul(a: u8, b: u8) -> u8 {
     let mut acc = 0u8;
     let mut a = a;
     let mut b = b;
@@ -58,12 +69,75 @@ const fn build_sbox() -> [u8; 256] {
     t
 }
 
-/// The AES S-box, derived at compile time.
+/// The AES S-box, derived at compile time. Used only by the scalar
+/// reference path and the key schedule — the hot paths run the
+/// table-free bitsliced or hardware backends.
 pub(crate) const SBOX: [u8; 256] = build_sbox();
 
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
+/// Expands `key` into the 11 round keys (FIPS-197 §5.2).
+pub(crate) fn expand_key(key: [u8; 16]) -> [[u8; 16]; 11] {
+    let mut w = [[0u8; 4]; 44];
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        w[i].copy_from_slice(chunk);
+    }
+    for i in 4..44 {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = SBOX[*b as usize];
+            }
+            t[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ t[j];
+        }
+    }
+    let mut round_keys = [[0u8; 16]; 11];
+    for (r, rk) in round_keys.iter_mut().enumerate() {
+        for c in 0..4 {
+            rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        }
+    }
+    round_keys
+}
+
+/// Encrypts one block with the byte-oriented reference rounds.
+fn scalar_encrypt(round_keys: &[[u8; 16]; 11], block: [u8; 16]) -> [u8; 16] {
+    let mut s = block;
+    add_round_key(&mut s, &round_keys[0]);
+    for rk in &round_keys[1..10] {
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        mix_columns(&mut s);
+        add_round_key(&mut s, rk);
+    }
+    sub_bytes(&mut s);
+    shift_rows(&mut s);
+    add_round_key(&mut s, &round_keys[10]);
+    s
+}
+
+/// The per-backend state the engine dispatches on.
+#[derive(Clone, Debug)]
+enum Engine {
+    /// Byte-oriented reference rounds.
+    Scalar,
+    /// Bitsliced round-key planes (8 blocks per pass).
+    Sliced(Box<crate::aes_sliced::SlicedKeys>),
+    /// Hardware AES; round keys are loaded from the scalar schedule at
+    /// each batch call (a handful of L1 loads).
+    #[cfg(target_arch = "x86_64")]
+    AesNi,
+}
+
 /// An expanded AES-128 key schedule supporting block encryption.
+///
+/// Construction picks a backend once ([`AesBackend::detect`] for
+/// [`Aes128::new`]); every backend computes the identical FIPS-197
+/// function, so protocol bytes never depend on the machine.
 ///
 /// ```
 /// use arm2gc_crypto::Aes128;
@@ -74,56 +148,121 @@ const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x
 #[derive(Clone, Debug)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
+    engine: Engine,
 }
 
 impl Aes128 {
-    /// Expands `key` into the 11 round keys.
+    /// Expands `key` and selects the best available backend
+    /// (AES-NI → bitsliced; see [`AesBackend::detect`]).
     pub fn new(key: [u8; 16]) -> Self {
-        let mut w = [[0u8; 4]; 44];
-        for (i, chunk) in key.chunks_exact(4).enumerate() {
-            w[i].copy_from_slice(chunk);
-        }
-        for i in 4..44 {
-            let mut t = w[i - 1];
-            if i % 4 == 0 {
-                t.rotate_left(1);
-                for b in &mut t {
-                    *b = SBOX[*b as usize];
-                }
-                t[0] ^= RCON[i / 4 - 1];
+        Self::with_backend(key, AesBackend::detect())
+    }
+
+    /// Expands `key` for an explicitly chosen backend (tests, benches,
+    /// the `ARM2GC_AES_BACKEND` plumbing).
+    ///
+    /// # Panics
+    /// Panics if `backend` is not available on this machine.
+    pub fn with_backend(key: [u8; 16], backend: AesBackend) -> Self {
+        assert!(
+            backend.is_available(),
+            "AES backend {backend} is not available on this machine"
+        );
+        let round_keys = expand_key(key);
+        let engine = match backend {
+            AesBackend::Scalar => Engine::Scalar,
+            AesBackend::Sliced => {
+                Engine::Sliced(Box::new(crate::aes_sliced::SlicedKeys::new(&round_keys)))
             }
-            for j in 0..4 {
-                w[i][j] = w[i - 4][j] ^ t[j];
-            }
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::AesNi => Engine::AesNi,
+            #[cfg(not(target_arch = "x86_64"))]
+            AesBackend::AesNi => unreachable!("availability checked above"),
+        };
+        Self { round_keys, engine }
+    }
+
+    /// Which backend this engine dispatches to.
+    pub fn backend(&self) -> AesBackend {
+        match self.engine {
+            Engine::Scalar => AesBackend::Scalar,
+            Engine::Sliced(_) => AesBackend::Sliced,
+            #[cfg(target_arch = "x86_64")]
+            Engine::AesNi => AesBackend::AesNi,
         }
-        let mut round_keys = [[0u8; 16]; 11];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
-            for c in 0..4 {
-                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
-            }
-        }
-        Self { round_keys }
     }
 
     /// Encrypts one 16-byte block.
     pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
-        let mut s = block;
-        add_round_key(&mut s, &self.round_keys[0]);
-        for r in 1..10 {
-            sub_bytes(&mut s);
-            shift_rows(&mut s);
-            mix_columns(&mut s);
-            add_round_key(&mut s, &self.round_keys[r]);
+        match &self.engine {
+            Engine::Scalar => scalar_encrypt(&self.round_keys, block),
+            Engine::Sliced(keys) => {
+                let mut b = [u128::from_be_bytes(block)];
+                crate::aes_sliced::encrypt_wide(keys, &mut b);
+                b[0].to_be_bytes()
+            }
+            #[cfg(target_arch = "x86_64")]
+            Engine::AesNi => {
+                let mut b = [block];
+                crate::x86::encrypt_blocks(&self.round_keys, &mut b);
+                b[0]
+            }
         }
-        sub_bytes(&mut s);
-        shift_rows(&mut s);
-        add_round_key(&mut s, &self.round_keys[10]);
-        s
+    }
+
+    /// Encrypts every block in place, pushing them through the
+    /// backend's widest pipeline (8 blocks per pass for the bitsliced
+    /// and AES-NI engines). Equivalent to — and byte-identical with —
+    /// calling [`Aes128::encrypt_block`] on each block.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        match &self.engine {
+            Engine::Scalar => {
+                for b in blocks.iter_mut() {
+                    *b = scalar_encrypt(&self.round_keys, *b);
+                }
+            }
+            Engine::Sliced(keys) => {
+                for chunk in blocks.chunks_mut(crate::aes_sliced::LANES) {
+                    let mut lanes = [0u128; crate::aes_sliced::LANES];
+                    for (lane, b) in lanes.iter_mut().zip(chunk.iter()) {
+                        *lane = u128::from_be_bytes(*b);
+                    }
+                    crate::aes_sliced::encrypt_wide(keys, &mut lanes[..chunk.len()]);
+                    for (b, lane) in chunk.iter_mut().zip(lanes.iter()) {
+                        *b = lane.to_be_bytes();
+                    }
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Engine::AesNi => crate::x86::encrypt_blocks(&self.round_keys, blocks),
+        }
+    }
+
+    /// Encrypts a batch of blocks held as `u128` (big-endian byte
+    /// order, matching [`Aes128::encrypt_u128`]) in place.
+    ///
+    /// This is the engine's canonical hot-path entry: labels, tweaks
+    /// and PRG counters all live as `u128`, and the bitsliced backend
+    /// packs its bit planes straight from these words without a detour
+    /// through `[u8; 16]` buffers.
+    pub fn encrypt_u128s(&self, blocks: &mut [u128]) {
+        match &self.engine {
+            Engine::Scalar => {
+                for b in blocks.iter_mut() {
+                    *b = u128::from_be_bytes(scalar_encrypt(&self.round_keys, b.to_be_bytes()));
+                }
+            }
+            Engine::Sliced(keys) => crate::aes_sliced::encrypt_wide(keys, blocks),
+            #[cfg(target_arch = "x86_64")]
+            Engine::AesNi => crate::x86::encrypt_u128s(&self.round_keys, blocks),
+        }
     }
 
     /// Encrypts a block given as a `u128` (big-endian byte order).
     pub fn encrypt_u128(&self, block: u128) -> u128 {
-        u128::from_be_bytes(self.encrypt_block(block.to_be_bytes()))
+        let mut b = [block];
+        self.encrypt_u128s(&mut b);
+        b[0]
     }
 }
 
@@ -163,6 +302,13 @@ fn mix_columns(s: &mut [u8; 16]) {
 mod tests {
     use super::*;
 
+    fn backends() -> Vec<AesBackend> {
+        AesBackend::ALL
+            .into_iter()
+            .filter(|b| b.is_available())
+            .collect()
+    }
+
     #[test]
     fn sbox_known_entries() {
         assert_eq!(SBOX[0x00], 0x63);
@@ -180,20 +326,19 @@ mod tests {
         }
     }
 
-    /// FIPS-197 Appendix C.1 test vector.
+    /// FIPS-197 Appendix C.1 test vector, on every available backend.
     #[test]
     fn fips197_vector() {
         let key: [u8; 16] = core::array::from_fn(|i| i as u8);
         let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
-        let aes = Aes128::new(key);
-        let ct = aes.encrypt_block(pt);
-        assert_eq!(
-            ct,
-            [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
-                0xc5, 0x5a
-            ]
-        );
+        let want = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        for backend in backends() {
+            let aes = Aes128::with_backend(key, backend);
+            assert_eq!(aes.encrypt_block(pt), want, "backend {backend}");
+        }
     }
 
     /// FIPS-197 Appendix B vector (different key/plaintext).
@@ -207,14 +352,41 @@ mod tests {
             0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
             0x07, 0x34,
         ];
-        let ct = Aes128::new(key).encrypt_block(pt);
-        assert_eq!(
-            ct,
-            [
-                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
-                0x0b, 0x32
-            ]
-        );
+        let want = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        for backend in backends() {
+            let aes = Aes128::with_backend(key, backend);
+            assert_eq!(aes.encrypt_block(pt), want, "backend {backend}");
+        }
+    }
+
+    /// Batches of every length agree with per-block encryption, and all
+    /// backends agree with the scalar oracle.
+    #[test]
+    fn batches_match_scalar_oracle() {
+        let key = *b"0123456789abcdef";
+        let oracle = Aes128::with_backend(key, AesBackend::Scalar);
+        for backend in backends() {
+            let aes = Aes128::with_backend(key, backend);
+            for n in [0usize, 1, 2, 7, 8, 9, 16, 25] {
+                let blocks: Vec<[u8; 16]> =
+                    (0..n).map(|i| [(i as u8).wrapping_mul(37); 16]).collect();
+                let want: Vec<[u8; 16]> = blocks.iter().map(|&b| oracle.encrypt_block(b)).collect();
+                let mut got = blocks.clone();
+                aes.encrypt_blocks(&mut got);
+                assert_eq!(got, want, "backend {backend}, n={n}");
+
+                let mut got_u = vec![0u128; n];
+                for (g, b) in got_u.iter_mut().zip(&blocks) {
+                    *g = u128::from_be_bytes(*b);
+                }
+                aes.encrypt_u128s(&mut got_u);
+                let want_u: Vec<u128> = want.iter().map(|&b| u128::from_be_bytes(b)).collect();
+                assert_eq!(got_u, want_u, "backend {backend} (u128), n={n}");
+            }
+        }
     }
 
     #[test]

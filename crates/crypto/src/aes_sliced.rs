@@ -1,0 +1,544 @@
+//! Portable bitsliced AES-128: eight blocks per pass, no table lookups.
+//!
+//! The state of eight blocks is held as eight 128-bit *bit planes*:
+//! plane `b`, bit `8·j + k` is bit `b` of state byte `j` of block `k`
+//! (`j` in FIPS column-major order, `k` the block lane). One logic
+//! operation on a plane therefore touches all 128 state bytes at once.
+//!
+//! SubBytes is the Boyar–Peralta 32-AND combinational S-box circuit
+//! ("A new combinational logic minimization technique with applications
+//! to cryptology", 2009): a shared top linear layer, a GF(2⁴)-tower
+//! inversion core, and a bottom linear layer that was *re-derived* here
+//! by solving the 256-equation GF(2) system mapping the circuit's 18
+//! nonlinear shares onto the reference S-box (the exhaustive
+//! `sliced_sbox_matches_table` test is the proof). Because every step
+//! is word-level AND/XOR/rotate with no data-dependent memory access,
+//! this backend is constant-time — it removes the `SBOX[b as usize]`
+//! cache-timing side channel the scalar path carries.
+//!
+//! The circuit is generic over the plane word ([`Word`]): plain `u128`
+//! everywhere (fully portable safe Rust), an SSE2 `__m128i` word on
+//! x86_64 (part of the *baseline* target — no runtime detection, one
+//! vector op per plane operation), and a runtime-detected AVX2
+//! `__m256i` word carrying two independent groups — 16 blocks per
+//! pass. Every shift the circuit performs keeps its masked bits inside
+//! 64-bit lanes, and every shuffle is 128-bit-lane-local, which is what
+//! lets all three word types share one code path (lane-local vector
+//! shifts and full-width `u128` shifts agree on all masked positions).
+//!
+//! Blocks are passed as `u128` in big-endian byte interpretation (state
+//! byte `j` = bits `120 − 8j` …), the engine's canonical representation
+//! — labels and tweaks never detour through `[u8; 16]` buffers here.
+
+use core::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// Blocks processed per pass.
+pub(crate) const LANES: usize = 8;
+
+/// A plane word the bitsliced circuit runs on: one or more independent
+/// 128-bit *groups*, each carrying 8 block lanes, processed by every
+/// operation at once.
+///
+/// Implementations: `u128` (portable), and on x86_64 the SSE2 word
+/// (one group; part of the baseline target) and the runtime-detected
+/// AVX2 word (two groups — 16 blocks per pass). `shl`/`shr` may be
+/// lane-local at 64-bit granularity — every use in this module masks
+/// the result such that lane-local and full-width shifts coincide. All
+/// other operations are per-group, which every shuffle used here
+/// respects.
+pub(crate) trait Word:
+    Copy + BitXor<Output = Self> + BitAnd<Output = Self> + BitOr<Output = Self> + Not<Output = Self>
+{
+    /// Independent 128-bit block groups per word.
+    const GROUPS: usize;
+    /// Broadcasts a 128-bit constant (mask, key plane) to every group.
+    fn splat(x: u128) -> Self;
+    /// Builds pack word `k`: byte-swapped `blocks[k + 8g]` in group `g`
+    /// (zero where out of range).
+    fn gather(blocks: &[u128], k: usize) -> Self;
+    /// Inverse of [`Word::gather`]: writes group `g` back to
+    /// `blocks[k + 8g]` (byte-swapped) where in range.
+    fn scatter(self, blocks: &mut [u128], k: usize);
+    /// Left shift by `n < 64` bits (lane-local allowed; see above).
+    fn shl(self, n: u32) -> Self;
+    /// Right shift by `n < 64` bits (lane-local allowed; see above).
+    fn shr(self, n: u32) -> Self;
+    /// Rotate each group right by `32·k` bits (a dword permutation),
+    /// `k` in 1..4.
+    fn ror32(self, k: u32) -> Self;
+    /// Rotates each 32-bit dword by 16 bits (swaps its two halfwords);
+    /// `col_rot2` in the MixColumns tree. Vector words override this
+    /// with a halfword shuffle.
+    #[inline(always)]
+    fn dword_ror16(self) -> Self {
+        (self.shr(16) & Self::splat(LANE_LO2)) | (self.shl(16) & Self::splat(LANE_HI2))
+    }
+}
+
+impl Word for u128 {
+    const GROUPS: usize = 1;
+    #[inline(always)]
+    fn splat(x: u128) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn gather(blocks: &[u128], k: usize) -> Self {
+        blocks.get(k).map_or(0, |x| x.swap_bytes())
+    }
+    #[inline(always)]
+    fn scatter(self, blocks: &mut [u128], k: usize) {
+        if let Some(slot) = blocks.get_mut(k) {
+            *slot = self.swap_bytes();
+        }
+    }
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        self << n
+    }
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        self >> n
+    }
+    #[inline(always)]
+    fn ror32(self, k: u32) -> Self {
+        self.rotate_right(32 * k)
+    }
+}
+
+/// `1` in every 32-bit column lane; multiplying a 32-bit pattern by this
+/// replicates it across the four AES columns.
+const REP32: u128 = 0x0000_0001_0000_0001_0000_0001_0000_0001;
+
+// ShiftRows: row `r` occupies byte positions `4c + r`, i.e. the 8-bit
+// groups at offsets `32c + 8r`.
+const ROW0: u128 = REP32 * 0xFF;
+const ROW1: u128 = REP32 * 0xFF00;
+const ROW2: u128 = REP32 * 0xFF_0000;
+const ROW3: u128 = REP32 * 0xFF00_0000;
+
+// MixColumns byte rotations within each 32-bit column lane.
+const LANE_LO1: u128 = REP32 * 0x00FF_FFFF;
+const LANE_HI1: u128 = REP32 * 0xFF00_0000;
+const LANE_LO2: u128 = REP32 * 0x0000_FFFF;
+const LANE_HI2: u128 = REP32 * 0xFFFF_0000;
+
+// Delta-swap masks for the pack/unpack transpose network: bit positions
+// whose (position mod 8) has bit 0 / 1 / 2 set.
+const SWAP0: u128 = 0xAAAA_AAAA_AAAA_AAAA_AAAA_AAAA_AAAA_AAAA;
+const SWAP1: u128 = 0xCCCC_CCCC_CCCC_CCCC_CCCC_CCCC_CCCC_CCCC;
+const SWAP2: u128 = 0xF0F0_F0F0_F0F0_F0F0_F0F0_F0F0_F0F0_F0F0;
+
+/// The 11 round keys as bit planes, every key byte replicated across
+/// the eight block lanes.
+#[derive(Clone, Debug)]
+pub(crate) struct SlicedKeys {
+    rounds: [[u128; 8]; 11],
+}
+
+impl SlicedKeys {
+    /// Bitslices an expanded scalar key schedule.
+    pub(crate) fn new(round_keys: &[[u8; 16]; 11]) -> Self {
+        let mut rounds = [[0u128; 8]; 11];
+        for (planes, rk) in rounds.iter_mut().zip(round_keys) {
+            for (j, &byte) in rk.iter().enumerate() {
+                for (b, plane) in planes.iter_mut().enumerate() {
+                    if (byte >> b) & 1 == 1 {
+                        *plane |= 0xFFu128 << (8 * j);
+                    }
+                }
+            }
+        }
+        Self { rounds }
+    }
+}
+
+/// Swaps `r[i]`'s bits selected by `mask` with `r[j]`'s bits `shift`
+/// positions lower (a delta swap across two words). The masks in use
+/// keep all swapped bits within single bytes, so lane-local shifts are
+/// exact.
+#[inline(always)]
+fn delta_swap<W: Word>(r: &mut [W; 8], i: usize, j: usize, mask: W, shift: u32) {
+    let t = (r[i].shr(shift) ^ r[j]) & mask.shr(shift);
+    r[j] = r[j] ^ t;
+    r[i] = r[i] ^ t.shl(shift);
+}
+
+/// The 3-level delta-swap network transposing "register index" against
+/// "bit index mod 8": starting from `r[k]` = byte-reversed block `k`,
+/// it leaves `r[b]` holding bit `b` of every state byte (and, being an
+/// involution, also inverts that).
+#[inline(always)]
+fn orthogonalize<W: Word>(r: &mut [W; 8]) {
+    let m0 = W::splat(SWAP0);
+    let m1 = W::splat(SWAP1);
+    let m2 = W::splat(SWAP2);
+    delta_swap(r, 0, 1, m0, 1);
+    delta_swap(r, 2, 3, m0, 1);
+    delta_swap(r, 4, 5, m0, 1);
+    delta_swap(r, 6, 7, m0, 1);
+    delta_swap(r, 0, 2, m1, 2);
+    delta_swap(r, 1, 3, m1, 2);
+    delta_swap(r, 4, 6, m1, 2);
+    delta_swap(r, 5, 7, m1, 2);
+    delta_swap(r, 0, 4, m2, 4);
+    delta_swap(r, 1, 5, m2, 4);
+    delta_swap(r, 2, 6, m2, 4);
+    delta_swap(r, 3, 7, m2, 4);
+}
+
+/// Packs up to `8 · W::GROUPS` big-endian `u128` blocks into bit
+/// planes. The gather byte-swaps each block so big-endian byte `j`
+/// becomes the `j`-th lowest byte, matching the plane layout's byte
+/// indexing.
+#[inline(always)]
+fn pack<W: Word>(blocks: &[u128]) -> [W; 8] {
+    debug_assert!(blocks.len() <= LANES * W::GROUPS);
+    let mut r: [W; 8] = core::array::from_fn(|k| W::gather(blocks, k));
+    orthogonalize(&mut r);
+    r
+}
+
+/// Unpacks bit planes back into big-endian `u128` blocks.
+#[inline(always)]
+fn unpack<W: Word>(planes: &[W; 8], blocks: &mut [u128]) {
+    debug_assert!(blocks.len() <= LANES * W::GROUPS);
+    let mut r = *planes;
+    orthogonalize(&mut r);
+    for (k, lane) in r.iter().enumerate() {
+        lane.scatter(blocks, k);
+    }
+}
+
+/// SubBytes on all 128 state bytes: the Boyar–Peralta 32-AND circuit.
+///
+/// Bit numbering follows the paper: `x0` is the byte's MSB (plane 7),
+/// `x7` the LSB. The top (`y*`) layer is the shared linear expansion,
+/// `t*`/`z*` the GF(2⁴)-tower inversion core, and the final `s*`
+/// combinations are the bottom linear layer solved from the reference
+/// S-box (unique solution of the 256-equation GF(2) system; verified
+/// exhaustively by `sliced_sbox_matches_table`).
+#[inline(always)]
+fn sub_bytes<W: Word>(s: &mut [W; 8]) {
+    let x0 = s[7];
+    let x1 = s[6];
+    let x2 = s[5];
+    let x3 = s[4];
+    let x4 = s[3];
+    let x5 = s[2];
+    let x6 = s[1];
+    let x7 = s[0];
+
+    // Top linear layer.
+    let y14 = x3 ^ x5;
+    let y13 = x0 ^ x6;
+    let y9 = x0 ^ x3;
+    let y8 = x0 ^ x5;
+    let t0 = x1 ^ x2;
+    let y1 = t0 ^ x7;
+    let y4 = y1 ^ x3;
+    let y12 = y13 ^ y14;
+    let y2 = y1 ^ x0;
+    let y5 = y1 ^ x6;
+    let y3 = y5 ^ y8;
+    let t1 = x4 ^ y12;
+    let y15 = t1 ^ x5;
+    let y20 = t1 ^ x1;
+    let y6 = y15 ^ x7;
+    let y10 = y15 ^ t0;
+    let y11 = y20 ^ y9;
+    let y7 = x7 ^ y11;
+    let y17 = y10 ^ y11;
+    let y19 = y10 ^ y8;
+    let y16 = t0 ^ y11;
+    let y21 = y13 ^ y16;
+    let y18 = x0 ^ y16;
+
+    // Nonlinear core: GF(2⁴)-tower inversion, 32 ANDs total.
+    let t2 = y12 & y15;
+    let t3 = y3 & y6;
+    let t4 = t3 ^ t2;
+    let t5 = y4 & x7;
+    let t6 = t5 ^ t2;
+    let t7 = y13 & y16;
+    let t8 = y5 & y1;
+    let t9 = t8 ^ t7;
+    let t10 = y2 & y7;
+    let t11 = t10 ^ t7;
+    let t12 = y9 & y11;
+    let t13 = y14 & y17;
+    let t14 = t13 ^ t12;
+    let t15 = y8 & y10;
+    let t16 = t15 ^ t12;
+    let t17 = t4 ^ t14;
+    let t18 = t6 ^ t16;
+    let t19 = t9 ^ t14;
+    let t20 = t11 ^ t16;
+    let t21 = t17 ^ y20;
+    let t22 = t18 ^ y19;
+    let t23 = t19 ^ y21;
+    let t24 = t20 ^ y18;
+
+    let t25 = t21 ^ t22;
+    let t26 = t21 & t23;
+    let t27 = t24 ^ t26;
+    let t28 = t25 & t27;
+    let t29 = t28 ^ t22;
+    let t30 = t23 ^ t24;
+    let t31 = t22 ^ t26;
+    let t32 = t31 & t30;
+    let t33 = t32 ^ t24;
+    let t34 = t23 ^ t33;
+    let t35 = t27 ^ t33;
+    let t36 = t24 & t35;
+    let t37 = t36 ^ t34;
+    let t38 = t27 ^ t36;
+    let t39 = t29 & t38;
+    let t40 = t25 ^ t39;
+
+    let t41 = t40 ^ t37;
+    let t42 = t29 ^ t33;
+    let t43 = t29 ^ t40;
+    let t44 = t33 ^ t37;
+    let t45 = t42 ^ t41;
+    let z0 = t44 & y15;
+    let z1 = t37 & y6;
+    let z2 = t33 & x7;
+    let z3 = t43 & y16;
+    let z4 = t40 & y1;
+    let z5 = t29 & y7;
+    let z6 = t42 & y11;
+    let z7 = t45 & y17;
+    let z8 = t41 & y10;
+    let z9 = t44 & y12;
+    let z10 = t37 & y3;
+    let z11 = t33 & y4;
+    let z12 = t43 & y13;
+    let z13 = t40 & y5;
+    let z14 = t29 & y2;
+    let z15 = t42 & y9;
+    let z16 = t45 & y14;
+    let z17 = t41 & y8;
+
+    // Bottom linear layer (solved; shared pairs factored out).
+    let p01 = z0 ^ z1;
+    let p02 = z0 ^ z2;
+    let p34 = z3 ^ z4;
+    let p45 = z4 ^ z5;
+    let p67 = z6 ^ z7;
+    let p78 = z7 ^ z8;
+    let p910 = z9 ^ z10;
+    let p1213 = z12 ^ z13;
+    let p1214 = z12 ^ z14;
+    let p1516 = z15 ^ z16;
+    let qa = p910 ^ p1516;
+    let qb = p1213 ^ p1516;
+    let s0 = p34 ^ p67 ^ qa;
+    let s1 = !(p01 ^ p67 ^ qa);
+    let s2 = !(p02 ^ (z6 ^ z8) ^ p1214 ^ (z15 ^ z17));
+    let s3 = p01 ^ p34 ^ qa;
+    let s4 = (z1 ^ z2) ^ p45 ^ qa;
+    let s5 = p02 ^ p34 ^ p78 ^ (z10 ^ z11) ^ p1214 ^ p1516;
+    let s6 = !(p45 ^ p78 ^ qb);
+    let s7 = !(p02 ^ (z3 ^ z5) ^ qb);
+
+    s[7] = s0;
+    s[6] = s1;
+    s[5] = s2;
+    s[4] = s3;
+    s[3] = s4;
+    s[2] = s5;
+    s[1] = s6;
+    s[0] = s7;
+}
+
+/// ShiftRows: row `r` rotates left by `r` columns, which in plane space
+/// is a 32·r-bit rotation of that row's masked byte groups (the masks
+/// are 32-bit periodic, so masking commutes with the rotation).
+#[inline(always)]
+fn shift_rows<W: Word>(s: &mut [W; 8]) {
+    let m0 = W::splat(ROW0);
+    let m1 = W::splat(ROW1);
+    let m2 = W::splat(ROW2);
+    let m3 = W::splat(ROW3);
+    for p in s.iter_mut() {
+        *p = (*p & m0) | (p.ror32(1) & m1) | (p.ror32(2) & m2) | (p.ror32(3) & m3);
+    }
+}
+
+/// Rotates each column's four bytes so byte `r` receives byte `r + 1`.
+#[inline(always)]
+fn col_rot1<W: Word>(p: W, lo: W, hi: W) -> W {
+    (p.shr(8) & lo) | (p.shl(24) & hi)
+}
+
+/// MixColumns in plane space:
+/// `s'_r = xtime(s_r ⊕ s_{r+1}) ⊕ s_{r+1} ⊕ s_{r+2} ⊕ s_{r+3}`.
+///
+/// Per plane: `t = p ⊕ rot1(p)` holds `s_r ⊕ s_{r+1}`, and since the
+/// byte rotations are linear, `t ⊕ rot2(t) = p ⊕ rot1 ⊕ rot2 ⊕ rot3` —
+/// the full column sum — from one more rotation (`rot2` is
+/// [`Word::dword_ror16`]).
+#[inline(always)]
+fn mix_columns<W: Word>(s: &mut [W; 8]) {
+    let lo1 = W::splat(LANE_LO1);
+    let hi1 = W::splat(LANE_HI1);
+    let mut t = [W::splat(0); 8];
+    let mut acc = [W::splat(0); 8];
+    for b in 0..8 {
+        let p = s[b];
+        let u = p ^ col_rot1(p, lo1, hi1);
+        t[b] = u;
+        acc[b] = u ^ u.dword_ror16() ^ p; // rot1 ⊕ rot2 ⊕ rot3
+    }
+    // xtime across planes: multiply `t` by x in GF(2⁸).
+    let carry = t[7];
+    s[0] = carry ^ acc[0];
+    s[1] = t[0] ^ carry ^ acc[1];
+    s[2] = t[1] ^ acc[2];
+    s[3] = t[2] ^ carry ^ acc[3];
+    s[4] = t[3] ^ carry ^ acc[4];
+    s[5] = t[4] ^ acc[5];
+    s[6] = t[5] ^ acc[6];
+    s[7] = t[6] ^ acc[7];
+}
+
+#[inline(always)]
+fn add_round_key<W: Word>(s: &mut [W; 8], rk: &[W; 8]) {
+    for (p, &k) in s.iter_mut().zip(rk) {
+        *p = *p ^ k;
+    }
+}
+
+/// One full bitsliced encryption pass over packed planes, round keys
+/// already materialised as plane words.
+#[inline(always)]
+fn encrypt_planes<W: Word>(rk: &[[W; 8]; 11], s: &mut [W; 8]) {
+    add_round_key(s, &rk[0]);
+    for key in &rk[1..10] {
+        sub_bytes(s);
+        shift_rows(s);
+        mix_columns(s);
+        add_round_key(s, key);
+    }
+    sub_bytes(s);
+    shift_rows(s);
+    add_round_key(s, &rk[10]);
+}
+
+/// Encrypts any number of big-endian `u128` blocks in place,
+/// `8 · W::GROUPS` per bitsliced pass, with the circuit instantiated on
+/// word type `W`. The round keys are materialised once for the whole
+/// batch.
+///
+/// `inline(always)` so the whole circuit flattens into the caller: the
+/// AVX2 instantiation must land inside a `#[target_feature(enable =
+/// "avx2")]` function for the intrinsics to inline (see
+/// `crate::x86::sliced_encrypt_avx2`).
+#[inline(always)]
+pub(crate) fn encrypt_wide_with<W: Word>(keys: &SlicedKeys, blocks: &mut [u128]) {
+    let rk: [[W; 8]; 11] = core::array::from_fn(|r| keys.rounds[r].map(W::splat));
+    for chunk in blocks.chunks_mut(LANES * W::GROUPS) {
+        let mut s = pack::<W>(chunk);
+        encrypt_planes(&rk, &mut s);
+        unpack(&s, chunk);
+    }
+}
+
+/// Encrypts any number of big-endian `u128` blocks in place using the
+/// best plane word for this architecture: AVX2 (runtime-detected) or
+/// SSE2 words on x86_64, portable `u128` words everywhere else.
+pub(crate) fn encrypt_wide(keys: &SlicedKeys, blocks: &mut [u128]) {
+    #[cfg(target_arch = "x86_64")]
+    crate::x86::sliced_encrypt(keys, blocks);
+    #[cfg(not(target_arch = "x86_64"))]
+    encrypt_wide_with::<u128>(keys, blocks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::SBOX;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for n in 1..=LANES {
+            let blocks: Vec<u128> = (0..n)
+                .map(|k| {
+                    0x0123_4567_89AB_CDEF_u128.wrapping_mul(k as u128 + 3) ^ ((k as u128) << 99)
+                })
+                .collect();
+            let planes = pack::<u128>(&blocks);
+            let mut out = vec![0u128; n];
+            unpack(&planes, &mut out);
+            assert_eq!(out, blocks);
+        }
+    }
+
+    /// `pack` really produces the documented plane layout: plane `b`,
+    /// bit `8j + k` is bit `b` of big-endian byte `j` of block `k`.
+    #[test]
+    fn pack_matches_naive_layout() {
+        let blocks: Vec<u128> = (0..LANES as u128)
+            .map(|k| 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210u128.wrapping_mul(2 * k + 1))
+            .collect();
+        let planes = pack::<u128>(&blocks);
+        for (b, plane) in planes.iter().enumerate() {
+            let mut want = 0u128;
+            for j in 0..16 {
+                for (k, &x) in blocks.iter().enumerate() {
+                    let byte = (x >> (120 - 8 * j)) as u8;
+                    if (byte >> b) & 1 == 1 {
+                        want |= 1 << (8 * j + k);
+                    }
+                }
+            }
+            assert_eq!(*plane, want, "plane {b}");
+        }
+    }
+
+    /// The solved Boyar–Peralta circuit agrees with the table-derived
+    /// S-box on every one of the 256 byte values (two 128-byte passes).
+    #[test]
+    fn sliced_sbox_matches_table() {
+        for half in 0u32..2 {
+            let blocks: Vec<u128> = (0..LANES as u32)
+                .map(|k| {
+                    let mut x = 0u128;
+                    for j in 0..16 {
+                        x = (x << 8) | (half * 128 + k * 16 + j) as u128;
+                    }
+                    x
+                })
+                .collect();
+            let mut planes = pack::<u128>(&blocks);
+            sub_bytes(&mut planes);
+            let mut out = vec![0u128; LANES];
+            unpack(&planes, &mut out);
+            for (k, x) in out.iter().enumerate() {
+                for j in 0..16 {
+                    let v = (half as usize * 128 + k * 16 + j) as u8;
+                    let got = (x >> (120 - 8 * j)) as u8;
+                    assert_eq!(got, SBOX[v as usize], "S-box mismatch at {v:#04x}");
+                }
+            }
+        }
+    }
+
+    /// The portable `u128` word and the architecture's dispatched word
+    /// (SSE2/AVX2 on x86_64) run the identical circuit: same
+    /// ciphertexts on ragged batches, including partial final passes.
+    #[test]
+    fn native_word_matches_portable_word() {
+        let keys = SlicedKeys::new(&crate::aes::expand_key(*b"word-equivalence"));
+        for n in 1..=4 * LANES {
+            let blocks: Vec<u128> = (0..n as u128)
+                .map(|k| 0xF0E1_D2C3_B495_A687_u128.wrapping_mul(k + 11) ^ (k << 77))
+                .collect();
+            let mut portable = blocks.clone();
+            encrypt_wide_with::<u128>(&keys, &mut portable);
+            let mut native = blocks.clone();
+            encrypt_wide(&keys, &mut native);
+            assert_eq!(portable, native, "n={n}");
+        }
+    }
+}

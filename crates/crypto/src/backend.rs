@@ -1,0 +1,132 @@
+//! Runtime selection of the AES engine backend.
+//!
+//! The block-encryption core behind [`crate::Aes128`] has three
+//! interchangeable implementations. All of them compute the exact same
+//! function — FIPS-197 AES-128 encryption — so every byte the protocol
+//! produces is identical regardless of which backend ran; they differ
+//! only in throughput and side-channel profile:
+//!
+//! * **Scalar** — the from-first-principles byte-oriented reference
+//!   (`SBOX` table lookups, per-byte GF(2⁸) arithmetic). Kept as the
+//!   oracle the other backends are tested against.
+//! * **Sliced** — a portable bitsliced engine that encrypts eight
+//!   blocks per pass using word-parallel GF operations and **no table
+//!   lookups**, removing the S-box cache-timing side channel from the
+//!   hot paths.
+//! * **AesNi** — hardware AES via `std::arch::x86_64` intrinsics,
+//!   selected only when the CPU reports the `aes` feature at runtime.
+//!
+//! Selection order is AES-NI → sliced; the scalar path is never chosen
+//! automatically. The `ARM2GC_AES_BACKEND` environment variable
+//! (`scalar`, `sliced`, `aesni` or `auto`) overrides detection — CI uses
+//! it to keep the portable sliced arm green on hardware that would
+//! otherwise always dispatch to AES-NI.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Which AES implementation an [`crate::Aes128`] engine dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AesBackend {
+    /// Byte-oriented software reference (table-lookup S-box).
+    Scalar,
+    /// Portable bitsliced engine: eight blocks per pass, constant-time.
+    Sliced,
+    /// Hardware AES-NI (x86_64 only, runtime-detected).
+    AesNi,
+}
+
+impl AesBackend {
+    /// Every backend, in preference order (fastest first).
+    pub const ALL: [AesBackend; 3] = [AesBackend::AesNi, AesBackend::Sliced, AesBackend::Scalar];
+
+    /// Picks the backend for this process: the `ARM2GC_AES_BACKEND`
+    /// override if set, otherwise AES-NI when the CPU supports it and
+    /// the portable sliced engine everywhere else.
+    ///
+    /// The choice (including the environment read) is made once and
+    /// cached for the lifetime of the process.
+    ///
+    /// # Panics
+    /// Panics on an unknown `ARM2GC_AES_BACKEND` value, or when it
+    /// names a backend this machine cannot run — a silent fallback
+    /// would defeat the point of forcing a backend.
+    pub fn detect() -> Self {
+        static CHOICE: OnceLock<AesBackend> = OnceLock::new();
+        *CHOICE.get_or_init(Self::choose)
+    }
+
+    fn choose() -> Self {
+        match std::env::var("ARM2GC_AES_BACKEND").ok().as_deref() {
+            Some("scalar") => AesBackend::Scalar,
+            Some("sliced") => AesBackend::Sliced,
+            Some("aesni") => {
+                assert!(
+                    AesBackend::AesNi.is_available(),
+                    "ARM2GC_AES_BACKEND=aesni but this CPU has no AES-NI support"
+                );
+                AesBackend::AesNi
+            }
+            Some("auto") | None => {
+                if AesBackend::AesNi.is_available() {
+                    AesBackend::AesNi
+                } else {
+                    AesBackend::Sliced
+                }
+            }
+            Some(other) => panic!(
+                "unknown ARM2GC_AES_BACKEND value {other:?} \
+                 (expected scalar, sliced, aesni or auto)"
+            ),
+        }
+    }
+
+    /// Whether this backend can run on the current machine.
+    pub fn is_available(self) -> bool {
+        match self {
+            AesBackend::Scalar | AesBackend::Sliced => true,
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::AesNi => crate::x86::available(),
+            #[cfg(not(target_arch = "x86_64"))]
+            AesBackend::AesNi => false,
+        }
+    }
+
+    /// Stable lowercase name (matches the `ARM2GC_AES_BACKEND` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            AesBackend::Scalar => "scalar",
+            AesBackend::Sliced => "sliced",
+            AesBackend::AesNi => "aesni",
+        }
+    }
+}
+
+impl fmt::Display for AesBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_backends_always_available() {
+        assert!(AesBackend::Scalar.is_available());
+        assert!(AesBackend::Sliced.is_available());
+    }
+
+    #[test]
+    fn detect_returns_an_available_backend() {
+        assert!(AesBackend::detect().is_available());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for b in AesBackend::ALL {
+            assert_eq!(format!("{b}"), b.name());
+        }
+    }
+}

@@ -2,11 +2,26 @@
 
 use crate::{Aes128, Label};
 
+/// Reusable buffers for the batch hash entry points, so per-wavefront
+/// flushes in the garbling hot loop do not allocate.
+#[derive(Clone, Debug, Default)]
+pub struct HashScratch {
+    xs: Vec<u128>,
+    ys: Vec<u128>,
+}
+
 /// The MMO-style correlation-robust hash from fixed-key AES:
 /// `H(L, t) = AES_K(2L ⊕ t) ⊕ 2L` where `2L` is doubling in GF(2¹²⁸).
 ///
 /// Both parties construct the same hash from a public fixed key, so no key
 /// material needs to be exchanged (Bellare–Hoang–Keelveedhi–Rogaway).
+///
+/// The batch entry points ([`GarbleHash::hash_batch`],
+/// [`GarbleHash::hash2_batch`]) compute the *same function* as their
+/// per-call counterparts — the inputs are simply pushed through the
+/// engine's wide AES pipeline together, so results are byte-identical
+/// and only throughput changes. Labels and tweaks stay in their
+/// canonical `u128` form end to end.
 ///
 /// ```
 /// use arm2gc_crypto::{GarbleHash, Label};
@@ -14,6 +29,7 @@ use crate::{Aes128, Label};
 /// let l = Label::from_u128(123);
 /// assert_eq!(h.hash(l, 5), h.hash(l, 5));
 /// assert_ne!(h.hash(l, 5), h.hash(l, 6));
+/// assert_eq!(h.hash_batch(&[(l, 5)]), vec![h.hash(l, 5)]);
 /// ```
 #[derive(Clone, Debug)]
 pub struct GarbleHash {
@@ -38,15 +54,80 @@ impl GarbleHash {
 
     /// Hashes one label under tweak `t` (the gate identifier).
     pub fn hash(&self, label: Label, tweak: u64) -> Label {
-        let x = label.gf_double() ^ Label::from_u128(tweak as u128);
-        Label::from_u128(self.aes.encrypt_u128(x.to_u128())) ^ x
+        let x = label.gf_double().to_u128() ^ tweak as u128;
+        Label::from_u128(self.aes.encrypt_u128(x) ^ x)
     }
 
     /// Hashes two labels jointly (used by the classic 4-row garbling
     /// baseline): `H(A, B, t) = AES(4A ⊕ 2B ⊕ t) ⊕ 4A ⊕ 2B`.
     pub fn hash2(&self, a: Label, b: Label, tweak: u64) -> Label {
-        let x = a.gf_double().gf_double() ^ b.gf_double() ^ Label::from_u128(tweak as u128);
-        Label::from_u128(self.aes.encrypt_u128(x.to_u128())) ^ x
+        let x = hash2_input(a, b, tweak);
+        Label::from_u128(self.aes.encrypt_u128(x) ^ x)
+    }
+
+    /// [`GarbleHash::hash`] over a batch, one wide AES pass per 8
+    /// inputs. Byte-identical to hashing each `(label, tweak)` in turn.
+    pub fn hash_batch(&self, inputs: &[(Label, u64)]) -> Vec<Label> {
+        let mut scratch = HashScratch::default();
+        let mut out = Vec::new();
+        self.hash_batch_with(inputs, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free [`GarbleHash::hash_batch`]: clears and fills
+    /// `out`, reusing `scratch` buffers across calls.
+    pub fn hash_batch_with(
+        &self,
+        inputs: &[(Label, u64)],
+        scratch: &mut HashScratch,
+        out: &mut Vec<Label>,
+    ) {
+        scratch.xs.clear();
+        scratch.xs.extend(
+            inputs
+                .iter()
+                .map(|&(l, t)| l.gf_double().to_u128() ^ t as u128),
+        );
+        self.finish_batch(scratch, out);
+    }
+
+    /// [`GarbleHash::hash2`] over a batch; byte-identical to hashing
+    /// each `(a, b, tweak)` in turn.
+    pub fn hash2_batch(&self, inputs: &[(Label, Label, u64)]) -> Vec<Label> {
+        let mut scratch = HashScratch::default();
+        let mut out = Vec::new();
+        self.hash2_batch_with(inputs, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free [`GarbleHash::hash2_batch`].
+    pub fn hash2_batch_with(
+        &self,
+        inputs: &[(Label, Label, u64)],
+        scratch: &mut HashScratch,
+        out: &mut Vec<Label>,
+    ) {
+        scratch.xs.clear();
+        scratch
+            .xs
+            .extend(inputs.iter().map(|&(a, b, t)| hash2_input(a, b, t)));
+        self.finish_batch(scratch, out);
+    }
+
+    /// Shared tail of the batch paths: encrypt `scratch.xs` wide and
+    /// feed the MMO whitening `AES(x) ⊕ x` into `out`.
+    fn finish_batch(&self, scratch: &mut HashScratch, out: &mut Vec<Label>) {
+        scratch.ys.clear();
+        scratch.ys.extend_from_slice(&scratch.xs);
+        self.aes.encrypt_u128s(&mut scratch.ys);
+        out.clear();
+        out.extend(
+            scratch
+                .xs
+                .iter()
+                .zip(&scratch.ys)
+                .map(|(&x, &y)| Label::from_u128(x ^ y)),
+        );
     }
 
     /// Hashes an arbitrary byte string to a label with an MMO chain
@@ -62,6 +143,11 @@ impl GarbleHash {
         }
         h
     }
+}
+
+/// The AES input of [`GarbleHash::hash2`]: `4A ⊕ 2B ⊕ t` as a raw `u128`.
+fn hash2_input(a: Label, b: Label, tweak: u64) -> u128 {
+    a.gf_double().gf_double().to_u128() ^ b.gf_double().to_u128() ^ tweak as u128
 }
 
 #[cfg(test)]
@@ -102,5 +188,51 @@ mod tests {
         let bob = GarbleHash::fixed();
         let l = Label::from_u128(0xdead_beef);
         assert_eq!(alice.hash(l, 77), bob.hash(l, 77));
+    }
+
+    #[test]
+    fn batch_equals_sequential() {
+        let h = GarbleHash::fixed();
+        let mut prg = Prg::from_seed([44; 16]);
+        for n in [0usize, 1, 3, 8, 13, 40] {
+            let inputs: Vec<(Label, u64)> = (0..n)
+                .map(|i| (Label::random(&mut prg), prg.next_u64() ^ i as u64))
+                .collect();
+            let want: Vec<Label> = inputs.iter().map(|&(l, t)| h.hash(l, t)).collect();
+            assert_eq!(h.hash_batch(&inputs), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn hash2_batch_equals_sequential() {
+        let h = GarbleHash::fixed();
+        let mut prg = Prg::from_seed([45; 16]);
+        for n in [0usize, 1, 5, 8, 21] {
+            let inputs: Vec<(Label, Label, u64)> = (0..n)
+                .map(|_| {
+                    (
+                        Label::random(&mut prg),
+                        Label::random(&mut prg),
+                        prg.next_u64(),
+                    )
+                })
+                .collect();
+            let want: Vec<Label> = inputs.iter().map(|&(a, b, t)| h.hash2(a, b, t)).collect();
+            assert_eq!(h.hash2_batch(&inputs), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let h = GarbleHash::fixed();
+        let mut prg = Prg::from_seed([46; 16]);
+        let mut scratch = HashScratch::default();
+        let mut out = Vec::new();
+        // A big batch followed by a small one must not leak stale tails.
+        let big: Vec<(Label, u64)> = (0..20).map(|i| (Label::random(&mut prg), i)).collect();
+        h.hash_batch_with(&big, &mut scratch, &mut out);
+        let small = [(Label::random(&mut prg), 7u64)];
+        h.hash_batch_with(&small, &mut scratch, &mut out);
+        assert_eq!(out, vec![h.hash(small[0].0, 7)]);
     }
 }

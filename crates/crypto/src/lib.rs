@@ -4,12 +4,17 @@
 //!
 //! * [`Label`] — 128-bit wire labels with the free-XOR convention
 //!   (`X¹ = X⁰ ⊕ Δ`) and point-and-permute colour bits,
-//! * [`Aes128`] — a from-scratch software AES-128 block cipher,
+//! * [`Aes128`] — AES-128 as a batched multi-backend engine: a
+//!   from-scratch scalar reference oracle, a portable constant-time
+//!   bitsliced core (8 blocks per pass) and a runtime-detected AES-NI
+//!   path, all byte-identical (see [`AesBackend`]),
 //! * [`GarbleHash`] — the fixed-key MMO-style hash
 //!   `H(L, t) = AES_K(2L ⊕ t) ⊕ 2L` used to encrypt garbled-table rows
 //!   (Bellare et al., "Efficient garbling from a fixed-key blockcipher"),
+//!   with batch entry points that hash a whole gate wavefront per call,
 //! * [`Prg`] — an AES-CTR pseudo-random generator used for label
-//!   generation and the IKNP OT extension.
+//!   generation and the IKNP OT extension, refilled a wide pass at a
+//!   time.
 //!
 //! # Example
 //!
@@ -23,16 +28,27 @@
 //! // The colour (permute) bits of the two labels always differ.
 //! assert_ne!(zero.colour(), one.colour());
 //! ```
+//!
+//! # Unsafe code
+//!
+//! The crate denies `unsafe_code` except in the private `x86`
+//! module, the one place wrapping `std::arch` intrinsics; everything
+//! else — including the constant-time bitsliced AES — is safe Rust.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aes;
+mod aes_sliced;
+mod backend;
 mod hash;
 mod label;
 mod prg;
+#[cfg(target_arch = "x86_64")]
+mod x86;
 
 pub use aes::Aes128;
-pub use hash::GarbleHash;
+pub use backend::AesBackend;
+pub use hash::{GarbleHash, HashScratch};
 pub use label::{Delta, Label};
 pub use prg::Prg;

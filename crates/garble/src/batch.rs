@@ -1,0 +1,529 @@
+//! Wavefront batching for the engine hot loops.
+//!
+//! Half-gate labels are hash-derived, so the AES work of a cycle is
+//! *chained* wherever one garbled gate feeds another. These schedulers
+//! recover the parallelism that is actually there: gates are visited in
+//! netlist order, label computations whose inputs are still pending are
+//! deferred, and every maximal run of nonlinear gates with ready inputs
+//! — one *wavefront* — is hashed through the wide AES core in a single
+//! batch ([`HalfGateGarbler::garble_batch`] /
+//! [`HalfGateEvaluator::eval_batch`]).
+//!
+//! Deferral only reorders *when* values are computed, never *what* is
+//! computed: every gate sees exactly the labels and tweak it would see
+//! in a strictly sequential walk, and tables are emitted/consumed in
+//! gate order. The protocol transcript is byte-identical either way —
+//! the pinned wire/stats tests enforce this.
+//!
+//! Both engines (the classic baseline in [`crate::engine`] and the
+//! SkipGate engine in `arm2gc-core`) drive their cycle loops through
+//! these types.
+
+use arm2gc_circuit::Op;
+use arm2gc_crypto::Label;
+
+use crate::halfgate::{
+    BatchScratch, EvalJob, GarbleJob, GarbledTable, HalfGateEvaluator, HalfGateGarbler,
+};
+
+/// A deferred label computation, replayed at flush time in gate order.
+#[derive(Clone, Copy, Debug)]
+enum Pending {
+    /// `out = linear(op, a, b)` — the party's linear-gate rule.
+    Linear { op: Op, a: u32, b: u32, out: u32 },
+    /// `out = labels[src] (⊕ Δ if flip)` — SkipGate Pass/Alias.
+    Copy { src: u32, out: u32, flip: bool },
+    /// `out = labels[a] ⊕ labels[b] (⊕ Δ if flip)` — SkipGate free XOR.
+    Xor {
+        a: u32,
+        b: u32,
+        out: u32,
+        flip: bool,
+    },
+    /// `out = <next batched gate result>`.
+    Gate { out: u32 },
+}
+
+/// Dirty-wire bookkeeping and the pending-op queue shared by both
+/// party-side schedulers.
+#[derive(Clone, Debug)]
+struct Frontier {
+    /// Wire → "its label is owed by the pending queue".
+    dirty: Vec<bool>,
+    /// Wires to clean at flush (cheaper than scanning `dirty`).
+    touched: Vec<u32>,
+    pending: Vec<Pending>,
+    /// Running counters for benches/tests.
+    batches: u64,
+    batched_gates: u64,
+    largest_batch: usize,
+}
+
+impl Frontier {
+    fn new(wire_count: usize) -> Self {
+        Self {
+            dirty: vec![false; wire_count],
+            touched: Vec::new(),
+            pending: Vec::new(),
+            batches: 0,
+            batched_gates: 0,
+            largest_batch: 0,
+        }
+    }
+
+    fn is_dirty2(&self, a: usize, b: usize) -> bool {
+        self.dirty[a] || self.dirty[b]
+    }
+
+    fn mark(&mut self, out: usize) {
+        self.dirty[out] = true;
+        self.touched.push(out as u32);
+    }
+
+    fn settle(&mut self, jobs: usize) {
+        for &w in &self.touched {
+            self.dirty[w as usize] = false;
+        }
+        self.touched.clear();
+        self.pending.clear();
+        self.batches += 1;
+        self.batched_gates += jobs as u64;
+        self.largest_batch = self.largest_batch.max(jobs);
+    }
+}
+
+/// Statistics about how well a run's gates batched (benches, tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WavefrontStats {
+    /// Flushes that did work (= wavefronts formed; a flush with
+    /// nothing pending is a no-op and is not counted).
+    pub batches: u64,
+    /// Nonlinear gates that went through batch hashing.
+    pub batched_gates: u64,
+    /// Largest single wavefront.
+    pub largest_batch: usize,
+}
+
+/// Garbler-side wavefront scheduler.
+///
+/// Call [`GarbleWavefront::linear`]/[`copy`](GarbleWavefront::copy)/
+/// [`xor`](GarbleWavefront::xor)/[`garble`](GarbleWavefront::garble)
+/// per gate in netlist order, and [`GarbleWavefront::flush`] at the end
+/// of every cycle (before reading any output label). `emit` receives
+/// each gate's table in gate order, exactly as the sequential loop
+/// would have pushed them.
+#[derive(Clone, Debug)]
+pub struct GarbleWavefront {
+    frontier: Frontier,
+    jobs: Vec<GarbleJob>,
+    results: Vec<(Label, GarbledTable)>,
+    scratch: BatchScratch,
+}
+
+impl GarbleWavefront {
+    /// A scheduler for a circuit with `wire_count` wires.
+    pub fn new(wire_count: usize) -> Self {
+        Self {
+            frontier: Frontier::new(wire_count),
+            jobs: Vec::new(),
+            results: Vec::new(),
+            scratch: BatchScratch::default(),
+        }
+    }
+
+    /// Batching statistics accumulated so far.
+    pub fn stats(&self) -> WavefrontStats {
+        WavefrontStats {
+            batches: self.frontier.batches,
+            batched_gates: self.frontier.batched_gates,
+            largest_batch: self.frontier.largest_batch,
+        }
+    }
+
+    /// Linear gate `out = linear(op, a, b)`.
+    pub fn linear(
+        &mut self,
+        g: &HalfGateGarbler,
+        labels: &mut [Label],
+        op: Op,
+        a: usize,
+        b: usize,
+        out: usize,
+    ) {
+        if self.frontier.is_dirty2(a, b) {
+            self.frontier.pending.push(Pending::Linear {
+                op,
+                a: a as u32,
+                b: b as u32,
+                out: out as u32,
+            });
+            self.frontier.mark(out);
+        } else {
+            labels[out] = g.linear_zero(op, labels[a], labels[b]);
+        }
+    }
+
+    /// Label copy `out = labels[src] (⊕ Δ if flip)`.
+    pub fn copy(
+        &mut self,
+        g: &HalfGateGarbler,
+        labels: &mut [Label],
+        src: usize,
+        out: usize,
+        flip: bool,
+    ) {
+        if self.frontier.dirty[src] {
+            self.frontier.pending.push(Pending::Copy {
+                src: src as u32,
+                out: out as u32,
+                flip,
+            });
+            self.frontier.mark(out);
+        } else {
+            labels[out] = labels[src] ^ self.flip_mask(g, flip);
+        }
+    }
+
+    /// Free XOR `out = labels[a] ⊕ labels[b] (⊕ Δ if flip)`.
+    pub fn xor(
+        &mut self,
+        g: &HalfGateGarbler,
+        labels: &mut [Label],
+        a: usize,
+        b: usize,
+        out: usize,
+        flip: bool,
+    ) {
+        if self.frontier.is_dirty2(a, b) {
+            self.frontier.pending.push(Pending::Xor {
+                a: a as u32,
+                b: b as u32,
+                out: out as u32,
+                flip,
+            });
+            self.frontier.mark(out);
+        } else {
+            labels[out] = labels[a] ^ labels[b] ^ self.flip_mask(g, flip);
+        }
+    }
+
+    /// Nonlinear gate: joins the current wavefront, or — when an input
+    /// is still owed by it — flushes first and starts the next one.
+    ///
+    /// # Errors
+    /// Propagates `emit` failures from a triggered flush.
+    #[allow(clippy::too_many_arguments)]
+    pub fn garble<E>(
+        &mut self,
+        g: &HalfGateGarbler,
+        labels: &mut [Label],
+        op: Op,
+        a: usize,
+        b: usize,
+        out: usize,
+        tweak: u64,
+        emit: &mut impl FnMut(&GarbledTable) -> Result<(), E>,
+    ) -> Result<(), E> {
+        if self.frontier.is_dirty2(a, b) {
+            self.flush(g, labels, emit)?;
+        }
+        self.jobs.push(GarbleJob {
+            op,
+            a0: labels[a],
+            b0: labels[b],
+            tweak,
+        });
+        self.frontier
+            .pending
+            .push(Pending::Gate { out: out as u32 });
+        self.frontier.mark(out);
+        Ok(())
+    }
+
+    /// Hashes the queued wavefront in one batch and replays all
+    /// deferred label computations in gate order, emitting tables as it
+    /// goes. No-op when nothing is pending.
+    ///
+    /// # Errors
+    /// Propagates `emit` failures.
+    pub fn flush<E>(
+        &mut self,
+        g: &HalfGateGarbler,
+        labels: &mut [Label],
+        emit: &mut impl FnMut(&GarbledTable) -> Result<(), E>,
+    ) -> Result<(), E> {
+        if self.frontier.pending.is_empty() {
+            return Ok(());
+        }
+        g.garble_batch_with(&self.jobs, &mut self.scratch, &mut self.results);
+        let mut next = 0usize;
+        for p in &self.frontier.pending {
+            match *p {
+                Pending::Linear { op, a, b, out } => {
+                    labels[out as usize] =
+                        g.linear_zero(op, labels[a as usize], labels[b as usize]);
+                }
+                Pending::Copy { src, out, flip } => {
+                    labels[out as usize] = labels[src as usize] ^ self.flip_mask(g, flip);
+                }
+                Pending::Xor { a, b, out, flip } => {
+                    labels[out as usize] =
+                        labels[a as usize] ^ labels[b as usize] ^ self.flip_mask(g, flip);
+                }
+                Pending::Gate { out } => {
+                    let (c0, table) = self.results[next];
+                    next += 1;
+                    labels[out as usize] = c0;
+                    emit(&table)?;
+                }
+            }
+        }
+        let jobs = self.jobs.len();
+        self.jobs.clear();
+        self.frontier.settle(jobs);
+        Ok(())
+    }
+
+    fn flip_mask(&self, g: &HalfGateGarbler, flip: bool) -> Label {
+        if flip {
+            g.delta().as_label()
+        } else {
+            Label::ZERO
+        }
+    }
+}
+
+/// Evaluator-side wavefront scheduler; the mirror of
+/// [`GarbleWavefront`]. Tables are handed in at enqueue time (pulled
+/// from the stream in gate order) and hashed per wavefront at flush.
+/// Unlike the garbler's methods there are no `flip` parameters — the
+/// evaluator works on active labels, where Pass/Alias/XOR carry no Δ
+/// correction.
+#[derive(Clone, Debug)]
+pub struct EvalWavefront {
+    frontier: Frontier,
+    jobs: Vec<EvalJob>,
+    results: Vec<Label>,
+    scratch: BatchScratch,
+}
+
+impl EvalWavefront {
+    /// A scheduler for a circuit with `wire_count` wires.
+    pub fn new(wire_count: usize) -> Self {
+        Self {
+            frontier: Frontier::new(wire_count),
+            jobs: Vec::new(),
+            results: Vec::new(),
+            scratch: BatchScratch::default(),
+        }
+    }
+
+    /// Batching statistics accumulated so far.
+    pub fn stats(&self) -> WavefrontStats {
+        WavefrontStats {
+            batches: self.frontier.batches,
+            batched_gates: self.frontier.batched_gates,
+            largest_batch: self.frontier.largest_batch,
+        }
+    }
+
+    /// Linear gate `out = linear(op, a, b)`.
+    pub fn linear(
+        &mut self,
+        e: &HalfGateEvaluator,
+        labels: &mut [Label],
+        op: Op,
+        a: usize,
+        b: usize,
+        out: usize,
+    ) {
+        if self.frontier.is_dirty2(a, b) {
+            self.frontier.pending.push(Pending::Linear {
+                op,
+                a: a as u32,
+                b: b as u32,
+                out: out as u32,
+            });
+            self.frontier.mark(out);
+        } else {
+            labels[out] = e.linear_active(op, labels[a], labels[b]);
+        }
+    }
+
+    /// Label copy `out = labels[src]`.
+    pub fn copy(&mut self, labels: &mut [Label], src: usize, out: usize) {
+        if self.frontier.dirty[src] {
+            self.frontier.pending.push(Pending::Copy {
+                src: src as u32,
+                out: out as u32,
+                flip: false,
+            });
+            self.frontier.mark(out);
+        } else {
+            labels[out] = labels[src];
+        }
+    }
+
+    /// Free XOR `out = labels[a] ⊕ labels[b]`.
+    pub fn xor(&mut self, labels: &mut [Label], a: usize, b: usize, out: usize) {
+        if self.frontier.is_dirty2(a, b) {
+            self.frontier.pending.push(Pending::Xor {
+                a: a as u32,
+                b: b as u32,
+                out: out as u32,
+                flip: false,
+            });
+            self.frontier.mark(out);
+        } else {
+            labels[out] = labels[a] ^ labels[b];
+        }
+    }
+
+    /// Nonlinear gate with its table (already pulled from the stream,
+    /// in gate order): joins the current wavefront, or flushes first
+    /// when an input is still owed by it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval(
+        &mut self,
+        e: &HalfGateEvaluator,
+        labels: &mut [Label],
+        a: usize,
+        b: usize,
+        out: usize,
+        table: GarbledTable,
+        tweak: u64,
+    ) {
+        if self.frontier.is_dirty2(a, b) {
+            self.flush(e, labels);
+        }
+        self.jobs.push(EvalJob {
+            a: labels[a],
+            b: labels[b],
+            table,
+            tweak,
+        });
+        self.frontier
+            .pending
+            .push(Pending::Gate { out: out as u32 });
+        self.frontier.mark(out);
+    }
+
+    /// Hashes the queued wavefront in one batch and replays all
+    /// deferred label computations in gate order. No-op when nothing is
+    /// pending.
+    pub fn flush(&mut self, e: &HalfGateEvaluator, labels: &mut [Label]) {
+        if self.frontier.pending.is_empty() {
+            return;
+        }
+        e.eval_batch_with(&self.jobs, &mut self.scratch, &mut self.results);
+        let mut next = 0usize;
+        for p in &self.frontier.pending {
+            match *p {
+                Pending::Linear { op, a, b, out } => {
+                    labels[out as usize] =
+                        e.linear_active(op, labels[a as usize], labels[b as usize]);
+                }
+                Pending::Copy { src, out, .. } => {
+                    labels[out as usize] = labels[src as usize];
+                }
+                Pending::Xor { a, b, out, .. } => {
+                    labels[out as usize] = labels[a as usize] ^ labels[b as usize];
+                }
+                Pending::Gate { out } => {
+                    labels[out as usize] = self.results[next];
+                    next += 1;
+                }
+            }
+        }
+        let jobs = self.jobs.len();
+        self.jobs.clear();
+        self.frontier.settle(jobs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm2gc_crypto::{Delta, Prg};
+    use std::convert::Infallible;
+
+    /// A hand-built chained/parallel mix: four independent ANDs (one
+    /// wavefront), a XOR over two of their outputs (deferred), then an
+    /// AND fed by that XOR (forces a flush + second wavefront).
+    #[test]
+    fn wavefront_matches_sequential_walk() {
+        let mut prg = Prg::from_seed([77; 16]);
+        let delta = Delta::random(&mut prg);
+        let g = HalfGateGarbler::new(delta);
+        let e = HalfGateEvaluator::new();
+
+        // Wires 0..8 inputs, 8..12 AND outs, 12 xor out, 13 final out.
+        let mut labels = vec![Label::ZERO; 14];
+        for l in labels.iter_mut().take(8) {
+            *l = Label::random(&mut prg);
+        }
+        let seq_labels = {
+            let mut seq = labels.clone();
+            let mut tweak = 0u64;
+            let mut tables = Vec::new();
+            for i in 0..4 {
+                let (c0, t) = g.garble(Op::AND, seq[2 * i], seq[2 * i + 1], tweak);
+                tweak += 1;
+                seq[8 + i] = c0;
+                tables.push(t);
+            }
+            seq[12] = g.linear_zero(Op::XOR, seq[8], seq[9]);
+            let (c0, t) = g.garble(Op::AND, seq[12], seq[10], tweak);
+            seq[13] = c0;
+            tables.push(t);
+            (seq, tables)
+        };
+
+        let mut wf = GarbleWavefront::new(14);
+        let mut emitted = Vec::new();
+        let mut emit = |t: &GarbledTable| -> Result<(), Infallible> {
+            emitted.push(*t);
+            Ok(())
+        };
+        let mut tweak = 0u64;
+        for i in 0..4 {
+            wf.garble(
+                &g,
+                &mut labels,
+                Op::AND,
+                2 * i,
+                2 * i + 1,
+                8 + i,
+                tweak,
+                &mut emit,
+            )
+            .unwrap();
+            tweak += 1;
+        }
+        wf.linear(&g, &mut labels, Op::XOR, 8, 9, 12);
+        wf.garble(&g, &mut labels, Op::AND, 12, 10, 13, tweak, &mut emit)
+            .unwrap();
+        wf.flush(&g, &mut labels, &mut emit).unwrap();
+
+        assert_eq!(labels, seq_labels.0);
+        assert_eq!(emitted, seq_labels.1);
+        let stats = wf.stats();
+        assert_eq!(stats.batched_gates, 5);
+        assert_eq!(stats.largest_batch, 4, "first wavefront holds 4 ANDs");
+
+        // Evaluator mirror on the zero inputs.
+        let mut active = seq_labels.0[..8].to_vec();
+        active.resize(14, Label::ZERO);
+        let mut ewf = EvalWavefront::new(14);
+        let mut tweak = 0u64;
+        for (i, &table) in emitted.iter().take(4).enumerate() {
+            ewf.eval(&e, &mut active, 2 * i, 2 * i + 1, 8 + i, table, tweak);
+            tweak += 1;
+        }
+        ewf.linear(&e, &mut active, Op::XOR, 8, 9, 12);
+        ewf.eval(&e, &mut active, 12, 10, 13, emitted[4], tweak);
+        ewf.flush(&e, &mut active);
+        // Zero-label inputs evaluate to the zero labels everywhere.
+        assert_eq!(active, seq_labels.0);
+    }
+}

@@ -17,12 +17,13 @@
 //! partition without coordination.
 
 use arm2gc_circuit::sim::PartyData;
-use arm2gc_circuit::{Circuit, DffInit, Op, OutputMode, Role};
+use arm2gc_circuit::{Circuit, DffInit, OutputMode, Role};
 use arm2gc_comm::Channel;
 use arm2gc_crypto::{Label, Prg};
 use arm2gc_ot::{OtReceiver, OtSender};
 use arm2gc_proto::{EvaluatorSession, GarblerSession, ShardConfig, StreamConfig};
 
+use crate::batch::{EvalWavefront, GarbleWavefront};
 use crate::halfgate::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
 
 /// Failures of the two-party protocol (the proto layer's error type).
@@ -59,29 +60,6 @@ impl GarbleOutcome {
     /// Panics if the circuit has no outputs.
     pub fn final_output(&self) -> &[bool] {
         self.outputs.last().expect("no outputs")
-    }
-}
-
-/// Zero-label of a *linear* gate output on the garbler side.
-fn linear_zero(op: Op, a0: Label, b0: Label, delta: Label) -> Label {
-    match op {
-        Op::XOR => a0 ^ b0,
-        Op::XNOR => a0 ^ b0 ^ delta,
-        Op::BUF_A => a0,
-        Op::NOT_A => a0 ^ delta,
-        Op::BUF_B => b0,
-        Op::NOT_B => b0 ^ delta,
-        _ => panic!("constant-valued gate {op} must not appear in a netlist"),
-    }
-}
-
-/// Active label of a *linear* gate output on the evaluator side.
-fn linear_active(op: Op, a: Label, b: Label) -> Label {
-    match op {
-        Op::XOR | Op::XNOR => a ^ b,
-        Op::BUF_A | Op::NOT_A => a,
-        Op::BUF_B | Op::NOT_B => b,
-        _ => panic!("constant-valued gate {op} must not appear in a netlist"),
     }
 }
 
@@ -227,6 +205,10 @@ pub fn run_garbler_sharded(
     session.ot_send(&ot_pairs)?;
 
     // --- Cycle loop ----------------------------------------------------
+    // Gates are scheduled through the wavefront batcher: independent
+    // nonlinear gates hash through the wide AES core together, and the
+    // emitted table stream stays byte-identical to a sequential walk.
+    let mut wavefront = GarbleWavefront::new(circuit.wire_count());
     let mut tweak = 0u64;
     let mut cycles_run = 0usize;
     let mut decode_bits: Vec<bool> = Vec::new();
@@ -236,17 +218,19 @@ pub fn run_garbler_sharded(
             labels[input.wire.index()] = x0;
         }
         for gate in circuit.gates() {
-            let a0 = labels[gate.a.index()];
-            let b0 = labels[gate.b.index()];
-            labels[gate.out.index()] = if gate.op.is_linear() {
-                linear_zero(gate.op, a0, b0, d)
+            let (a, b, out) = (gate.a.index(), gate.b.index(), gate.out.index());
+            if gate.op.is_linear() {
+                wavefront.linear(&garbler, &mut labels, gate.op, a, b, out);
             } else {
-                let (c0, table) = garbler.garble(gate.op, a0, b0, tweak);
+                wavefront.garble(&garbler, &mut labels, gate.op, a, b, out, tweak, &mut |t| {
+                    session.push_table(&t.to_bytes())
+                })?;
                 tweak += 1;
-                session.push_table(&table.to_bytes())?;
-                c0
-            };
+            }
         }
+        wavefront.flush(&garbler, &mut labels, &mut |t| {
+            session.push_table(&t.to_bytes())
+        })?;
         session.end_cycle()?;
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
@@ -361,6 +345,9 @@ pub fn run_evaluator_sharded(
     }
 
     // --- Cycle loop ----------------------------------------------------
+    // Mirror of the garbler's wavefront batching: tables are pulled in
+    // gate order, hashes run per wavefront.
+    let mut wavefront = EvalWavefront::new(circuit.wire_count());
     let mut tweak = 0u64;
     let mut cycles_run = 0usize;
     let mut my_colours: Vec<bool> = Vec::new();
@@ -370,17 +357,16 @@ pub fn run_evaluator_sharded(
             active[input.wire.index()] = l;
         }
         for gate in circuit.gates() {
-            let a = active[gate.a.index()];
-            let b = active[gate.b.index()];
-            active[gate.out.index()] = if gate.op.is_linear() {
-                linear_active(gate.op, a, b)
+            let (a, b, out) = (gate.a.index(), gate.b.index(), gate.out.index());
+            if gate.op.is_linear() {
+                wavefront.linear(&evaluator, &mut active, gate.op, a, b, out);
             } else {
                 let t = GarbledTable::from_bytes(session.next_table(GarbledTable::BYTES)?);
-                let out = evaluator.eval(a, b, &t, tweak);
+                wavefront.eval(&evaluator, &mut active, a, b, out, t, tweak);
                 tweak += 1;
-                out
-            };
+            }
         }
+        wavefront.flush(&evaluator, &mut active);
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
             my_colours.extend(circuit.outputs().iter().map(|w| active[w.index()].colour()));

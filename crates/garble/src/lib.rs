@@ -8,7 +8,10 @@
 //! ever skipped; that is what `arm2gc_core`'s SkipGate adds on top.
 //!
 //! * [`halfgate`] — the two-ciphertext half-gate garbling primitive for
-//!   any nonlinear 2-input gate,
+//!   any nonlinear 2-input gate, with batch entry points that hash many
+//!   independent gates through the wide AES core per call,
+//! * [`batch`] — the wavefront schedulers both engines use to discover
+//!   those independent gate groups on the fly,
 //! * [`rows4`] — the unoptimised 4-row and GRR3 garbling baselines used
 //!   by the ablation benchmarks,
 //! * [`engine`] — the two-party protocol: [`run_garbler`] /
@@ -17,16 +20,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
 pub mod halfgate;
 pub mod rows4;
 
 pub use arm2gc_proto::{ShardConfig, StreamConfig};
+pub use batch::{EvalWavefront, GarbleWavefront, WavefrontStats};
 pub use engine::{
     run_evaluator, run_evaluator_sharded, run_garbler, run_garbler_sharded, run_garbler_with,
     GarbleOutcome, GarbleStats, ProtocolError,
 };
-pub use halfgate::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
+pub use halfgate::{EvalJob, GarbleJob, GarbledTable, HalfGateEvaluator, HalfGateGarbler};
 
 use arm2gc_circuit::Circuit;
 

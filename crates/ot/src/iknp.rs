@@ -83,10 +83,11 @@ impl OtSender for IknpSender {
                 }
             }
         }
-        // Transpose to rows and pad the messages.
+        // Transpose to rows and pad the messages; both pads of every OT
+        // are derived in one batched hash over the wide AES pipeline.
         let s_lab = self.s_label();
-        let mut payload = Vec::with_capacity(m * 32);
-        for (i, pair) in pairs.iter().enumerate() {
+        let mut points = Vec::with_capacity(2 * m);
+        for i in 0..m {
             let mut row = 0u128;
             for (j, col) in q_cols.iter().enumerate() {
                 let bit = (col[i / 8] >> (i % 8)) & 1;
@@ -94,10 +95,14 @@ impl OtSender for IknpSender {
             }
             let q = Label::from_u128(row);
             let t = self.counter + i as u64;
-            let y0 = self.hash.hash(q, t) ^ pair.0;
-            let y1 = self.hash.hash(q ^ s_lab, t) ^ pair.1;
-            payload.extend_from_slice(&y0.to_bytes());
-            payload.extend_from_slice(&y1.to_bytes());
+            points.push((q, t));
+            points.push((q ^ s_lab, t));
+        }
+        let pads = self.hash.hash_batch(&points);
+        let mut payload = Vec::with_capacity(m * 32);
+        for (pair, pad) in pairs.iter().zip(pads.chunks_exact(2)) {
+            payload.extend_from_slice(&(pad[0] ^ pair.0).to_bytes());
+            payload.extend_from_slice(&(pad[1] ^ pair.1).to_bytes());
         }
         self.counter += m as u64;
         ch.send(&payload)?;
@@ -170,18 +175,24 @@ impl OtReceiver for IknpReceiver {
         if payload.len() != m * 32 {
             return Err(OtError::Protocol("padded messages have wrong size"));
         }
+        // One batched hash derives every row's pad through the wide AES
+        // pipeline.
+        let points: Vec<(Label, u64)> = (0..m)
+            .map(|i| {
+                let mut row = 0u128;
+                for (j, col) in t_cols.iter().enumerate() {
+                    let bit = (col[i / 8] >> (i % 8)) & 1;
+                    row |= (bit as u128) << j;
+                }
+                (Label::from_u128(row), self.counter + i as u64)
+            })
+            .collect();
+        let pads = self.hash.hash_batch(&points);
         let mut out = Vec::with_capacity(m);
-        for (i, &c) in choices.iter().enumerate() {
-            let mut row = 0u128;
-            for (j, col) in t_cols.iter().enumerate() {
-                let bit = (col[i / 8] >> (i % 8)) & 1;
-                row |= (bit as u128) << j;
-            }
-            let t_row = Label::from_u128(row);
-            let tweak = self.counter + i as u64;
+        for ((i, &c), pad) in choices.iter().enumerate().zip(pads) {
             let off = 32 * i + if c { 16 } else { 0 };
             let y = Label::from_bytes(payload[off..off + 16].try_into().expect("16 bytes"));
-            out.push(self.hash.hash(t_row, tweak) ^ y);
+            out.push(pad ^ y);
         }
         self.counter += m as u64;
         Ok(out)
