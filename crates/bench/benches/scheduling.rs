@@ -1,0 +1,106 @@
+//! Criterion benchmarks of execution scheduling: netlist-order
+//! wavefront vs precomputed topological layers, for both engines.
+//!
+//! The two modes produce byte-identical transcripts; what changes is
+//! how many independent nonlinear gates reach the batched AES core per
+//! hash call. Before timing, each group prints the measured batch
+//! occupancy (batches formed, largest batch, mean width) so the
+//! schedule's effect is visible even when wall-clock is dominated by
+//! transport.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use arm2gc_bench::runner::{run_baseline_outcome, run_skipgate_outcome, table1_circuits};
+use arm2gc_circuit::ScheduleMode;
+use arm2gc_core::{OtBackend, ShardConfig, StreamConfig, TwoPartyConfig};
+
+const MODES: [ScheduleMode; 2] = [ScheduleMode::Netlist, ScheduleMode::Layered];
+
+fn cfg(mode: ScheduleMode) -> TwoPartyConfig {
+    TwoPartyConfig {
+        schedule: mode,
+        ..TwoPartyConfig::default()
+    }
+}
+
+/// The chain-heavy Table 1 circuits: netlist order interleaves long
+/// dependency chains, so the wavefront keeps breaking while the layer
+/// schedule regroups whole levels.
+const CHAIN_HEAVY: [&str; 3] = ["mult_32", "matmul_3x3_32", "aes_128"];
+
+fn bench_skipgate_scheduling(c: &mut Criterion) {
+    let circuits = table1_circuits(true);
+    let mut g = c.benchmark_group("skipgate_scheduling");
+    g.sample_size(10);
+    for bc in circuits
+        .iter()
+        .filter(|bc| CHAIN_HEAVY.contains(&bc.circuit.name()))
+    {
+        for mode in MODES {
+            let occ = run_skipgate_outcome(bc, cfg(mode)).batching;
+            println!(
+                "occupancy {}/{:?}: {} batches, largest {}, mean {:.1}, fallback cycles {}",
+                bc.circuit.name(),
+                mode,
+                occ.batches,
+                occ.largest_batch,
+                occ.mean_batch(),
+                occ.fallback_cycles
+            );
+            g.throughput(Throughput::Elements(occ.batched_gates));
+            g.bench_function(format!("{}/{mode:?}", bc.circuit.name()), |b| {
+                b.iter(|| run_skipgate_outcome(bc, cfg(mode)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_baseline_scheduling(c: &mut Criterion) {
+    let circuits = table1_circuits(true);
+    let mut g = c.benchmark_group("baseline_scheduling");
+    g.sample_size(10);
+    for bc in circuits
+        .iter()
+        .filter(|bc| CHAIN_HEAVY.contains(&bc.circuit.name()))
+    {
+        for mode in MODES {
+            let occ = run_baseline_outcome(
+                bc,
+                OtBackend::Insecure,
+                StreamConfig::default(),
+                ShardConfig::single(),
+                mode,
+            )
+            .batching;
+            println!(
+                "occupancy {}/{:?}: {} batches, largest {}, mean {:.1}",
+                bc.circuit.name(),
+                mode,
+                occ.batches,
+                occ.largest_batch,
+                occ.mean_batch()
+            );
+            g.throughput(Throughput::Elements(occ.batched_gates));
+            g.bench_function(format!("{}/{mode:?}", bc.circuit.name()), |b| {
+                b.iter(|| {
+                    run_baseline_outcome(
+                        bc,
+                        OtBackend::Insecure,
+                        StreamConfig::default(),
+                        ShardConfig::single(),
+                        mode,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_skipgate_scheduling,
+    bench_baseline_scheduling
+);
+criterion_main!(benches);

@@ -10,19 +10,36 @@
 //! The report deliberately omits the shard count it was produced with:
 //! sharding is transport-only, so the gate doubles as a CI-enforced
 //! proof that counts are shard-invariant (the workflow runs it sharded
-//! against the unsharded baseline).
+//! against the unsharded baseline). Since v2 it also runs every
+//! circuit under both execution schedules: the cost counters come from
+//! the *layer-scheduled* runs (so any layered/netlist divergence shows
+//! up as cost drift against the historic values), and the per-circuit
+//! `schedule` object pins batching occupancy — level count, batch
+//! counts, widths — for both modes, so scheduling regressions are
+//! caught alongside cost regressions.
 
 use std::fmt::Write as _;
 
+use arm2gc_circuit::{LayerSchedule, ScheduleMode};
 use arm2gc_core::{OtBackend, ShardConfig, StreamConfig, TwoPartyConfig};
+use arm2gc_garble::WavefrontStats;
 
-use crate::runner::{run_baseline_sharded, run_skipgate_with, table1_circuits};
+use crate::runner::{run_baseline_outcome, run_skipgate_outcome, table1_circuits};
 
 /// Identifies the report layout; bump when fields change.
-pub const SCHEMA: &str = "arm2gc-bench-ci/v1";
+pub const SCHEMA: &str = "arm2gc-bench-ci/v2";
+
+fn occupancy(w: &WavefrontStats) -> String {
+    format!(
+        "{{ \"batches\": {}, \"batched_gates\": {}, \"largest_batch\": {}, \
+         \"fallback_cycles\": {} }}",
+        w.batches, w.batched_gates, w.largest_batch, w.fallback_cycles
+    )
+}
 
 /// Builds the deterministic cost report for the small (quick) Table 1
-/// circuits, running both engines at the given shard count.
+/// circuits, running both engines at the given shard count under both
+/// execution schedules.
 ///
 /// The returned string is complete JSON, newline-terminated, with a
 /// stable field order — suitable for byte-exact diffing.
@@ -36,14 +53,42 @@ pub fn report(shards: ShardConfig) -> String {
     out.push_str("  \"circuits\": [\n");
     let circuits = table1_circuits(true);
     for (i, bc) in circuits.iter().enumerate() {
-        let skip = run_skipgate_with(
+        let skip_netlist = run_skipgate_outcome(
             bc,
             TwoPartyConfig {
                 shards,
+                schedule: ScheduleMode::Netlist,
                 ..TwoPartyConfig::default()
             },
         );
-        let base = run_baseline_sharded(bc, OtBackend::Insecure, StreamConfig::default(), shards);
+        let skip_layered = run_skipgate_outcome(
+            bc,
+            TwoPartyConfig {
+                shards,
+                schedule: ScheduleMode::Layered,
+                ..TwoPartyConfig::default()
+            },
+        );
+        let base_netlist = run_baseline_outcome(
+            bc,
+            OtBackend::Insecure,
+            StreamConfig::default(),
+            shards,
+            ScheduleMode::Netlist,
+        );
+        let base_layered = run_baseline_outcome(
+            bc,
+            OtBackend::Insecure,
+            StreamConfig::default(),
+            shards,
+            ScheduleMode::Layered,
+        );
+        // The cost counters are reported from the layer-scheduled runs:
+        // they carry the same historic values as the netlist walk, so
+        // any divergence between the two modes becomes cost drift.
+        let base = base_layered.stats;
+        let skip = skip_layered.stats;
+        let sched = LayerSchedule::of(&bc.circuit);
         out.push_str("    {\n");
         let _ = writeln!(out, "      \"name\": \"{}\",", bc.circuit.name());
         let _ = writeln!(out, "      \"cycles\": {},", bc.cycles);
@@ -56,7 +101,7 @@ pub fn report(shards: ShardConfig) -> String {
             out,
             "      \"skipgate\": {{ \"garbled_tables\": {}, \"table_bytes\": {}, \"ots\": {}, \
              \"skipped_nonlinear\": {}, \"public_gates\": {}, \"pass_gates\": {}, \
-             \"free_xor\": {} }}",
+             \"free_xor\": {} }},",
             skip.garbled_tables,
             skip.table_bytes,
             skip.ots,
@@ -64,6 +109,32 @@ pub fn report(shards: ShardConfig) -> String {
             skip.public_gates,
             skip.pass_gates,
             skip.free_xor
+        );
+        let _ = writeln!(
+            out,
+            "      \"schedule\": {{ \"levels\": {}, \"widest_nonlinear_level\": {},",
+            sched.levels(),
+            sched.max_nonlinear_width()
+        );
+        let _ = writeln!(
+            out,
+            "        \"baseline_netlist\": {},",
+            occupancy(&base_netlist.batching)
+        );
+        let _ = writeln!(
+            out,
+            "        \"baseline_layered\": {},",
+            occupancy(&base_layered.batching)
+        );
+        let _ = writeln!(
+            out,
+            "        \"skipgate_netlist\": {},",
+            occupancy(&skip_netlist.batching)
+        );
+        let _ = writeln!(
+            out,
+            "        \"skipgate_layered\": {} }}",
+            occupancy(&skip_layered.batching)
         );
         out.push_str(if i + 1 == circuits.len() {
             "    }\n"

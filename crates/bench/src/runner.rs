@@ -5,14 +5,16 @@ use arm2gc_circuit::random::TestRng;
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_comm::duplex;
 use arm2gc_core::{
-    run_two_party, run_two_party_cfg, shard_duplexes, OtBackend, ShardConfig, SkipGateStats,
-    TwoPartyConfig,
+    run_two_party, run_two_party_cfg, shard_duplexes, OtBackend, ScheduleMode, ShardConfig,
+    SkipGateOutcome, SkipGateStats, TwoPartyConfig,
 };
 use arm2gc_cpu::asm::{assemble, Program};
 use arm2gc_cpu::machine::{CpuConfig, GcMachine};
 use arm2gc_cpu::programs;
 use arm2gc_crypto::Prg;
-use arm2gc_garble::{run_evaluator_sharded, run_garbler_sharded, GarbleStats, StreamConfig};
+use arm2gc_garble::{
+    run_evaluator_scheduled, run_garbler_scheduled, GarbleOutcome, GarbleStats, StreamConfig,
+};
 
 /// Measured circuit-level result: baseline vs SkipGate.
 #[derive(Clone, Copy, Debug)]
@@ -44,13 +46,27 @@ pub fn run_baseline_sharded(
     stream: StreamConfig,
     shards: ShardConfig,
 ) -> GarbleStats {
+    run_baseline_outcome(bc, ot, stream, shards, ScheduleMode::Netlist).stats
+}
+
+/// [`run_baseline_sharded`] with an explicit execution schedule,
+/// returning the garbler's full outcome (cost stats plus batching
+/// occupancy). Both parties' outputs are verified against the semantic
+/// expectation inside.
+pub fn run_baseline_outcome(
+    bc: &BenchCircuit,
+    ot: OtBackend,
+    stream: StreamConfig,
+    shards: ShardConfig,
+    schedule: ScheduleMode,
+) -> GarbleOutcome {
     let (mut ca, mut cb) = duplex();
     let (g_shards, e_shards) = shard_duplexes(shards);
-    let outcome = crossbeam::thread::scope(|s| {
+    crossbeam::thread::scope(|s| {
         let g = s.spawn(move |_| {
             let mut prg = Prg::from_seed([91; 16]);
             let mut ot = ot.sender(&mut prg);
-            run_garbler_sharded(
+            run_garbler_scheduled(
                 &bc.circuit,
                 &bc.alice,
                 &bc.public,
@@ -61,12 +77,13 @@ pub fn run_baseline_sharded(
                 &mut prg,
                 stream,
                 shards,
+                schedule,
             )
             .expect("baseline garbler")
         });
         let mut prg = Prg::from_seed([92; 16]);
         let mut ot = ot.receiver(&mut prg);
-        let b = run_evaluator_sharded(
+        let b = run_evaluator_scheduled(
             &bc.circuit,
             &bc.bob,
             bc.cycles,
@@ -74,6 +91,7 @@ pub fn run_baseline_sharded(
             e_shards,
             ot.as_mut(),
             shards,
+            schedule,
         )
         .expect("baseline evaluator");
         let a = g.join().expect("garbler thread");
@@ -84,8 +102,7 @@ pub fn run_baseline_sharded(
     })
     // Re-raise with the original payload so assertion messages from
     // either party survive the scope's catch_unwind.
-    .unwrap_or_else(|e| std::panic::resume_unwind(e));
-    outcome.stats
+    .unwrap_or_else(|e| std::panic::resume_unwind(e))
 }
 
 /// Runs a benchmark circuit under SkipGate (real two-party run) and
@@ -95,13 +112,20 @@ pub fn run_skipgate(bc: &BenchCircuit) -> SkipGateStats {
 }
 
 /// [`run_skipgate`] with an explicit session configuration (OT backend,
-/// table streaming, SkipGate options).
+/// table streaming, sharding, execution schedule, SkipGate options).
 pub fn run_skipgate_with(bc: &BenchCircuit, cfg: TwoPartyConfig) -> SkipGateStats {
+    run_skipgate_outcome(bc, cfg).stats
+}
+
+/// [`run_skipgate_with`] returning the garbler's full outcome (cost
+/// stats plus batching occupancy). Both parties' outputs are verified
+/// against the semantic expectation inside.
+pub fn run_skipgate_outcome(bc: &BenchCircuit, cfg: TwoPartyConfig) -> SkipGateOutcome {
     let (a, b) = run_two_party_cfg(&bc.circuit, &bc.alice, &bc.bob, &bc.public, bc.cycles, cfg);
     assert_eq!(a.outputs, b.outputs);
     let got: Vec<bool> = a.outputs.concat();
     assert_eq!(got, bc.expected, "skipgate output mismatch");
-    a.stats
+    a
 }
 
 /// Measures one circuit both ways. `garble_baseline` controls whether

@@ -1,0 +1,440 @@
+//! Cross-engine differential harness: every execution strategy must be
+//! *indistinguishable on the wire*.
+//!
+//! The engines can walk a cycle in netlist order (wavefront batching)
+//! or execute a precomputed topological layer schedule
+//! ([`ScheduleMode::Layered`]), over any shard count. All of it is
+//! transport/compute-only: outputs, every cost counter and the exact
+//! bytes of the garbler's table stream must match the netlist-order
+//! unsharded run — on every pinned Table 1 circuit and on
+//! proptest-random circuits.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use arm2gc_bench::runner::{
+    run_baseline_outcome, run_skipgate_outcome, run_skipgate_with, table1_circuits,
+};
+use arm2gc_circuit::random::{random_circuit, random_inputs, RandomCircuitParams, TestRng};
+use arm2gc_circuit::sim::{PartyData, Simulator};
+use arm2gc_circuit::{Circuit, CircuitBuilder, OutputMode, Role, ScheduleMode};
+use arm2gc_comm::{duplex, Channel, ChannelClosed};
+use arm2gc_core::{
+    run_skipgate_evaluator_scheduled, run_skipgate_garbler_scheduled, run_two_party_cfg,
+    shard_duplexes, OtBackend, ShardConfig, SkipGateOptions, StreamConfig, TwoPartyConfig,
+};
+use arm2gc_crypto::Prg;
+
+const MODES: [ScheduleMode; 2] = [ScheduleMode::Netlist, ScheduleMode::Layered];
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+fn cfg(mode: ScheduleMode, shards: usize) -> TwoPartyConfig {
+    TwoPartyConfig {
+        schedule: mode,
+        shards: ShardConfig::new(shards),
+        ..TwoPartyConfig::default()
+    }
+}
+
+/// SkipGate: all strategies agree with the netlist-order unsharded run
+/// on every cost counter (outputs are checked against the semantic
+/// expectation inside every run).
+#[test]
+fn skipgate_strategies_agree_on_table1() {
+    for bc in &table1_circuits(true) {
+        let name = bc.circuit.name().to_string();
+        let baseline = run_skipgate_with(bc, cfg(ScheduleMode::Netlist, 1));
+        for mode in MODES {
+            for shards in SHARDS {
+                let got = run_skipgate_with(bc, cfg(mode, shards));
+                assert_eq!(baseline, got, "{name}: skipgate {mode:?} x {shards} shards");
+            }
+        }
+    }
+}
+
+/// Classic baseline engine: same invariant.
+#[test]
+fn baseline_strategies_agree_on_table1() {
+    for bc in &table1_circuits(true) {
+        let name = bc.circuit.name().to_string();
+        let reference = run_baseline_outcome(
+            bc,
+            OtBackend::Insecure,
+            StreamConfig::default(),
+            ShardConfig::single(),
+            ScheduleMode::Netlist,
+        );
+        for mode in MODES {
+            for shards in SHARDS {
+                let got = run_baseline_outcome(
+                    bc,
+                    OtBackend::Insecure,
+                    StreamConfig::default(),
+                    ShardConfig::new(shards),
+                    mode,
+                );
+                assert_eq!(
+                    reference.stats, got.stats,
+                    "{name}: baseline {mode:?} x {shards} shards"
+                );
+                assert_eq!(reference.outputs, got.outputs, "{name}: outputs");
+            }
+        }
+    }
+}
+
+/// A [`Channel`] wrapper recording every frame sent through it, so the
+/// garbler's exact wire transcript can be compared across strategies.
+struct Recording<C> {
+    inner: C,
+    sent: Arc<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl<C> Recording<C> {
+    fn new(inner: C) -> (Self, Arc<Mutex<Vec<Vec<u8>>>>) {
+        let sent = Arc::new(Mutex::new(Vec::new()));
+        (
+            Self {
+                inner,
+                sent: Arc::clone(&sent),
+            },
+            sent,
+        )
+    }
+}
+
+impl<C: Channel> Channel for Recording<C> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+        self.sent
+            .lock()
+            .expect("transcript lock")
+            .push(data.to_vec());
+        self.inner.send(data)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+        self.inner.recv()
+    }
+}
+
+/// Runs the SkipGate protocol with deterministic PRG seeds and records
+/// the garbler's transcript: the frames of the main channel plus each
+/// shard sub-channel. Returns `(outputs, per-channel transcripts)`.
+#[allow(clippy::type_complexity)]
+fn skipgate_transcript(
+    circuit: &Circuit,
+    alice: &PartyData,
+    bob: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    mode: ScheduleMode,
+    shards: usize,
+) -> (Vec<Vec<bool>>, Vec<Vec<Vec<u8>>>) {
+    let shards = ShardConfig::new(shards);
+    let (ca, mut cb) = duplex();
+    let (mut ca, main_rec) = Recording::new(ca);
+    let (g_shards, e_shards) = shard_duplexes(shards);
+    let mut recorders = vec![main_rec];
+    let g_shards: Vec<Box<dyn Channel>> = g_shards
+        .into_iter()
+        .map(|ch| {
+            let (rec, log) = Recording::new(ch);
+            recorders.push(log);
+            Box::new(rec) as Box<dyn Channel>
+        })
+        .collect();
+
+    let outputs = crossbeam::thread::scope(|s| {
+        let garbler = s.spawn(move |_| {
+            let mut prg = Prg::from_seed([71; 16]);
+            let mut ot = OtBackend::Insecure.sender(&mut prg);
+            run_skipgate_garbler_scheduled(
+                circuit,
+                alice,
+                public,
+                cycles,
+                &mut ca,
+                g_shards,
+                ot.as_mut(),
+                &mut prg,
+                SkipGateOptions::default(),
+                StreamConfig::default(),
+                shards,
+                mode,
+            )
+            .expect("garbler")
+        });
+        let mut prg = Prg::from_seed([72; 16]);
+        let mut ot = OtBackend::Insecure.receiver(&mut prg);
+        let bob_out = run_skipgate_evaluator_scheduled(
+            circuit,
+            bob,
+            public,
+            cycles,
+            &mut cb,
+            e_shards,
+            ot.as_mut(),
+            SkipGateOptions::default(),
+            shards,
+            mode,
+        )
+        .expect("evaluator");
+        let alice_out = garbler.join().expect("garbler thread");
+        assert_eq!(alice_out.outputs, bob_out.outputs);
+        alice_out.outputs
+    })
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+
+    let transcripts = recorders
+        .iter()
+        .map(|r| r.lock().expect("transcript lock").clone())
+        .collect();
+    (outputs, transcripts)
+}
+
+/// The headline guarantee: the layer-scheduled garbler emits the
+/// byte-identical frame sequence on every channel — main and shard
+/// sub-channels — as the netlist-order walk, at 1 and 2 shards, with
+/// identical PRG seeds.
+#[test]
+fn layered_transcript_is_byte_identical() {
+    for bc in &table1_circuits(true)[..7] {
+        let name = bc.circuit.name().to_string();
+        for shards in [1usize, 2] {
+            let (out_n, tx_n) = skipgate_transcript(
+                &bc.circuit,
+                &bc.alice,
+                &bc.bob,
+                &bc.public,
+                bc.cycles,
+                ScheduleMode::Netlist,
+                shards,
+            );
+            let (out_l, tx_l) = skipgate_transcript(
+                &bc.circuit,
+                &bc.alice,
+                &bc.bob,
+                &bc.public,
+                bc.cycles,
+                ScheduleMode::Layered,
+                shards,
+            );
+            assert_eq!(out_n, out_l, "{name}: outputs at {shards} shards");
+            assert_eq!(
+                tx_n.len(),
+                tx_l.len(),
+                "{name}: channel count at {shards} shards"
+            );
+            for (ch, (n, l)) in tx_n.iter().zip(&tx_l).enumerate() {
+                assert_eq!(
+                    n, l,
+                    "{name}: channel {ch} transcript differs at {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+/// Mixed-mode runs work: the schedule is a per-party compute detail, so
+/// a layered garbler interoperates with a netlist evaluator (and the
+/// transcript matches the all-netlist one).
+#[test]
+fn mixed_modes_interoperate() {
+    let bc = &table1_circuits(true)[4]; // hamming_32: pass + garble mix
+    let shards = ShardConfig::single();
+    let (ca, mut cb) = duplex();
+    let (mut ca, rec) = Recording::new(ca);
+    let outputs = crossbeam::thread::scope(|s| {
+        let garbler = s.spawn(move |_| {
+            let mut prg = Prg::from_seed([71; 16]);
+            let mut ot = OtBackend::Insecure.sender(&mut prg);
+            run_skipgate_garbler_scheduled(
+                &bc.circuit,
+                &bc.alice,
+                &bc.public,
+                bc.cycles,
+                &mut ca,
+                Vec::new(),
+                ot.as_mut(),
+                &mut prg,
+                SkipGateOptions::default(),
+                StreamConfig::default(),
+                shards,
+                ScheduleMode::Layered,
+            )
+            .expect("garbler")
+        });
+        let mut prg = Prg::from_seed([72; 16]);
+        let mut ot = OtBackend::Insecure.receiver(&mut prg);
+        let bob_out = run_skipgate_evaluator_scheduled(
+            &bc.circuit,
+            &bc.bob,
+            &bc.public,
+            bc.cycles,
+            &mut cb,
+            Vec::new(),
+            ot.as_mut(),
+            SkipGateOptions::default(),
+            shards,
+            ScheduleMode::Netlist,
+        )
+        .expect("evaluator");
+        let alice_out = garbler.join().expect("garbler thread");
+        assert_eq!(alice_out.outputs, bob_out.outputs);
+        alice_out.outputs
+    })
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+    let got: Vec<bool> = outputs.concat();
+    assert_eq!(got, bc.expected, "mixed-mode output");
+
+    // And the layered garbler's transcript equals the all-netlist one.
+    let (_, tx_netlist) = skipgate_transcript(
+        &bc.circuit,
+        &bc.alice,
+        &bc.bob,
+        &bc.public,
+        bc.cycles,
+        ScheduleMode::Netlist,
+        1,
+    );
+    assert_eq!(*rec.lock().expect("lock"), tx_netlist[0]);
+}
+
+/// Layered batching is never worse than a cycle-per-batch floor, and on
+/// the chain-heavy Table 1 circuits it forms *wider* batches than the
+/// netlist-order wavefront — the whole point of the schedule.
+#[test]
+fn layered_beats_wavefront_on_chain_heavy_circuits() {
+    // mult_32 (shift-add chains) and matmul_3x3_32 interleave long
+    // dependency chains in netlist order; the wavefront keeps breaking
+    // at chain boundaries while the level schedule regroups them.
+    let circuits = table1_circuits(true);
+    for wanted in ["mult_32", "matmul_3x3_32"] {
+        let bc = circuits
+            .iter()
+            .find(|bc| bc.circuit.name() == wanted)
+            .unwrap_or_else(|| panic!("{wanted} missing from the Table 1 quick set"));
+        let name = bc.circuit.name().to_string();
+        let netlist = run_skipgate_outcome(bc, cfg(ScheduleMode::Netlist, 1)).batching;
+        let layered = run_skipgate_outcome(bc, cfg(ScheduleMode::Layered, 1)).batching;
+        assert_eq!(
+            netlist.batched_gates, layered.batched_gates,
+            "{name}: same gates hashed"
+        );
+        assert!(layered.levels > 0, "{name}: layered run reports levels");
+        assert!(
+            layered.largest_batch >= netlist.largest_batch,
+            "{name}: layered largest batch {} < wavefront {}",
+            layered.largest_batch,
+            netlist.largest_batch
+        );
+        assert!(
+            layered.mean_batch() > netlist.mean_batch(),
+            "{name}: layered mean batch {:.2} not above wavefront {:.2}",
+            layered.mean_batch(),
+            netlist.mean_batch()
+        );
+    }
+}
+
+fn proptest_cases(default_cases: u32) -> ProptestConfig {
+    if std::env::var_os("PROPTEST_CASES").is_some() {
+        ProptestConfig::default()
+    } else {
+        ProptestConfig::with_cases(default_cases)
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest_cases(48))]
+
+    /// Random sequential circuits: every strategy x shard combination
+    /// matches the cleartext simulator and the netlist-order stats.
+    #[test]
+    fn strategies_agree_on_random_circuits(seed in 1u64..5000, cycles in 1usize..5, shards in 1usize..4) {
+        let mut rng = TestRng::new(seed);
+        let params = RandomCircuitParams {
+            inputs: (2, 2, 2),
+            dffs: 3,
+            gates: 40,
+            outputs: 4,
+            output_mode: if seed % 2 == 0 { OutputMode::PerCycle } else { OutputMode::FinalOnly },
+        };
+        let c = random_circuit(&mut rng, params);
+        let (a, b, p) = random_inputs(&mut rng, &c, cycles);
+        let sim = Simulator::new(&c).run(&a, &b, &p, cycles);
+        let (ref_a, _) = run_two_party_cfg(&c, &a, &b, &p, cycles, cfg(ScheduleMode::Netlist, 1));
+        prop_assert_eq!(&ref_a.outputs, &sim.outputs);
+        for mode in MODES {
+            let (ga, gb) = run_two_party_cfg(&c, &a, &b, &p, cycles, cfg(mode, shards));
+            prop_assert_eq!(&ga.outputs, &sim.outputs);
+            prop_assert_eq!(&gb.outputs, &sim.outputs);
+            prop_assert_eq!(ga.stats, ref_a.stats);
+            prop_assert_eq!(ga.batching.batched_gates, ref_a.batching.batched_gates);
+        }
+    }
+}
+
+/// Slow tier: a pathological all-chain circuit — every AND feeds the
+/// next — must degrade to batch width 1 under the layer schedule (and
+/// still match the netlist transcript), while a maximally wide circuit
+/// must reach a batch of level size. `cargo test -- --ignored`.
+#[test]
+#[ignore = "slow tier: deep pathological schedules"]
+fn deep_chain_and_wide_parallel_extremes() {
+    const N: usize = 2000;
+
+    // All-chain: c_0 = a_0 & b_0; c_i = c_{i-1} & b_i.
+    let mut b = CircuitBuilder::new("deep_chain");
+    let xs = b.inputs(Role::Alice, 1);
+    let ys = b.inputs(Role::Bob, N);
+    let mut acc = b.and(xs[0], ys[0]);
+    for &y in &ys[1..] {
+        acc = b.and(acc, y);
+    }
+    b.output(acc);
+    let chain = b.build();
+
+    let alice = PartyData::from_stream(vec![vec![true]]);
+    let bob = PartyData::from_stream(vec![vec![true; N]]);
+    let public = PartyData::default();
+    let (chain_out, _) = run_two_party_cfg(
+        &chain,
+        &alice,
+        &bob,
+        &public,
+        1,
+        cfg(ScheduleMode::Layered, 1),
+    );
+    assert_eq!(chain_out.outputs, vec![vec![true]]);
+    assert_eq!(chain_out.batching.levels, N as u64, "one level per link");
+    assert_eq!(chain_out.batching.largest_batch, 1, "chains cannot batch");
+    let (tx_n_out, tx_n) =
+        skipgate_transcript(&chain, &alice, &bob, &public, 1, ScheduleMode::Netlist, 1);
+    let (tx_l_out, tx_l) =
+        skipgate_transcript(&chain, &alice, &bob, &public, 1, ScheduleMode::Layered, 1);
+    assert_eq!(tx_n_out, tx_l_out);
+    assert_eq!(tx_n, tx_l, "deep chain: transcripts match");
+
+    // All-parallel: N independent ANDs — one level, one full-width batch.
+    let mut b = CircuitBuilder::new("wide_parallel");
+    let xs = b.inputs(Role::Alice, N);
+    let ys = b.inputs(Role::Bob, N);
+    let outs: Vec<_> = xs.iter().zip(&ys).map(|(&x, &y)| b.and(x, y)).collect();
+    b.outputs(&outs);
+    let wide = b.build();
+
+    let mut rng = TestRng::new(99);
+    let (a, bo, p) = random_inputs(&mut rng, &wide, 1);
+    let sim = Simulator::new(&wide).run(&a, &bo, &p, 1);
+    let (wide_out, _) = run_two_party_cfg(&wide, &a, &bo, &p, 1, cfg(ScheduleMode::Layered, 1));
+    assert_eq!(wide_out.outputs, sim.outputs);
+    assert_eq!(wide_out.batching.levels, 1, "all gates share one level");
+    assert_eq!(
+        wide_out.batching.largest_batch, N,
+        "wide circuit batches the whole level"
+    );
+    assert_eq!(wide_out.batching.batches, 1);
+}

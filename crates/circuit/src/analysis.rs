@@ -5,6 +5,7 @@ use core::fmt;
 use std::collections::BTreeMap;
 
 use crate::ir::{Circuit, Role};
+use crate::schedule::LayerSchedule;
 
 /// Structural summary of a [`Circuit`].
 #[derive(Clone, Debug)]
@@ -27,6 +28,11 @@ pub struct CircuitStats {
     pub inputs: (usize, usize, usize),
     /// Output wire count.
     pub outputs: usize,
+    /// ASAP topological depth (levels per cycle).
+    pub levels: usize,
+    /// Widest topological level, in nonlinear gates — the largest hash
+    /// batch a layer-scheduled cycle can form.
+    pub widest_nonlinear_level: usize,
 }
 
 impl CircuitStats {
@@ -36,6 +42,7 @@ impl CircuitStats {
         for g in c.gates() {
             *by_op.entry(g.op.name()).or_insert(0) += 1;
         }
+        let sched = LayerSchedule::of(c);
         Self {
             name: c.name().to_string(),
             wires: c.wire_count(),
@@ -50,6 +57,8 @@ impl CircuitStats {
                 c.inputs_of(Role::Public).len(),
             ),
             outputs: c.outputs().len(),
+            levels: sched.levels(),
+            widest_nonlinear_level: sched.max_nonlinear_width() as usize,
         }
     }
 }
@@ -58,8 +67,16 @@ impl fmt::Display for CircuitStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{}: {} wires, {} gates ({} non-XOR, {} free), {} DFFs",
-            self.name, self.wires, self.gates, self.non_xor, self.xor, self.dffs
+            "{}: {} wires, {} gates ({} non-XOR, {} free), {} DFFs, \
+             {} levels (widest non-XOR level {})",
+            self.name,
+            self.wires,
+            self.gates,
+            self.non_xor,
+            self.xor,
+            self.dffs,
+            self.levels,
+            self.widest_nonlinear_level
         )?;
         write!(f, "  ops:")?;
         for (op, n) in &self.by_op {
@@ -104,7 +121,10 @@ mod tests {
         assert_eq!(st.non_xor, 4);
         assert_eq!(st.inputs, (4, 4, 0));
         assert_eq!(st.outputs, 4);
+        assert!(st.levels >= 1, "a gate-bearing circuit has levels");
+        assert!(st.widest_nonlinear_level >= 1);
         assert!(st.to_string().contains("non-XOR"));
+        assert!(st.to_string().contains("levels"));
     }
 
     #[test]

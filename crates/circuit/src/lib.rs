@@ -15,7 +15,10 @@
 //!   paper's evaluation (Sum, Compare, Hamming, Mult, MatrixMult,
 //!   SHA3/Keccak-f\[1600\], AES-128),
 //! * [`analysis`] — gate-count statistics (the paper's cost metric is the
-//!   number of non-XOR gates).
+//!   number of non-XOR gates),
+//! * [`schedule`] — precomputed ASAP topological layer schedules
+//!   ([`LayerSchedule`]) that the garbling engines reuse every clock
+//!   cycle to feed whole independent levels into the batched AES core.
 //!
 //! # Example
 //!
@@ -42,10 +45,12 @@ pub mod builder;
 pub mod ir;
 pub mod netlist;
 pub mod random;
+pub mod schedule;
 pub mod sim;
 pub mod words;
 
 pub use builder::{Bus, CircuitBuilder, Ram, RamConfig};
 pub use ir::{Circuit, Dff, DffInit, Gate, Op, OutputMode, Role, WireId};
+pub use schedule::{LayerSchedule, ScheduleMode};
 pub use sim::Simulator;
 pub use words::{bits_to_u32, bits_to_u64, u32_to_bits, u64_to_bits};

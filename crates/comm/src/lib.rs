@@ -161,6 +161,16 @@ impl<C: Channel + ?Sized> Channel for &mut C {
     }
 }
 
+impl<C: Channel + ?Sized> Channel for Box<C> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+        (**self).send(data)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+        (**self).recv()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

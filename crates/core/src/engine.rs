@@ -22,12 +22,13 @@
 //! coordination.
 
 use arm2gc_circuit::sim::PartyData;
-use arm2gc_circuit::{Circuit, DffInit, Op, OutputMode, Role, WireId};
+use arm2gc_circuit::{Circuit, DffInit, LayerSchedule, Op, OutputMode, Role, ScheduleMode, WireId};
 use arm2gc_comm::{duplex, Channel};
 use arm2gc_crypto::{Label, Prg};
 use arm2gc_garble::engine::ProtocolError;
 use arm2gc_garble::{
-    EvalWavefront, GarbleWavefront, GarbledTable, HalfGateEvaluator, HalfGateGarbler,
+    EvalLayered, EvalWavefront, GarbleLayered, GarbleWavefront, GarbledTable, HalfGateEvaluator,
+    HalfGateGarbler, WavefrontStats,
 };
 use arm2gc_ot::{OtReceiver, OtSender};
 use arm2gc_proto::{EvaluatorSession, GarblerSession, OtBackend, ShardConfig, StreamConfig};
@@ -65,6 +66,11 @@ pub struct SkipGateOutcome {
     pub outputs: Vec<Vec<bool>>,
     /// Cost counters.
     pub stats: SkipGateStats,
+    /// How well the surviving nonlinear gates batched through the wide
+    /// AES core (wavefront or layer-scheduled, per [`ScheduleMode`]).
+    /// Not a protocol cost — identical transcripts can batch
+    /// differently.
+    pub batching: WavefrontStats,
 }
 
 impl SkipGateOutcome {
@@ -236,6 +242,42 @@ pub struct TwoPartyConfig {
     pub stream: StreamConfig,
     /// How many parallel sub-streams carry the table stream.
     pub shards: ShardConfig,
+    /// How each cycle's label computations are ordered (netlist-order
+    /// wavefront vs precomputed topological layers). Transport-only
+    /// for the transcript: both modes are byte-identical on the wire.
+    pub schedule: ScheduleMode,
+}
+
+/// Per-cycle layering plan: fills `ordinals` with each gate's emission
+/// slot (its index among `Garble` decisions in netlist order, or
+/// `u32::MAX`) and reports whether the static layer schedule can honour
+/// this cycle's alias edges. The decision pass may alias a gate's
+/// output to *any* earlier-netlist wire — including one produced at a
+/// deeper topological level — and such a cycle must fall back to the
+/// netlist-order walk. Both parties run identical decisions, so they
+/// agree on the fallback without coordination.
+fn layer_cycle_plan(
+    sched: &LayerSchedule,
+    decisions: &[GateDecision],
+    ordinals: &mut Vec<u32>,
+) -> bool {
+    ordinals.clear();
+    ordinals.resize(decisions.len(), u32::MAX);
+    let mut next = 0u32;
+    let mut safe = true;
+    for (gi, d) in decisions.iter().enumerate() {
+        match *d {
+            GateDecision::Garble => {
+                ordinals[gi] = next;
+                next += 1;
+            }
+            GateDecision::Alias { src, .. } => {
+                safe &= sched.copy_is_level_safe(gi, src.index());
+            }
+            _ => {}
+        }
+    }
+    safe
 }
 
 /// Runs Alice's side (Algorithm 1) with the default streaming
@@ -321,6 +363,49 @@ pub fn run_skipgate_garbler_sharded(
     stream: StreamConfig,
     shards: ShardConfig,
 ) -> Result<SkipGateOutcome, ProtocolError> {
+    run_skipgate_garbler_scheduled(
+        circuit,
+        alice,
+        public,
+        cycles,
+        ch,
+        shard_chs,
+        ot,
+        prg,
+        options,
+        stream,
+        shards,
+        ScheduleMode::Netlist,
+    )
+}
+
+/// [`run_skipgate_garbler_sharded`] with an explicit execution
+/// schedule. With [`ScheduleMode::Layered`] the circuit is levelled
+/// once and the schedule is reused every cycle: each level's surviving
+/// `Garble` gates hash in one batch, tables are emitted in netlist
+/// order, and cycles whose alias edges the static levels cannot honour
+/// fall back to the netlist-order walk (both parties agree on the
+/// fallback cycles without coordination, since the decision pass is
+/// shared) —
+/// the transcript is byte-identical either way.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_skipgate_garbler_scheduled(
+    circuit: &Circuit,
+    alice: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtSender,
+    prg: &mut Prg,
+    options: SkipGateOptions,
+    stream: StreamConfig,
+    shards: ShardConfig,
+    mode: ScheduleMode,
+) -> Result<SkipGateOutcome, ProtocolError> {
     let mut session = GarblerSession::establish_sharded(ch, shard_chs, ot, prg, stream, shards)?;
     let d = session.delta().as_label();
     let garbler = HalfGateGarbler::new(session.delta());
@@ -384,10 +469,19 @@ pub fn run_skipgate_garbler_sharded(
     session.ot_send(&ot_pairs)?;
 
     // --- Cycle loop -------------------------------------------------------
-    // Surviving gates are scheduled through the wavefront batcher:
-    // independent garbled gates hash through the wide AES core together
-    // while the table stream stays byte-identical to a sequential walk.
+    // Surviving gates are batched for the wide AES core: netlist mode
+    // discovers wavefronts inside the netlist-order walk; layered mode
+    // executes the precomputed level schedule (computed once here,
+    // reused every cycle). The table stream stays byte-identical to a
+    // sequential walk in both modes.
+    let schedule = match mode {
+        ScheduleMode::Netlist => None,
+        ScheduleMode::Layered => Some(LayerSchedule::of(circuit)),
+    };
     let mut wavefront = GarbleWavefront::new(circuit.wire_count());
+    let mut layered = schedule.as_ref().map(|s| GarbleLayered::new(s.levels()));
+    let mut ordinals: Vec<u32> = Vec::new();
+    let mut fallback_cycles = 0u64;
     let mut tweak = 0u64;
     let mut decode_bits: Vec<bool> = Vec::new();
     for (cycle, cycle_labels) in stream_labels.iter().enumerate() {
@@ -405,44 +499,98 @@ pub fn run_skipgate_garbler_sharded(
         shared.absorb_counts(&decisions.counts);
         session.begin_cycle(decisions.counts.garbled as usize);
 
-        for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
-            match *decision {
-                GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {}
-                GateDecision::Pass { from_a, flip } => {
-                    let src = if from_a { gate.a } else { gate.b };
-                    wavefront.copy(&garbler, &mut labels, src.index(), gate.out.index(), flip);
+        let layer_safe = schedule
+            .as_ref()
+            .is_some_and(|s| layer_cycle_plan(s, &decisions.decisions, &mut ordinals));
+        if schedule.is_some() && !layer_safe {
+            fallback_cycles += 1;
+        }
+        if layer_safe {
+            let sched = schedule.as_ref().expect("layer_safe implies schedule");
+            let drv = layered.as_mut().expect("layer_safe implies driver");
+            drv.begin_cycle(decisions.counts.garbled as usize);
+            for level in 0..sched.levels() {
+                for &gi in sched.level_gates(level) {
+                    let gi = gi as usize;
+                    let gate = &circuit.gates()[gi];
+                    match decisions.decisions[gi] {
+                        GateDecision::PublicOut(_)
+                        | GateDecision::Skipped
+                        | GateDecision::SkippedFree => {}
+                        GateDecision::Pass { from_a, flip } => {
+                            let src = if from_a { gate.a } else { gate.b };
+                            labels[gate.out.index()] =
+                                labels[src.index()] ^ if flip { d } else { Label::ZERO };
+                        }
+                        GateDecision::Alias { src, flip } => {
+                            labels[gate.out.index()] =
+                                labels[src.index()] ^ if flip { d } else { Label::ZERO };
+                        }
+                        GateDecision::FreeXor { flip } => {
+                            labels[gate.out.index()] = labels[gate.a.index()]
+                                ^ labels[gate.b.index()]
+                                ^ if flip { d } else { Label::ZERO };
+                        }
+                        GateDecision::Garble => {
+                            let slot = ordinals[gi] as usize;
+                            drv.garble(
+                                &labels,
+                                gate.op,
+                                gate.a.index(),
+                                gate.b.index(),
+                                gate.out.index(),
+                                tweak + slot as u64,
+                                slot,
+                            );
+                        }
+                    }
                 }
-                GateDecision::Alias { src, flip } => {
-                    wavefront.copy(&garbler, &mut labels, src.index(), gate.out.index(), flip);
-                }
-                GateDecision::FreeXor { flip } => {
-                    wavefront.xor(
-                        &garbler,
-                        &mut labels,
-                        gate.a.index(),
-                        gate.b.index(),
-                        gate.out.index(),
-                        flip,
-                    );
-                }
-                GateDecision::Garble => {
-                    wavefront.garble(
-                        &garbler,
-                        &mut labels,
-                        gate.op,
-                        gate.a.index(),
-                        gate.b.index(),
-                        gate.out.index(),
-                        tweak,
-                        &mut |t| session.push_table(&t.to_bytes()),
-                    )?;
-                    tweak += 1;
+                drv.end_level(&garbler, &mut labels);
+            }
+            drv.end_cycle(&mut |t| session.push_table(&t.to_bytes()))?;
+            tweak += decisions.counts.garbled;
+        } else {
+            for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
+                match *decision {
+                    GateDecision::PublicOut(_)
+                    | GateDecision::Skipped
+                    | GateDecision::SkippedFree => {}
+                    GateDecision::Pass { from_a, flip } => {
+                        let src = if from_a { gate.a } else { gate.b };
+                        wavefront.copy(&garbler, &mut labels, src.index(), gate.out.index(), flip);
+                    }
+                    GateDecision::Alias { src, flip } => {
+                        wavefront.copy(&garbler, &mut labels, src.index(), gate.out.index(), flip);
+                    }
+                    GateDecision::FreeXor { flip } => {
+                        wavefront.xor(
+                            &garbler,
+                            &mut labels,
+                            gate.a.index(),
+                            gate.b.index(),
+                            gate.out.index(),
+                            flip,
+                        );
+                    }
+                    GateDecision::Garble => {
+                        wavefront.garble(
+                            &garbler,
+                            &mut labels,
+                            gate.op,
+                            gate.a.index(),
+                            gate.b.index(),
+                            gate.out.index(),
+                            tweak,
+                            &mut |t| session.push_table(&t.to_bytes()),
+                        )?;
+                        tweak += 1;
+                    }
                 }
             }
+            wavefront.flush(&garbler, &mut labels, &mut |t| {
+                session.push_table(&t.to_bytes())
+            })?;
         }
-        wavefront.flush(&garbler, &mut labels, &mut |t| {
-            session.push_table(&t.to_bytes())
-        })?;
         session.end_cycle()?;
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
@@ -486,7 +634,18 @@ pub fn run_skipgate_garbler_sharded(
     stats.ots = session.stats().ots;
     stats.table_bytes = session.stats().table_bytes;
     stats.garbled_tables = session.stats().garbled_tables;
-    Ok(SkipGateOutcome { outputs, stats })
+    // A layered run may have fallen back on some cycles: merge both
+    // drivers' counters.
+    let mut batching = wavefront.stats();
+    if let Some(drv) = layered {
+        batching.absorb(drv.stats());
+    }
+    batching.fallback_cycles = fallback_cycles;
+    Ok(SkipGateOutcome {
+        outputs,
+        stats,
+        batching,
+    })
 }
 
 /// Runs Bob's side (Algorithm 2): evaluates only what SkipGate keeps.
@@ -534,6 +693,39 @@ pub fn run_skipgate_evaluator_sharded(
     ot: &mut dyn OtReceiver,
     options: SkipGateOptions,
     shards: ShardConfig,
+) -> Result<SkipGateOutcome, ProtocolError> {
+    run_skipgate_evaluator_scheduled(
+        circuit,
+        bob,
+        public,
+        cycles,
+        ch,
+        shard_chs,
+        ot,
+        options,
+        shards,
+        ScheduleMode::Netlist,
+    )
+}
+
+/// [`run_skipgate_evaluator_sharded`] with an explicit execution
+/// schedule; the mirror of [`run_skipgate_garbler_scheduled`]. The
+/// transcript does not depend on either party's mode.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_skipgate_evaluator_scheduled(
+    circuit: &Circuit,
+    bob: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtReceiver,
+    options: SkipGateOptions,
+    shards: ShardConfig,
+    mode: ScheduleMode,
 ) -> Result<SkipGateOutcome, ProtocolError> {
     let evaluator = HalfGateEvaluator::new();
     let mut session =
@@ -591,9 +783,20 @@ pub fn run_skipgate_evaluator_sharded(
     }
 
     // --- Cycle loop ---------------------------------------------------------
-    // Mirror of the garbler's wavefront batching: tables are pulled in
-    // gate order, hashes run per wavefront.
+    // Mirror of the garbler's scheduling: netlist mode pulls tables in
+    // gate order as it walks; layered mode pulls the cycle's surviving
+    // tables up front (same byte consumption) and hashes per schedule
+    // level, falling back on exactly the cycles the garbler does (the
+    // decision pass is shared and deterministic).
+    let schedule = match mode {
+        ScheduleMode::Netlist => None,
+        ScheduleMode::Layered => Some(LayerSchedule::of(circuit)),
+    };
     let mut wavefront = EvalWavefront::new(circuit.wire_count());
+    let mut layered = schedule.as_ref().map(|s| EvalLayered::new(s.levels()));
+    let mut ordinals: Vec<u32> = Vec::new();
+    let mut cycle_tables: Vec<GarbledTable> = Vec::new();
+    let mut fallback_cycles = 0u64;
     let mut tweak = 0u64;
     let mut my_colours: Vec<bool> = Vec::new();
     for (cycle, cycle_slots) in stream_slots.iter().enumerate() {
@@ -611,40 +814,94 @@ pub fn run_skipgate_evaluator_sharded(
         shared.absorb_counts(&decisions.counts);
         session.begin_cycle(decisions.counts.garbled as usize);
 
-        for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
-            match *decision {
-                GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {}
-                GateDecision::Pass { from_a, .. } => {
-                    let src = if from_a { gate.a } else { gate.b };
-                    wavefront.copy(&mut active, src.index(), gate.out.index());
+        let layer_safe = schedule
+            .as_ref()
+            .is_some_and(|s| layer_cycle_plan(s, &decisions.decisions, &mut ordinals));
+        if schedule.is_some() && !layer_safe {
+            fallback_cycles += 1;
+        }
+        if layer_safe {
+            let sched = schedule.as_ref().expect("layer_safe implies schedule");
+            let drv = layered.as_mut().expect("layer_safe implies driver");
+            cycle_tables.clear();
+            for _ in 0..decisions.counts.garbled {
+                cycle_tables.push(GarbledTable::from_bytes(
+                    session.next_table(GarbledTable::BYTES)?,
+                ));
+            }
+            for level in 0..sched.levels() {
+                for &gi in sched.level_gates(level) {
+                    let gi = gi as usize;
+                    let gate = &circuit.gates()[gi];
+                    match decisions.decisions[gi] {
+                        GateDecision::PublicOut(_)
+                        | GateDecision::Skipped
+                        | GateDecision::SkippedFree => {}
+                        GateDecision::Pass { from_a, .. } => {
+                            let src = if from_a { gate.a } else { gate.b };
+                            active[gate.out.index()] = active[src.index()];
+                        }
+                        GateDecision::Alias { src, .. } => {
+                            active[gate.out.index()] = active[src.index()];
+                        }
+                        GateDecision::FreeXor { .. } => {
+                            active[gate.out.index()] =
+                                active[gate.a.index()] ^ active[gate.b.index()];
+                        }
+                        GateDecision::Garble => {
+                            let slot = ordinals[gi] as usize;
+                            drv.eval(
+                                &active,
+                                gate.a.index(),
+                                gate.b.index(),
+                                gate.out.index(),
+                                cycle_tables[slot],
+                                tweak + slot as u64,
+                            );
+                        }
+                    }
                 }
-                GateDecision::Alias { src, .. } => {
-                    wavefront.copy(&mut active, src.index(), gate.out.index());
-                }
-                GateDecision::FreeXor { .. } => {
-                    wavefront.xor(
-                        &mut active,
-                        gate.a.index(),
-                        gate.b.index(),
-                        gate.out.index(),
-                    );
-                }
-                GateDecision::Garble => {
-                    let t = GarbledTable::from_bytes(session.next_table(GarbledTable::BYTES)?);
-                    wavefront.eval(
-                        &evaluator,
-                        &mut active,
-                        gate.a.index(),
-                        gate.b.index(),
-                        gate.out.index(),
-                        t,
-                        tweak,
-                    );
-                    tweak += 1;
+                drv.end_level(&evaluator, &mut active);
+            }
+            tweak += decisions.counts.garbled;
+        } else {
+            for (gate, decision) in circuit.gates().iter().zip(&decisions.decisions) {
+                match *decision {
+                    GateDecision::PublicOut(_)
+                    | GateDecision::Skipped
+                    | GateDecision::SkippedFree => {}
+                    GateDecision::Pass { from_a, .. } => {
+                        let src = if from_a { gate.a } else { gate.b };
+                        wavefront.copy(&mut active, src.index(), gate.out.index());
+                    }
+                    GateDecision::Alias { src, .. } => {
+                        wavefront.copy(&mut active, src.index(), gate.out.index());
+                    }
+                    GateDecision::FreeXor { .. } => {
+                        wavefront.xor(
+                            &mut active,
+                            gate.a.index(),
+                            gate.b.index(),
+                            gate.out.index(),
+                        );
+                    }
+                    GateDecision::Garble => {
+                        let t = GarbledTable::from_bytes(session.next_table(GarbledTable::BYTES)?);
+                        wavefront.eval(
+                            &evaluator,
+                            &mut active,
+                            gate.a.index(),
+                            gate.b.index(),
+                            gate.out.index(),
+                            t,
+                            tweak,
+                        );
+                        tweak += 1;
+                    }
                 }
             }
+            wavefront.flush(&evaluator, &mut active);
         }
-        wavefront.flush(&evaluator, &mut active);
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
             shared.record_frame();
@@ -686,7 +943,16 @@ pub fn run_skipgate_evaluator_sharded(
     stats.ots = session.stats().ots;
     stats.table_bytes = session.stats().table_bytes;
     stats.garbled_tables = session.stats().garbled_tables;
-    Ok(SkipGateOutcome { outputs, stats })
+    let mut batching = wavefront.stats();
+    if let Some(drv) = layered {
+        batching.absorb(drv.stats());
+    }
+    batching.fallback_cycles = fallback_cycles;
+    Ok(SkipGateOutcome {
+        outputs,
+        stats,
+        batching,
+    })
 }
 
 /// Convenience: runs both parties on two threads over an in-memory
@@ -775,7 +1041,7 @@ pub fn run_two_party_cfg(
         let garbler = s.spawn(move |_| {
             let mut prg = Prg::from_entropy();
             let mut ot = cfg.ot.sender(&mut prg);
-            run_skipgate_garbler_sharded(
+            run_skipgate_garbler_scheduled(
                 circuit,
                 alice,
                 public,
@@ -787,12 +1053,13 @@ pub fn run_two_party_cfg(
                 cfg.options,
                 cfg.stream,
                 cfg.shards,
+                cfg.schedule,
             )
             .expect("skipgate garbler")
         });
         let mut prg = Prg::from_entropy();
         let mut ot = cfg.ot.receiver(&mut prg);
-        let bob_outcome = run_skipgate_evaluator_sharded(
+        let bob_outcome = run_skipgate_evaluator_scheduled(
             circuit,
             bob,
             public,
@@ -802,6 +1069,7 @@ pub fn run_two_party_cfg(
             ot.as_mut(),
             cfg.options,
             cfg.shards,
+            cfg.schedule,
         )
         .expect("skipgate evaluator");
         (garbler.join().expect("garbler thread"), bob_outcome)

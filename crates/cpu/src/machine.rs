@@ -21,6 +21,8 @@ use arm2gc_circuit::words::{bits_to_words, u32_to_bits};
 use arm2gc_circuit::Circuit;
 use arm2gc_core::{run_two_party_cfg, SkipGateStats, TwoPartyConfig};
 
+pub use arm2gc_circuit::{LayerSchedule, ScheduleMode};
+
 use crate::asm::Program;
 use crate::circuit_gen::build_cpu;
 use crate::iss::Iss;
@@ -125,6 +127,7 @@ pub struct MachineRun {
 pub struct GcMachine {
     config: CpuConfig,
     circuit: Circuit,
+    schedule: std::sync::OnceLock<LayerSchedule>,
 }
 
 impl GcMachine {
@@ -134,6 +137,7 @@ impl GcMachine {
         Self {
             config,
             circuit: build_cpu(&config),
+            schedule: std::sync::OnceLock::new(),
         }
     }
 
@@ -145,6 +149,15 @@ impl GcMachine {
     /// The synthesised CPU netlist.
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
+    }
+
+    /// The CPU circuit's ASAP layer schedule, levelled on first use and
+    /// cached for the machine's lifetime — for inspecting the level
+    /// count and widths a [`ScheduleMode::Layered`] run will execute
+    /// with (the engines level an identical schedule internally).
+    pub fn layer_schedule(&self) -> &LayerSchedule {
+        self.schedule
+            .get_or_init(|| LayerSchedule::of(&self.circuit))
     }
 
     /// Packs a program into the public initialisation bit vector
@@ -239,6 +252,31 @@ impl GcMachine {
         max_cycles: usize,
     ) -> (MachineRun, SkipGateStats) {
         self.run_skipgate_with(prog, alice, bob, max_cycles, TwoPartyConfig::default())
+    }
+
+    /// [`GcMachine::run_skipgate`] under an explicit execution
+    /// schedule: [`ScheduleMode::Layered`] drives every cycle with the
+    /// precomputed topological level schedule (transcript-identical to
+    /// the default netlist-order walk, but each level's surviving
+    /// gates hash through the wide AES core in one batch).
+    pub fn run_skipgate_scheduled(
+        &self,
+        prog: &Program,
+        alice: &[u32],
+        bob: &[u32],
+        max_cycles: usize,
+        schedule: ScheduleMode,
+    ) -> (MachineRun, SkipGateStats) {
+        self.run_skipgate_with(
+            prog,
+            alice,
+            bob,
+            max_cycles,
+            TwoPartyConfig {
+                schedule,
+                ..TwoPartyConfig::default()
+            },
+        )
     }
 
     /// [`GcMachine::run_skipgate`] with an explicit session

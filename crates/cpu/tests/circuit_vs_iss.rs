@@ -241,3 +241,27 @@ fn skipgate_reduction_factor_is_huge() {
         stats.garbled_tables
     );
 }
+
+/// The garbled processor under the layer schedule: identical output,
+/// identical cost counters, and the machine's cached schedule reports
+/// the level structure the run executed with.
+#[test]
+fn skipgate_layer_scheduled_matches_netlist_on_cpu() {
+    use arm2gc_cpu::machine::ScheduleMode;
+    let m = GcMachine::new(CpuConfig::small());
+    let sched = m.layer_schedule();
+    assert!(sched.levels() > 1, "the CPU circuit is not one level deep");
+    assert!(
+        sched.max_nonlinear_width() > 1,
+        "the CPU has parallel gates"
+    );
+
+    let prog = assemble(&programs::sum32()).expect("assembles");
+    let iss = m.run_iss(&prog, &[123_456], &[654_321], 64);
+    let (netlist, n_stats) = m.run_skipgate(&prog, &[123_456], &[654_321], 64);
+    let (layered, l_stats) =
+        m.run_skipgate_scheduled(&prog, &[123_456], &[654_321], 64, ScheduleMode::Layered);
+    assert_eq!(layered.output, iss.output);
+    assert_eq!(layered, netlist, "layered run matches the netlist run");
+    assert_eq!(l_stats, n_stats, "cost counters are schedule-invariant");
+}

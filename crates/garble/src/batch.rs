@@ -1,4 +1,4 @@
-//! Wavefront batching for the engine hot loops.
+//! Wavefront and layer-scheduled batching for the engine hot loops.
 //!
 //! Half-gate labels are hash-derived, so the AES work of a cycle is
 //! *chained* wherever one garbled gate feeds another. These schedulers
@@ -18,6 +18,13 @@
 //! Both engines (the classic baseline in [`crate::engine`] and the
 //! SkipGate engine in `arm2gc-core`) drive their cycle loops through
 //! these types.
+//!
+//! The wavefront types discover batches *within the netlist-order
+//! walk*; the [`GarbleLayered`]/[`EvalLayered`] drivers instead execute
+//! a precomputed [`arm2gc_circuit::LayerSchedule`] level by level —
+//! every level's nonlinear gates hash in one batch regardless of how
+//! the netlist interleaves dependency chains — while still emitting
+//! tables in exact netlist gate order via per-gate emission slots.
 
 use arm2gc_circuit::Op;
 use arm2gc_crypto::Label;
@@ -95,13 +102,45 @@ impl Frontier {
 /// Statistics about how well a run's gates batched (benches, tests).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WavefrontStats {
-    /// Flushes that did work (= wavefronts formed; a flush with
-    /// nothing pending is a no-op and is not counted).
+    /// Flushes that did work (= wavefronts formed, or schedule levels
+    /// that held at least one nonlinear gate; an empty flush/level is
+    /// not counted).
     pub batches: u64,
     /// Nonlinear gates that went through batch hashing.
     pub batched_gates: u64,
-    /// Largest single wavefront.
+    /// Largest single batch (wavefront or level).
     pub largest_batch: usize,
+    /// Topological levels of the schedule driving the run — 0 for
+    /// netlist-order wavefront runs, which have no level structure.
+    pub levels: u64,
+    /// Cycles a layer-scheduled run executed in netlist order instead,
+    /// because the SkipGate decision pass aliased a wire across levels
+    /// in a way the static schedule cannot honour. Always 0 for the
+    /// classic engine and for netlist-mode runs.
+    pub fallback_cycles: u64,
+}
+
+impl WavefrontStats {
+    /// Mean nonlinear gates per formed batch (0.0 when nothing
+    /// batched) — the per-level occupancy of a layered run.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_gates as f64 / self.batches as f64
+        }
+    }
+
+    /// Field-wise accumulation, for runs that mix drivers (e.g. the
+    /// SkipGate engine falling back to the netlist walk on cycles
+    /// whose alias edges the static schedule cannot honour).
+    pub fn absorb(&mut self, other: WavefrontStats) {
+        self.batches += other.batches;
+        self.batched_gates += other.batched_gates;
+        self.largest_batch = self.largest_batch.max(other.largest_batch);
+        self.levels = self.levels.max(other.levels);
+        self.fallback_cycles += other.fallback_cycles;
+    }
 }
 
 /// Garbler-side wavefront scheduler.
@@ -137,6 +176,8 @@ impl GarbleWavefront {
             batches: self.frontier.batches,
             batched_gates: self.frontier.batched_gates,
             largest_batch: self.frontier.largest_batch,
+            levels: 0,
+            fallback_cycles: 0,
         }
     }
 
@@ -324,6 +365,8 @@ impl EvalWavefront {
             batches: self.frontier.batches,
             batched_gates: self.frontier.batched_gates,
             largest_batch: self.frontier.largest_batch,
+            levels: 0,
+            fallback_cycles: 0,
         }
     }
 
@@ -441,6 +484,223 @@ impl EvalWavefront {
     }
 }
 
+const ZERO_TABLE: GarbledTable = GarbledTable {
+    tg: Label::ZERO,
+    te: Label::ZERO,
+};
+
+/// Garbler-side layer-scheduled driver.
+///
+/// Unlike [`GarbleWavefront`], gates arrive pre-grouped: the engine
+/// walks a precomputed `LayerSchedule` and, per level, computes linear
+/// labels directly and enqueues nonlinear gates here with
+/// [`GarbleLayered::garble`]. [`end_level`](GarbleLayered::end_level)
+/// hashes the level in one batch (every input label is final by
+/// construction — levels only depend on earlier levels), and
+/// [`end_cycle`](GarbleLayered::end_cycle) emits the buffered tables in
+/// ascending emission slot, i.e. exact netlist gate order, keeping the
+/// wire transcript byte-identical to a sequential walk.
+#[derive(Clone, Debug)]
+pub struct GarbleLayered {
+    jobs: Vec<GarbleJob>,
+    /// `(output wire, emission slot)` per queued job.
+    dests: Vec<(u32, u32)>,
+    results: Vec<(Label, GarbledTable)>,
+    /// Slot-indexed table buffer for the current cycle.
+    tables: Vec<GarbledTable>,
+    filled: usize,
+    scratch: BatchScratch,
+    levels: u64,
+    batches: u64,
+    batched_gates: u64,
+    largest_batch: usize,
+}
+
+impl GarbleLayered {
+    /// A driver for a schedule with `levels` topological levels.
+    pub fn new(levels: usize) -> Self {
+        Self {
+            jobs: Vec::new(),
+            dests: Vec::new(),
+            results: Vec::new(),
+            tables: Vec::new(),
+            filled: 0,
+            scratch: BatchScratch::default(),
+            levels: levels as u64,
+            batches: 0,
+            batched_gates: 0,
+            largest_batch: 0,
+        }
+    }
+
+    /// Batching statistics accumulated so far.
+    pub fn stats(&self) -> WavefrontStats {
+        WavefrontStats {
+            batches: self.batches,
+            batched_gates: self.batched_gates,
+            largest_batch: self.largest_batch,
+            levels: self.levels,
+            fallback_cycles: 0,
+        }
+    }
+
+    /// Starts a cycle that will garble `expected_tables` gates.
+    pub fn begin_cycle(&mut self, expected_tables: usize) {
+        self.tables.clear();
+        self.tables.resize(expected_tables, ZERO_TABLE);
+        self.filled = 0;
+    }
+
+    /// Enqueues one nonlinear gate of the current level. `slot` is its
+    /// emission position within the cycle (netlist order of garbled
+    /// gates); input labels are read now — the level invariant
+    /// guarantees they are final.
+    #[allow(clippy::too_many_arguments)]
+    pub fn garble(
+        &mut self,
+        labels: &[Label],
+        op: Op,
+        a: usize,
+        b: usize,
+        out: usize,
+        tweak: u64,
+        slot: usize,
+    ) {
+        self.jobs.push(GarbleJob {
+            op,
+            a0: labels[a],
+            b0: labels[b],
+            tweak,
+        });
+        self.dests.push((out as u32, slot as u32));
+    }
+
+    /// Hashes the level's queued gates in one batch, writing output
+    /// labels and parking each table in its emission slot. No-op on
+    /// levels without nonlinear work.
+    pub fn end_level(&mut self, g: &HalfGateGarbler, labels: &mut [Label]) {
+        if self.jobs.is_empty() {
+            return;
+        }
+        g.garble_batch_with(&self.jobs, &mut self.scratch, &mut self.results);
+        for (&(out, slot), &(c0, table)) in self.dests.iter().zip(&self.results) {
+            labels[out as usize] = c0;
+            self.tables[slot as usize] = table;
+        }
+        self.batches += 1;
+        self.batched_gates += self.jobs.len() as u64;
+        self.largest_batch = self.largest_batch.max(self.jobs.len());
+        self.filled += self.jobs.len();
+        self.jobs.clear();
+        self.dests.clear();
+    }
+
+    /// Emits the cycle's tables in ascending slot order — exactly the
+    /// stream a netlist-order walk would have produced.
+    ///
+    /// # Panics
+    /// Panics if the cycle garbled fewer gates than announced via
+    /// [`GarbleLayered::begin_cycle`] (an engine-side scheduling bug).
+    ///
+    /// # Errors
+    /// Propagates `emit` failures.
+    pub fn end_cycle<E>(
+        &mut self,
+        emit: &mut impl FnMut(&GarbledTable) -> Result<(), E>,
+    ) -> Result<(), E> {
+        assert_eq!(
+            self.filled,
+            self.tables.len(),
+            "layered cycle under-filled its emission slots"
+        );
+        for t in &self.tables {
+            emit(t)?;
+        }
+        self.tables.clear();
+        self.filled = 0;
+        Ok(())
+    }
+}
+
+/// Evaluator-side layer-scheduled driver; the mirror of
+/// [`GarbleLayered`]. The engine pulls the cycle's tables from the
+/// stream up front (in netlist order — the byte consumption is
+/// unchanged) and hands each gate its table at enqueue time.
+#[derive(Clone, Debug)]
+pub struct EvalLayered {
+    jobs: Vec<EvalJob>,
+    outs: Vec<u32>,
+    results: Vec<Label>,
+    scratch: BatchScratch,
+    levels: u64,
+    batches: u64,
+    batched_gates: u64,
+    largest_batch: usize,
+}
+
+impl EvalLayered {
+    /// A driver for a schedule with `levels` topological levels.
+    pub fn new(levels: usize) -> Self {
+        Self {
+            jobs: Vec::new(),
+            outs: Vec::new(),
+            results: Vec::new(),
+            scratch: BatchScratch::default(),
+            levels: levels as u64,
+            batches: 0,
+            batched_gates: 0,
+            largest_batch: 0,
+        }
+    }
+
+    /// Batching statistics accumulated so far.
+    pub fn stats(&self) -> WavefrontStats {
+        WavefrontStats {
+            batches: self.batches,
+            batched_gates: self.batched_gates,
+            largest_batch: self.largest_batch,
+            levels: self.levels,
+            fallback_cycles: 0,
+        }
+    }
+
+    /// Enqueues one garbled gate of the current level with its table.
+    pub fn eval(
+        &mut self,
+        labels: &[Label],
+        a: usize,
+        b: usize,
+        out: usize,
+        table: GarbledTable,
+        tweak: u64,
+    ) {
+        self.jobs.push(EvalJob {
+            a: labels[a],
+            b: labels[b],
+            table,
+            tweak,
+        });
+        self.outs.push(out as u32);
+    }
+
+    /// Hashes the level's queued gates in one batch and writes the
+    /// output labels. No-op on levels without nonlinear work.
+    pub fn end_level(&mut self, e: &HalfGateEvaluator, labels: &mut [Label]) {
+        if self.jobs.is_empty() {
+            return;
+        }
+        e.eval_batch_with(&self.jobs, &mut self.scratch, &mut self.results);
+        for (&out, &l) in self.outs.iter().zip(&self.results) {
+            labels[out as usize] = l;
+        }
+        self.batches += 1;
+        self.batched_gates += self.jobs.len() as u64;
+        self.largest_batch = self.largest_batch.max(self.jobs.len());
+        self.jobs.clear();
+        self.outs.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,5 +785,74 @@ mod tests {
         ewf.flush(&e, &mut active);
         // Zero-label inputs evaluate to the zero labels everywhere.
         assert_eq!(active, seq_labels.0);
+    }
+
+    /// Two interleaved AND chains — netlist order A0, B0(A0), A1,
+    /// B1(A1) — so level order (A0 A1 | B0 B1) differs from netlist
+    /// order. The layered driver must still compute the sequential
+    /// labels and emit tables in netlist order, via the emission slots.
+    #[test]
+    fn layered_reorders_computation_but_not_emission() {
+        let mut prg = Prg::from_seed([78; 16]);
+        let delta = Delta::random(&mut prg);
+        let g = HalfGateGarbler::new(delta);
+        let e = HalfGateEvaluator::new();
+
+        // Wires 0..6 inputs; 6 = A0, 7 = B0, 8 = A1, 9 = B1.
+        let mut labels = vec![Label::ZERO; 10];
+        for l in labels.iter_mut().take(6) {
+            *l = Label::random(&mut prg);
+        }
+        // Netlist-order reference walk (tweak = netlist position).
+        let (seq_labels, seq_tables) = {
+            let mut seq = labels.clone();
+            let mut tables = Vec::new();
+            let gates = [(0, 1, 6), (6, 2, 7), (3, 4, 8), (8, 5, 9)];
+            for (i, &(a, b, out)) in gates.iter().enumerate() {
+                let (c0, t) = g.garble(Op::AND, seq[a], seq[b], i as u64);
+                seq[out] = c0;
+                tables.push(t);
+            }
+            (seq, tables)
+        };
+
+        // Layered walk: level 0 = {A0 slot 0, A1 slot 2},
+        // level 1 = {B0 slot 1, B1 slot 3}.
+        let mut ld = GarbleLayered::new(2);
+        ld.begin_cycle(4);
+        ld.garble(&labels, Op::AND, 0, 1, 6, 0, 0);
+        ld.garble(&labels, Op::AND, 3, 4, 8, 2, 2);
+        ld.end_level(&g, &mut labels);
+        ld.garble(&labels, Op::AND, 6, 2, 7, 1, 1);
+        ld.garble(&labels, Op::AND, 8, 5, 9, 3, 3);
+        ld.end_level(&g, &mut labels);
+        let mut emitted = Vec::new();
+        ld.end_cycle(&mut |t: &GarbledTable| -> Result<(), Infallible> {
+            emitted.push(*t);
+            Ok(())
+        })
+        .unwrap();
+
+        assert_eq!(labels, seq_labels, "layered labels match sequential");
+        assert_eq!(emitted, seq_tables, "tables emitted in netlist order");
+        let stats = ld.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.batched_gates, 4);
+        assert_eq!(stats.largest_batch, 2);
+        assert_eq!(stats.levels, 2);
+        assert!((stats.mean_batch() - 2.0).abs() < f64::EPSILON);
+
+        // Evaluator mirror on the zero labels, same level order.
+        let mut active = seq_labels[..6].to_vec();
+        active.resize(10, Label::ZERO);
+        let mut le = EvalLayered::new(2);
+        le.eval(&active, 0, 1, 6, emitted[0], 0);
+        le.eval(&active, 3, 4, 8, emitted[2], 2);
+        le.end_level(&e, &mut active);
+        le.eval(&active, 6, 2, 7, emitted[1], 1);
+        le.eval(&active, 8, 5, 9, emitted[3], 3);
+        le.end_level(&e, &mut active);
+        assert_eq!(active, seq_labels);
+        assert_eq!(le.stats().batched_gates, 4);
     }
 }

@@ -17,13 +17,13 @@
 //! partition without coordination.
 
 use arm2gc_circuit::sim::PartyData;
-use arm2gc_circuit::{Circuit, DffInit, OutputMode, Role};
+use arm2gc_circuit::{Circuit, DffInit, LayerSchedule, OutputMode, Role, ScheduleMode};
 use arm2gc_comm::Channel;
 use arm2gc_crypto::{Label, Prg};
 use arm2gc_ot::{OtReceiver, OtSender};
 use arm2gc_proto::{EvaluatorSession, GarblerSession, ShardConfig, StreamConfig};
 
-use crate::batch::{EvalWavefront, GarbleWavefront};
+use crate::batch::{EvalLayered, EvalWavefront, GarbleLayered, GarbleWavefront, WavefrontStats};
 use crate::halfgate::{GarbledTable, HalfGateEvaluator, HalfGateGarbler};
 
 /// Failures of the two-party protocol (the proto layer's error type).
@@ -51,6 +51,10 @@ pub struct GarbleOutcome {
     pub outputs: Vec<Vec<bool>>,
     /// Cost counters.
     pub stats: GarbleStats,
+    /// How well the run's nonlinear gates batched through the wide AES
+    /// core (wavefront or layer-scheduled, per [`ScheduleMode`]). Not a
+    /// protocol cost — identical transcripts can batch differently.
+    pub batching: WavefrontStats,
 }
 
 impl GarbleOutcome {
@@ -143,6 +147,46 @@ pub fn run_garbler_sharded(
     stream: StreamConfig,
     shards: ShardConfig,
 ) -> Result<GarbleOutcome, ProtocolError> {
+    run_garbler_scheduled(
+        circuit,
+        alice,
+        public,
+        cycles,
+        ch,
+        shard_chs,
+        ot,
+        prg,
+        stream,
+        shards,
+        ScheduleMode::Netlist,
+    )
+}
+
+/// [`run_garbler_sharded`] with an explicit execution schedule.
+///
+/// With [`ScheduleMode::Layered`] the circuit is levelled once
+/// ([`LayerSchedule::of`]) and the same schedule drives every cycle:
+/// each topological level's nonlinear gates hash through the wide AES
+/// core in a single batch, and the cycle's tables are emitted in exact
+/// netlist gate order afterwards — the wire transcript is
+/// byte-identical to [`ScheduleMode::Netlist`].
+///
+/// # Errors
+/// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_garbler_scheduled(
+    circuit: &Circuit,
+    alice: &PartyData,
+    public: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtSender,
+    prg: &mut Prg,
+    stream: StreamConfig,
+    shards: ShardConfig,
+    mode: ScheduleMode,
+) -> Result<GarbleOutcome, ProtocolError> {
     let mut session = GarblerSession::establish_sharded(ch, shard_chs, ot, prg, stream, shards)?;
     let d = session.delta().as_label();
     let garbler = HalfGateGarbler::new(session.delta());
@@ -205,32 +249,81 @@ pub fn run_garbler_sharded(
     session.ot_send(&ot_pairs)?;
 
     // --- Cycle loop ----------------------------------------------------
-    // Gates are scheduled through the wavefront batcher: independent
-    // nonlinear gates hash through the wide AES core together, and the
-    // emitted table stream stays byte-identical to a sequential walk.
+    // Netlist mode walks gates in netlist order through the wavefront
+    // batcher; layered mode executes the precomputed level schedule
+    // (computed once here, reused every cycle), batching each level's
+    // nonlinear gates in one hash call. Either way the emitted table
+    // stream is byte-identical to a strictly sequential walk.
+    let schedule = match mode {
+        ScheduleMode::Netlist => None,
+        ScheduleMode::Layered => Some(LayerSchedule::of(circuit)),
+    };
     let mut wavefront = GarbleWavefront::new(circuit.wire_count());
+    let mut layered = schedule.as_ref().map(|s| GarbleLayered::new(s.levels()));
+    let non_xor = circuit.non_xor_count();
     let mut tweak = 0u64;
     let mut cycles_run = 0usize;
     let mut decode_bits: Vec<bool> = Vec::new();
     for (cycle, cycle_labels) in stream_labels.iter().enumerate() {
-        session.begin_cycle(circuit.non_xor_count() as usize);
+        session.begin_cycle(non_xor as usize);
         for (input, &x0) in circuit.inputs().iter().zip(cycle_labels) {
             labels[input.wire.index()] = x0;
         }
-        for gate in circuit.gates() {
-            let (a, b, out) = (gate.a.index(), gate.b.index(), gate.out.index());
-            if gate.op.is_linear() {
-                wavefront.linear(&garbler, &mut labels, gate.op, a, b, out);
-            } else {
-                wavefront.garble(&garbler, &mut labels, gate.op, a, b, out, tweak, &mut |t| {
-                    session.push_table(&t.to_bytes())
-                })?;
-                tweak += 1;
+        if let (Some(sched), Some(drv)) = (&schedule, &mut layered) {
+            drv.begin_cycle(non_xor as usize);
+            for level in 0..sched.levels() {
+                let (linear, nonlinear) = sched.level_split(level);
+                for &gi in linear {
+                    let gate = &circuit.gates()[gi as usize];
+                    labels[gate.out.index()] = garbler.linear_zero(
+                        gate.op,
+                        labels[gate.a.index()],
+                        labels[gate.b.index()],
+                    );
+                }
+                for &gi in nonlinear {
+                    let gate = &circuit.gates()[gi as usize];
+                    let slot = sched
+                        .nonlinear_ordinal(gi as usize)
+                        .expect("nonlinear gate has an emission slot")
+                        as usize;
+                    drv.garble(
+                        &labels,
+                        gate.op,
+                        gate.a.index(),
+                        gate.b.index(),
+                        gate.out.index(),
+                        tweak + slot as u64,
+                        slot,
+                    );
+                }
+                drv.end_level(&garbler, &mut labels);
             }
+            drv.end_cycle(&mut |t| session.push_table(&t.to_bytes()))?;
+            tweak += non_xor;
+        } else {
+            for gate in circuit.gates() {
+                let (a, b, out) = (gate.a.index(), gate.b.index(), gate.out.index());
+                if gate.op.is_linear() {
+                    wavefront.linear(&garbler, &mut labels, gate.op, a, b, out);
+                } else {
+                    wavefront.garble(
+                        &garbler,
+                        &mut labels,
+                        gate.op,
+                        a,
+                        b,
+                        out,
+                        tweak,
+                        &mut |t| session.push_table(&t.to_bytes()),
+                    )?;
+                    tweak += 1;
+                }
+            }
+            wavefront.flush(&garbler, &mut labels, &mut |t| {
+                session.push_table(&t.to_bytes())
+            })?;
         }
-        wavefront.flush(&garbler, &mut labels, &mut |t| {
-            session.push_table(&t.to_bytes())
-        })?;
         session.end_cycle()?;
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
@@ -250,6 +343,7 @@ pub fn run_garbler_sharded(
     let values = session.reveal_outputs(&decode_bits)?;
     let outputs = chunk_outputs(circuit, values);
     let s = session.stats();
+    let batching = layered.map_or_else(|| wavefront.stats(), |drv| drv.stats());
     Ok(GarbleOutcome {
         outputs,
         stats: GarbleStats {
@@ -258,6 +352,7 @@ pub fn run_garbler_sharded(
             ots: s.ots,
             cycles_run,
         },
+        batching,
     })
 }
 
@@ -296,6 +391,35 @@ pub fn run_evaluator_sharded(
     shard_chs: Vec<Box<dyn Channel>>,
     ot: &mut dyn OtReceiver,
     shards: ShardConfig,
+) -> Result<GarbleOutcome, ProtocolError> {
+    run_evaluator_scheduled(
+        circuit,
+        bob,
+        cycles,
+        ch,
+        shard_chs,
+        ot,
+        shards,
+        ScheduleMode::Netlist,
+    )
+}
+
+/// [`run_evaluator_sharded`] with an explicit execution schedule; the
+/// mirror of [`run_garbler_scheduled`]. The two parties may use
+/// *different* schedule modes — the transcript does not depend on it.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_evaluator_scheduled(
+    circuit: &Circuit,
+    bob: &PartyData,
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtReceiver,
+    shards: ShardConfig,
+    mode: ScheduleMode,
 ) -> Result<GarbleOutcome, ProtocolError> {
     let evaluator = HalfGateEvaluator::new();
     let mut session =
@@ -345,28 +469,73 @@ pub fn run_evaluator_sharded(
     }
 
     // --- Cycle loop ----------------------------------------------------
-    // Mirror of the garbler's wavefront batching: tables are pulled in
-    // gate order, hashes run per wavefront.
+    // Mirror of the garbler's scheduling: netlist mode pulls tables in
+    // gate order as it walks, layered mode pulls the cycle's tables up
+    // front (same byte consumption) and hashes per schedule level.
+    let schedule = match mode {
+        ScheduleMode::Netlist => None,
+        ScheduleMode::Layered => Some(LayerSchedule::of(circuit)),
+    };
     let mut wavefront = EvalWavefront::new(circuit.wire_count());
+    let mut layered = schedule.as_ref().map(|s| EvalLayered::new(s.levels()));
+    let mut cycle_tables: Vec<GarbledTable> = Vec::new();
+    let non_xor = circuit.non_xor_count();
     let mut tweak = 0u64;
     let mut cycles_run = 0usize;
     let mut my_colours: Vec<bool> = Vec::new();
     for (cycle, cycle_labels) in stream_active.iter().enumerate() {
-        session.begin_cycle(circuit.non_xor_count() as usize);
+        session.begin_cycle(non_xor as usize);
         for (input, &l) in circuit.inputs().iter().zip(cycle_labels) {
             active[input.wire.index()] = l;
         }
-        for gate in circuit.gates() {
-            let (a, b, out) = (gate.a.index(), gate.b.index(), gate.out.index());
-            if gate.op.is_linear() {
-                wavefront.linear(&evaluator, &mut active, gate.op, a, b, out);
-            } else {
-                let t = GarbledTable::from_bytes(session.next_table(GarbledTable::BYTES)?);
-                wavefront.eval(&evaluator, &mut active, a, b, out, t, tweak);
-                tweak += 1;
+        if let (Some(sched), Some(drv)) = (&schedule, &mut layered) {
+            cycle_tables.clear();
+            for _ in 0..non_xor {
+                cycle_tables.push(GarbledTable::from_bytes(
+                    session.next_table(GarbledTable::BYTES)?,
+                ));
             }
+            for level in 0..sched.levels() {
+                let (linear, nonlinear) = sched.level_split(level);
+                for &gi in linear {
+                    let gate = &circuit.gates()[gi as usize];
+                    active[gate.out.index()] = evaluator.linear_active(
+                        gate.op,
+                        active[gate.a.index()],
+                        active[gate.b.index()],
+                    );
+                }
+                for &gi in nonlinear {
+                    let gate = &circuit.gates()[gi as usize];
+                    let slot = sched
+                        .nonlinear_ordinal(gi as usize)
+                        .expect("nonlinear gate has an emission slot")
+                        as usize;
+                    drv.eval(
+                        &active,
+                        gate.a.index(),
+                        gate.b.index(),
+                        gate.out.index(),
+                        cycle_tables[slot],
+                        tweak + slot as u64,
+                    );
+                }
+                drv.end_level(&evaluator, &mut active);
+            }
+            tweak += non_xor;
+        } else {
+            for gate in circuit.gates() {
+                let (a, b, out) = (gate.a.index(), gate.b.index(), gate.out.index());
+                if gate.op.is_linear() {
+                    wavefront.linear(&evaluator, &mut active, gate.op, a, b, out);
+                } else {
+                    let t = GarbledTable::from_bytes(session.next_table(GarbledTable::BYTES)?);
+                    wavefront.eval(&evaluator, &mut active, a, b, out, t, tweak);
+                    tweak += 1;
+                }
+            }
+            wavefront.flush(&evaluator, &mut active);
         }
-        wavefront.flush(&evaluator, &mut active);
 
         if matches!(circuit.output_mode(), OutputMode::PerCycle) {
             my_colours.extend(circuit.outputs().iter().map(|w| active[w.index()].colour()));
@@ -385,6 +554,7 @@ pub fn run_evaluator_sharded(
     let values = session.reveal_outputs(&my_colours)?;
     let outputs = chunk_outputs(circuit, values);
     let s = session.stats();
+    let batching = layered.map_or_else(|| wavefront.stats(), |drv| drv.stats());
     Ok(GarbleOutcome {
         outputs,
         stats: GarbleStats {
@@ -393,6 +563,7 @@ pub fn run_evaluator_sharded(
             ots: s.ots,
             cycles_run,
         },
+        batching,
     })
 }
 
