@@ -200,7 +200,12 @@ fn skipgate_transcript(
 /// identical PRG seeds.
 #[test]
 fn layered_transcript_is_byte_identical() {
-    for bc in &table1_circuits(true)[..7] {
+    let circuits = table1_circuits(true);
+    // The seven cheap circuits, plus aes_128 — the circuit whose every
+    // cycle re-levels, so the byte-identity guarantee covers patched
+    // schedules too.
+    let aes = circuits.iter().filter(|bc| bc.circuit.name() == "aes_128");
+    for bc in circuits[..7].iter().chain(aes) {
         let name = bc.circuit.name().to_string();
         for shards in [1usize, 2] {
             let (out_n, tx_n) = skipgate_transcript(
@@ -234,6 +239,168 @@ fn layered_transcript_is_byte_identical() {
                 );
             }
         }
+    }
+}
+
+/// Builds a circuit engineered to make the SkipGate decision pass emit
+/// `Alias` edges that *cross* static schedule levels — the case that
+/// used to force whole-cycle fallback to the netlist walk.
+///
+/// Per gadget: a garbled AND chain produces a deep wire `t`; the XOR
+/// ladder `z = (t ⊕ a ⊕ b) ⊕ t` cancels `t` out of the lineage, so `z`
+/// (living at a deep level) becomes the representative for `a ⊕ b`.
+/// A later plain `m = a ⊕ b` (static level 0) then aliases to `z` —
+/// an edge from level 0 into a deep wire — and the AND consuming `m`
+/// is dragged along transitively. Two patched gates per gadget.
+fn alias_cross_circuit(gadgets: usize, depth: usize, mode: OutputMode) -> Circuit {
+    let mut b = CircuitBuilder::new("alias_cross");
+    b.set_output_mode(mode);
+    let mut outs = Vec::new();
+    for _ in 0..gadgets {
+        let a = b.input(Role::Alice);
+        let bb = b.input(Role::Bob);
+        let p = b.input(Role::Alice);
+        let q = b.input(Role::Bob);
+        let mut t = b.and(p, q);
+        for _ in 0..depth {
+            t = b.and(t, q);
+        }
+        let x = b.xor(t, a);
+        let y = b.xor(x, bb);
+        let z = b.xor(y, t); // lineage a ⊕ b at a deep level
+        let keep_z = b.and(z, p);
+        let m = b.xor(a, bb); // Alias { src: z } — crosses levels
+        let w = b.and(m, q); // transitively re-leveled consumer
+        outs.push(keep_z);
+        outs.push(w);
+    }
+    b.outputs(&outs);
+    b.build()
+}
+
+/// Alias-heavy circuits whose alias edges cross static levels: layered
+/// runs must re-level (never fall back), agree with the simulator and
+/// the netlist walk on outputs and every cost counter, and emit the
+/// byte-identical transcript at every shard count.
+#[test]
+fn releveled_cycles_are_wire_identical_on_alias_crossing_circuits() {
+    let gadgets = 3usize;
+    for (cycles, mode) in [(1usize, OutputMode::FinalOnly), (3, OutputMode::PerCycle)] {
+        let c = alias_cross_circuit(gadgets, 2, mode);
+        let mut rng = TestRng::new(4242 + cycles as u64);
+        let (a, b, p) = random_inputs(&mut rng, &c, cycles);
+        let sim = Simulator::new(&c).run(&a, &b, &p, cycles);
+        let (ref_a, ref_b) =
+            run_two_party_cfg(&c, &a, &b, &p, cycles, cfg(ScheduleMode::Netlist, 1));
+        assert_eq!(ref_a.outputs, sim.outputs, "netlist outputs vs simulator");
+        assert_eq!(
+            ref_a.batching.releveled_cycles, 0,
+            "netlist mode never re-levels"
+        );
+        for shards in SHARDS {
+            let (ga, gb) =
+                run_two_party_cfg(&c, &a, &b, &p, cycles, cfg(ScheduleMode::Layered, shards));
+            assert_eq!(
+                ga.outputs, sim.outputs,
+                "layered outputs at {shards} shards"
+            );
+            assert_eq!(gb.outputs, sim.outputs);
+            assert_eq!(ga.stats, ref_a.stats, "cost counters at {shards} shards");
+            assert_eq!(gb.stats, ref_b.stats);
+            assert_eq!(
+                ga.batching, gb.batching,
+                "parties agree on re-leveling stats"
+            );
+            assert_eq!(ga.batching.fallback_cycles, 0, "re-leveling, not fallback");
+            assert_eq!(
+                ga.batching.releveled_cycles, cycles as u64,
+                "every cycle carries a crossing alias"
+            );
+            assert_eq!(
+                ga.batching.patched_gates,
+                (2 * gadgets * cycles) as u64,
+                "alias + its consumer move, per gadget per cycle"
+            );
+        }
+        // The headline wire guarantee, now covering re-leveled cycles.
+        for shards in SHARDS {
+            let (out_n, tx_n) =
+                skipgate_transcript(&c, &a, &b, &p, cycles, ScheduleMode::Netlist, shards);
+            let (out_l, tx_l) =
+                skipgate_transcript(&c, &a, &b, &p, cycles, ScheduleMode::Layered, shards);
+            assert_eq!(out_n, out_l);
+            assert_eq!(out_n, sim.outputs);
+            assert_eq!(tx_n, tx_l, "transcripts at {shards} shards");
+        }
+    }
+}
+
+/// The fix this harness exists to pin: aes_128 used to fall back on
+/// all 10 cycles (610 netlist-shaped batches); re-leveling must keep
+/// it layered with strictly better occupancy and zero fallbacks.
+#[test]
+fn aes128_relevels_instead_of_falling_back() {
+    let circuits = table1_circuits(true);
+    let bc = circuits
+        .iter()
+        .find(|bc| bc.circuit.name() == "aes_128")
+        .expect("aes_128 in the Table 1 quick set");
+    let netlist = run_skipgate_outcome(bc, cfg(ScheduleMode::Netlist, 1)).batching;
+    let layered = run_skipgate_outcome(bc, cfg(ScheduleMode::Layered, 1)).batching;
+    assert_eq!(layered.fallback_cycles, 0, "no cycle falls back any more");
+    assert_eq!(
+        layered.releveled_cycles, bc.cycles as u64,
+        "every aes cycle carries a crossing alias and re-levels"
+    );
+    assert!(layered.patched_gates > 0);
+    assert_eq!(netlist.releveled_cycles, 0);
+    assert_eq!(netlist.fallback_cycles, 0);
+    assert_eq!(layered.batched_gates, netlist.batched_gates);
+    assert!(
+        layered.batches < 610,
+        "pre-fix fallback shape was 610 batches, got {}",
+        layered.batches
+    );
+    assert!(
+        layered.batches < netlist.batches,
+        "layered {} vs netlist {} batches",
+        layered.batches,
+        netlist.batches
+    );
+    assert!(
+        layered.mean_batch() > netlist.mean_batch(),
+        "layered occupancy {:.2} not above wavefront {:.2}",
+        layered.mean_batch(),
+        netlist.mean_batch()
+    );
+}
+
+/// An all-public circuit: SkipGate resolves every gate locally, so the
+/// run forms zero batches — occupancy reporting must stay clean (0.0,
+/// never NaN/garbage) end to end.
+#[test]
+fn all_public_run_reports_zero_batches_cleanly() {
+    let mut b = CircuitBuilder::new("all_public");
+    let xs = b.inputs(Role::Public, 4);
+    let a0 = b.and(xs[0], xs[1]);
+    let a1 = b.xor(xs[2], xs[3]);
+    let a2 = b.and(a0, a1);
+    b.outputs(&[a0, a1, a2]);
+    let c = b.build();
+    let mut rng = TestRng::new(7);
+    let (a, bo, p) = random_inputs(&mut rng, &c, 1);
+    let sim = Simulator::new(&c).run(&a, &bo, &p, 1);
+    for mode in MODES {
+        let (ga, gb) = run_two_party_cfg(&c, &a, &bo, &p, 1, cfg(mode, 1));
+        assert_eq!(ga.outputs, sim.outputs, "{mode:?}");
+        assert_eq!(gb.outputs, sim.outputs);
+        assert_eq!(ga.stats.garbled_tables, 0);
+        assert_eq!(ga.batching.batches, 0, "{mode:?}: nothing to batch");
+        assert_eq!(ga.batching.batched_gates, 0);
+        assert_eq!(ga.batching.mean_batch(), 0.0);
+        assert!(!ga.batching.mean_batch().is_nan());
+        assert_eq!(gb.batching.batches, 0);
+        assert_eq!(gb.batching.mean_batch(), 0.0);
     }
 }
 
@@ -373,6 +540,13 @@ proptest! {
             prop_assert_eq!(&gb.outputs, &sim.outputs);
             prop_assert_eq!(ga.stats, ref_a.stats);
             prop_assert_eq!(ga.batching.batched_gates, ref_a.batching.batched_gates);
+            // Re-leveling replaced the fallback entirely, and both
+            // parties must derive the identical patch schedule.
+            prop_assert_eq!(ga.batching.fallback_cycles, 0);
+            prop_assert_eq!(ga.batching, gb.batching);
+            if matches!(mode, ScheduleMode::Netlist) {
+                prop_assert_eq!(ga.batching.releveled_cycles, 0);
+            }
         }
     }
 }

@@ -22,7 +22,10 @@
 //! coordination.
 
 use arm2gc_circuit::sim::PartyData;
-use arm2gc_circuit::{Circuit, DffInit, LayerSchedule, Op, OutputMode, Role, ScheduleMode, WireId};
+use arm2gc_circuit::{
+    Circuit, CycleDep, CyclePatch, DffInit, LayerSchedule, Op, OutputMode, Role, ScheduleMode,
+    WireId,
+};
 use arm2gc_comm::{duplex, Channel};
 use arm2gc_crypto::{Label, Prg};
 use arm2gc_garble::engine::ProtocolError;
@@ -250,16 +253,25 @@ pub struct TwoPartyConfig {
 
 /// Per-cycle layering plan: fills `ordinals` with each gate's emission
 /// slot (its index among `Garble` decisions in netlist order, or
-/// `u32::MAX`) and reports whether the static layer schedule can honour
-/// this cycle's alias edges. The decision pass may alias a gate's
-/// output to *any* earlier-netlist wire — including one produced at a
-/// deeper topological level — and such a cycle must fall back to the
-/// netlist-order walk. Both parties run identical decisions, so they
-/// agree on the fallback without coordination.
+/// `u32::MAX`) and prepares `patch` for the cycle. The decision pass
+/// may alias a gate's output to *any* earlier-netlist wire — including
+/// one produced at a deeper topological level — and for such a cycle
+/// the static levels are re-leveled incrementally: only the aliased
+/// gate and its transitively-late dependents move to deeper levels
+/// ([`LayerSchedule::relevel_cycle`]); everything else keeps its static
+/// slot. Both parties run identical decisions, so they compute the
+/// identical patch without coordination. Emission slots are netlist
+/// ordinals either way, so the wire transcript never depends on the
+/// patch.
+///
+/// Returns whether the cycle was re-leveled (`patch` is the identity
+/// otherwise).
 fn layer_cycle_plan(
     sched: &LayerSchedule,
+    circuit: &Circuit,
     decisions: &[GateDecision],
     ordinals: &mut Vec<u32>,
+    patch: &mut CyclePatch,
 ) -> bool {
     ordinals.clear();
     ordinals.resize(decisions.len(), u32::MAX);
@@ -277,7 +289,25 @@ fn layer_cycle_plan(
             _ => {}
         }
     }
-    safe
+    if safe {
+        patch.clear();
+        return false;
+    }
+    sched.relevel_cycle(
+        circuit,
+        |gi| match decisions[gi] {
+            GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {
+                CycleDep::Absent
+            }
+            GateDecision::Pass { from_a, .. } => {
+                let g = &circuit.gates()[gi];
+                CycleDep::Copy(if from_a { g.a } else { g.b }.index() as u32)
+            }
+            GateDecision::Alias { src, .. } => CycleDep::Copy(src.index() as u32),
+            GateDecision::FreeXor { .. } | GateDecision::Garble => CycleDep::Inputs,
+        },
+        patch,
+    )
 }
 
 /// Runs Alice's side (Algorithm 1) with the default streaming
@@ -382,12 +412,12 @@ pub fn run_skipgate_garbler_sharded(
 /// [`run_skipgate_garbler_sharded`] with an explicit execution
 /// schedule. With [`ScheduleMode::Layered`] the circuit is levelled
 /// once and the schedule is reused every cycle: each level's surviving
-/// `Garble` gates hash in one batch, tables are emitted in netlist
-/// order, and cycles whose alias edges the static levels cannot honour
-/// fall back to the netlist-order walk (both parties agree on the
-/// fallback cycles without coordination, since the decision pass is
-/// shared) —
-/// the transcript is byte-identical either way.
+/// `Garble` gates hash in one batch and tables are emitted in netlist
+/// order. Cycles whose alias edges the static levels cannot honour are
+/// re-leveled incrementally — only the affected gates move to deeper
+/// levels for that cycle (both parties compute the identical patch
+/// without coordination, since the decision pass is shared) — the
+/// transcript is byte-identical to the netlist-order walk either way.
 ///
 /// # Errors
 /// Propagates channel and OT failures.
@@ -481,7 +511,9 @@ pub fn run_skipgate_garbler_scheduled(
     let mut wavefront = GarbleWavefront::new(circuit.wire_count());
     let mut layered = schedule.as_ref().map(|s| GarbleLayered::new(s.levels()));
     let mut ordinals: Vec<u32> = Vec::new();
-    let mut fallback_cycles = 0u64;
+    let mut patch = CyclePatch::new();
+    let mut releveled_cycles = 0u64;
+    let mut patched_gates = 0u64;
     let mut tweak = 0u64;
     let mut decode_bits: Vec<bool> = Vec::new();
     for (cycle, cycle_labels) in stream_labels.iter().enumerate() {
@@ -499,51 +531,67 @@ pub fn run_skipgate_garbler_scheduled(
         shared.absorb_counts(&decisions.counts);
         session.begin_cycle(decisions.counts.garbled as usize);
 
-        let layer_safe = schedule
-            .as_ref()
-            .is_some_and(|s| layer_cycle_plan(s, &decisions.decisions, &mut ordinals));
-        if schedule.is_some() && !layer_safe {
-            fallback_cycles += 1;
-        }
-        if layer_safe {
-            let sched = schedule.as_ref().expect("layer_safe implies schedule");
-            let drv = layered.as_mut().expect("layer_safe implies driver");
+        if let Some(sched) = schedule.as_ref() {
+            if layer_cycle_plan(
+                sched,
+                circuit,
+                &decisions.decisions,
+                &mut ordinals,
+                &mut patch,
+            ) {
+                releveled_cycles += 1;
+                patched_gates += patch.moved_gates();
+            }
+            let drv = layered.as_mut().expect("layered mode implies driver");
             drv.begin_cycle(decisions.counts.garbled as usize);
-            for level in 0..sched.levels() {
-                for &gi in sched.level_gates(level) {
-                    let gi = gi as usize;
-                    let gate = &circuit.gates()[gi];
-                    match decisions.decisions[gi] {
-                        GateDecision::PublicOut(_)
-                        | GateDecision::Skipped
-                        | GateDecision::SkippedFree => {}
-                        GateDecision::Pass { from_a, flip } => {
-                            let src = if from_a { gate.a } else { gate.b };
-                            labels[gate.out.index()] =
-                                labels[src.index()] ^ if flip { d } else { Label::ZERO };
-                        }
-                        GateDecision::Alias { src, flip } => {
-                            labels[gate.out.index()] =
-                                labels[src.index()] ^ if flip { d } else { Label::ZERO };
-                        }
-                        GateDecision::FreeXor { flip } => {
-                            labels[gate.out.index()] = labels[gate.a.index()]
-                                ^ labels[gate.b.index()]
-                                ^ if flip { d } else { Label::ZERO };
-                        }
-                        GateDecision::Garble => {
-                            let slot = ordinals[gi] as usize;
-                            drv.garble(
-                                &labels,
-                                gate.op,
-                                gate.a.index(),
-                                gate.b.index(),
-                                gate.out.index(),
-                                tweak + slot as u64,
-                                slot,
-                            );
-                        }
+            // One decision application, shared by the static walk and
+            // the patched (moved-gate) walk below.
+            let apply = |gi: usize, labels: &mut [Label], drv: &mut GarbleLayered| {
+                let gate = &circuit.gates()[gi];
+                match decisions.decisions[gi] {
+                    GateDecision::PublicOut(_)
+                    | GateDecision::Skipped
+                    | GateDecision::SkippedFree => {}
+                    GateDecision::Pass { from_a, flip } => {
+                        let src = if from_a { gate.a } else { gate.b };
+                        labels[gate.out.index()] =
+                            labels[src.index()] ^ if flip { d } else { Label::ZERO };
                     }
+                    GateDecision::Alias { src, flip } => {
+                        labels[gate.out.index()] =
+                            labels[src.index()] ^ if flip { d } else { Label::ZERO };
+                    }
+                    GateDecision::FreeXor { flip } => {
+                        labels[gate.out.index()] = labels[gate.a.index()]
+                            ^ labels[gate.b.index()]
+                            ^ if flip { d } else { Label::ZERO };
+                    }
+                    GateDecision::Garble => {
+                        let slot = ordinals[gi] as usize;
+                        drv.garble(
+                            labels,
+                            gate.op,
+                            gate.a.index(),
+                            gate.b.index(),
+                            gate.out.index(),
+                            tweak + slot as u64,
+                            slot,
+                        );
+                    }
+                }
+            };
+            for level in 0..sched.levels().max(patch.levels()) {
+                if level < sched.levels() {
+                    for &gi in sched.level_gates(level) {
+                        let gi = gi as usize;
+                        if patch.is_moved(gi) {
+                            continue;
+                        }
+                        apply(gi, &mut labels, drv);
+                    }
+                }
+                for &gi in patch.moved_at(level) {
+                    apply(gi as usize, &mut labels, drv);
                 }
                 drv.end_level(&garbler, &mut labels);
             }
@@ -634,13 +682,14 @@ pub fn run_skipgate_garbler_scheduled(
     stats.ots = session.stats().ots;
     stats.table_bytes = session.stats().table_bytes;
     stats.garbled_tables = session.stats().garbled_tables;
-    // A layered run may have fallen back on some cycles: merge both
-    // drivers' counters.
+    // Exactly one driver ran, but merging both keeps the accounting
+    // uniform across modes.
     let mut batching = wavefront.stats();
     if let Some(drv) = layered {
         batching.absorb(drv.stats());
     }
-    batching.fallback_cycles = fallback_cycles;
+    batching.releveled_cycles = releveled_cycles;
+    batching.patched_gates = patched_gates;
     Ok(SkipGateOutcome {
         outputs,
         stats,
@@ -786,7 +835,7 @@ pub fn run_skipgate_evaluator_scheduled(
     // Mirror of the garbler's scheduling: netlist mode pulls tables in
     // gate order as it walks; layered mode pulls the cycle's surviving
     // tables up front (same byte consumption) and hashes per schedule
-    // level, falling back on exactly the cycles the garbler does (the
+    // level, re-leveling exactly the cycles the garbler does (the
     // decision pass is shared and deterministic).
     let schedule = match mode {
         ScheduleMode::Netlist => None,
@@ -796,7 +845,9 @@ pub fn run_skipgate_evaluator_scheduled(
     let mut layered = schedule.as_ref().map(|s| EvalLayered::new(s.levels()));
     let mut ordinals: Vec<u32> = Vec::new();
     let mut cycle_tables: Vec<GarbledTable> = Vec::new();
-    let mut fallback_cycles = 0u64;
+    let mut patch = CyclePatch::new();
+    let mut releveled_cycles = 0u64;
+    let mut patched_gates = 0u64;
     let mut tweak = 0u64;
     let mut my_colours: Vec<bool> = Vec::new();
     for (cycle, cycle_slots) in stream_slots.iter().enumerate() {
@@ -814,52 +865,66 @@ pub fn run_skipgate_evaluator_scheduled(
         shared.absorb_counts(&decisions.counts);
         session.begin_cycle(decisions.counts.garbled as usize);
 
-        let layer_safe = schedule
-            .as_ref()
-            .is_some_and(|s| layer_cycle_plan(s, &decisions.decisions, &mut ordinals));
-        if schedule.is_some() && !layer_safe {
-            fallback_cycles += 1;
-        }
-        if layer_safe {
-            let sched = schedule.as_ref().expect("layer_safe implies schedule");
-            let drv = layered.as_mut().expect("layer_safe implies driver");
+        if let Some(sched) = schedule.as_ref() {
+            if layer_cycle_plan(
+                sched,
+                circuit,
+                &decisions.decisions,
+                &mut ordinals,
+                &mut patch,
+            ) {
+                releveled_cycles += 1;
+                patched_gates += patch.moved_gates();
+            }
+            let drv = layered.as_mut().expect("layered mode implies driver");
             cycle_tables.clear();
             for _ in 0..decisions.counts.garbled {
                 cycle_tables.push(GarbledTable::from_bytes(
                     session.next_table(GarbledTable::BYTES)?,
                 ));
             }
-            for level in 0..sched.levels() {
-                for &gi in sched.level_gates(level) {
-                    let gi = gi as usize;
-                    let gate = &circuit.gates()[gi];
-                    match decisions.decisions[gi] {
-                        GateDecision::PublicOut(_)
-                        | GateDecision::Skipped
-                        | GateDecision::SkippedFree => {}
-                        GateDecision::Pass { from_a, .. } => {
-                            let src = if from_a { gate.a } else { gate.b };
-                            active[gate.out.index()] = active[src.index()];
-                        }
-                        GateDecision::Alias { src, .. } => {
-                            active[gate.out.index()] = active[src.index()];
-                        }
-                        GateDecision::FreeXor { .. } => {
-                            active[gate.out.index()] =
-                                active[gate.a.index()] ^ active[gate.b.index()];
-                        }
-                        GateDecision::Garble => {
-                            let slot = ordinals[gi] as usize;
-                            drv.eval(
-                                &active,
-                                gate.a.index(),
-                                gate.b.index(),
-                                gate.out.index(),
-                                cycle_tables[slot],
-                                tweak + slot as u64,
-                            );
-                        }
+            let cycle_tables = &cycle_tables;
+            let apply = |gi: usize, active: &mut [Label], drv: &mut EvalLayered| {
+                let gate = &circuit.gates()[gi];
+                match decisions.decisions[gi] {
+                    GateDecision::PublicOut(_)
+                    | GateDecision::Skipped
+                    | GateDecision::SkippedFree => {}
+                    GateDecision::Pass { from_a, .. } => {
+                        let src = if from_a { gate.a } else { gate.b };
+                        active[gate.out.index()] = active[src.index()];
                     }
+                    GateDecision::Alias { src, .. } => {
+                        active[gate.out.index()] = active[src.index()];
+                    }
+                    GateDecision::FreeXor { .. } => {
+                        active[gate.out.index()] = active[gate.a.index()] ^ active[gate.b.index()];
+                    }
+                    GateDecision::Garble => {
+                        let slot = ordinals[gi] as usize;
+                        drv.eval(
+                            active,
+                            gate.a.index(),
+                            gate.b.index(),
+                            gate.out.index(),
+                            cycle_tables[slot],
+                            tweak + slot as u64,
+                        );
+                    }
+                }
+            };
+            for level in 0..sched.levels().max(patch.levels()) {
+                if level < sched.levels() {
+                    for &gi in sched.level_gates(level) {
+                        let gi = gi as usize;
+                        if patch.is_moved(gi) {
+                            continue;
+                        }
+                        apply(gi, &mut active, drv);
+                    }
+                }
+                for &gi in patch.moved_at(level) {
+                    apply(gi as usize, &mut active, drv);
                 }
                 drv.end_level(&evaluator, &mut active);
             }
@@ -947,7 +1012,8 @@ pub fn run_skipgate_evaluator_scheduled(
     if let Some(drv) = layered {
         batching.absorb(drv.stats());
     }
-    batching.fallback_cycles = fallback_cycles;
+    batching.releveled_cycles = releveled_cycles;
+    batching.patched_gates = patched_gates;
     Ok(SkipGateOutcome {
         outputs,
         stats,

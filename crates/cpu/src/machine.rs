@@ -19,7 +19,7 @@
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_circuit::words::{bits_to_words, u32_to_bits};
 use arm2gc_circuit::Circuit;
-use arm2gc_core::{run_two_party_cfg, SkipGateStats, TwoPartyConfig};
+use arm2gc_core::{run_two_party_cfg, SkipGateOutcome, SkipGateStats, TwoPartyConfig};
 
 pub use arm2gc_circuit::{LayerSchedule, ScheduleMode};
 
@@ -293,9 +293,30 @@ impl GcMachine {
         max_cycles: usize,
         cfg: TwoPartyConfig,
     ) -> (MachineRun, SkipGateStats) {
+        let (run, outcome) = self.run_skipgate_outcome(prog, alice, bob, max_cycles, cfg);
+        (run, outcome.stats)
+    }
+
+    /// [`GcMachine::run_skipgate_with`], returning the garbler's full
+    /// [`SkipGateOutcome`] — cost counters *plus* the batching/
+    /// re-leveling statistics ([`ScheduleMode::Layered`] runs report
+    /// level occupancy and how many cycles needed a per-cycle
+    /// re-leveling patch) and every per-cycle output frame.
+    pub fn run_skipgate_outcome(
+        &self,
+        prog: &Program,
+        alice: &[u32],
+        bob: &[u32],
+        max_cycles: usize,
+        cfg: TwoPartyConfig,
+    ) -> (MachineRun, SkipGateOutcome) {
         let (a, b, p) = self.party_data(prog, alice, bob);
         let (alice_out, bob_out) = run_two_party_cfg(&self.circuit, &a, &b, &p, max_cycles, cfg);
         assert_eq!(alice_out.outputs, bob_out.outputs, "party outputs differ");
+        assert_eq!(
+            alice_out.batching, bob_out.batching,
+            "parties disagree on batching/re-leveling stats"
+        );
         let out_bits = &alice_out.final_output()[..self.config.out_words * 32];
         (
             MachineRun {
@@ -303,7 +324,7 @@ impl GcMachine {
                 cycles: alice_out.stats.cycles_run,
                 halted: alice_out.stats.cycles_run < max_cycles,
             },
-            alice_out.stats,
+            alice_out,
         )
     }
 

@@ -25,6 +25,36 @@
 use std::fmt;
 use std::sync::OnceLock;
 
+/// Why an `ARM2GC_AES_BACKEND` override could not be honoured. The
+/// override exists to *force* a backend, so an unusable value must be
+/// an error the caller sees — silently falling back to another engine
+/// would defeat the point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// The override named no known backend.
+    Unknown(String),
+    /// The override named a backend this machine cannot run.
+    Unavailable(AesBackend),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unknown(v) => write!(
+                f,
+                "unknown ARM2GC_AES_BACKEND value {v:?} \
+                 (expected scalar, sliced, aesni or auto)"
+            ),
+            BackendError::Unavailable(b) => write!(
+                f,
+                "ARM2GC_AES_BACKEND={b} but this machine cannot run the {b} backend"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// Which AES implementation an [`crate::Aes128`] engine dispatches to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AesBackend {
@@ -50,34 +80,58 @@ impl AesBackend {
     /// # Panics
     /// Panics on an unknown `ARM2GC_AES_BACKEND` value, or when it
     /// names a backend this machine cannot run — a silent fallback
-    /// would defeat the point of forcing a backend.
+    /// would defeat the point of forcing a backend. Use
+    /// [`AesBackend::try_detect`] to handle the error instead.
     pub fn detect() -> Self {
         static CHOICE: OnceLock<AesBackend> = OnceLock::new();
-        *CHOICE.get_or_init(Self::choose)
+        *CHOICE.get_or_init(|| Self::try_detect().unwrap_or_else(|e| panic!("{e}")))
     }
 
-    fn choose() -> Self {
-        match std::env::var("ARM2GC_AES_BACKEND").ok().as_deref() {
-            Some("scalar") => AesBackend::Scalar,
-            Some("sliced") => AesBackend::Sliced,
-            Some("aesni") => {
-                assert!(
-                    AesBackend::AesNi.is_available(),
-                    "ARM2GC_AES_BACKEND=aesni but this CPU has no AES-NI support"
-                );
-                AesBackend::AesNi
-            }
-            Some("auto") | None => {
-                if AesBackend::AesNi.is_available() {
-                    AesBackend::AesNi
-                } else {
-                    AesBackend::Sliced
-                }
-            }
-            Some(other) => panic!(
-                "unknown ARM2GC_AES_BACKEND value {other:?} \
-                 (expected scalar, sliced, aesni or auto)"
-            ),
+    /// The fallible core of [`AesBackend::detect`]: reads
+    /// `ARM2GC_AES_BACKEND` and resolves it via
+    /// [`AesBackend::from_override`] (auto-detecting when unset).
+    /// Uncached — `detect` caches the first success for the process.
+    ///
+    /// # Errors
+    /// [`BackendError`] when the override names no known backend or one
+    /// this machine cannot run.
+    pub fn try_detect() -> Result<Self, BackendError> {
+        match std::env::var("ARM2GC_AES_BACKEND").ok() {
+            Some(v) => Self::from_override(&v),
+            None => Ok(Self::auto()),
+        }
+    }
+
+    /// Resolves one `ARM2GC_AES_BACKEND` value (`scalar`, `sliced`,
+    /// `aesni` or `auto`), checking that the named backend can actually
+    /// run here.
+    ///
+    /// # Errors
+    /// [`BackendError::Unknown`] for an unrecognised value,
+    /// [`BackendError::Unavailable`] when the machine cannot run the
+    /// named backend.
+    pub fn from_override(value: &str) -> Result<Self, BackendError> {
+        let backend = match value {
+            "scalar" => AesBackend::Scalar,
+            "sliced" => AesBackend::Sliced,
+            "aesni" => AesBackend::AesNi,
+            "auto" => return Ok(Self::auto()),
+            other => return Err(BackendError::Unknown(other.to_string())),
+        };
+        if backend.is_available() {
+            Ok(backend)
+        } else {
+            Err(BackendError::Unavailable(backend))
+        }
+    }
+
+    /// The automatic choice: AES-NI when the CPU supports it, the
+    /// portable sliced engine everywhere else (never scalar).
+    fn auto() -> Self {
+        if AesBackend::AesNi.is_available() {
+            AesBackend::AesNi
+        } else {
+            AesBackend::Sliced
         }
     }
 
@@ -127,6 +181,42 @@ mod tests {
     fn names_roundtrip() {
         for b in AesBackend::ALL {
             assert_eq!(format!("{b}"), b.name());
+        }
+    }
+
+    #[test]
+    fn bogus_override_is_a_loud_error_not_a_fallback() {
+        let err = AesBackend::from_override("vector9000").unwrap_err();
+        assert_eq!(err, BackendError::Unknown("vector9000".to_string()));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("vector9000"),
+            "error must name the value: {msg}"
+        );
+        assert!(msg.contains("ARM2GC_AES_BACKEND"));
+        // Empty and case-mangled values are rejected too — no fuzzy
+        // matching that could mask a typo with a silent fallback.
+        assert!(AesBackend::from_override("").is_err());
+        assert!(AesBackend::from_override("Sliced").is_err());
+    }
+
+    #[test]
+    fn valid_overrides_resolve_to_the_named_backend() {
+        assert_eq!(AesBackend::from_override("scalar"), Ok(AesBackend::Scalar));
+        assert_eq!(AesBackend::from_override("sliced"), Ok(AesBackend::Sliced));
+        let auto = AesBackend::from_override("auto").unwrap();
+        assert!(auto.is_available());
+        assert_ne!(auto, AesBackend::Scalar, "auto never picks the reference");
+        match AesBackend::from_override("aesni") {
+            Ok(b) => {
+                assert_eq!(b, AesBackend::AesNi);
+                assert!(AesBackend::AesNi.is_available());
+            }
+            Err(e) => {
+                assert_eq!(e, BackendError::Unavailable(AesBackend::AesNi));
+                assert!(!AesBackend::AesNi.is_available());
+                assert!(e.to_string().contains("aesni"));
+            }
         }
     }
 }

@@ -48,7 +48,7 @@ mod prg;
 mod x86;
 
 pub use aes::Aes128;
-pub use backend::AesBackend;
+pub use backend::{AesBackend, BackendError};
 pub use hash::{GarbleHash, HashScratch};
 pub use label::{Delta, Label};
 pub use prg::Prg;

@@ -115,9 +115,17 @@ pub struct WavefrontStats {
     pub levels: u64,
     /// Cycles a layer-scheduled run executed in netlist order instead,
     /// because the SkipGate decision pass aliased a wire across levels
-    /// in a way the static schedule cannot honour. Always 0 for the
-    /// classic engine and for netlist-mode runs.
+    /// in a way the static schedule could not honour. Always 0 since
+    /// per-cycle re-leveling replaced the fallback; kept as a
+    /// regression guard (the bench gate fails on any nonzero value).
     pub fallback_cycles: u64,
+    /// Cycles a layer-scheduled run patched with a per-cycle re-leveling
+    /// because an alias edge crossed static levels. Always 0 for the
+    /// classic engine and for netlist-mode runs.
+    pub releveled_cycles: u64,
+    /// Total gates pushed off their static level across all re-leveled
+    /// cycles.
+    pub patched_gates: u64,
 }
 
 impl WavefrontStats {
@@ -131,15 +139,17 @@ impl WavefrontStats {
         }
     }
 
-    /// Field-wise accumulation, for runs that mix drivers (e.g. the
-    /// SkipGate engine falling back to the netlist walk on cycles
-    /// whose alias edges the static schedule cannot honour).
+    /// Field-wise accumulation, for runs that report through more than
+    /// one driver (e.g. the SkipGate engine keeps both a wavefront and
+    /// a layered driver and merges their counters at the end).
     pub fn absorb(&mut self, other: WavefrontStats) {
         self.batches += other.batches;
         self.batched_gates += other.batched_gates;
         self.largest_batch = self.largest_batch.max(other.largest_batch);
         self.levels = self.levels.max(other.levels);
         self.fallback_cycles += other.fallback_cycles;
+        self.releveled_cycles += other.releveled_cycles;
+        self.patched_gates += other.patched_gates;
     }
 }
 
@@ -176,8 +186,7 @@ impl GarbleWavefront {
             batches: self.frontier.batches,
             batched_gates: self.frontier.batched_gates,
             largest_batch: self.frontier.largest_batch,
-            levels: 0,
-            fallback_cycles: 0,
+            ..WavefrontStats::default()
         }
     }
 
@@ -365,8 +374,7 @@ impl EvalWavefront {
             batches: self.frontier.batches,
             batched_gates: self.frontier.batched_gates,
             largest_batch: self.frontier.largest_batch,
-            levels: 0,
-            fallback_cycles: 0,
+            ..WavefrontStats::default()
         }
     }
 
@@ -540,7 +548,7 @@ impl GarbleLayered {
             batched_gates: self.batched_gates,
             largest_batch: self.largest_batch,
             levels: self.levels,
-            fallback_cycles: 0,
+            ..WavefrontStats::default()
         }
     }
 
@@ -660,7 +668,7 @@ impl EvalLayered {
             batched_gates: self.batched_gates,
             largest_batch: self.largest_batch,
             levels: self.levels,
-            fallback_cycles: 0,
+            ..WavefrontStats::default()
         }
     }
 
@@ -706,6 +714,28 @@ mod tests {
     use super::*;
     use arm2gc_crypto::{Delta, Prg};
     use std::convert::Infallible;
+
+    /// A run with zero formed batches (e.g. an all-public circuit where
+    /// SkipGate eliminates every nonlinear gate) must report a clean
+    /// 0.0 occupancy, not NaN or a divide-by-zero garbage value.
+    #[test]
+    fn mean_batch_of_zero_batches_is_zero() {
+        let stats = WavefrontStats::default();
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.mean_batch(), 0.0);
+        assert!(!stats.mean_batch().is_nan());
+
+        // Fresh drivers that never saw a gate report the same.
+        assert_eq!(GarbleWavefront::new(4).stats().mean_batch(), 0.0);
+        assert_eq!(EvalWavefront::new(4).stats().mean_batch(), 0.0);
+        assert_eq!(GarbleLayered::new(3).stats().mean_batch(), 0.0);
+        assert_eq!(EvalLayered::new(3).stats().mean_batch(), 0.0);
+
+        // Absorbing empty stats keeps the invariant.
+        let mut merged = WavefrontStats::default();
+        merged.absorb(GarbleLayered::new(3).stats());
+        assert_eq!(merged.mean_batch(), 0.0);
+    }
 
     /// A hand-built chained/parallel mix: four independent ANDs (one
     /// wavefront), a XOR over two of their outputs (deferred), then an
