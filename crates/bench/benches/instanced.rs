@@ -1,0 +1,85 @@
+//! Criterion benchmarks of cross-instance batched execution: N lanes
+//! of the same circuit through one SoA wavefront vs N sequential runs.
+//!
+//! Sweeps N ∈ {1, 4, 16} on the chain-heavy Table 1 circuits, printing
+//! the session-wide and per-instance amortized batch widths before
+//! timing. Throughput is reported per *instance-table*, so the
+//! elements/sec figure is directly comparable across lane counts: any
+//! amortization win shows up as higher throughput at larger N.
+//!
+//! The N=1 run is also asserted against the non-instanced layered
+//! baseline — same outputs, same cost counters, same occupancy — so
+//! the bench doubles as a cheap equivalence check.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use arm2gc_bench::runner::{run_skipgate_instanced_outcome, run_skipgate_outcome, table1_circuits};
+use arm2gc_circuit::ScheduleMode;
+use arm2gc_core::TwoPartyConfig;
+
+const LANES: [usize; 3] = [1, 4, 16];
+
+/// Chain-heavy circuits where single-instance layered batches stay far
+/// below the AES core's appetite — the instanced mode's best case.
+const CHAIN_HEAVY: [&str; 2] = ["mult_32", "matmul_3x3_32"];
+
+fn layered_cfg() -> TwoPartyConfig {
+    TwoPartyConfig {
+        schedule: ScheduleMode::Layered,
+        ..TwoPartyConfig::default()
+    }
+}
+
+fn bench_instanced(c: &mut Criterion) {
+    let circuits = table1_circuits(true);
+    let mut g = c.benchmark_group("instanced");
+    g.sample_size(10);
+    for bc in circuits
+        .iter()
+        .filter(|bc| CHAIN_HEAVY.contains(&bc.circuit.name()))
+    {
+        let seq = run_skipgate_outcome(bc, layered_cfg());
+        for n in LANES {
+            let inst = run_skipgate_instanced_outcome(bc, TwoPartyConfig::default(), n);
+            if n == 1 {
+                // One lane must be indistinguishable from the plain
+                // layered run, occupancy included.
+                let lane = &inst.lanes[0];
+                assert_eq!(lane.outputs, seq.outputs, "N=1 outputs");
+                assert_eq!(lane.stats, seq.stats, "N=1 cost counters");
+                assert_eq!(
+                    inst.batching.batches, seq.batching.batches,
+                    "N=1 batch count"
+                );
+                assert_eq!(
+                    inst.batching.batched_gates, seq.batching.batched_gates,
+                    "N=1 batched gates"
+                );
+                assert_eq!(
+                    inst.batching.largest_batch, seq.batching.largest_batch,
+                    "N=1 largest batch"
+                );
+            }
+            println!(
+                "occupancy {}/N={n}: {} batches, largest {}, mean {:.1}, per-instance mean {:.1}",
+                bc.circuit.name(),
+                inst.batching.batches,
+                inst.batching.largest_batch,
+                inst.batching.mean_batch(),
+                inst.batching.mean_batch_per_instance()
+            );
+            // Tables transferred across all lanes: per-instance cost
+            // amortization appears as throughput growth with N.
+            g.throughput(Throughput::Elements(
+                inst.lanes.iter().map(|l| l.stats.garbled_tables).sum(),
+            ));
+            g.bench_function(format!("{}/N={n}", bc.circuit.name()), |b| {
+                b.iter(|| run_skipgate_instanced_outcome(bc, TwoPartyConfig::default(), n))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_instanced);
+criterion_main!(benches);

@@ -16,7 +16,11 @@
 //! up as cost drift against the historic values), and the per-circuit
 //! `schedule` object pins batching occupancy — level count, batch
 //! counts, widths — for both modes, so scheduling regressions are
-//! caught alongside cost regressions.
+//! caught alongside cost regressions. Since v4 every circuit also runs
+//! through one *instanced* N=8 session (eight lanes, identical inputs)
+//! and the report pins the per-instance amortized counters: per-lane
+//! protocol costs must equal the sequential run exactly, while the
+//! session-wide batch widths grow with the lane count.
 
 use std::fmt::Write as _;
 
@@ -24,10 +28,15 @@ use arm2gc_circuit::{LayerSchedule, ScheduleMode};
 use arm2gc_core::{OtBackend, ShardConfig, StreamConfig, TwoPartyConfig};
 use arm2gc_garble::WavefrontStats;
 
-use crate::runner::{run_baseline_outcome, run_skipgate_outcome, table1_circuits};
+use crate::runner::{
+    run_baseline_outcome, run_skipgate_instanced_outcome, run_skipgate_outcome, table1_circuits,
+};
 
 /// Identifies the report layout; bump when fields change.
-pub const SCHEMA: &str = "arm2gc-bench-ci/v3";
+pub const SCHEMA: &str = "arm2gc-bench-ci/v4";
+
+/// Lanes in the report's instanced runs.
+pub const INSTANCES: usize = 8;
 
 fn occupancy(w: &WavefrontStats) -> String {
     format!(
@@ -138,8 +147,33 @@ pub fn report(shards: ShardConfig) -> String {
         );
         let _ = writeln!(
             out,
-            "        \"skipgate_layered\": {} }}",
+            "        \"skipgate_layered\": {} }},",
             occupancy(&skip_layered.batching)
+        );
+        let inst = run_skipgate_instanced_outcome(
+            bc,
+            TwoPartyConfig {
+                shards,
+                ..TwoPartyConfig::default()
+            },
+            INSTANCES,
+        );
+        // Identical inputs in every lane, so lane 0 *is* the
+        // per-instance cost (the runner asserts all lanes agree with
+        // the sequential expectation).
+        let lane = inst.lanes[0].stats;
+        let _ = writeln!(
+            out,
+            "      \"instanced\": {{ \"instances\": {}, \"per_instance\": {{ \
+             \"garbled_tables\": {}, \"table_bytes\": {}, \"ots\": {} }},",
+            INSTANCES, lane.garbled_tables, lane.table_bytes, lane.ots
+        );
+        let _ = writeln!(out, "        \"occupancy\": {},", occupancy(&inst.batching));
+        let _ = writeln!(
+            out,
+            "        \"batched_gates_per_instance\": {:.3}, \"mean_batch_per_instance\": {:.3} }}",
+            inst.batching.batched_gates_per_instance(),
+            inst.batching.mean_batch_per_instance()
         );
         out.push_str(if i + 1 == circuits.len() {
             "    }\n"

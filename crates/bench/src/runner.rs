@@ -5,8 +5,9 @@ use arm2gc_circuit::random::TestRng;
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_comm::duplex;
 use arm2gc_core::{
-    run_two_party, run_two_party_cfg, shard_duplexes, OtBackend, ScheduleMode, ShardConfig,
-    SkipGateOutcome, SkipGateStats, TwoPartyConfig,
+    run_two_party, run_two_party_cfg, run_two_party_instanced_cfg, shard_duplexes,
+    InstancedOutcome, OtBackend, ScheduleMode, ShardConfig, SkipGateOutcome, SkipGateStats,
+    TwoPartyConfig,
 };
 use arm2gc_cpu::asm::{assemble, Program};
 use arm2gc_cpu::machine::{CpuConfig, GcMachine};
@@ -125,6 +126,31 @@ pub fn run_skipgate_outcome(bc: &BenchCircuit, cfg: TwoPartyConfig) -> SkipGateO
     assert_eq!(a.outputs, b.outputs);
     let got: Vec<bool> = a.outputs.concat();
     assert_eq!(got, bc.expected, "skipgate output mismatch");
+    a
+}
+
+/// Runs `instances` lanes of a benchmark circuit — the same inputs in
+/// every lane — through one instanced session
+/// ([`run_two_party_instanced_cfg`]) and verifies every lane's outputs
+/// against the semantic expectation. Returns the garbler's
+/// [`InstancedOutcome`]: per-lane cost counters plus the session-wide
+/// batching occupancy (per-instance amortized via
+/// [`arm2gc_garble::WavefrontStats::mean_batch_per_instance`]).
+pub fn run_skipgate_instanced_outcome(
+    bc: &BenchCircuit,
+    cfg: TwoPartyConfig,
+    instances: usize,
+) -> InstancedOutcome {
+    let alices = vec![bc.alice.clone(); instances];
+    let bobs = vec![bc.bob.clone(); instances];
+    let publics = vec![bc.public.clone(); instances];
+    let (a, b) = run_two_party_instanced_cfg(&bc.circuit, &alices, &bobs, &publics, bc.cycles, cfg);
+    assert_eq!(a.batching, b.batching, "instanced batching stats differ");
+    for (lane, (la, lb)) in a.lanes.iter().zip(&b.lanes).enumerate() {
+        assert_eq!(la.outputs, lb.outputs, "lane {lane}: party outputs differ");
+        let got: Vec<bool> = la.outputs.concat();
+        assert_eq!(got, bc.expected, "lane {lane}: instanced output mismatch");
+    }
     a
 }
 

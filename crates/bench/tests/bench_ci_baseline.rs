@@ -20,6 +20,39 @@ fn checked_in_baseline_is_current() {
     );
 }
 
+/// The instanced acceptance claim, pinned on the checked-in baseline:
+/// matmul_3x3's N=8 session-wide mean batch width must be at least 5x
+/// the single-instance layered width.
+#[test]
+fn baseline_pins_instanced_matmul_amortization() {
+    let block = BASELINE
+        .split("\"name\": ")
+        .find(|b| b.starts_with("\"matmul_3x3_32\""))
+        .expect("matmul_3x3_32 in the baseline");
+    let field = |object: &str, key: &str| -> f64 {
+        let obj = block
+            .split(&format!("\"{object}\": {{"))
+            .nth(1)
+            .unwrap_or_else(|| panic!("{object} object in the matmul block"));
+        let rest = obj
+            .split(&format!("\"{key}\": "))
+            .nth(1)
+            .unwrap_or_else(|| panic!("{key} in {object}"));
+        let digits: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        digits.parse().expect("numeric field")
+    };
+    let single = field("skipgate_layered", "batched_gates") / field("skipgate_layered", "batches");
+    let inst = field("occupancy", "batched_gates") / field("occupancy", "batches");
+    assert_eq!(field("instanced", "instances"), 8.0);
+    assert!(
+        inst >= 5.0 * single,
+        "instanced N=8 mean batch {inst:.1} not 5x the single-instance {single:.1}"
+    );
+}
+
 #[test]
 fn report_is_shard_invariant() {
     // The report omits the shard count on purpose: running the gate

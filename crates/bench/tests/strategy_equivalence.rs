@@ -14,15 +14,18 @@ use std::sync::{Arc, Mutex};
 use proptest::prelude::*;
 
 use arm2gc_bench::runner::{
-    run_baseline_outcome, run_skipgate_outcome, run_skipgate_with, table1_circuits,
+    run_baseline_outcome, run_skipgate_instanced_outcome, run_skipgate_outcome, run_skipgate_with,
+    table1_circuits,
 };
 use arm2gc_circuit::random::{random_circuit, random_inputs, RandomCircuitParams, TestRng};
 use arm2gc_circuit::sim::{PartyData, Simulator};
 use arm2gc_circuit::{Circuit, CircuitBuilder, OutputMode, Role, ScheduleMode};
 use arm2gc_comm::{duplex, Channel, ChannelClosed};
 use arm2gc_core::{
-    run_skipgate_evaluator_scheduled, run_skipgate_garbler_scheduled, run_two_party_cfg,
-    shard_duplexes, OtBackend, ShardConfig, SkipGateOptions, StreamConfig, TwoPartyConfig,
+    run_skipgate_evaluator_instanced, run_skipgate_evaluator_scheduled,
+    run_skipgate_garbler_instanced, run_skipgate_garbler_scheduled, run_two_party_cfg,
+    run_two_party_instanced_cfg, shard_duplexes, OtBackend, ShardConfig, SkipGateOptions,
+    StreamConfig, TwoPartyConfig,
 };
 use arm2gc_crypto::Prg;
 
@@ -506,6 +509,192 @@ fn layered_beats_wavefront_on_chain_heavy_circuits() {
     }
 }
 
+/// Instanced runs on the Table 1 circuits: every lane's outputs and
+/// cost counters must equal a sequential run on the same inputs, under
+/// every sequential reference mode and at every shard count.
+#[test]
+fn instanced_lanes_match_sequential_on_table1() {
+    const N: usize = 2;
+    for bc in &table1_circuits(true) {
+        let name = bc.circuit.name().to_string();
+        for mode in MODES {
+            let seq = run_skipgate_outcome(bc, cfg(mode, 1));
+            for shards in SHARDS {
+                let inst = run_skipgate_instanced_outcome(bc, cfg(mode, shards), N);
+                assert_eq!(inst.lanes.len(), N);
+                assert_eq!(
+                    inst.batching.instances, N as u64,
+                    "{name}: instanced stats carry the lane count"
+                );
+                for (lane, got) in inst.lanes.iter().enumerate() {
+                    assert_eq!(
+                        got.outputs, seq.outputs,
+                        "{name}: lane {lane} outputs vs sequential {mode:?} x {shards} shards"
+                    );
+                    assert_eq!(
+                        got.stats, seq.stats,
+                        "{name}: lane {lane} stats vs sequential {mode:?} x {shards} shards"
+                    );
+                }
+                // Identical lanes share every decision, so the whole
+                // session hashes exactly one lane's gates N times.
+                assert_eq!(
+                    inst.batching.batched_gates,
+                    seq.batching.batched_gates * N as u64,
+                    "{name}: instanced hashes N lanes' gates"
+                );
+            }
+        }
+    }
+}
+
+/// The instanced tentpole's amortization claim, pinned on the ISSUE's
+/// acceptance circuit: at N=8, matmul_3x3's session-wide mean batch
+/// must be at least 5x the single-instance layered width (and the
+/// per-instance amortized width must stay at least the N=1 width).
+#[test]
+fn instanced_matmul_batches_at_least_5x_wider() {
+    let circuits = table1_circuits(true);
+    let bc = circuits
+        .iter()
+        .find(|bc| bc.circuit.name() == "matmul_3x3_32")
+        .expect("matmul_3x3_32 in the Table 1 quick set");
+    let single = run_skipgate_outcome(bc, cfg(ScheduleMode::Layered, 1)).batching;
+    let inst = run_skipgate_instanced_outcome(bc, TwoPartyConfig::default(), 8).batching;
+    assert!(
+        inst.mean_batch() >= 5.0 * single.mean_batch(),
+        "instanced N=8 mean batch {:.1} not 5x the single-instance {:.1}",
+        inst.mean_batch(),
+        single.mean_batch()
+    );
+    assert!(
+        inst.mean_batch_per_instance() >= single.mean_batch(),
+        "amortized width {:.1} fell below the N=1 width {:.1}",
+        inst.mean_batch_per_instance(),
+        single.mean_batch()
+    );
+}
+
+/// Runs the instanced protocol with the same deterministic PRG seeds as
+/// [`skipgate_transcript`], recording the garbler's per-channel frames.
+#[allow(clippy::type_complexity)]
+fn instanced_transcript(
+    circuit: &Circuit,
+    alices: &[PartyData],
+    bobs: &[PartyData],
+    publics: &[PartyData],
+    cycles: usize,
+    shards: usize,
+) -> (Vec<Vec<Vec<bool>>>, Vec<Vec<Vec<u8>>>) {
+    let shards = ShardConfig::new(shards);
+    let (ca, mut cb) = duplex();
+    let (mut ca, main_rec) = Recording::new(ca);
+    let (g_shards, e_shards) = shard_duplexes(shards);
+    let mut recorders = vec![main_rec];
+    let g_shards: Vec<Box<dyn Channel>> = g_shards
+        .into_iter()
+        .map(|ch| {
+            let (rec, log) = Recording::new(ch);
+            recorders.push(log);
+            Box::new(rec) as Box<dyn Channel>
+        })
+        .collect();
+
+    let outputs = crossbeam::thread::scope(|s| {
+        let garbler = s.spawn(move |_| {
+            let mut prg = Prg::from_seed([71; 16]);
+            let mut ot = OtBackend::Insecure.sender(&mut prg);
+            run_skipgate_garbler_instanced(
+                circuit,
+                alices,
+                publics,
+                cycles,
+                &mut ca,
+                g_shards,
+                ot.as_mut(),
+                &mut prg,
+                SkipGateOptions::default(),
+                StreamConfig::default(),
+                shards,
+            )
+            .expect("instanced garbler")
+        });
+        let mut prg = Prg::from_seed([72; 16]);
+        let mut ot = OtBackend::Insecure.receiver(&mut prg);
+        let bob_out = run_skipgate_evaluator_instanced(
+            circuit,
+            bobs,
+            publics,
+            cycles,
+            &mut cb,
+            e_shards,
+            ot.as_mut(),
+            SkipGateOptions::default(),
+            shards,
+        )
+        .expect("instanced evaluator");
+        let alice_out = garbler.join().expect("garbler thread");
+        alice_out
+            .lanes
+            .iter()
+            .zip(&bob_out.lanes)
+            .for_each(|(a, b)| assert_eq!(a.outputs, b.outputs));
+        alice_out
+            .lanes
+            .into_iter()
+            .map(|l| l.outputs)
+            .collect::<Vec<_>>()
+    })
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+
+    let transcripts = recorders
+        .iter()
+        .map(|r| r.lock().expect("transcript lock").clone())
+        .collect();
+    (outputs, transcripts)
+}
+
+/// The N=1 pin: a one-lane instanced session announces nothing extra
+/// and emits the byte-identical frame sequence — on the main channel
+/// and every shard sub-channel — as today's layered scheduled run with
+/// the same PRG seeds.
+#[test]
+fn single_lane_instanced_transcript_is_byte_identical() {
+    let circuits = table1_circuits(true);
+    let aes = circuits.iter().filter(|bc| bc.circuit.name() == "aes_128");
+    for bc in circuits[..7].iter().chain(aes) {
+        let name = bc.circuit.name().to_string();
+        for shards in [1usize, 2] {
+            let (out_seq, tx_seq) = skipgate_transcript(
+                &bc.circuit,
+                &bc.alice,
+                &bc.bob,
+                &bc.public,
+                bc.cycles,
+                ScheduleMode::Layered,
+                shards,
+            );
+            let (out_inst, tx_inst) = instanced_transcript(
+                &bc.circuit,
+                std::slice::from_ref(&bc.alice),
+                std::slice::from_ref(&bc.bob),
+                std::slice::from_ref(&bc.public),
+                bc.cycles,
+                shards,
+            );
+            assert_eq!(
+                out_inst,
+                vec![out_seq],
+                "{name}: outputs at {shards} shards"
+            );
+            assert_eq!(
+                tx_seq, tx_inst,
+                "{name}: N=1 instanced transcript differs at {shards} shards"
+            );
+        }
+    }
+}
+
 fn proptest_cases(default_cases: u32) -> ProptestConfig {
     if std::env::var_os("PROPTEST_CASES").is_some() {
         ProptestConfig::default()
@@ -547,6 +736,43 @@ proptest! {
             if matches!(mode, ScheduleMode::Netlist) {
                 prop_assert_eq!(ga.batching.releveled_cycles, 0);
             }
+        }
+    }
+
+    /// Random circuits with *different* inputs per lane — public inputs
+    /// included, so the per-lane decision vectors diverge and the
+    /// per-lane re-leveling path is exercised. Every lane must equal
+    /// its own sequential run (simulator outputs + full cost counters).
+    #[test]
+    fn instanced_diverging_lanes_match_sequential(seed in 1u64..5000, cycles in 1usize..4, shards in 1usize..4) {
+        const N: usize = 3;
+        let mut rng = TestRng::new(seed);
+        let params = RandomCircuitParams {
+            inputs: (2, 2, 2),
+            dffs: 3,
+            gates: 40,
+            outputs: 4,
+            output_mode: if seed % 2 == 0 { OutputMode::PerCycle } else { OutputMode::FinalOnly },
+        };
+        let c = random_circuit(&mut rng, params);
+        let lanes: Vec<(PartyData, PartyData, PartyData)> =
+            (0..N).map(|_| random_inputs(&mut rng, &c, cycles)).collect();
+        let alices: Vec<PartyData> = lanes.iter().map(|l| l.0.clone()).collect();
+        let bobs: Vec<PartyData> = lanes.iter().map(|l| l.1.clone()).collect();
+        let publics: Vec<PartyData> = lanes.iter().map(|l| l.2.clone()).collect();
+        let (ia, ib) = run_two_party_instanced_cfg(
+            &c, &alices, &bobs, &publics, cycles, cfg(ScheduleMode::Layered, shards),
+        );
+        prop_assert_eq!(ia.batching, ib.batching);
+        prop_assert_eq!(ia.batching.instances, N as u64);
+        prop_assert_eq!(ia.batching.fallback_cycles, 0);
+        for (lane, (a, b, p)) in lanes.iter().enumerate() {
+            let sim = Simulator::new(&c).run(a, b, p, cycles);
+            let (sa, _) = run_two_party_cfg(&c, a, b, p, cycles, cfg(ScheduleMode::Layered, 1));
+            prop_assert_eq!(&sa.outputs, &sim.outputs);
+            prop_assert_eq!(&ia.lanes[lane].outputs, &sim.outputs, "lane {} outputs", lane);
+            prop_assert_eq!(&ib.lanes[lane].outputs, &sim.outputs);
+            prop_assert_eq!(ia.lanes[lane].stats, sa.stats, "lane {} stats", lane);
         }
     }
 }

@@ -30,13 +30,13 @@ use arm2gc_comm::{duplex, Channel};
 use arm2gc_crypto::{Label, Prg};
 use arm2gc_garble::engine::ProtocolError;
 use arm2gc_garble::{
-    EvalLayered, EvalWavefront, GarbleLayered, GarbleWavefront, GarbledTable, HalfGateEvaluator,
-    HalfGateGarbler, WavefrontStats,
+    EvalInstanced, EvalLayered, EvalWavefront, GarbleInstanced, GarbleLayered, GarbleWavefront,
+    GarbledTable, HalfGateEvaluator, HalfGateGarbler, WavefrontStats,
 };
 use arm2gc_ot::{OtReceiver, OtSender};
 use arm2gc_proto::{EvaluatorSession, GarblerSession, OtBackend, ShardConfig, StreamConfig};
 
-use crate::decide::{DecideContext, GateDecision};
+use crate::decide::{CycleDecisions, DecideContext, GateDecision};
 use crate::state::WireVal;
 use crate::tag::TagAllocator;
 
@@ -101,6 +101,8 @@ struct Shared<'c> {
     alloc: TagAllocator,
     frames: Vec<Vec<OutBit>>,
     stats: SkipGateStats,
+    /// Cycle-persistent scratch for the flip-flop state copy.
+    dff_scratch: Vec<WireVal>,
 }
 
 impl<'c> Shared<'c> {
@@ -114,6 +116,7 @@ impl<'c> Shared<'c> {
             alloc: TagAllocator::new(),
             frames: Vec::new(),
             stats: SkipGateStats::default(),
+            dff_scratch: Vec::new(),
         }
     }
 
@@ -178,14 +181,16 @@ impl<'c> Shared<'c> {
     }
 
     fn copy_dffs(&mut self) {
-        let next: Vec<WireVal> = self
-            .circuit
-            .dffs()
-            .iter()
-            .map(|d| self.states[d.d.index()])
-            .collect();
-        for (dff, v) in self.circuit.dffs().iter().zip(next) {
-            self.states[dff.q.index()] = v;
+        let Shared {
+            circuit,
+            states,
+            dff_scratch,
+            ..
+        } = self;
+        dff_scratch.clear();
+        dff_scratch.extend(circuit.dffs().iter().map(|d| states[d.d.index()]));
+        for (dff, &v) in circuit.dffs().iter().zip(dff_scratch.iter()) {
+            states[dff.q.index()] = v;
         }
     }
 
@@ -516,6 +521,7 @@ pub fn run_skipgate_garbler_scheduled(
     let mut patched_gates = 0u64;
     let mut tweak = 0u64;
     let mut decode_bits: Vec<bool> = Vec::new();
+    let mut next_dffs: Vec<Label> = Vec::new();
     for (cycle, cycle_labels) in stream_labels.iter().enumerate() {
         shared.set_cycle_inputs(cycle, public);
         for &(w, x0) in cycle_labels {
@@ -654,8 +660,9 @@ pub fn run_skipgate_garbler_scheduled(
         let halted = shared.halted();
 
         // Flip-flop copies: states and labels.
-        let next: Vec<Label> = circuit.dffs().iter().map(|f| labels[f.d.index()]).collect();
-        for (dff, l) in circuit.dffs().iter().zip(next) {
+        next_dffs.clear();
+        next_dffs.extend(circuit.dffs().iter().map(|f| labels[f.d.index()]));
+        for (dff, &l) in circuit.dffs().iter().zip(next_dffs.iter()) {
             labels[dff.q.index()] = l;
         }
         shared.copy_dffs();
@@ -850,6 +857,7 @@ pub fn run_skipgate_evaluator_scheduled(
     let mut patched_gates = 0u64;
     let mut tweak = 0u64;
     let mut my_colours: Vec<bool> = Vec::new();
+    let mut next_dffs: Vec<Label> = Vec::new();
     for (cycle, cycle_slots) in stream_slots.iter().enumerate() {
         shared.set_cycle_inputs(cycle, public);
         for &(w, l) in cycle_slots {
@@ -980,8 +988,9 @@ pub fn run_skipgate_evaluator_scheduled(
         }
         let halted = shared.halted();
 
-        let next: Vec<Label> = circuit.dffs().iter().map(|f| active[f.d.index()]).collect();
-        for (dff, l) in circuit.dffs().iter().zip(next) {
+        next_dffs.clear();
+        next_dffs.extend(circuit.dffs().iter().map(|f| active[f.d.index()]));
+        for (dff, &l) in circuit.dffs().iter().zip(next_dffs.iter()) {
             active[dff.q.index()] = l;
         }
         shared.copy_dffs();
@@ -1017,6 +1026,850 @@ pub fn run_skipgate_evaluator_scheduled(
     Ok(SkipGateOutcome {
         outputs,
         stats,
+        batching,
+    })
+}
+
+/// Result of a cross-instance batched SkipGate run
+/// ([`run_skipgate_garbler_instanced`] /
+/// [`run_skipgate_evaluator_instanced`]).
+#[derive(Clone, Debug)]
+pub struct InstancedOutcome {
+    /// Per-lane outcomes. Outputs and protocol cost counters are
+    /// exactly what `lanes.len()` independent sequential runs on the
+    /// same inputs would produce. Each lane's `batching` is a copy of
+    /// the session-wide [`InstancedOutcome::batching`]: batch widths
+    /// are a property of the whole instanced run, not of one lane.
+    pub lanes: Vec<SkipGateOutcome>,
+    /// Session-wide batching occupancy: every level's surviving
+    /// nonlinear gates across *all* active lanes hash in one batch, so
+    /// `instances` is the lane count and batch widths grow up to N×
+    /// over a single run.
+    pub batching: WavefrontStats,
+}
+
+/// One lane's per-cycle streamed-input slots: Alice labels arrive with
+/// the direct batch; Bob slots start `None` and are filled from OT.
+type LaneStreamSlots = Vec<Vec<(WireId, Option<Label>)>>;
+
+/// Per-lane layering plan for one instanced cycle. Lanes diverge only
+/// through their public inputs, so decision vectors usually agree;
+/// when a lane's vector equals the cycle's first active lane's, the
+/// plan is not recomputed — `reuse_first` marks it and the level walk
+/// borrows the first lane's ordinals and patch instead.
+struct LanePlan {
+    ordinals: Vec<u32>,
+    patch: CyclePatch,
+    releveled: bool,
+    reuse_first: bool,
+}
+
+/// Applies one lane's decision for gate `gi` against the
+/// struct-of-arrays label store (wire `w`, lane `l` at `w * n + l`).
+/// `Garble` gates enqueue into the shared instanced driver: the merged
+/// slot (gate-major, lane-minor across active lanes) fixes the table's
+/// position in the cycle's wire stream, while the tweak stays
+/// lane-local (`lane_tweak` + the lane's netlist ordinal) so each
+/// lane's tables are bit-identical to its sequential run.
+#[allow(clippy::too_many_arguments)]
+fn apply_instanced_garble(
+    circuit: &Circuit,
+    n: usize,
+    lane: usize,
+    d: Label,
+    dec: &CycleDecisions,
+    ordinals: &[u32],
+    merged: &[u32],
+    lane_tweak: u64,
+    gi: usize,
+    labels: &mut [Label],
+    drv: &mut GarbleInstanced,
+) {
+    let gate = &circuit.gates()[gi];
+    let idx = |w: WireId| w.index() * n + lane;
+    match dec.decisions[gi] {
+        GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {}
+        GateDecision::Pass { from_a, flip } => {
+            let src = if from_a { gate.a } else { gate.b };
+            labels[idx(gate.out)] = labels[idx(src)] ^ if flip { d } else { Label::ZERO };
+        }
+        GateDecision::Alias { src, flip } => {
+            labels[idx(gate.out)] = labels[idx(src)] ^ if flip { d } else { Label::ZERO };
+        }
+        GateDecision::FreeXor { flip } => {
+            labels[idx(gate.out)] =
+                labels[idx(gate.a)] ^ labels[idx(gate.b)] ^ if flip { d } else { Label::ZERO };
+        }
+        GateDecision::Garble => {
+            let lane_slot = ordinals[gi] as usize;
+            drv.garble(
+                labels,
+                gate.op,
+                idx(gate.a),
+                idx(gate.b),
+                idx(gate.out),
+                lane_tweak + lane_slot as u64,
+                merged[gi * n + lane] as usize,
+            );
+        }
+    }
+}
+
+/// Evaluator mirror of [`apply_instanced_garble`]: the merged slot
+/// selects the lane's table from the cycle's up-front pull.
+#[allow(clippy::too_many_arguments)]
+fn apply_instanced_eval(
+    circuit: &Circuit,
+    n: usize,
+    lane: usize,
+    dec: &CycleDecisions,
+    ordinals: &[u32],
+    merged: &[u32],
+    cycle_tables: &[GarbledTable],
+    lane_tweak: u64,
+    gi: usize,
+    active: &mut [Label],
+    drv: &mut EvalInstanced,
+) {
+    let gate = &circuit.gates()[gi];
+    let idx = |w: WireId| w.index() * n + lane;
+    match dec.decisions[gi] {
+        GateDecision::PublicOut(_) | GateDecision::Skipped | GateDecision::SkippedFree => {}
+        GateDecision::Pass { from_a, .. } => {
+            let src = if from_a { gate.a } else { gate.b };
+            active[idx(gate.out)] = active[idx(src)];
+        }
+        GateDecision::Alias { src, .. } => {
+            active[idx(gate.out)] = active[idx(src)];
+        }
+        GateDecision::FreeXor { .. } => {
+            active[idx(gate.out)] = active[idx(gate.a)] ^ active[idx(gate.b)];
+        }
+        GateDecision::Garble => {
+            let lane_slot = ordinals[gi] as usize;
+            drv.eval(
+                active,
+                idx(gate.a),
+                idx(gate.b),
+                idx(gate.out),
+                cycle_tables[merged[gi * n + lane] as usize],
+                lane_tweak + lane_slot as u64,
+            );
+        }
+    }
+}
+
+/// Runs Alice's side for `alices.len()` independent instances of the
+/// same circuit in one session: per-lane inputs and per-lane SkipGate
+/// decisions, but one shared [`LayerSchedule`] and one label wavefront
+/// — each level's surviving nonlinear gates across every active lane
+/// hash through the wide AES core in a single batch. Lanes halt
+/// independently; the session ends when every lane has halted or the
+/// cycle budget runs out.
+///
+/// Wire format: the handshake announces the lane count
+/// ([`arm2gc_proto::Message::Instances`], protocol v2); input labels,
+/// OT pairs and output decode bits are concatenated lane-major; each
+/// cycle's tables interleave gate-major/lane-minor. With one lane
+/// nothing is announced and the transcript is byte-identical to
+/// [`run_skipgate_garbler_scheduled`] in layered mode.
+///
+/// Instanced execution is always layer-scheduled — the
+/// struct-of-arrays batching is the point — so there is no
+/// [`ScheduleMode`] parameter.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+///
+/// # Panics
+/// Panics if `alices` and `publics` disagree in length, or if the lane
+/// count is zero or exceeds `u16::MAX`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_skipgate_garbler_instanced(
+    circuit: &Circuit,
+    alices: &[PartyData],
+    publics: &[PartyData],
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtSender,
+    prg: &mut Prg,
+    options: SkipGateOptions,
+    stream: StreamConfig,
+    shards: ShardConfig,
+) -> Result<InstancedOutcome, ProtocolError> {
+    let n = alices.len();
+    assert_eq!(n, publics.len(), "one public input set per lane");
+    assert!(
+        (1..=u16::MAX as usize).contains(&n),
+        "lane count out of range"
+    );
+    let mut session =
+        GarblerSession::establish_instanced(ch, shard_chs, ot, prg, stream, shards, n as u16)?;
+    let d = session.delta().as_label();
+    let garbler = HalfGateGarbler::new(session.delta());
+    let mut lanes: Vec<Shared> = (0..n)
+        .map(|_| Shared::new(circuit, options.filter_dead_gates))
+        .collect();
+    // Struct-of-arrays labels: wire `w`, lane `l` at `w * n + l`.
+    let mut labels = vec![Label::ZERO; circuit.wire_count() * n];
+
+    // --- Input labels, lane-major ----------------------------------------
+    // Lane 0 draws exactly the labels a single-instance session would,
+    // so the N=1 transcript is pinned byte-identical.
+    let mut direct = Vec::new();
+    let mut ot_pairs = Vec::new();
+    let mut lane_ots = vec![0u64; n];
+    let mut stream_labels: Vec<Vec<Vec<(WireId, Label)>>> = Vec::with_capacity(n);
+    for (lane, shared) in lanes.iter_mut().enumerate() {
+        let (_alice_wires, _bob_wires) = shared.init_states(&publics[lane]);
+        let pairs_before = ot_pairs.len();
+        for dff in circuit
+            .dffs()
+            .iter()
+            .filter(|f| matches!(f.init, DffInit::Alice(_)))
+        {
+            let x0 = session.fresh_label();
+            labels[dff.q.index() * n + lane] = x0;
+            let DffInit::Alice(i) = dff.init else {
+                unreachable!()
+            };
+            direct.push(if alices[lane].init[i as usize] {
+                x0 ^ d
+            } else {
+                x0
+            });
+        }
+        for dff in circuit
+            .dffs()
+            .iter()
+            .filter(|f| matches!(f.init, DffInit::Bob(_)))
+        {
+            let x0 = session.fresh_label();
+            labels[dff.q.index() * n + lane] = x0;
+            ot_pairs.push((x0, x0 ^ d));
+        }
+        let mut per_lane = Vec::with_capacity(cycles);
+        for cycle in 0..cycles {
+            let mut per_cycle = Vec::new();
+            let mut aidx = 0usize;
+            for input in circuit.inputs() {
+                match input.role {
+                    Role::Alice => {
+                        let x0 = session.fresh_label();
+                        let v = alices[lane].stream[cycle][aidx];
+                        aidx += 1;
+                        direct.push(if v { x0 ^ d } else { x0 });
+                        per_cycle.push((input.wire, x0));
+                    }
+                    Role::Bob => {
+                        let x0 = session.fresh_label();
+                        ot_pairs.push((x0, x0 ^ d));
+                        per_cycle.push((input.wire, x0));
+                    }
+                    Role::Public => {}
+                }
+            }
+            per_lane.push(per_cycle);
+        }
+        stream_labels.push(per_lane);
+        lane_ots[lane] = (ot_pairs.len() - pairs_before) as u64;
+    }
+    session.send_direct_labels(&direct)?;
+    session.ot_send(&ot_pairs)?;
+
+    // --- Cycle loop -------------------------------------------------------
+    let sched = LayerSchedule::of(circuit);
+    let mut drv = GarbleInstanced::new(sched.levels(), n);
+    let mut plans: Vec<LanePlan> = (0..n)
+        .map(|_| LanePlan {
+            ordinals: Vec::new(),
+            patch: CyclePatch::new(),
+            releveled: false,
+            reuse_first: false,
+        })
+        .collect();
+    let mut decisions: Vec<Option<CycleDecisions>> = (0..n).map(|_| None).collect();
+    let mut merged: Vec<u32> = Vec::new();
+    let mut releveled_cycles = 0u64;
+    let mut patched_gates = 0u64;
+    // Per-lane tweak streams: disjoint by the lane tag in the high
+    // bits, and lane 0's stream matches a sequential run exactly.
+    let mut lane_tweaks: Vec<u64> = (0..n).map(|l| (l as u64) << 48).collect();
+    let mut lane_active = vec![true; n];
+    let mut decode_bits: Vec<Vec<bool>> = vec![Vec::new(); n];
+    let mut next_dffs: Vec<Label> = Vec::new();
+    // `cycle` indexes per-lane structures inside the lane loop, which
+    // an enumerate over any single one of them cannot express.
+    #[allow(clippy::needless_range_loop)]
+    for cycle in 0..cycles {
+        if !lane_active.iter().any(|&a| a) {
+            break;
+        }
+        let is_last = cycle + 1 == cycles;
+        for lane in 0..n {
+            if !lane_active[lane] {
+                decisions[lane] = None;
+                continue;
+            }
+            let shared = &mut lanes[lane];
+            shared.set_cycle_inputs(cycle, &publics[lane]);
+            for &(w, x0) in &stream_labels[lane][cycle] {
+                labels[w.index() * n + lane] = x0;
+            }
+            let dec = {
+                let Shared {
+                    ctx, states, alloc, ..
+                } = shared;
+                ctx.decide_cycle(states, alloc, is_last)
+            };
+            shared.absorb_counts(&dec.counts);
+            decisions[lane] = Some(dec);
+        }
+
+        // Layering plans, with first-active-lane reuse when decision
+        // vectors agree.
+        let mut first: Option<usize> = None;
+        for lane in 0..n {
+            let Some(dec) = decisions[lane].as_ref() else {
+                continue;
+            };
+            let reuse = first.is_some_and(|f| {
+                decisions[f]
+                    .as_ref()
+                    .expect("first lane is active")
+                    .decisions
+                    == dec.decisions
+            });
+            plans[lane].reuse_first = reuse;
+            if reuse {
+                continue;
+            }
+            let plan = &mut plans[lane];
+            plan.releveled = layer_cycle_plan(
+                &sched,
+                circuit,
+                &dec.decisions,
+                &mut plan.ordinals,
+                &mut plan.patch,
+            );
+            if first.is_none() {
+                first = Some(lane);
+            }
+        }
+        let first = first.unwrap_or(0);
+        let plan_of = |lane: usize, plans: &'_ [LanePlan]| -> usize {
+            if plans[lane].reuse_first {
+                first
+            } else {
+                lane
+            }
+        };
+        let mut max_levels = sched.levels();
+        for lane in 0..n {
+            if decisions[lane].is_none() {
+                continue;
+            }
+            let plan = &plans[plan_of(lane, &plans)];
+            if plan.releveled {
+                releveled_cycles += 1;
+                patched_gates += plan.patch.moved_gates();
+            }
+            max_levels = max_levels.max(plan.patch.levels());
+        }
+
+        // Merged emission slots: gate-major, lane-minor over the
+        // active lanes, reducing to plain netlist ordinals at N=1.
+        let total: usize = decisions
+            .iter()
+            .flatten()
+            .map(|dec| dec.counts.garbled as usize)
+            .sum();
+        session.begin_cycle(total);
+        drv.begin_cycle(total);
+        merged.clear();
+        merged.resize(circuit.gates().len() * n, u32::MAX);
+        let mut next_slot = 0u32;
+        for gi in 0..circuit.gates().len() {
+            for (lane, dec) in decisions.iter().enumerate() {
+                if let Some(dec) = dec {
+                    if matches!(dec.decisions[gi], GateDecision::Garble) {
+                        merged[gi * n + lane] = next_slot;
+                        next_slot += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(next_slot as usize, total);
+
+        for level in 0..max_levels {
+            for lane in 0..n {
+                let Some(dec) = decisions[lane].as_ref() else {
+                    continue;
+                };
+                let plan = &plans[plan_of(lane, &plans)];
+                if level < sched.levels() {
+                    for &gi in sched.level_gates(level) {
+                        let gi = gi as usize;
+                        if plan.patch.is_moved(gi) {
+                            continue;
+                        }
+                        apply_instanced_garble(
+                            circuit,
+                            n,
+                            lane,
+                            d,
+                            dec,
+                            &plan.ordinals,
+                            &merged,
+                            lane_tweaks[lane],
+                            gi,
+                            &mut labels,
+                            &mut drv,
+                        );
+                    }
+                }
+                for &gi in plan.patch.moved_at(level) {
+                    apply_instanced_garble(
+                        circuit,
+                        n,
+                        lane,
+                        d,
+                        dec,
+                        &plan.ordinals,
+                        &merged,
+                        lane_tweaks[lane],
+                        gi as usize,
+                        &mut labels,
+                        &mut drv,
+                    );
+                }
+            }
+            drv.end_level(&garbler, &mut labels);
+        }
+        drv.end_cycle(&mut |t| session.push_table(&t.to_bytes()))?;
+        session.end_cycle()?;
+
+        for lane in 0..n {
+            let Some(dec) = decisions[lane].as_ref() else {
+                continue;
+            };
+            lane_tweaks[lane] += dec.counts.garbled;
+            let shared = &mut lanes[lane];
+            if matches!(circuit.output_mode(), OutputMode::PerCycle) {
+                shared.record_frame();
+                decode_bits[lane].extend(
+                    circuit
+                        .outputs()
+                        .iter()
+                        .filter(|&w| shared.states[w.index()].is_secret())
+                        .map(|w| labels[w.index() * n + lane].colour()),
+                );
+            }
+            let halted = shared.halted();
+            // Flip-flop copies happen on the halt cycle too, exactly
+            // as in the sequential engines.
+            next_dffs.clear();
+            next_dffs.extend(
+                circuit
+                    .dffs()
+                    .iter()
+                    .map(|f| labels[f.d.index() * n + lane]),
+            );
+            for (dff, &l) in circuit.dffs().iter().zip(next_dffs.iter()) {
+                labels[dff.q.index() * n + lane] = l;
+            }
+            shared.copy_dffs();
+            shared.stats.cycles_run = cycle + 1;
+            if halted {
+                lane_active[lane] = false;
+            }
+        }
+    }
+    if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
+        for (lane, shared) in lanes.iter_mut().enumerate() {
+            shared.record_frame();
+            decode_bits[lane].extend(
+                circuit
+                    .outputs()
+                    .iter()
+                    .filter(|&w| shared.states[w.index()].is_secret())
+                    .map(|w| labels[w.index() * n + lane].colour()),
+            );
+        }
+    }
+
+    // --- Output revelation: one lane-major colour exchange ----------------
+    let all_bits: Vec<bool> = decode_bits.iter().flatten().copied().collect();
+    let secret_values = session.reveal_outputs(&all_bits)?;
+    let mut batching = drv.stats();
+    batching.releveled_cycles = releveled_cycles;
+    batching.patched_gates = patched_gates;
+    let mut out_lanes = Vec::with_capacity(n);
+    let mut off = 0usize;
+    for (lane, shared) in lanes.into_iter().enumerate() {
+        let take = decode_bits[lane].len();
+        let outputs = shared.assemble_outputs(&secret_values[off..off + take]);
+        off += take;
+        let mut stats = shared.stats;
+        stats.table_bytes = stats.garbled_tables * GarbledTable::BYTES as u64;
+        stats.ots = lane_ots[lane];
+        out_lanes.push(SkipGateOutcome {
+            outputs,
+            stats,
+            batching,
+        });
+    }
+    Ok(InstancedOutcome {
+        lanes: out_lanes,
+        batching,
+    })
+}
+
+/// Runs Bob's side for `bobs.len()` independent instances of the same
+/// circuit in one session; the mirror of
+/// [`run_skipgate_garbler_instanced`]. Each cycle's merged table
+/// stream is pulled up front and indexed by the shared gate-major/
+/// lane-minor slot assignment, which both parties compute from the
+/// (deterministic, public-data-only) decision pass without
+/// coordination.
+///
+/// # Errors
+/// Propagates channel and OT failures.
+///
+/// # Panics
+/// Panics if `bobs` and `publics` disagree in length, or if the lane
+/// count is zero or exceeds `u16::MAX`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_skipgate_evaluator_instanced(
+    circuit: &Circuit,
+    bobs: &[PartyData],
+    publics: &[PartyData],
+    cycles: usize,
+    ch: &mut dyn Channel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    ot: &mut dyn OtReceiver,
+    options: SkipGateOptions,
+    shards: ShardConfig,
+) -> Result<InstancedOutcome, ProtocolError> {
+    let n = bobs.len();
+    assert_eq!(n, publics.len(), "one public input set per lane");
+    assert!(
+        (1..=u16::MAX as usize).contains(&n),
+        "lane count out of range"
+    );
+    let evaluator = HalfGateEvaluator::new();
+    let mut session = EvaluatorSession::establish_instanced(
+        ch,
+        shard_chs,
+        ot,
+        GarbledTable::BYTES,
+        shards,
+        n as u16,
+    )?;
+    let mut lanes: Vec<Shared> = (0..n)
+        .map(|_| Shared::new(circuit, options.filter_dead_gates))
+        .collect();
+    let mut active = vec![Label::ZERO; circuit.wire_count() * n];
+
+    // --- Input labels, lane-major -----------------------------------------
+    let mut direct = session.recv_direct_labels()?.into_iter();
+    let mut choices = Vec::new();
+    let mut lane_ots = vec![0u64; n];
+    let mut bob_wires_by_lane: Vec<Vec<WireId>> = Vec::with_capacity(n);
+    let mut stream_slots: Vec<LaneStreamSlots> = Vec::with_capacity(n);
+    for (lane, shared) in lanes.iter_mut().enumerate() {
+        let (alice_wires, bob_wires) = shared.init_states(&publics[lane]);
+        for &w in &alice_wires {
+            active[w.index() * n + lane] = direct
+                .next()
+                .ok_or(ProtocolError::Malformed("alice dffs"))?;
+        }
+        let before = choices.len();
+        for dff in circuit.dffs() {
+            if let DffInit::Bob(i) = dff.init {
+                choices.push(bobs[lane].init[i as usize]);
+            }
+        }
+        let mut per_lane = Vec::with_capacity(cycles);
+        for cycle in 0..cycles {
+            let mut per_cycle = Vec::new();
+            let mut bidx = 0usize;
+            for input in circuit.inputs() {
+                match input.role {
+                    Role::Alice => {
+                        let l = direct.next().ok_or(ProtocolError::Malformed("stream"))?;
+                        per_cycle.push((input.wire, Some(l)));
+                    }
+                    Role::Bob => {
+                        choices.push(bobs[lane].stream[cycle][bidx]);
+                        bidx += 1;
+                        per_cycle.push((input.wire, None));
+                    }
+                    Role::Public => {}
+                }
+            }
+            per_lane.push(per_cycle);
+        }
+        stream_slots.push(per_lane);
+        bob_wires_by_lane.push(bob_wires);
+        lane_ots[lane] = (choices.len() - before) as u64;
+    }
+    let mut ot_iter = session.ot_receive(&choices)?.into_iter();
+    for (lane, bob_wires) in bob_wires_by_lane.iter().enumerate() {
+        for &w in bob_wires {
+            active[w.index() * n + lane] =
+                ot_iter.next().ok_or(ProtocolError::Malformed("bob ot"))?;
+        }
+        for per_cycle in &mut stream_slots[lane] {
+            for (_, slot) in per_cycle.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(ot_iter.next().ok_or(ProtocolError::Malformed("bob ot2"))?);
+                }
+            }
+        }
+    }
+
+    // --- Cycle loop ---------------------------------------------------------
+    let sched = LayerSchedule::of(circuit);
+    let mut drv = EvalInstanced::new(sched.levels(), n);
+    let mut plans: Vec<LanePlan> = (0..n)
+        .map(|_| LanePlan {
+            ordinals: Vec::new(),
+            patch: CyclePatch::new(),
+            releveled: false,
+            reuse_first: false,
+        })
+        .collect();
+    let mut decisions: Vec<Option<CycleDecisions>> = (0..n).map(|_| None).collect();
+    let mut merged: Vec<u32> = Vec::new();
+    let mut cycle_tables: Vec<GarbledTable> = Vec::new();
+    let mut releveled_cycles = 0u64;
+    let mut patched_gates = 0u64;
+    let mut lane_tweaks: Vec<u64> = (0..n).map(|l| (l as u64) << 48).collect();
+    let mut lane_active = vec![true; n];
+    let mut my_colours: Vec<Vec<bool>> = vec![Vec::new(); n];
+    let mut next_dffs: Vec<Label> = Vec::new();
+    // `cycle` indexes per-lane structures inside the lane loop, which
+    // an enumerate over any single one of them cannot express.
+    #[allow(clippy::needless_range_loop)]
+    for cycle in 0..cycles {
+        if !lane_active.iter().any(|&a| a) {
+            break;
+        }
+        let is_last = cycle + 1 == cycles;
+        for lane in 0..n {
+            if !lane_active[lane] {
+                decisions[lane] = None;
+                continue;
+            }
+            let shared = &mut lanes[lane];
+            shared.set_cycle_inputs(cycle, &publics[lane]);
+            for &(w, l) in &stream_slots[lane][cycle] {
+                active[w.index() * n + lane] = l.expect("filled above");
+            }
+            let dec = {
+                let Shared {
+                    ctx, states, alloc, ..
+                } = shared;
+                ctx.decide_cycle(states, alloc, is_last)
+            };
+            shared.absorb_counts(&dec.counts);
+            decisions[lane] = Some(dec);
+        }
+
+        let mut first: Option<usize> = None;
+        for lane in 0..n {
+            let Some(dec) = decisions[lane].as_ref() else {
+                continue;
+            };
+            let reuse = first.is_some_and(|f| {
+                decisions[f]
+                    .as_ref()
+                    .expect("first lane is active")
+                    .decisions
+                    == dec.decisions
+            });
+            plans[lane].reuse_first = reuse;
+            if reuse {
+                continue;
+            }
+            let plan = &mut plans[lane];
+            plan.releveled = layer_cycle_plan(
+                &sched,
+                circuit,
+                &dec.decisions,
+                &mut plan.ordinals,
+                &mut plan.patch,
+            );
+            if first.is_none() {
+                first = Some(lane);
+            }
+        }
+        let first = first.unwrap_or(0);
+        let plan_of = |lane: usize, plans: &'_ [LanePlan]| -> usize {
+            if plans[lane].reuse_first {
+                first
+            } else {
+                lane
+            }
+        };
+        let mut max_levels = sched.levels();
+        for lane in 0..n {
+            if decisions[lane].is_none() {
+                continue;
+            }
+            let plan = &plans[plan_of(lane, &plans)];
+            if plan.releveled {
+                releveled_cycles += 1;
+                patched_gates += plan.patch.moved_gates();
+            }
+            max_levels = max_levels.max(plan.patch.levels());
+        }
+
+        let total: usize = decisions
+            .iter()
+            .flatten()
+            .map(|dec| dec.counts.garbled as usize)
+            .sum();
+        session.begin_cycle(total);
+        merged.clear();
+        merged.resize(circuit.gates().len() * n, u32::MAX);
+        let mut next_slot = 0u32;
+        for gi in 0..circuit.gates().len() {
+            for (lane, dec) in decisions.iter().enumerate() {
+                if let Some(dec) = dec {
+                    if matches!(dec.decisions[gi], GateDecision::Garble) {
+                        merged[gi * n + lane] = next_slot;
+                        next_slot += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(next_slot as usize, total);
+        cycle_tables.clear();
+        for _ in 0..total {
+            cycle_tables.push(GarbledTable::from_bytes(
+                session.next_table(GarbledTable::BYTES)?,
+            ));
+        }
+
+        for level in 0..max_levels {
+            for lane in 0..n {
+                let Some(dec) = decisions[lane].as_ref() else {
+                    continue;
+                };
+                let plan = &plans[plan_of(lane, &plans)];
+                if level < sched.levels() {
+                    for &gi in sched.level_gates(level) {
+                        let gi = gi as usize;
+                        if plan.patch.is_moved(gi) {
+                            continue;
+                        }
+                        apply_instanced_eval(
+                            circuit,
+                            n,
+                            lane,
+                            dec,
+                            &plan.ordinals,
+                            &merged,
+                            &cycle_tables,
+                            lane_tweaks[lane],
+                            gi,
+                            &mut active,
+                            &mut drv,
+                        );
+                    }
+                }
+                for &gi in plan.patch.moved_at(level) {
+                    apply_instanced_eval(
+                        circuit,
+                        n,
+                        lane,
+                        dec,
+                        &plan.ordinals,
+                        &merged,
+                        &cycle_tables,
+                        lane_tweaks[lane],
+                        gi as usize,
+                        &mut active,
+                        &mut drv,
+                    );
+                }
+            }
+            drv.end_level(&evaluator, &mut active);
+        }
+
+        for lane in 0..n {
+            let Some(dec) = decisions[lane].as_ref() else {
+                continue;
+            };
+            lane_tweaks[lane] += dec.counts.garbled;
+            let shared = &mut lanes[lane];
+            if matches!(circuit.output_mode(), OutputMode::PerCycle) {
+                shared.record_frame();
+                my_colours[lane].extend(
+                    circuit
+                        .outputs()
+                        .iter()
+                        .filter(|&w| shared.states[w.index()].is_secret())
+                        .map(|w| active[w.index() * n + lane].colour()),
+                );
+            }
+            let halted = shared.halted();
+            next_dffs.clear();
+            next_dffs.extend(
+                circuit
+                    .dffs()
+                    .iter()
+                    .map(|f| active[f.d.index() * n + lane]),
+            );
+            for (dff, &l) in circuit.dffs().iter().zip(next_dffs.iter()) {
+                active[dff.q.index() * n + lane] = l;
+            }
+            shared.copy_dffs();
+            shared.stats.cycles_run = cycle + 1;
+            if halted {
+                lane_active[lane] = false;
+            }
+        }
+    }
+    if matches!(circuit.output_mode(), OutputMode::FinalOnly) {
+        for (lane, shared) in lanes.iter_mut().enumerate() {
+            shared.record_frame();
+            my_colours[lane].extend(
+                circuit
+                    .outputs()
+                    .iter()
+                    .filter(|&w| shared.states[w.index()].is_secret())
+                    .map(|w| active[w.index() * n + lane].colour()),
+            );
+        }
+    }
+
+    // --- Output revelation ----------------------------------------------
+    let all_bits: Vec<bool> = my_colours.iter().flatten().copied().collect();
+    let secret_values = session.reveal_outputs(&all_bits)?;
+    let mut batching = drv.stats();
+    batching.releveled_cycles = releveled_cycles;
+    batching.patched_gates = patched_gates;
+    let mut out_lanes = Vec::with_capacity(n);
+    let mut off = 0usize;
+    for (lane, shared) in lanes.into_iter().enumerate() {
+        let take = my_colours[lane].len();
+        let outputs = shared.assemble_outputs(&secret_values[off..off + take]);
+        off += take;
+        let mut stats = shared.stats;
+        stats.table_bytes = stats.garbled_tables * GarbledTable::BYTES as u64;
+        stats.ots = lane_ots[lane];
+        out_lanes.push(SkipGateOutcome {
+            outputs,
+            stats,
+            batching,
+        });
+    }
+    Ok(InstancedOutcome {
+        lanes: out_lanes,
         batching,
     })
 }
@@ -1142,6 +1995,61 @@ pub fn run_two_party_cfg(
     })
     // Re-raise with the original payload so assertion messages from
     // either party survive the scope's catch_unwind.
+    .unwrap_or_else(|e| std::panic::resume_unwind(e))
+}
+
+/// [`run_two_party_cfg`] for an instanced session: one garbler and one
+/// evaluator thread drive `alices.len()` lanes through a single
+/// shared-wavefront run. `cfg.schedule` is ignored — instanced
+/// execution is always layer-scheduled.
+///
+/// # Panics
+/// Panics if either party fails (test harness semantics).
+pub fn run_two_party_instanced_cfg(
+    circuit: &Circuit,
+    alices: &[PartyData],
+    bobs: &[PartyData],
+    publics: &[PartyData],
+    cycles: usize,
+    cfg: TwoPartyConfig,
+) -> (InstancedOutcome, InstancedOutcome) {
+    let (mut ca, mut cb) = duplex();
+    let (g_shards, e_shards) = shard_duplexes(cfg.shards);
+    crossbeam::thread::scope(|s| {
+        let garbler = s.spawn(move |_| {
+            let mut prg = Prg::from_entropy();
+            let mut ot = cfg.ot.sender(&mut prg);
+            run_skipgate_garbler_instanced(
+                circuit,
+                alices,
+                publics,
+                cycles,
+                &mut ca,
+                g_shards,
+                ot.as_mut(),
+                &mut prg,
+                cfg.options,
+                cfg.stream,
+                cfg.shards,
+            )
+            .expect("instanced garbler")
+        });
+        let mut prg = Prg::from_entropy();
+        let mut ot = cfg.ot.receiver(&mut prg);
+        let bob_outcome = run_skipgate_evaluator_instanced(
+            circuit,
+            bobs,
+            publics,
+            cycles,
+            &mut cb,
+            e_shards,
+            ot.as_mut(),
+            cfg.options,
+            cfg.shards,
+        )
+        .expect("instanced evaluator");
+        (garbler.join().expect("garbler thread"), bob_outcome)
+    })
     .unwrap_or_else(|e| std::panic::resume_unwind(e))
 }
 

@@ -67,10 +67,12 @@ pub mod tag;
 
 pub use decide::{CycleDecisions, DecideContext, DecisionCounts, GateDecision};
 pub use engine::{
-    run_skipgate_evaluator, run_skipgate_evaluator_scheduled, run_skipgate_evaluator_sharded,
-    run_skipgate_garbler, run_skipgate_garbler_scheduled, run_skipgate_garbler_sharded,
-    run_skipgate_garbler_with, run_two_party, run_two_party_cfg, run_two_party_with,
-    shard_duplexes, SkipGateOptions, SkipGateOutcome, SkipGateStats, TwoPartyConfig,
+    run_skipgate_evaluator, run_skipgate_evaluator_instanced, run_skipgate_evaluator_scheduled,
+    run_skipgate_evaluator_sharded, run_skipgate_garbler, run_skipgate_garbler_instanced,
+    run_skipgate_garbler_scheduled, run_skipgate_garbler_sharded, run_skipgate_garbler_with,
+    run_two_party, run_two_party_cfg, run_two_party_instanced_cfg, run_two_party_with,
+    shard_duplexes, InstancedOutcome, SkipGateOptions, SkipGateOutcome, SkipGateStats,
+    TwoPartyConfig,
 };
 pub use state::WireVal;
 pub use tag::{SecretTag, TagAllocator};

@@ -19,7 +19,10 @@
 use arm2gc_circuit::sim::PartyData;
 use arm2gc_circuit::words::{bits_to_words, u32_to_bits};
 use arm2gc_circuit::Circuit;
-use arm2gc_core::{run_two_party_cfg, SkipGateOutcome, SkipGateStats, TwoPartyConfig};
+use arm2gc_core::{
+    run_two_party_cfg, run_two_party_instanced_cfg, InstancedOutcome, SkipGateOutcome,
+    SkipGateStats, TwoPartyConfig,
+};
 
 pub use arm2gc_circuit::{LayerSchedule, ScheduleMode};
 
@@ -326,6 +329,70 @@ impl GcMachine {
             },
             alice_out,
         )
+    }
+
+    /// Runs `alices.len()` independent instances of `prog` — same
+    /// program, per-lane private inputs — through **one** instanced
+    /// two-party session ([`run_two_party_instanced_cfg`]): per cycle,
+    /// every lane's surviving nonlinear gates hash through the wide
+    /// AES core together, so the per-instance amortized cost drops as
+    /// the lane count grows. Lanes halt independently.
+    ///
+    /// Returns one [`MachineRun`] per lane (identical to what
+    /// [`GcMachine::run_skipgate_with`] would produce for that lane's
+    /// inputs alone) plus the garbler's [`InstancedOutcome`] with the
+    /// session-wide batching statistics. `cfg.schedule` is ignored —
+    /// instanced execution is always layer-scheduled.
+    ///
+    /// # Panics
+    /// Panics if `alices` and `bobs` disagree in length, if the lane
+    /// count is zero, or if the parties' outcomes diverge (test
+    /// harness semantics).
+    pub fn run_skipgate_instanced(
+        &self,
+        prog: &Program,
+        alices: &[Vec<u32>],
+        bobs: &[Vec<u32>],
+        max_cycles: usize,
+        cfg: TwoPartyConfig,
+    ) -> (Vec<MachineRun>, InstancedOutcome) {
+        assert_eq!(alices.len(), bobs.len(), "one Bob input set per lane");
+        let mut lane_alice = Vec::with_capacity(alices.len());
+        let mut lane_bob = Vec::with_capacity(alices.len());
+        let mut lane_public = Vec::with_capacity(alices.len());
+        for (alice, bob) in alices.iter().zip(bobs) {
+            let (a, b, p) = self.party_data(prog, alice, bob);
+            lane_alice.push(a);
+            lane_bob.push(b);
+            lane_public.push(p);
+        }
+        let (alice_out, bob_out) = run_two_party_instanced_cfg(
+            &self.circuit,
+            &lane_alice,
+            &lane_bob,
+            &lane_public,
+            max_cycles,
+            cfg,
+        );
+        assert_eq!(
+            alice_out.batching, bob_out.batching,
+            "parties disagree on batching stats"
+        );
+        let runs = alice_out
+            .lanes
+            .iter()
+            .zip(&bob_out.lanes)
+            .map(|(a, b)| {
+                assert_eq!(a.outputs, b.outputs, "party outputs differ");
+                let out_bits = &a.final_output()[..self.config.out_words * 32];
+                MachineRun {
+                    output: bits_to_words(out_bits),
+                    cycles: a.stats.cycles_run,
+                    halted: a.stats.cycles_run < max_cycles,
+                }
+            })
+            .collect();
+        (runs, alice_out)
     }
 
     /// The paper's "w/o SkipGate" cost for a run of `cycles` cycles:

@@ -126,6 +126,9 @@ pub struct WavefrontStats {
     /// Total gates pushed off their static level across all re-leveled
     /// cycles.
     pub patched_gates: u64,
+    /// Circuit instances batched per cycle by a cross-instance run —
+    /// 0 for single-run drivers, which have no lane structure.
+    pub instances: u64,
 }
 
 impl WavefrontStats {
@@ -139,6 +142,26 @@ impl WavefrontStats {
         }
     }
 
+    /// The amortization divisor: a cross-instance run spreads its work
+    /// over `instances` lanes, a single run over 1.
+    fn lanes(&self) -> u64 {
+        self.instances.max(1)
+    }
+
+    /// Nonlinear gates batched per instance — equals `batched_gates`
+    /// for single runs, `batched_gates / N` for an N-lane run (each
+    /// lane contributes the same gate count as a sequential run).
+    pub fn batched_gates_per_instance(&self) -> f64 {
+        self.batched_gates as f64 / self.lanes() as f64
+    }
+
+    /// [`WavefrontStats::mean_batch`] amortized per instance: the batch
+    /// width one instance would have needed on its own to match this
+    /// run's AES occupancy. 0.0 (never NaN) when nothing batched.
+    pub fn mean_batch_per_instance(&self) -> f64 {
+        self.mean_batch() / self.lanes() as f64
+    }
+
     /// Field-wise accumulation, for runs that report through more than
     /// one driver (e.g. the SkipGate engine keeps both a wavefront and
     /// a layered driver and merges their counters at the end).
@@ -150,6 +173,7 @@ impl WavefrontStats {
         self.fallback_cycles += other.fallback_cycles;
         self.releveled_cycles += other.releveled_cycles;
         self.patched_gates += other.patched_gates;
+        self.instances = self.instances.max(other.instances);
     }
 }
 
@@ -709,6 +733,139 @@ impl EvalLayered {
     }
 }
 
+/// Garbler-side cross-instance layer-scheduled driver.
+///
+/// One session garbles N independent instances of the same circuit
+/// (distinct inputs, shared schedule). Labels live in one
+/// struct-of-arrays buffer, wire-major: wire `w`'s lanes occupy indices
+/// `w*N .. w*N + N`, and the engine passes the flat lane indices here.
+/// The engine enqueues every active lane of every nonlinear gate of a
+/// level before calling [`GarbleInstanced::end_level`], so one batch
+/// hash spans `level width × N` jobs — N times the single-instance
+/// occupancy. Emission slots are merged across lanes (gate-major,
+/// lane-minor within each gate), so
+/// [`GarbleInstanced::end_cycle`] interleaves the lanes' tables
+/// deterministically; at `N == 1` slots, stream and labels all reduce
+/// to [`GarbleLayered`] exactly.
+#[derive(Clone, Debug)]
+pub struct GarbleInstanced {
+    inner: GarbleLayered,
+    instances: u64,
+}
+
+impl GarbleInstanced {
+    /// A driver batching `instances` lanes over a schedule with
+    /// `levels` topological levels.
+    pub fn new(levels: usize, instances: usize) -> Self {
+        Self {
+            inner: GarbleLayered::new(levels),
+            instances: instances as u64,
+        }
+    }
+
+    /// Batching statistics accumulated so far, carrying the lane count.
+    pub fn stats(&self) -> WavefrontStats {
+        WavefrontStats {
+            instances: self.instances,
+            ..self.inner.stats()
+        }
+    }
+
+    /// Starts a cycle that will garble `expected_tables` gates summed
+    /// over every active lane.
+    pub fn begin_cycle(&mut self, expected_tables: usize) {
+        self.inner.begin_cycle(expected_tables);
+    }
+
+    /// Enqueues one lane of one nonlinear gate of the current level.
+    /// `a`/`b`/`out` are flat struct-of-arrays indices (`wire*N +
+    /// lane`); `slot` is the gate's merged emission position within the
+    /// cycle; `tweak` is the lane's own running tweak.
+    #[allow(clippy::too_many_arguments)]
+    pub fn garble(
+        &mut self,
+        labels: &[Label],
+        op: Op,
+        a: usize,
+        b: usize,
+        out: usize,
+        tweak: u64,
+        slot: usize,
+    ) {
+        self.inner.garble(labels, op, a, b, out, tweak, slot);
+    }
+
+    /// Hashes every enqueued lane of the level's gates in one batch.
+    pub fn end_level(&mut self, g: &HalfGateGarbler, labels: &mut [Label]) {
+        self.inner.end_level(g, labels);
+    }
+
+    /// Emits the cycle's tables in ascending merged-slot order: netlist
+    /// gate order, lanes interleaved instance-major within each gate.
+    ///
+    /// # Panics
+    /// Panics if the cycle garbled fewer gates than announced via
+    /// [`GarbleInstanced::begin_cycle`].
+    ///
+    /// # Errors
+    /// Propagates `emit` failures.
+    pub fn end_cycle<E>(
+        &mut self,
+        emit: &mut impl FnMut(&GarbledTable) -> Result<(), E>,
+    ) -> Result<(), E> {
+        self.inner.end_cycle(emit)
+    }
+}
+
+/// Evaluator-side cross-instance layer-scheduled driver; the mirror of
+/// [`GarbleInstanced`]. The engine pulls the cycle's merged table
+/// stream up front, indexes it by merged slot, and hands each lane of
+/// each gate its table at enqueue time.
+#[derive(Clone, Debug)]
+pub struct EvalInstanced {
+    inner: EvalLayered,
+    instances: u64,
+}
+
+impl EvalInstanced {
+    /// A driver batching `instances` lanes over a schedule with
+    /// `levels` topological levels.
+    pub fn new(levels: usize, instances: usize) -> Self {
+        Self {
+            inner: EvalLayered::new(levels),
+            instances: instances as u64,
+        }
+    }
+
+    /// Batching statistics accumulated so far, carrying the lane count.
+    pub fn stats(&self) -> WavefrontStats {
+        WavefrontStats {
+            instances: self.instances,
+            ..self.inner.stats()
+        }
+    }
+
+    /// Enqueues one lane of one garbled gate of the current level with
+    /// its table. `a`/`b`/`out` are flat struct-of-arrays indices
+    /// (`wire*N + lane`).
+    pub fn eval(
+        &mut self,
+        labels: &[Label],
+        a: usize,
+        b: usize,
+        out: usize,
+        table: GarbledTable,
+        tweak: u64,
+    ) {
+        self.inner.eval(labels, a, b, out, table, tweak);
+    }
+
+    /// Hashes every enqueued lane of the level's gates in one batch.
+    pub fn end_level(&mut self, e: &HalfGateEvaluator, labels: &mut [Label]) {
+        self.inner.end_level(e, labels);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,6 +892,162 @@ mod tests {
         let mut merged = WavefrontStats::default();
         merged.absorb(GarbleLayered::new(3).stats());
         assert_eq!(merged.mean_batch(), 0.0);
+
+        // Per-instance amortization guards the same way: a zero-batch
+        // instanced run reports 0.0 everywhere, never NaN — with and
+        // without a lane count.
+        for instances in [0, 8] {
+            let s = WavefrontStats {
+                instances,
+                ..WavefrontStats::default()
+            };
+            assert_eq!(s.mean_batch_per_instance(), 0.0);
+            assert_eq!(s.batched_gates_per_instance(), 0.0);
+            assert!(!s.mean_batch_per_instance().is_nan());
+        }
+        assert_eq!(GarbleInstanced::new(3, 8).stats().mean_batch(), 0.0);
+        assert_eq!(EvalInstanced::new(3, 8).stats().instances, 8);
+    }
+
+    /// Per-instance amortized counters divide by the lane count (a lane
+    /// count of 0 — single-run drivers — amortizes over 1), and
+    /// `absorb` keeps the max lane count while summing gate counters.
+    #[test]
+    fn per_instance_amortization_and_absorb() {
+        let single = WavefrontStats {
+            batches: 10,
+            batched_gates: 200,
+            ..WavefrontStats::default()
+        };
+        assert_eq!(single.batched_gates_per_instance(), 200.0);
+        assert_eq!(single.mean_batch_per_instance(), 20.0);
+
+        let instanced = WavefrontStats {
+            batches: 10,
+            batched_gates: 800,
+            instances: 4,
+            ..WavefrontStats::default()
+        };
+        // Each of the 4 lanes contributed its sequential 200 gates.
+        assert_eq!(instanced.batched_gates_per_instance(), 200.0);
+        assert_eq!(instanced.mean_batch(), 80.0);
+        assert_eq!(instanced.mean_batch_per_instance(), 20.0);
+
+        let mut merged = WavefrontStats {
+            instances: 4,
+            ..WavefrontStats::default()
+        };
+        merged.absorb(instanced);
+        merged.absorb(WavefrontStats {
+            batches: 2,
+            batched_gates: 8,
+            ..WavefrontStats::default()
+        });
+        assert_eq!(merged.instances, 4, "absorb keeps the max lane count");
+        assert_eq!(merged.batched_gates, 808);
+        assert_eq!(merged.batches, 12);
+    }
+
+    /// One instanced cycle over 2 lanes with distinct input labels is
+    /// byte-identical to two sequential layered runs: per-lane labels
+    /// match, and the merged table stream is gate-major/lane-minor.
+    #[test]
+    fn instanced_lanes_match_sequential_layered_runs() {
+        let mut prg = Prg::from_seed([79; 16]);
+        let delta = Delta::random(&mut prg);
+        let g = HalfGateGarbler::new(delta);
+        const N: usize = 2;
+
+        // Per-lane circuit: wires 0..2 inputs, 2 = AND(0,1), 3 = AND(2,0).
+        let lane_inputs: Vec<[Label; 2]> =
+            vec![[Label::random(&mut prg), Label::random(&mut prg)]; N]
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut l)| {
+                    l[0] ^= Label::from_u128(i as u128);
+                    l
+                })
+                .collect();
+
+        // Sequential reference: each lane on its own layered driver.
+        let mut seq_labels = Vec::new();
+        let mut seq_tables: Vec<Vec<GarbledTable>> = Vec::new();
+        for inputs in &lane_inputs {
+            let mut labels = vec![Label::ZERO; 4];
+            labels[..2].copy_from_slice(inputs);
+            let mut ld = GarbleLayered::new(2);
+            ld.begin_cycle(2);
+            ld.garble(&labels, Op::AND, 0, 1, 2, 0, 0);
+            ld.end_level(&g, &mut labels);
+            ld.garble(&labels, Op::AND, 2, 0, 3, 1, 1);
+            ld.end_level(&g, &mut labels);
+            let mut tables = Vec::new();
+            ld.end_cycle(&mut |t: &GarbledTable| -> Result<(), Infallible> {
+                tables.push(*t);
+                Ok(())
+            })
+            .unwrap();
+            seq_labels.push(labels);
+            seq_tables.push(tables);
+        }
+
+        // Instanced run: SoA labels (wire-major), merged slots
+        // gate-major/lane-minor, per-lane tweaks.
+        let mut soa = vec![Label::ZERO; 4 * N];
+        for (lane, inputs) in lane_inputs.iter().enumerate() {
+            soa[lane] = inputs[0];
+            soa[N + lane] = inputs[1];
+        }
+        let idx = |w: usize, lane: usize| w * N + lane;
+        let mut di = GarbleInstanced::new(2, N);
+        di.begin_cycle(2 * N);
+        for lane in 0..N {
+            di.garble(
+                &soa,
+                Op::AND,
+                idx(0, lane),
+                idx(1, lane),
+                idx(2, lane),
+                0,
+                lane,
+            );
+        }
+        di.end_level(&g, &mut soa);
+        for lane in 0..N {
+            di.garble(
+                &soa,
+                Op::AND,
+                idx(2, lane),
+                idx(0, lane),
+                idx(3, lane),
+                1,
+                N + lane,
+            );
+        }
+        di.end_level(&g, &mut soa);
+        let mut merged = Vec::new();
+        di.end_cycle(&mut |t: &GarbledTable| -> Result<(), Infallible> {
+            merged.push(*t);
+            Ok(())
+        })
+        .unwrap();
+
+        for lane in 0..N {
+            for w in 0..4 {
+                assert_eq!(
+                    soa[idx(w, lane)],
+                    seq_labels[lane][w],
+                    "lane {lane} wire {w}"
+                );
+            }
+            assert_eq!(merged[lane], seq_tables[lane][0]);
+            assert_eq!(merged[N + lane], seq_tables[lane][1]);
+        }
+        let stats = di.stats();
+        assert_eq!(stats.instances, N as u64);
+        assert_eq!(stats.batched_gates, 2 * N as u64);
+        assert_eq!(stats.largest_batch, N, "each level spans all lanes");
+        assert_eq!(stats.batched_gates_per_instance(), 2.0);
     }
 
     /// A hand-built chained/parallel mix: four independent ANDs (one

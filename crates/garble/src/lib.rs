@@ -27,7 +27,10 @@ pub mod rows4;
 
 pub use arm2gc_circuit::{LayerSchedule, ScheduleMode};
 pub use arm2gc_proto::{ShardConfig, StreamConfig};
-pub use batch::{EvalLayered, EvalWavefront, GarbleLayered, GarbleWavefront, WavefrontStats};
+pub use batch::{
+    EvalInstanced, EvalLayered, EvalWavefront, GarbleInstanced, GarbleLayered, GarbleWavefront,
+    WavefrontStats,
+};
 pub use engine::{
     run_evaluator, run_evaluator_scheduled, run_evaluator_sharded, run_garbler,
     run_garbler_scheduled, run_garbler_sharded, run_garbler_with, GarbleOutcome, GarbleStats,

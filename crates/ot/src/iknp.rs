@@ -13,7 +13,7 @@
 //!   `H(i, q_i ⊕ s)`.
 
 use arm2gc_comm::Channel;
-use arm2gc_crypto::{GarbleHash, Label, Prg};
+use arm2gc_crypto::{GarbleHash, HashScratch, Label, Prg};
 
 use crate::{OtError, OtReceiver, OtSender};
 
@@ -26,6 +26,11 @@ pub struct IknpSender {
     seeds: Vec<Prg>,
     hash: GarbleHash,
     counter: u64,
+    // Batch-persistent scratch so repeated extensions (one per input
+    // batch) do not reallocate the hash points and pads.
+    points: Vec<(Label, u64)>,
+    scratch: HashScratch,
+    pads: Vec<Label>,
 }
 
 impl IknpSender {
@@ -50,6 +55,9 @@ impl IknpSender {
             seeds,
             hash: GarbleHash::fixed(),
             counter: 0,
+            points: Vec::new(),
+            scratch: HashScratch::default(),
+            pads: Vec::new(),
         })
     }
 
@@ -86,7 +94,8 @@ impl OtSender for IknpSender {
         // Transpose to rows and pad the messages; both pads of every OT
         // are derived in one batched hash over the wide AES pipeline.
         let s_lab = self.s_label();
-        let mut points = Vec::with_capacity(2 * m);
+        self.points.clear();
+        self.points.reserve(2 * m);
         for i in 0..m {
             let mut row = 0u128;
             for (j, col) in q_cols.iter().enumerate() {
@@ -95,12 +104,13 @@ impl OtSender for IknpSender {
             }
             let q = Label::from_u128(row);
             let t = self.counter + i as u64;
-            points.push((q, t));
-            points.push((q ^ s_lab, t));
+            self.points.push((q, t));
+            self.points.push((q ^ s_lab, t));
         }
-        let pads = self.hash.hash_batch(&points);
+        self.hash
+            .hash_batch_with(&self.points, &mut self.scratch, &mut self.pads);
         let mut payload = Vec::with_capacity(m * 32);
-        for (pair, pad) in pairs.iter().zip(pads.chunks_exact(2)) {
+        for (pair, pad) in pairs.iter().zip(self.pads.chunks_exact(2)) {
             payload.extend_from_slice(&(pad[0] ^ pair.0).to_bytes());
             payload.extend_from_slice(&(pad[1] ^ pair.1).to_bytes());
         }
@@ -116,6 +126,10 @@ pub struct IknpReceiver {
     seeds: Vec<(Prg, Prg)>,
     hash: GarbleHash,
     counter: u64,
+    // Batch-persistent scratch, mirroring [`IknpSender`].
+    points: Vec<(Label, u64)>,
+    scratch: HashScratch,
+    pads: Vec<Label>,
 }
 
 impl IknpReceiver {
@@ -141,6 +155,9 @@ impl IknpReceiver {
             seeds,
             hash: GarbleHash::fixed(),
             counter: 0,
+            points: Vec::new(),
+            scratch: HashScratch::default(),
+            pads: Vec::new(),
         })
     }
 }
@@ -177,19 +194,20 @@ impl OtReceiver for IknpReceiver {
         }
         // One batched hash derives every row's pad through the wide AES
         // pipeline.
-        let points: Vec<(Label, u64)> = (0..m)
-            .map(|i| {
-                let mut row = 0u128;
-                for (j, col) in t_cols.iter().enumerate() {
-                    let bit = (col[i / 8] >> (i % 8)) & 1;
-                    row |= (bit as u128) << j;
-                }
-                (Label::from_u128(row), self.counter + i as u64)
-            })
-            .collect();
-        let pads = self.hash.hash_batch(&points);
+        self.points.clear();
+        self.points.reserve(m);
+        self.points.extend((0..m).map(|i| {
+            let mut row = 0u128;
+            for (j, col) in t_cols.iter().enumerate() {
+                let bit = (col[i / 8] >> (i % 8)) & 1;
+                row |= (bit as u128) << j;
+            }
+            (Label::from_u128(row), self.counter + i as u64)
+        }));
+        self.hash
+            .hash_batch_with(&self.points, &mut self.scratch, &mut self.pads);
         let mut out = Vec::with_capacity(m);
-        for ((i, &c), pad) in choices.iter().enumerate().zip(pads) {
+        for ((i, &c), &pad) in choices.iter().enumerate().zip(&self.pads) {
             let off = 32 * i + if c { 16 } else { 0 };
             let y = Label::from_bytes(payload[off..off + 16].try_into().expect("16 bytes"));
             out.push(pad ^ y);

@@ -274,6 +274,7 @@ pub struct GarblerSession<'a> {
     prg: &'a mut Prg,
     delta: Delta,
     version: u16,
+    instances: u16,
     stream: StreamConfig,
     tables: GarblerTables,
     stats: SessionStats,
@@ -314,8 +315,41 @@ impl<'a> GarblerSession<'a> {
         stream: StreamConfig,
         shards: ShardConfig,
     ) -> Result<Self, ProtoError> {
+        Self::establish_instanced(ch, shard_chs, ot, prg, stream, shards, 1)
+    }
+
+    /// [`GarblerSession::establish_sharded`] for a cross-instance
+    /// batched session garbling `instances` independent runs of the
+    /// same circuit. When `instances > 1` the garbler announces the
+    /// count in a [`Message::Instances`] frame right after the
+    /// handshake (requiring protocol version ≥ 2); with `instances ==
+    /// 1` no frame is sent and the wire bytes are identical to a plain
+    /// sharded session.
+    ///
+    /// # Errors
+    /// Everything [`GarblerSession::establish_sharded`] can fail with,
+    /// plus a zero instance count or (when `instances > 1`) a peer
+    /// whose negotiated version predates instanced sessions.
+    pub fn establish_instanced(
+        ch: &'a mut dyn Channel,
+        shard_chs: Vec<Box<dyn Channel>>,
+        ot: &'a mut dyn OtSender,
+        prg: &'a mut Prg,
+        stream: StreamConfig,
+        shards: ShardConfig,
+        instances: u16,
+    ) -> Result<Self, ProtoError> {
+        if instances == 0 {
+            return Err(ProtoError::Malformed("zero instance count"));
+        }
         let tables = garbler_tables(shard_chs, stream, shards)?;
         let version = handshake(ch, SessionRole::Garbler)?;
+        if instances > 1 {
+            if version < 2 {
+                return Err(ProtoError::Malformed("instanced session needs protocol v2"));
+            }
+            send_msg(ch, &Message::Instances(instances))?;
+        }
         let delta = Delta::random(prg);
         Ok(Self {
             ch,
@@ -323,6 +357,7 @@ impl<'a> GarblerSession<'a> {
             prg,
             delta,
             version,
+            instances,
             stream,
             tables,
             stats: SessionStats::default(),
@@ -338,6 +373,12 @@ impl<'a> GarblerSession<'a> {
     /// common version of the two builds).
     pub fn negotiated_version(&self) -> u16 {
         self.version
+    }
+
+    /// How many circuit instances this session batches (1 unless
+    /// established via [`GarblerSession::establish_instanced`]).
+    pub fn instances(&self) -> u16 {
+        self.instances
     }
 
     /// Draws a fresh uniformly random wire label.
@@ -679,6 +720,7 @@ pub struct EvaluatorSession<'a> {
     /// engine's table size); 0 disables the check.
     table_align: usize,
     version: u16,
+    instances: u16,
     tables: EvaluatorTables,
     stats: SessionStats,
 }
@@ -715,6 +757,32 @@ impl<'a> EvaluatorSession<'a> {
         table_align: usize,
         shards: ShardConfig,
     ) -> Result<Self, ProtoError> {
+        Self::establish_instanced(ch, shard_chs, ot, table_align, shards, 1)
+    }
+
+    /// [`EvaluatorSession::establish_sharded`] for a cross-instance
+    /// batched session; the mirror of
+    /// [`GarblerSession::establish_instanced`]. Both parties configure
+    /// the instance count out of band (like the shard count); when it
+    /// is greater than one the garbler's [`Message::Instances`]
+    /// announcement is received and checked against it.
+    ///
+    /// # Errors
+    /// Everything [`EvaluatorSession::establish_sharded`] can fail
+    /// with, plus a zero instance count, a peer whose negotiated
+    /// version predates instanced sessions, or an announcement not
+    /// matching the configured count.
+    pub fn establish_instanced(
+        ch: &'a mut dyn Channel,
+        shard_chs: Vec<Box<dyn Channel>>,
+        ot: &'a mut dyn OtReceiver,
+        table_align: usize,
+        shards: ShardConfig,
+        instances: u16,
+    ) -> Result<Self, ProtoError> {
+        if instances == 0 {
+            return Err(ProtoError::Malformed("zero instance count"));
+        }
         validate_shards(shards, shard_chs.len())?;
         let tables = if shards.is_sharded() {
             EvaluatorTables::Sharded {
@@ -739,11 +807,24 @@ impl<'a> EvaluatorSession<'a> {
             }
         };
         let version = handshake(ch, SessionRole::Evaluator)?;
+        if instances > 1 {
+            if version < 2 {
+                return Err(ProtoError::Malformed("instanced session needs protocol v2"));
+            }
+            match recv_msg(ch)? {
+                Message::Instances(n) if n == instances => {}
+                Message::Instances(_) => {
+                    return Err(ProtoError::Malformed("instance count mismatch"))
+                }
+                _ => return Err(ProtoError::Malformed("expected instances frame")),
+            }
+        }
         Ok(Self {
             ch,
             ot,
             table_align,
             version,
+            instances,
             tables,
             stats: SessionStats::default(),
         })
@@ -753,6 +834,12 @@ impl<'a> EvaluatorSession<'a> {
     /// common version of the two builds).
     pub fn negotiated_version(&self) -> u16 {
         self.version
+    }
+
+    /// How many circuit instances this session batches (1 unless
+    /// established via [`EvaluatorSession::establish_instanced`]).
+    pub fn instances(&self) -> u16 {
+        self.instances
     }
 
     /// Announces the number of tables the coming cycle will consume;
@@ -1084,6 +1171,114 @@ mod tests {
             err,
             ProtoError::Malformed("incompatible protocol version")
         ));
+    }
+
+    #[test]
+    fn instanced_establishment_announces_and_validates_count() {
+        let (mut ca, mut cb) = duplex();
+        std::thread::scope(|s| {
+            let g = s.spawn(move || {
+                let mut ot = InsecureOt;
+                let mut prg = Prg::from_seed([5; 16]);
+                let sess = GarblerSession::establish_instanced(
+                    &mut ca,
+                    Vec::new(),
+                    &mut ot,
+                    &mut prg,
+                    StreamConfig::default(),
+                    ShardConfig::single(),
+                    4,
+                )
+                .expect("garbler");
+                assert_eq!(sess.instances(), 4);
+            });
+            let mut ot = InsecureOt;
+            let sess = EvaluatorSession::establish_instanced(
+                &mut cb,
+                Vec::new(),
+                &mut ot,
+                32,
+                ShardConfig::single(),
+                4,
+            )
+            .expect("evaluator");
+            assert_eq!(sess.instances(), 4);
+            g.join().expect("garbler thread");
+        });
+    }
+
+    #[test]
+    fn instance_count_mismatch_is_rejected() {
+        let (mut ca, mut cb) = duplex();
+        ca.send(
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+                role: SessionRole::Garbler,
+            }
+            .encode(),
+        )
+        .expect("hello");
+        ca.send(&Message::Instances(3).encode()).expect("instances");
+        let mut ot = InsecureOt;
+        let err = EvaluatorSession::establish_instanced(
+            &mut cb,
+            Vec::new(),
+            &mut ot,
+            32,
+            ShardConfig::single(),
+            4,
+        )
+        .expect_err("must reject");
+        assert!(matches!(
+            err,
+            ProtoError::Malformed("instance count mismatch")
+        ));
+    }
+
+    #[test]
+    fn instanced_session_rejects_v1_peer() {
+        let (mut ca, mut cb) = duplex();
+        // A v1 peer predates the Instances frame entirely.
+        ca.send(
+            &Message::Hello {
+                version: 1,
+                role: SessionRole::Garbler,
+            }
+            .encode(),
+        )
+        .expect("hello");
+        let mut ot = InsecureOt;
+        let err = EvaluatorSession::establish_instanced(
+            &mut cb,
+            Vec::new(),
+            &mut ot,
+            32,
+            ShardConfig::single(),
+            2,
+        )
+        .expect_err("must reject");
+        assert!(matches!(
+            err,
+            ProtoError::Malformed("instanced session needs protocol v2")
+        ));
+    }
+
+    #[test]
+    fn zero_instances_is_rejected() {
+        let (mut ca, _cb) = duplex();
+        let mut ot = InsecureOt;
+        let mut prg = Prg::from_seed([6; 16]);
+        let err = GarblerSession::establish_instanced(
+            &mut ca,
+            Vec::new(),
+            &mut ot,
+            &mut prg,
+            StreamConfig::default(),
+            ShardConfig::single(),
+            0,
+        )
+        .expect_err("must reject");
+        assert!(matches!(err, ProtoError::Malformed("zero instance count")));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `5` | [`Message::DecodeBits`] | bit count `u32`, packed bits |
 //! | `6` | [`Message::Outputs`] | bit count `u32`, packed bits |
 //! | `7` | [`Message::TableShard`] | shard id `u8`, garbled-table bytes |
+//! | `8` | [`Message::Instances`] | instance count `u16` |
 //!
 //! Decoding is strict: unknown tags, truncated bodies, bad magic and
 //! inconsistent lengths all yield [`ProtoError::Malformed`] — never a
@@ -31,7 +32,11 @@ use crate::bits::{pack_bits, unpack_bits};
 /// Highest version spoken by this build; [`Message::Hello`] carries it.
 /// Sessions negotiate the *lowest common* version with the peer and
 /// reject only peers below [`MIN_PROTOCOL_VERSION`].
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 added [`Message::Instances`] (cross-instance batched sessions);
+/// single-instance sessions never send it, so v1 peers interoperate
+/// unchanged.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Oldest version this build still speaks. A peer advertising anything
 /// `>= MIN_PROTOCOL_VERSION` is accepted; the session then runs at
@@ -48,6 +53,7 @@ pub(crate) const TAG_TABLES: u8 = 4;
 pub(crate) const TAG_DECODE_BITS: u8 = 5;
 pub(crate) const TAG_OUTPUTS: u8 = 6;
 pub(crate) const TAG_TABLE_SHARD: u8 = 7;
+pub(crate) const TAG_INSTANCES: u8 = 8;
 
 /// Which side of the protocol a session plays.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,6 +152,11 @@ pub enum Message {
         /// Garbled-table bytes, back to back.
         tables: Vec<u8>,
     },
+    /// Instance count of a cross-instance batched session, sent by the
+    /// garbler right after the handshake — but only when the count is
+    /// greater than one, so single-instance transcripts are unchanged.
+    /// Requires protocol version ≥ 2.
+    Instances(u16),
 }
 
 impl Message {
@@ -177,6 +188,12 @@ impl Message {
                 out.push(TAG_TABLE_SHARD);
                 out.push(*shard);
                 out.extend_from_slice(tables);
+                out
+            }
+            Message::Instances(n) => {
+                let mut out = Vec::with_capacity(3);
+                out.push(TAG_INSTANCES);
+                out.extend_from_slice(&n.to_le_bytes());
                 out
             }
         }
@@ -226,6 +243,16 @@ impl Message {
                     shard,
                     tables: tables.to_vec(),
                 })
+            }
+            TAG_INSTANCES => {
+                if body.len() != 2 {
+                    return Err(ProtoError::Malformed("instances frame size"));
+                }
+                let n = u16::from_le_bytes(body.try_into().expect("2 bytes"));
+                if n == 0 {
+                    return Err(ProtoError::Malformed("zero instance count"));
+                }
+                Ok(Message::Instances(n))
             }
             _ => Err(ProtoError::Malformed("unknown frame tag")),
         }
@@ -304,6 +331,8 @@ mod tests {
             shard: 3,
             tables: vec![7u8; 64],
         });
+        roundtrip(Message::Instances(2));
+        roundtrip(Message::Instances(u16::MAX));
     }
 
     #[test]
@@ -320,6 +349,9 @@ mod tests {
             &[TAG_OUTPUTS, 1, 0, 0, 0, 0xff, 0xff],  // says 1 bit, holds 16
             &[TAG_OUTPUTS, 5, 0, 0, 0, 0b0010_0000], // padding bit set
             &[TAG_TABLE_SHARD],                      // missing shard id
+            &[TAG_INSTANCES, 4],                     // truncated count
+            &[TAG_INSTANCES, 4, 0, 0],               // oversized count
+            &[TAG_INSTANCES, 0, 0],                  // zero instances
         ];
         for raw in cases {
             assert!(

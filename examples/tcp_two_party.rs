@@ -23,14 +23,22 @@
 //! so in manual mode both processes must be given the same `--shards`;
 //! mismatched values leave one side waiting in socket setup. The
 //! orchestrated mode passes the flag through to the child itself.
+//!
+//! With `--instances N` (> 1) the session runs in instanced mode: N
+//! independent millionaires' comparisons — each lane with its own
+//! inputs — garbled through one SoA wavefront, so every cycle's
+//! nonlinear gates across all lanes flow through one batched AES call.
+//! Like `--shards`, the lane count is out-of-band session
+//! configuration and must match on both sides in manual mode.
 
 use std::process::{Command, Stdio};
 
 use arm2gc::circuit::bench_circuits::{self, BenchCircuit};
-use arm2gc::circuit::sim::Simulator;
+use arm2gc::circuit::sim::{PartyData, Simulator};
 use arm2gc::comm::{Channel, TcpChannel};
 use arm2gc::core::{
-    run_skipgate_evaluator_sharded, run_skipgate_garbler_sharded, OtBackend, ShardConfig,
+    run_skipgate_evaluator_instanced, run_skipgate_evaluator_sharded,
+    run_skipgate_garbler_instanced, run_skipgate_garbler_sharded, OtBackend, ShardConfig,
     SkipGateOptions, SkipGateOutcome,
 };
 use arm2gc::crypto::Prg;
@@ -42,6 +50,16 @@ use arm2gc::proto::PROTOCOL_VERSION;
 /// each party would of course load only its own input.)
 fn workload() -> BenchCircuit {
     bench_circuits::compare(32, 5_300_000, 7_100_000)
+}
+
+/// Per-lane workloads for instanced mode: one shared circuit, distinct
+/// inputs. Lane `k` raises Alice's wealth by `k` million, so the winner
+/// flips across lanes and the printed results show that each lane
+/// really computed on its own inputs.
+fn lane_workloads(instances: usize) -> Vec<BenchCircuit> {
+    (0..instances)
+        .map(|k| bench_circuits::compare(32, 5_300_000 + 1_000_000 * k as u64, 7_100_000))
+        .collect()
 }
 
 /// What the in-process simulator says the outputs must be.
@@ -96,6 +114,87 @@ fn run_garbler(mut ch: TcpChannel, shard_chs: Vec<Box<dyn Channel>>, shards: Sha
         }
     );
     println!("  verified against the in-process simulator ✓");
+}
+
+fn run_garbler_instanced(
+    mut ch: TcpChannel,
+    shard_chs: Vec<Box<dyn Channel>>,
+    shards: ShardConfig,
+    instances: usize,
+) {
+    let lanes = lane_workloads(instances);
+    let alices: Vec<PartyData> = lanes.iter().map(|bc| bc.alice.clone()).collect();
+    let publics: Vec<PartyData> = lanes.iter().map(|bc| bc.public.clone()).collect();
+    let mut prg = Prg::from_entropy();
+    let mut ot = OtBackend::NaorPinkasIknp.sender(&mut prg);
+    let outcome = run_skipgate_garbler_instanced(
+        &lanes[0].circuit,
+        &alices,
+        &publics,
+        lanes[0].cycles,
+        &mut ch,
+        shard_chs,
+        ot.as_mut(),
+        &mut prg,
+        SkipGateOptions::default(),
+        StreamConfig::default(),
+        shards,
+    )
+    .expect("garbler instanced protocol run");
+    for (bc, lane) in lanes.iter().zip(&outcome.lanes) {
+        check_against_simulator("garbler", bc, lane);
+    }
+
+    println!("two-process instanced SkipGate over TCP (protocol v{PROTOCOL_VERSION})");
+    println!(
+        "  circuit: {} ({} cycles), {} lanes",
+        lanes[0].circuit.name(),
+        lanes[0].cycles,
+        instances
+    );
+    println!(
+        "  mean batch width:    {:.1} session-wide, {:.1} per instance",
+        outcome.batching.mean_batch(),
+        outcome.batching.mean_batch_per_instance()
+    );
+    for (k, lane) in outcome.lanes.iter().enumerate() {
+        println!(
+            "  lane {k}: {} is richer ({} tables, {} OTs)",
+            if lane.final_output()[0] {
+                "Bob"
+            } else {
+                "Alice"
+            },
+            lane.stats.garbled_tables,
+            lane.stats.ots
+        );
+    }
+    println!("  all lanes verified against the in-process simulator ✓");
+}
+
+fn run_evaluator_instanced(addr: &str, shards: ShardConfig, instances: usize) {
+    let lanes = lane_workloads(instances);
+    let mut ch = TcpChannel::connect(addr).expect("connect to garbler");
+    let shard_chs = connect_shards(addr, shards);
+    let bobs: Vec<PartyData> = lanes.iter().map(|bc| bc.bob.clone()).collect();
+    let publics: Vec<PartyData> = lanes.iter().map(|bc| bc.public.clone()).collect();
+    let mut prg = Prg::from_entropy();
+    let mut ot = OtBackend::NaorPinkasIknp.receiver(&mut prg);
+    let outcome = run_skipgate_evaluator_instanced(
+        &lanes[0].circuit,
+        &bobs,
+        &publics,
+        lanes[0].cycles,
+        &mut ch,
+        shard_chs,
+        ot.as_mut(),
+        SkipGateOptions::default(),
+        shards,
+    )
+    .expect("evaluator instanced protocol run");
+    for (bc, lane) in lanes.iter().zip(&outcome.lanes) {
+        check_against_simulator("evaluator", bc, lane);
+    }
 }
 
 fn run_evaluator(addr: &str, shards: ShardConfig) {
@@ -167,11 +266,25 @@ fn shard_config(default: usize) -> ShardConfig {
     ShardConfig::new(n)
 }
 
+fn instance_count() -> usize {
+    let n: usize = arg_after("--instances")
+        .map(|s| s.parse().expect("--instances takes a positive integer"))
+        .unwrap_or(1);
+    assert!(n >= 1, "--instances takes a positive integer");
+    n
+}
+
 fn main() {
+    let instances = instance_count();
     match arg_after("--role").as_deref() {
         Some("evaluator") => {
             let addr = arg_after("--addr").expect("--addr required for the evaluator role");
-            run_evaluator(&addr, shard_config(1));
+            let shards = shard_config(1);
+            if instances > 1 {
+                run_evaluator_instanced(&addr, shards, instances);
+            } else {
+                run_evaluator(&addr, shards);
+            }
         }
         Some("garbler") => {
             let addr = arg_after("--addr").expect("--addr required for the garbler role");
@@ -180,7 +293,11 @@ fn main() {
             let (stream, _) = listener.accept().expect("accept");
             let main_ch = TcpChannel::from_stream(stream).expect("wrap stream");
             let shard_chs = accept_shards(&listener, shards);
-            run_garbler(main_ch, shard_chs, shards);
+            if instances > 1 {
+                run_garbler_instanced(main_ch, shard_chs, shards, instances);
+            } else {
+                run_garbler(main_ch, shard_chs, shards);
+            }
         }
         Some(other) => panic!("unknown --role {other} (use garbler|evaluator)"),
         None => {
@@ -194,6 +311,7 @@ fn main() {
             let mut child = Command::new(exe)
                 .args(["--role", "evaluator", "--addr", &addr])
                 .args(["--shards", &shards.shards.to_string()])
+                .args(["--instances", &instances.to_string()])
                 .stdout(Stdio::inherit())
                 .stderr(Stdio::inherit())
                 .spawn()
@@ -203,7 +321,11 @@ fn main() {
             println!("evaluator process connected from {peer}");
             let main_ch = TcpChannel::from_stream(stream).expect("wrap stream");
             let shard_chs = accept_shards(&listener, shards);
-            run_garbler(main_ch, shard_chs, shards);
+            if instances > 1 {
+                run_garbler_instanced(main_ch, shard_chs, shards, instances);
+            } else {
+                run_garbler(main_ch, shard_chs, shards);
+            }
 
             let status = child.wait().expect("wait for evaluator");
             assert!(status.success(), "evaluator process failed: {status}");

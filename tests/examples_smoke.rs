@@ -60,3 +60,38 @@ fn tcp_two_party_runs_both_processes() {
         "tcp_two_party printed unexpected output:\n{stdout}"
     );
 }
+
+#[test]
+fn tcp_two_party_runs_instanced_lanes() {
+    let out = cargo()
+        .args([
+            "run",
+            "--example",
+            "tcp_two_party",
+            "--",
+            "--instances",
+            "3",
+        ])
+        .output()
+        .expect("spawn cargo");
+    assert!(
+        out.status.success(),
+        "tcp_two_party --instances 3 exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Lane 2 flips the millionaires' winner (Alice at 7.3M vs Bob's
+    // 7.1M), proving each lane computed on its own inputs.
+    assert!(
+        stdout.contains("lane 0: Bob is richer") && stdout.contains("lane 2: Alice is richer"),
+        "instanced lanes printed unexpected results:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("all lanes verified against the in-process simulator"),
+        "instanced run did not verify all lanes:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("evaluator process exited cleanly"),
+        "instanced run's evaluator did not exit cleanly:\n{stdout}"
+    );
+}
