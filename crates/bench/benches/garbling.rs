@@ -86,15 +86,7 @@ fn bench_streaming(c: &mut Criterion) {
         b.iter(|| run_baseline_with(&aes, OtBackend::Insecure, StreamConfig::default()))
     });
     g.bench_function("sum1024_skipgate_lockstep", |b| {
-        b.iter(|| {
-            run_skipgate_with(
-                &sum,
-                TwoPartyConfig {
-                    stream: StreamConfig::lockstep(),
-                    ..TwoPartyConfig::default()
-                },
-            )
-        })
+        b.iter(|| run_skipgate_with(&sum, TwoPartyConfig::new().stream(StreamConfig::lockstep())))
     });
     g.bench_function("sum1024_skipgate_chunked", |b| {
         b.iter(|| run_skipgate_with(&sum, TwoPartyConfig::default()))

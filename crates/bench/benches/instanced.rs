@@ -24,10 +24,7 @@ const LANES: [usize; 3] = [1, 4, 16];
 const CHAIN_HEAVY: [&str; 2] = ["mult_32", "matmul_3x3_32"];
 
 fn layered_cfg() -> TwoPartyConfig {
-    TwoPartyConfig {
-        schedule: ScheduleMode::Layered,
-        ..TwoPartyConfig::default()
-    }
+    TwoPartyConfig::new().schedule(ScheduleMode::Layered)
 }
 
 fn bench_instanced(c: &mut Criterion) {

@@ -17,10 +17,7 @@ use arm2gc_core::{OtBackend, ShardConfig, StreamConfig, TwoPartyConfig};
 const MODES: [ScheduleMode; 2] = [ScheduleMode::Netlist, ScheduleMode::Layered];
 
 fn cfg(mode: ScheduleMode) -> TwoPartyConfig {
-    TwoPartyConfig {
-        schedule: mode,
-        ..TwoPartyConfig::default()
-    }
+    TwoPartyConfig::new().schedule(mode)
 }
 
 /// The chain-heavy Table 1 circuits: netlist order interleaves long

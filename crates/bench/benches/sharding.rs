@@ -30,13 +30,7 @@ fn bench_skipgate_sharded(c: &mut Criterion) {
             g.throughput(Throughput::Elements(bc.cycles as u64));
             g.bench_function(format!("{}/shards{shards}", bc.circuit.name()), |b| {
                 b.iter(|| {
-                    run_skipgate_with(
-                        bc,
-                        TwoPartyConfig {
-                            shards: ShardConfig::new(shards),
-                            ..TwoPartyConfig::default()
-                        },
-                    )
+                    run_skipgate_with(bc, TwoPartyConfig::new().shards(ShardConfig::new(shards)))
                 })
             });
         }

@@ -20,20 +20,28 @@
 //! through one *instanced* N=8 session (eight lanes, identical inputs)
 //! and the report pins the per-instance amortized counters: per-lane
 //! protocol costs must equal the sequential run exactly, while the
-//! session-wide batch widths grow with the lane count.
+//! session-wide batch widths grow with the lane count. Since v5 the
+//! report ends with a `service` section: four sequential sessions over
+//! a real loopback garbler service (shards ∈ {1,2} × instances ∈
+//! {1,8}), each pinned by its per-lane cost counters and a
+//! `matches_solo` bit asserting byte-equality — outputs and counters on
+//! both sides — against an in-process solo run of the same workload.
 
 use std::fmt::Write as _;
 
 use arm2gc_circuit::{LayerSchedule, ScheduleMode};
-use arm2gc_core::{OtBackend, ShardConfig, StreamConfig, TwoPartyConfig};
+use arm2gc_core::{
+    run_two_party_opts, OtBackend, SessionOptions, ShardConfig, StreamConfig, TwoPartyConfig,
+};
 use arm2gc_garble::WavefrontStats;
+use arm2gc_server::{client, workload, GarblerService, ServiceConfig};
 
 use crate::runner::{
     run_baseline_outcome, run_skipgate_instanced_outcome, run_skipgate_outcome, table1_circuits,
 };
 
 /// Identifies the report layout; bump when fields change.
-pub const SCHEMA: &str = "arm2gc-bench-ci/v4";
+pub const SCHEMA: &str = "arm2gc-bench-ci/v5";
 
 /// Lanes in the report's instanced runs.
 pub const INSTANCES: usize = 8;
@@ -69,19 +77,15 @@ pub fn report(shards: ShardConfig) -> String {
     for (i, bc) in circuits.iter().enumerate() {
         let skip_netlist = run_skipgate_outcome(
             bc,
-            TwoPartyConfig {
-                shards,
-                schedule: ScheduleMode::Netlist,
-                ..TwoPartyConfig::default()
-            },
+            TwoPartyConfig::new()
+                .shards(shards)
+                .schedule(ScheduleMode::Netlist),
         );
         let skip_layered = run_skipgate_outcome(
             bc,
-            TwoPartyConfig {
-                shards,
-                schedule: ScheduleMode::Layered,
-                ..TwoPartyConfig::default()
-            },
+            TwoPartyConfig::new()
+                .shards(shards)
+                .schedule(ScheduleMode::Layered),
         );
         let base_netlist = run_baseline_outcome(
             bc,
@@ -150,14 +154,8 @@ pub fn report(shards: ShardConfig) -> String {
             "        \"skipgate_layered\": {} }},",
             occupancy(&skip_layered.batching)
         );
-        let inst = run_skipgate_instanced_outcome(
-            bc,
-            TwoPartyConfig {
-                shards,
-                ..TwoPartyConfig::default()
-            },
-            INSTANCES,
-        );
+        let inst =
+            run_skipgate_instanced_outcome(bc, TwoPartyConfig::new().shards(shards), INSTANCES);
         // Identical inputs in every lane, so lane 0 *is* the
         // per-instance cost (the runner asserts all lanes agree with
         // the sequential expectation).
@@ -181,7 +179,91 @@ pub fn report(shards: ShardConfig) -> String {
             "    },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&service_section());
+    out.push_str("}\n");
+    out
+}
+
+/// The modes the service section runs, matching the load generator's
+/// mix.
+const SERVICE_MODES: [(usize, usize); 4] = [(1, 1), (2, 1), (1, 8), (2, 8)];
+
+/// Runs four sequential sessions over a real loopback garbler service
+/// and renders the deterministic service-level counters: per-session
+/// per-lane costs, a `matches_solo` bit (evaluator outputs/counters
+/// *and* the service's garbler-side record both byte-equal to a solo
+/// run), and the aggregate completion counters. Queue high-water marks
+/// are deliberately absent — they depend on scheduling timing.
+fn service_section() -> String {
+    let svc = GarblerService::bind("127.0.0.1:0", ServiceConfig::new().workers(1))
+        .expect("bind loopback garbler service");
+    let addr = svc.local_addr();
+    let wait_until = |what: &str, cond: &dyn Fn() -> bool| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !cond() {
+            assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    };
+    let mut out = String::new();
+    out.push_str("  \"service\": {\n    \"sessions\": [\n");
+    for (k, &(session_shards, instances)) in SERVICE_MODES.iter().enumerate() {
+        let family = workload::FAMILIES[k % workload::FAMILIES.len()];
+        let name = format!("{family}:{k}");
+        let opts = SessionOptions::new()
+            .shards(session_shards)
+            .instances(instances);
+        let run = client::run_session(addr, &name, &opts).expect("service session");
+        let wl = workload::resolve(&name, instances).expect("known workload");
+        let (solo_a, solo_b) = run_two_party_opts(
+            &wl.circuit,
+            &wl.alices,
+            &wl.bobs,
+            &wl.publics,
+            wl.cycles,
+            &opts,
+        );
+        wait_until("session record", &|| svc.records().len() == k + 1);
+        let record = &svc.records()[k];
+        let solo_garbler: Vec<_> = solo_a.lanes.iter().map(|l| l.stats).collect();
+        let matches_solo = run.outcome.lanes.len() == instances
+            && run
+                .outcome
+                .lanes
+                .iter()
+                .zip(&solo_b.lanes)
+                .all(|(got, want)| got.outputs == want.outputs && got.stats == want.stats)
+            && record.result.as_ref() == Ok(&solo_garbler);
+        let lane = run.outcome.lanes[0].stats;
+        let _ = writeln!(
+            out,
+            "      {{ \"workload\": \"{name}\", \"shards\": {session_shards}, \
+             \"instances\": {instances}, \"per_lane\": {{ \"garbled_tables\": {}, \
+             \"table_bytes\": {}, \"ots\": {} }}, \"matches_solo\": {matches_solo} }}{}",
+            lane.garbled_tables,
+            lane.table_bytes,
+            lane.ots,
+            if k + 1 == SERVICE_MODES.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    wait_until("all service sessions complete", &|| {
+        svc.metrics().sessions_completed == SERVICE_MODES.len() as u64
+    });
+    let m = svc.metrics();
+    svc.shutdown();
+    out.push_str("    ],\n");
+    let _ = writeln!(
+        out,
+        "    \"sessions_completed\": {}, \"sessions_failed\": {}, \
+         \"tables_sent\": {}, \"table_bytes_sent\": {}",
+        m.sessions_completed, m.sessions_failed, m.tables_sent, m.table_bytes_sent
+    );
+    out.push_str("  }\n");
     out
 }
 

@@ -13,13 +13,7 @@ use arm2gc_cpu::programs;
 fn skipgate_circuit_over_naor_pinkas_iknp() {
     let bc = bench_circuits::compare(32, 123_456, 654_321);
     let insecure = run_skipgate_with(&bc, TwoPartyConfig::default());
-    let real = run_skipgate_with(
-        &bc,
-        TwoPartyConfig {
-            ot: OtBackend::NaorPinkasIknp,
-            ..TwoPartyConfig::default()
-        },
-    );
+    let real = run_skipgate_with(&bc, TwoPartyConfig::new().ot(OtBackend::NaorPinkasIknp));
     // The OT backend is transparent to the cost model: same number of
     // logical OTs, same tables, same bytes.
     assert_eq!(insecure, real);
@@ -46,10 +40,7 @@ fn cpu_program_over_naor_pinkas_iknp() {
     let iss = machine.run_iss(&program, alice, bob, 100);
     assert!(iss.halted);
 
-    let cfg = TwoPartyConfig {
-        ot: OtBackend::NaorPinkasIknp,
-        ..TwoPartyConfig::default()
-    };
+    let cfg = TwoPartyConfig::new().ot(OtBackend::NaorPinkasIknp);
     let (run, stats) = machine.run_skipgate_with(&program, alice, bob, 100, cfg);
     assert_eq!(run.output, iss.output);
     assert_eq!(run.cycles, iss.cycles);

@@ -20,13 +20,8 @@ fn skipgate_sharding_preserves_outputs_and_stats() {
         // every run below; here we pin the stats.
         let unsharded = run_skipgate_with(bc, TwoPartyConfig::default());
         for shards in [2, 4] {
-            let sharded = run_skipgate_with(
-                bc,
-                TwoPartyConfig {
-                    shards: ShardConfig::new(shards),
-                    ..TwoPartyConfig::default()
-                },
-            );
+            let sharded =
+                run_skipgate_with(bc, TwoPartyConfig::new().shards(ShardConfig::new(shards)));
             assert_eq!(
                 unsharded, sharded,
                 "{name}: skipgate stats at {shards} shards"
@@ -62,38 +57,22 @@ fn sharding_composes_with_streaming_and_ot_backends() {
     let circuits = table1_circuits(true);
     for bc in &circuits[..3] {
         let name = bc.circuit.name().to_string();
-        let base = run_skipgate_with(
-            bc,
-            TwoPartyConfig {
-                stream: StreamConfig::lockstep(),
-                ..TwoPartyConfig::default()
-            },
-        );
+        let base = run_skipgate_with(bc, TwoPartyConfig::new().stream(StreamConfig::lockstep()));
         let sharded = run_skipgate_with(
             bc,
-            TwoPartyConfig {
-                stream: StreamConfig::lockstep(),
-                shards: ShardConfig::new(3),
-                ..TwoPartyConfig::default()
-            },
+            TwoPartyConfig::new()
+                .stream(StreamConfig::lockstep())
+                .shards(ShardConfig::new(3)),
         );
         assert_eq!(base, sharded, "{name}: lockstep sharding");
     }
     let bc = &circuits[2]; // compare_32: small enough for real OT
-    let base = run_skipgate_with(
-        bc,
-        TwoPartyConfig {
-            ot: OtBackend::NaorPinkasIknp,
-            ..TwoPartyConfig::default()
-        },
-    );
+    let base = run_skipgate_with(bc, TwoPartyConfig::new().ot(OtBackend::NaorPinkasIknp));
     let sharded = run_skipgate_with(
         bc,
-        TwoPartyConfig {
-            ot: OtBackend::NaorPinkasIknp,
-            shards: ShardConfig::new(2),
-            ..TwoPartyConfig::default()
-        },
+        TwoPartyConfig::new()
+            .ot(OtBackend::NaorPinkasIknp)
+            .shards(ShardConfig::new(2)),
     );
     assert_eq!(base, sharded, "sharding with the Naor-Pinkas + IKNP stack");
 }

@@ -100,19 +100,11 @@ fn stream_chunking_does_not_change_stats() {
         assert_eq!(lockstep, chunked, "{name}: lockstep vs chunked");
         assert_eq!(lockstep, default, "{name}: lockstep vs default");
 
-        let skip_lockstep = run_skipgate_with(
-            bc,
-            TwoPartyConfig {
-                stream: StreamConfig::lockstep(),
-                ..TwoPartyConfig::default()
-            },
-        );
+        let skip_lockstep =
+            run_skipgate_with(bc, TwoPartyConfig::new().stream(StreamConfig::lockstep()));
         let skip_chunked = run_skipgate_with(
             bc,
-            TwoPartyConfig {
-                stream: StreamConfig::chunked(1024),
-                ..TwoPartyConfig::default()
-            },
+            TwoPartyConfig::new().stream(StreamConfig::chunked(1024)),
         );
         assert_eq!(skip_lockstep, skip_chunked, "{name}: skipgate streaming");
     }

@@ -33,11 +33,9 @@ const MODES: [ScheduleMode; 2] = [ScheduleMode::Netlist, ScheduleMode::Layered];
 const SHARDS: [usize; 3] = [1, 2, 4];
 
 fn cfg(mode: ScheduleMode, shards: usize) -> TwoPartyConfig {
-    TwoPartyConfig {
-        schedule: mode,
-        shards: ShardConfig::new(shards),
-        ..TwoPartyConfig::default()
-    }
+    TwoPartyConfig::new()
+        .schedule(mode)
+        .shards(ShardConfig::new(shards))
 }
 
 /// SkipGate: all strategies agree with the netlist-order unsharded run

@@ -2,12 +2,12 @@
 //!
 //! This workspace builds without network access, so the handful of
 //! `crossbeam` items it uses are reimplemented here over the standard
-//! library. Provided: [`channel::unbounded`] with the associated
-//! [`channel::Sender`] / [`channel::Receiver`] types, and
-//! [`thread::scope`] with crossbeam's closure-takes-`&Scope` spawning
-//! API. Swap this crate's `path` dependency for the registry
-//! `crossbeam` to get the real thing (the API surface is drop-in
-//! compatible).
+//! library. Provided: [`channel::unbounded`] and [`channel::bounded`]
+//! with the associated [`channel::Sender`] / [`channel::Receiver`]
+//! types, and [`thread::scope`] with crossbeam's
+//! closure-takes-`&Scope` spawning API. Swap this crate's `path`
+//! dependency for the registry `crossbeam` to get the real thing (the
+//! API surface is drop-in compatible).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -115,16 +115,34 @@ pub mod thread {
 }
 
 pub mod channel {
-    //! MPMC-style channels (subset: unbounded MPSC over `std::sync::mpsc`).
+    //! MPMC-style channels (subset: unbounded and bounded MPSC over
+    //! `std::sync::mpsc`). A [`bounded`] channel's `send` blocks while
+    //! the queue is at capacity — the backpressure primitive the
+    //! garbler service builds its per-session send queues on.
 
     use std::fmt;
     use std::sync::mpsc;
 
-    /// Sending half of an unbounded channel.
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
     ///
     /// `send` fails once the receiving half is dropped, matching
-    /// crossbeam's disconnect semantics.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    /// crossbeam's disconnect semantics; on a [`bounded`] channel it
+    /// blocks while the queue is full.
+    pub struct Sender<T>(Tx<T>);
 
     /// Receiving half of an unbounded channel.
     pub struct Receiver<T>(mpsc::Receiver<T>);
@@ -156,13 +174,17 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Sends a message, failing if every receiver is gone.
+        /// Sends a message, failing if every receiver is gone. On a
+        /// [`bounded`] channel this blocks while the queue is full.
         ///
         /// # Errors
         /// Returns [`SendError`] carrying the message back when the
         /// receiving side has disconnected.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+            match &self.0 {
+                Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
         }
     }
 
@@ -185,7 +207,15 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages;
+    /// `send` blocks while the queue is full. `cap` of zero is a
+    /// rendezvous channel (every send waits for a matching receive).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
     }
 
     #[cfg(test)]
@@ -208,6 +238,40 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(7u8), Err(SendError(7)));
+        }
+
+        #[test]
+        fn bounded_send_blocks_at_capacity_until_a_receive() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Arc;
+            use std::time::Duration;
+
+            let (tx, rx) = bounded(2);
+            let sent = Arc::new(AtomicUsize::new(0));
+            let sent2 = sent.clone();
+            let producer = std::thread::spawn(move || {
+                for i in 0..4u8 {
+                    tx.send(i).unwrap();
+                    sent2.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // Give the producer time to fill the queue; it must stall
+            // at capacity (2 queued) rather than run ahead.
+            std::thread::sleep(Duration::from_millis(50));
+            assert_eq!(sent.load(Ordering::SeqCst), 2);
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            producer.join().unwrap();
+            assert_eq!(sent.load(Ordering::SeqCst), 4);
+        }
+
+        #[test]
+        fn bounded_send_fails_after_receiver_drop() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert_eq!(tx.send(9u8), Err(SendError(9)));
         }
     }
 }

@@ -240,6 +240,15 @@ impl Default for SkipGateOptions {
 /// Full configuration of an in-process two-party run: SkipGate options
 /// plus the session layer's OT backend, table-streaming chunking and
 /// table-stream sharding.
+///
+/// `#[non_exhaustive]`: construct with [`TwoPartyConfig::new`] (or
+/// `default()`) and the chained setters, not a struct literal. New code
+/// should prefer the engine-agnostic
+/// [`SessionOptions`](crate::options::SessionOptions) +
+/// [`run_two_party_opts`](crate::drive::run_two_party_opts) surface;
+/// this type remains the configuration of the legacy
+/// [`run_two_party_cfg`] / [`run_two_party_instanced_cfg`] harnesses.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TwoPartyConfig {
     /// SkipGate decision-engine options.
@@ -254,6 +263,49 @@ pub struct TwoPartyConfig {
     /// wavefront vs precomputed topological layers). Transport-only
     /// for the transcript: both modes are byte-identical on the wire.
     pub schedule: ScheduleMode,
+}
+
+impl TwoPartyConfig {
+    /// The default configuration (SkipGate defaults, insecure OT,
+    /// default streaming, unsharded, netlist schedule).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the SkipGate decision-engine options.
+    #[must_use]
+    pub fn options(mut self, options: SkipGateOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Selects the OT backend.
+    #[must_use]
+    pub fn ot(mut self, ot: OtBackend) -> Self {
+        self.ot = ot;
+        self
+    }
+
+    /// Sets the garbler-side table-streaming configuration.
+    #[must_use]
+    pub fn stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Sets the table-stream shard configuration.
+    #[must_use]
+    pub fn shards(mut self, shards: ShardConfig) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Selects the per-cycle execution schedule.
+    #[must_use]
+    pub fn schedule(mut self, schedule: ScheduleMode) -> Self {
+        self.schedule = schedule;
+        self
+    }
 }
 
 /// Per-cycle layering plan: fills `ordinals` with each gate's emission
@@ -1915,10 +1967,7 @@ pub fn run_two_party_with(
         bob,
         public,
         cycles,
-        TwoPartyConfig {
-            options,
-            ..TwoPartyConfig::default()
-        },
+        TwoPartyConfig::new().options(options),
     )
 }
 
@@ -1944,6 +1993,12 @@ pub fn shard_duplexes(shards: ShardConfig) -> (Vec<Box<dyn Channel>>, Vec<Box<dy
 /// backend, table-streaming configuration and table-stream sharding
 /// (one extra in-memory channel pair per shard).
 ///
+/// Thin wrapper over the unified
+/// [`run_two_party_opts`](crate::drive::run_two_party_opts) (a
+/// single-lane SkipGate session); both paths drive the same engine
+/// internals with the same thread/PRG/OT construction sequence, so the
+/// transcript is byte-identical to the historical direct call.
+///
 /// # Panics
 /// Panics if either party fails (test harness semantics).
 pub fn run_two_party_cfg(
@@ -1954,48 +2009,16 @@ pub fn run_two_party_cfg(
     cycles: usize,
     cfg: TwoPartyConfig,
 ) -> (SkipGateOutcome, SkipGateOutcome) {
-    let (mut ca, mut cb) = duplex();
-    let (g_shards, e_shards) = shard_duplexes(cfg.shards);
-    crossbeam::thread::scope(|s| {
-        let garbler = s.spawn(move |_| {
-            let mut prg = Prg::from_entropy();
-            let mut ot = cfg.ot.sender(&mut prg);
-            run_skipgate_garbler_scheduled(
-                circuit,
-                alice,
-                public,
-                cycles,
-                &mut ca,
-                g_shards,
-                ot.as_mut(),
-                &mut prg,
-                cfg.options,
-                cfg.stream,
-                cfg.shards,
-                cfg.schedule,
-            )
-            .expect("skipgate garbler")
-        });
-        let mut prg = Prg::from_entropy();
-        let mut ot = cfg.ot.receiver(&mut prg);
-        let bob_outcome = run_skipgate_evaluator_scheduled(
-            circuit,
-            bob,
-            public,
-            cycles,
-            &mut cb,
-            e_shards,
-            ot.as_mut(),
-            cfg.options,
-            cfg.shards,
-            cfg.schedule,
-        )
-        .expect("skipgate evaluator");
-        (garbler.join().expect("garbler thread"), bob_outcome)
-    })
-    // Re-raise with the original payload so assertion messages from
-    // either party survive the scope's catch_unwind.
-    .unwrap_or_else(|e| std::panic::resume_unwind(e))
+    let (a, b) = crate::drive::run_two_party_opts(
+        circuit,
+        std::slice::from_ref(alice),
+        std::slice::from_ref(bob),
+        std::slice::from_ref(public),
+        cycles,
+        &cfg.into(),
+    );
+    let take = |o: InstancedOutcome| o.lanes.into_iter().next().expect("one lane");
+    (take(a), take(b))
 }
 
 /// [`run_two_party_cfg`] for an instanced session: one garbler and one

@@ -61,11 +61,14 @@
 #![warn(missing_docs)]
 
 pub mod decide;
+pub mod drive;
 pub mod engine;
+pub mod options;
 pub mod state;
 pub mod tag;
 
 pub use decide::{CycleDecisions, DecideContext, DecisionCounts, GateDecision};
+pub use drive::{drive_evaluator, drive_garbler, run_two_party_opts};
 pub use engine::{
     run_skipgate_evaluator, run_skipgate_evaluator_instanced, run_skipgate_evaluator_scheduled,
     run_skipgate_evaluator_sharded, run_skipgate_garbler, run_skipgate_garbler_instanced,
@@ -74,9 +77,10 @@ pub use engine::{
     shard_duplexes, InstancedOutcome, SkipGateOptions, SkipGateOutcome, SkipGateStats,
     TwoPartyConfig,
 };
+pub use options::{EngineKind, SessionOptions};
 pub use state::WireVal;
 pub use tag::{SecretTag, TagAllocator};
 
 pub use arm2gc_circuit::{LayerSchedule, ScheduleMode};
-pub use arm2gc_garble::WavefrontStats;
-pub use arm2gc_proto::{OtBackend, ShardConfig, StreamConfig};
+pub use arm2gc_garble::{ProtocolError, WavefrontStats};
+pub use arm2gc_proto::{ConfigError, OtBackend, ShardConfig, StreamConfig};

@@ -1,0 +1,264 @@
+//! The unified session-configuration surface: [`SessionOptions`].
+//!
+//! Historically every knob combination grew its own entry point —
+//! `run_skipgate_garbler`, `_with`, `_sharded`, `_scheduled`,
+//! `_instanced`, and the `run_two_party{,_with,_cfg,_instanced_cfg}`
+//! harness quartet. [`SessionOptions`] collapses the matrix into one
+//! builder consumed by exactly two drivers
+//! ([`drive_garbler`](crate::drive::drive_garbler) /
+//! [`drive_evaluator`](crate::drive::drive_evaluator)); the legacy
+//! names survive as thin forwarding wrappers pinned byte-identical.
+//!
+//! # Migration map
+//!
+//! | Legacy entry point | Unified form |
+//! |---|---|
+//! | `run_skipgate_garbler(…, options)` | `drive_garbler(…, &SessionOptions::new().filter_dead_gates(options.filter_dead_gates))` |
+//! | `run_skipgate_garbler_with(…, stream)` | `… .stream(stream)` |
+//! | `run_skipgate_garbler_sharded(…, shards)` | `… .shards(shards.shards)` |
+//! | `run_skipgate_garbler_scheduled(…, mode)` | `… .schedule(mode)` |
+//! | `run_skipgate_garbler_instanced(…)` | `… .instances(n)` |
+//! | `run_evaluator*` (baseline crate) | `… .engine(EngineKind::Baseline)` |
+//! | `run_two_party{,_with,_cfg,_instanced_cfg}` | [`run_two_party_opts`](crate::drive::run_two_party_opts) |
+//!
+//! Counts are validated when a driver starts — a zero shard or
+//! instance count is a typed [`ConfigError`] at the session boundary,
+//! never a downstream panic inside channel setup.
+//!
+//! ```
+//! use arm2gc_core::SessionOptions;
+//! let opts = SessionOptions::new().shards(2).instances(8);
+//! assert!(opts.validate().is_ok());
+//! assert!(SessionOptions::new().shards(0).validate().is_err());
+//! ```
+
+use arm2gc_circuit::ScheduleMode;
+use arm2gc_proto::{ConfigError, OtBackend, ShardConfig, StreamConfig};
+
+use crate::engine::SkipGateOptions;
+
+/// Which garbling engine a session runs.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The classic sequential-GC baseline (`arm2gc_garble`): every
+    /// nonlinear gate is garbled, every cycle.
+    Baseline,
+    /// The SkipGate engine (this crate): only category-iv gates with
+    /// surviving label fanout cost tables.
+    #[default]
+    SkipGate,
+}
+
+/// Unified configuration of one garbling session, whichever side drives
+/// it.
+///
+/// Build with [`SessionOptions::new`] plus the chained setters; the
+/// struct is `#[non_exhaustive]` so new knobs can land without breaking
+/// downstream builds. Counts (`shards`, `instances`) are plain integers
+/// here — they are validated into typed errors by [`validate`] /
+/// [`shard_config`], which every driver calls before any protocol state
+/// exists.
+///
+/// [`validate`]: Self::validate
+/// [`shard_config`]: Self::shard_config
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug)]
+pub struct SessionOptions {
+    /// Which engine garbles ([`EngineKind::SkipGate`] by default).
+    pub engine: EngineKind,
+    /// How each cycle's label computations are ordered. Transport-only:
+    /// both modes are byte-identical on the wire. Ignored by instanced
+    /// sessions, which are always layer-scheduled.
+    pub schedule: ScheduleMode,
+    /// Parallel table-stream sub-channels (1 = the legacy single
+    /// stream). Validated into a [`ShardConfig`] at drive time.
+    pub shards: usize,
+    /// Independent circuit instances (lanes) batched through one
+    /// session. `1` is a plain single-instance run; more requires the
+    /// SkipGate engine.
+    pub instances: usize,
+    /// Which OT stack delivers the evaluator's input labels.
+    pub ot: OtBackend,
+    /// Garbler-side table-streaming (chunking) configuration.
+    pub stream: StreamConfig,
+    /// SkipGate decision-engine options (unused by the baseline).
+    pub skipgate: SkipGateOptions,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::default(),
+            schedule: ScheduleMode::default(),
+            shards: 1,
+            instances: 1,
+            ot: OtBackend::default(),
+            stream: StreamConfig::default(),
+            skipgate: SkipGateOptions::default(),
+        }
+    }
+}
+
+impl SessionOptions {
+    /// A single-instance, unsharded SkipGate session with default OT
+    /// and streaming — the starting point for the chained setters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the garbling engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the per-cycle execution schedule.
+    #[must_use]
+    pub fn schedule(mut self, schedule: ScheduleMode) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the table-stream shard count (validated at drive time).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the lane count for cross-instance batching (validated at
+    /// drive time).
+    #[must_use]
+    pub fn instances(mut self, instances: usize) -> Self {
+        self.instances = instances;
+        self
+    }
+
+    /// Selects the OT backend.
+    #[must_use]
+    pub fn ot(mut self, ot: OtBackend) -> Self {
+        self.ot = ot;
+        self
+    }
+
+    /// Sets the garbler-side table-streaming configuration.
+    #[must_use]
+    pub fn stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Toggles SkipGate's dead-gate filtering (Alg. 4 line 18); only
+    /// the ablation benchmark turns it off.
+    #[must_use]
+    pub fn filter_dead_gates(mut self, on: bool) -> Self {
+        self.skipgate.filter_dead_gates = on;
+        self
+    }
+
+    /// Validates every count against the limits the wire format and the
+    /// engines impose.
+    ///
+    /// # Errors
+    /// [`ConfigError::ZeroShards`] / [`ConfigError::TooManyShards`] for
+    /// a shard count outside `1..=255`;
+    /// [`ConfigError::ZeroInstances`] / [`ConfigError::TooManyInstances`]
+    /// for a lane count outside `1..=65535`;
+    /// [`ConfigError::BaselineInstanced`] when the baseline engine is
+    /// paired with more than one lane.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.shard_config()?;
+        match self.instances {
+            0 => return Err(ConfigError::ZeroInstances),
+            n if n > u16::MAX as usize => return Err(ConfigError::TooManyInstances(n)),
+            _ => {}
+        }
+        if self.engine == EngineKind::Baseline && self.instances > 1 {
+            return Err(ConfigError::BaselineInstanced);
+        }
+        Ok(())
+    }
+
+    /// The configuration expressed by a legacy
+    /// [`TwoPartyConfig`](crate::engine::TwoPartyConfig): a single-lane
+    /// SkipGate session.
+    fn from_legacy(cfg: crate::engine::TwoPartyConfig) -> Self {
+        let mut opts = Self::new()
+            .schedule(cfg.schedule)
+            .shards(cfg.shards.shards)
+            .ot(cfg.ot)
+            .stream(cfg.stream);
+        opts.skipgate = cfg.options;
+        opts
+    }
+
+    /// The validated [`ShardConfig`] this session opens channels with.
+    ///
+    /// # Errors
+    /// [`ConfigError::ZeroShards`] / [`ConfigError::TooManyShards`]
+    /// when the count is outside `1..=255`.
+    pub fn shard_config(&self) -> Result<ShardConfig, ConfigError> {
+        ShardConfig::try_new(self.shards)
+    }
+}
+
+impl From<crate::engine::TwoPartyConfig> for SessionOptions {
+    fn from(cfg: crate::engine::TwoPartyConfig) -> Self {
+        Self::from_legacy(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let opts = SessionOptions::new()
+            .engine(EngineKind::Baseline)
+            .schedule(ScheduleMode::Layered)
+            .shards(3)
+            .instances(1)
+            .filter_dead_gates(false);
+        assert_eq!(opts.engine, EngineKind::Baseline);
+        assert_eq!(opts.schedule, ScheduleMode::Layered);
+        assert_eq!(opts.shards, 3);
+        assert_eq!(opts.instances, 1);
+        assert!(!opts.skipgate.filter_dead_gates);
+        assert!(opts.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_counts_are_typed_errors_not_panics() {
+        assert_eq!(
+            SessionOptions::new().shards(0).validate(),
+            Err(ConfigError::ZeroShards)
+        );
+        assert_eq!(
+            SessionOptions::new().instances(0).validate(),
+            Err(ConfigError::ZeroInstances)
+        );
+        assert_eq!(
+            SessionOptions::new().shards(256).validate(),
+            Err(ConfigError::TooManyShards(256))
+        );
+        assert_eq!(
+            SessionOptions::new().instances(1 << 17).validate(),
+            Err(ConfigError::TooManyInstances(1 << 17))
+        );
+    }
+
+    #[test]
+    fn baseline_rejects_instancing() {
+        assert_eq!(
+            SessionOptions::new()
+                .engine(EngineKind::Baseline)
+                .instances(8)
+                .validate(),
+            Err(ConfigError::BaselineInstanced)
+        );
+        assert!(SessionOptions::new().instances(8).validate().is_ok());
+    }
+}

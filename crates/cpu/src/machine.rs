@@ -20,8 +20,8 @@ use arm2gc_circuit::sim::PartyData;
 use arm2gc_circuit::words::{bits_to_words, u32_to_bits};
 use arm2gc_circuit::Circuit;
 use arm2gc_core::{
-    run_two_party_cfg, run_two_party_instanced_cfg, InstancedOutcome, SkipGateOutcome,
-    SkipGateStats, TwoPartyConfig,
+    run_two_party_cfg, run_two_party_instanced_cfg, run_two_party_opts, InstancedOutcome,
+    SessionOptions, SkipGateOutcome, SkipGateStats, TwoPartyConfig,
 };
 
 pub use arm2gc_circuit::{LayerSchedule, ScheduleMode};
@@ -243,10 +243,83 @@ impl GcMachine {
         }
     }
 
+    /// Runs the program through one two-party session described by a
+    /// unified [`SessionOptions`] — the single entry point behind the
+    /// whole `run_skipgate*` family. `alices`/`bobs` carry one input
+    /// word set per configured lane (`opts.instances` entries each; one
+    /// entry for a plain single-instance run).
+    ///
+    /// Returns one [`MachineRun`] per lane plus the garbler's
+    /// [`InstancedOutcome`] (per-lane cost counters and the
+    /// session-wide batching statistics).
+    ///
+    /// Migration from the legacy wrappers (all of which forward to the
+    /// same engine internals, so transcripts are unchanged):
+    ///
+    /// | Legacy method | Unified form |
+    /// |---|---|
+    /// | [`run_skipgate`](Self::run_skipgate) | `run(…, &SessionOptions::new())` |
+    /// | [`run_skipgate_scheduled`](Self::run_skipgate_scheduled) | `… .schedule(mode)` |
+    /// | [`run_skipgate_with`](Self::run_skipgate_with) / [`run_skipgate_outcome`](Self::run_skipgate_outcome) | `… .ot(…)` `.stream(…)` `.shards(n)` |
+    /// | [`run_skipgate_instanced`](Self::run_skipgate_instanced) | `… .instances(n)` |
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid, the lane arrays disagree
+    /// with `opts.instances`, or the parties' outcomes diverge (test
+    /// harness semantics). Build sessions over real transports with
+    /// `arm2gc_core::drive_garbler` / `drive_evaluator` to get typed
+    /// errors instead.
+    pub fn run(
+        &self,
+        prog: &Program,
+        alices: &[Vec<u32>],
+        bobs: &[Vec<u32>],
+        max_cycles: usize,
+        opts: &SessionOptions,
+    ) -> (Vec<MachineRun>, InstancedOutcome) {
+        assert_eq!(alices.len(), bobs.len(), "one Bob input set per lane");
+        let mut lane_alice = Vec::with_capacity(alices.len());
+        let mut lane_bob = Vec::with_capacity(alices.len());
+        let mut lane_public = Vec::with_capacity(alices.len());
+        for (alice, bob) in alices.iter().zip(bobs) {
+            let (a, b, p) = self.party_data(prog, alice, bob);
+            lane_alice.push(a);
+            lane_bob.push(b);
+            lane_public.push(p);
+        }
+        let (alice_out, bob_out) = run_two_party_opts(
+            &self.circuit,
+            &lane_alice,
+            &lane_bob,
+            &lane_public,
+            max_cycles,
+            opts,
+        );
+        assert_eq!(
+            alice_out.batching, bob_out.batching,
+            "parties disagree on batching stats"
+        );
+        let runs = alice_out
+            .lanes
+            .iter()
+            .zip(&bob_out.lanes)
+            .map(|(a, b)| {
+                assert_eq!(a.outputs, b.outputs, "party outputs differ");
+                let out_bits = &a.final_output()[..self.config.out_words * 32];
+                MachineRun {
+                    output: bits_to_words(out_bits),
+                    cycles: a.stats.cycles_run,
+                    halted: a.stats.cycles_run < max_cycles,
+                }
+            })
+            .collect();
+        (runs, alice_out)
+    }
+
     /// Runs the two-party SkipGate protocol (both parties in-process)
     /// with the default session configuration (insecure reference OT,
     /// chunked table streaming). Returns the run plus the garbler's cost
-    /// statistics.
+    /// statistics. Thin wrapper over [`GcMachine::run`].
     pub fn run_skipgate(
         &self,
         prog: &Program,
@@ -275,10 +348,7 @@ impl GcMachine {
             alice,
             bob,
             max_cycles,
-            TwoPartyConfig {
-                schedule,
-                ..TwoPartyConfig::default()
-            },
+            TwoPartyConfig::new().schedule(schedule),
         )
     }
 

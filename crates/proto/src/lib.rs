@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod config;
 pub mod endpoint;
 pub mod session;
 pub mod shard;
 pub mod wire;
 
+pub use config::ConfigError;
 pub use endpoint::OtBackend;
 pub use session::{EvaluatorSession, GarblerSession, OtTunnel, SessionStats, StreamConfig};
 pub use shard::{ShardConfig, ShardPlan};

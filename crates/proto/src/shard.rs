@@ -16,6 +16,8 @@
 //!
 //! [`Message::TableShard`]: crate::wire::Message::TableShard
 
+use crate::config::ConfigError;
+
 /// How a protocol run shards its garbled-table stream.
 ///
 /// Like the evaluator's `table_align` and the garbler's
@@ -48,13 +50,24 @@ impl ShardConfig {
     ///
     /// # Panics
     /// Panics when `shards` is zero or exceeds [`Self::MAX_SHARDS`].
+    /// Session boundaries that must not panic (service requests, CLI
+    /// flags) use [`Self::try_new`] instead.
     pub fn new(shards: usize) -> Self {
-        assert!(
-            (1..=Self::MAX_SHARDS).contains(&shards),
-            "shard count must be in 1..={}",
-            Self::MAX_SHARDS
-        );
-        Self { shards }
+        Self::try_new(shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::new`] returning a typed [`ConfigError`] instead of
+    /// panicking — the session-boundary form.
+    ///
+    /// # Errors
+    /// [`ConfigError::ZeroShards`] / [`ConfigError::TooManyShards`]
+    /// when the count is outside `1..=`[`Self::MAX_SHARDS`].
+    pub fn try_new(shards: usize) -> Result<Self, ConfigError> {
+        match shards {
+            0 => Err(ConfigError::ZeroShards),
+            n if n > Self::MAX_SHARDS => Err(ConfigError::TooManyShards(n)),
+            n => Ok(Self { shards: n }),
+        }
     }
 
     /// Whether this configuration actually shards (more than one
@@ -127,6 +140,16 @@ mod tests {
     #[should_panic(expected = "shard count")]
     fn zero_shards_rejected() {
         let _ = ShardConfig::new(0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert_eq!(ShardConfig::try_new(0), Err(ConfigError::ZeroShards));
+        assert_eq!(
+            ShardConfig::try_new(ShardConfig::MAX_SHARDS + 1),
+            Err(ConfigError::TooManyShards(ShardConfig::MAX_SHARDS + 1))
+        );
+        assert_eq!(ShardConfig::try_new(4), Ok(ShardConfig::new(4)));
     }
 
     #[test]

@@ -15,10 +15,18 @@
 //! | `6` | [`Message::Outputs`] | bit count `u32`, packed bits |
 //! | `7` | [`Message::TableShard`] | shard id `u8`, garbled-table bytes |
 //! | `8` | [`Message::Instances`] | instance count `u16` |
+//! | `9` | [`Message::ServiceRequest`] | shards `u8`, instances `u16`, workload utf-8 |
+//! | `10` | [`Message::ServiceAccept`] | session id `u64` |
+//! | `11` | [`Message::ServiceReject`] | reason utf-8 |
+//! | `12` | [`Message::ServiceAttach`] | session id `u64`, shard `u8` |
 //!
 //! Decoding is strict: unknown tags, truncated bodies, bad magic and
 //! inconsistent lengths all yield [`ProtoError::Malformed`] — never a
-//! panic.
+//! panic. The service preamble frames (tags 9–12) deliberately do *not*
+//! range-check their shard/instance counts: the garbler service
+//! validates them against [`crate::config::ConfigError`] so a bogus
+//! request gets a typed [`Message::ServiceReject`] instead of a framing
+//! error.
 
 use std::error::Error;
 use std::fmt;
@@ -28,6 +36,7 @@ use arm2gc_crypto::Label;
 use arm2gc_ot::OtError;
 
 use crate::bits::{pack_bits, unpack_bits};
+use crate::config::ConfigError;
 
 /// Highest version spoken by this build; [`Message::Hello`] carries it.
 /// Sessions negotiate the *lowest common* version with the peer and
@@ -35,8 +44,12 @@ use crate::bits::{pack_bits, unpack_bits};
 ///
 /// v2 added [`Message::Instances`] (cross-instance batched sessions);
 /// single-instance sessions never send it, so v1 peers interoperate
+/// unchanged. v3 added the service preamble frames
+/// ([`Message::ServiceRequest`] and friends) spoken *before* the
+/// handshake when connecting to the multi-tenant garbler service;
+/// direct two-party sessions never send them, so v2 peers interoperate
 /// unchanged.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest version this build still speaks. A peer advertising anything
 /// `>= MIN_PROTOCOL_VERSION` is accepted; the session then runs at
@@ -54,6 +67,10 @@ pub(crate) const TAG_DECODE_BITS: u8 = 5;
 pub(crate) const TAG_OUTPUTS: u8 = 6;
 pub(crate) const TAG_TABLE_SHARD: u8 = 7;
 pub(crate) const TAG_INSTANCES: u8 = 8;
+pub(crate) const TAG_SERVICE_REQUEST: u8 = 9;
+pub(crate) const TAG_SERVICE_ACCEPT: u8 = 10;
+pub(crate) const TAG_SERVICE_REJECT: u8 = 11;
+pub(crate) const TAG_SERVICE_ATTACH: u8 = 12;
 
 /// Which side of the protocol a session plays.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,6 +115,9 @@ pub enum ProtoError {
     Ot(OtError),
     /// The peer sent something structurally invalid.
     Malformed(&'static str),
+    /// The session configuration was rejected before any protocol state
+    /// existed (see [`ConfigError`]).
+    Config(ConfigError),
 }
 
 impl fmt::Display for ProtoError {
@@ -106,6 +126,7 @@ impl fmt::Display for ProtoError {
             ProtoError::Channel(e) => write!(f, "protocol channel failure: {e}"),
             ProtoError::Ot(e) => write!(f, "protocol ot failure: {e}"),
             ProtoError::Malformed(m) => write!(f, "malformed protocol message: {m}"),
+            ProtoError::Config(e) => write!(f, "invalid session configuration: {e}"),
         }
     }
 }
@@ -121,6 +142,12 @@ impl From<ChannelClosed> for ProtoError {
 impl From<OtError> for ProtoError {
     fn from(e: OtError) -> Self {
         ProtoError::Ot(e)
+    }
+}
+
+impl From<ConfigError> for ProtoError {
+    fn from(e: ConfigError) -> Self {
+        ProtoError::Config(e)
     }
 }
 
@@ -157,6 +184,48 @@ pub enum Message {
     /// greater than one, so single-instance transcripts are unchanged.
     /// Requires protocol version ≥ 2.
     Instances(u16),
+    /// Service preamble: an evaluator asks the multi-tenant garbler
+    /// service for a session of the named workload with the given
+    /// table-stream shard count and instance (lane) count. Spoken as
+    /// the *first* frame on a fresh connection, before the [`Hello`]
+    /// handshake; direct two-party sessions never send it. The counts
+    /// are intentionally not range-checked here — the service rejects
+    /// bogus values with a typed [`Message::ServiceReject`].
+    ///
+    /// [`Hello`]: Message::Hello
+    ServiceRequest {
+        /// Parallel table sub-streams the session should use.
+        shards: u8,
+        /// Lanes of a cross-instance batched session (1 = plain).
+        instances: u16,
+        /// Name of the workload to serve (service-defined registry).
+        workload: String,
+    },
+    /// Service preamble: the request was admitted; the returned session
+    /// id names the session in subsequent [`Message::ServiceAttach`]
+    /// frames. The garbler's [`Message::Hello`] follows on this
+    /// connection once all shard channels are attached.
+    ServiceAccept {
+        /// Service-assigned session identifier.
+        session: u64,
+    },
+    /// Service preamble: the request was refused (invalid
+    /// configuration, unknown workload, or the service is saturated);
+    /// the connection is then closed.
+    ServiceReject {
+        /// Human-readable refusal reason (from
+        /// [`ConfigError`]'s `Display` for configuration errors).
+        reason: String,
+    },
+    /// Service preamble: binds a fresh connection to shard `shard` of
+    /// an accepted session's table stream. Sent once, as the first
+    /// frame on each extra per-shard connection.
+    ServiceAttach {
+        /// Session id from [`Message::ServiceAccept`].
+        session: u64,
+        /// Which sub-stream this connection carries.
+        shard: u8,
+    },
 }
 
 impl Message {
@@ -194,6 +263,32 @@ impl Message {
                 let mut out = Vec::with_capacity(3);
                 out.push(TAG_INSTANCES);
                 out.extend_from_slice(&n.to_le_bytes());
+                out
+            }
+            Message::ServiceRequest {
+                shards,
+                instances,
+                workload,
+            } => {
+                let mut out = Vec::with_capacity(4 + workload.len());
+                out.push(TAG_SERVICE_REQUEST);
+                out.push(*shards);
+                out.extend_from_slice(&instances.to_le_bytes());
+                out.extend_from_slice(workload.as_bytes());
+                out
+            }
+            Message::ServiceAccept { session } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_SERVICE_ACCEPT);
+                out.extend_from_slice(&session.to_le_bytes());
+                out
+            }
+            Message::ServiceReject { reason } => prefixed(TAG_SERVICE_REJECT, reason.as_bytes()),
+            Message::ServiceAttach { session, shard } => {
+                let mut out = Vec::with_capacity(10);
+                out.push(TAG_SERVICE_ATTACH);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.push(*shard);
                 out
             }
         }
@@ -253,6 +348,41 @@ impl Message {
                     return Err(ProtoError::Malformed("zero instance count"));
                 }
                 Ok(Message::Instances(n))
+            }
+            TAG_SERVICE_REQUEST => {
+                if body.len() < 3 {
+                    return Err(ProtoError::Malformed("service request frame too short"));
+                }
+                let shards = body[0];
+                let instances = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes"));
+                let workload = String::from_utf8(body[3..].to_vec())
+                    .map_err(|_| ProtoError::Malformed("workload name not utf-8"))?;
+                Ok(Message::ServiceRequest {
+                    shards,
+                    instances,
+                    workload,
+                })
+            }
+            TAG_SERVICE_ACCEPT => {
+                if body.len() != 8 {
+                    return Err(ProtoError::Malformed("service accept frame size"));
+                }
+                Ok(Message::ServiceAccept {
+                    session: u64::from_le_bytes(body.try_into().expect("8 bytes")),
+                })
+            }
+            TAG_SERVICE_REJECT => Ok(Message::ServiceReject {
+                reason: String::from_utf8(body.to_vec())
+                    .map_err(|_| ProtoError::Malformed("reject reason not utf-8"))?,
+            }),
+            TAG_SERVICE_ATTACH => {
+                if body.len() != 9 {
+                    return Err(ProtoError::Malformed("service attach frame size"));
+                }
+                Ok(Message::ServiceAttach {
+                    session: u64::from_le_bytes(body[0..8].try_into().expect("8 bytes")),
+                    shard: body[8],
+                })
             }
             _ => Err(ProtoError::Malformed("unknown frame tag")),
         }
@@ -333,25 +463,51 @@ mod tests {
         });
         roundtrip(Message::Instances(2));
         roundtrip(Message::Instances(u16::MAX));
+        roundtrip(Message::ServiceRequest {
+            shards: 2,
+            instances: 8,
+            workload: "compare32:7".into(),
+        });
+        roundtrip(Message::ServiceRequest {
+            shards: 0, // bogus counts survive the codec; the service rejects them
+            instances: 0,
+            workload: String::new(),
+        });
+        roundtrip(Message::ServiceAccept { session: 0 });
+        roundtrip(Message::ServiceAccept {
+            session: u64::MAX - 3,
+        });
+        roundtrip(Message::ServiceReject {
+            reason: "shard count must be at least 1".into(),
+        });
+        roundtrip(Message::ServiceAttach {
+            session: 42,
+            shard: 1,
+        });
     }
 
     #[test]
     fn malformed_frames_error_cleanly() {
         let cases: &[&[u8]] = &[
-            &[],                                     // empty
-            &[99, 1, 2, 3],                          // unknown tag
-            &[TAG_HELLO, 1, 2],                      // truncated hello
-            &[TAG_HELLO, 0, 0, 0, 0, 1, 0, 0],       // bad magic
-            &[TAG_DIRECT_LABELS, 1, 2, 3],           // not 16-byte aligned
-            &[TAG_DECODE_BITS, 1],                   // too short for count
-            &[TAG_DECODE_BITS, 9, 0, 0, 0, 0xff],    // says 9 bits, holds 8
-            &[TAG_DECODE_BITS, 3, 0, 0, 0, 0xff],    // nonzero padding bits
-            &[TAG_OUTPUTS, 1, 0, 0, 0, 0xff, 0xff],  // says 1 bit, holds 16
-            &[TAG_OUTPUTS, 5, 0, 0, 0, 0b0010_0000], // padding bit set
-            &[TAG_TABLE_SHARD],                      // missing shard id
-            &[TAG_INSTANCES, 4],                     // truncated count
-            &[TAG_INSTANCES, 4, 0, 0],               // oversized count
-            &[TAG_INSTANCES, 0, 0],                  // zero instances
+            &[],                                           // empty
+            &[99, 1, 2, 3],                                // unknown tag
+            &[TAG_HELLO, 1, 2],                            // truncated hello
+            &[TAG_HELLO, 0, 0, 0, 0, 1, 0, 0],             // bad magic
+            &[TAG_DIRECT_LABELS, 1, 2, 3],                 // not 16-byte aligned
+            &[TAG_DECODE_BITS, 1],                         // too short for count
+            &[TAG_DECODE_BITS, 9, 0, 0, 0, 0xff],          // says 9 bits, holds 8
+            &[TAG_DECODE_BITS, 3, 0, 0, 0, 0xff],          // nonzero padding bits
+            &[TAG_OUTPUTS, 1, 0, 0, 0, 0xff, 0xff],        // says 1 bit, holds 16
+            &[TAG_OUTPUTS, 5, 0, 0, 0, 0b0010_0000],       // padding bit set
+            &[TAG_TABLE_SHARD],                            // missing shard id
+            &[TAG_INSTANCES, 4],                           // truncated count
+            &[TAG_INSTANCES, 4, 0, 0],                     // oversized count
+            &[TAG_INSTANCES, 0, 0],                        // zero instances
+            &[TAG_SERVICE_REQUEST, 1, 8],                  // truncated instances
+            &[TAG_SERVICE_REQUEST, 1, 8, 0, 0xff],         // workload not utf-8
+            &[TAG_SERVICE_ACCEPT, 1, 2, 3],                // short session id
+            &[TAG_SERVICE_REJECT, 0xc3, 0x28],             // reason not utf-8
+            &[TAG_SERVICE_ATTACH, 1, 2, 3, 4, 5, 6, 7, 8], // missing shard byte
         ];
         for raw in cases {
             assert!(

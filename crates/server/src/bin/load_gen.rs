@@ -1,0 +1,174 @@
+//! Load generator for the garbler service.
+//!
+//! Binds an in-process [`GarblerService`] and hammers it with `N`
+//! concurrent evaluator clients across a fixed mix of modes
+//! (`shards ∈ {1,2}` × `instances ∈ {1,8}`, alternating workload
+//! families). Every session's outputs and per-lane cost counters are
+//! checked byte-for-byte against a solo in-process run of the same
+//! workload; any divergence (or failed session) makes the process exit
+//! nonzero, so CI can smoke-run it.
+//!
+//! ```text
+//! cargo run --release -p arm2gc-server --bin load_gen -- --clients 64 --workers 8
+//! ```
+
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+use arm2gc_core::{run_two_party_opts, SessionOptions};
+use arm2gc_server::{client, workload, GarblerService, ServiceConfig};
+
+/// The mode mix every fourth client cycles through.
+const MODES: [(usize, usize); 4] = [(1, 1), (2, 1), (1, 8), (2, 8)];
+
+struct Args {
+    clients: usize,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 64,
+        workers: 8,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<usize, String> {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = value("--clients")?,
+            "--workers" => args.workers = value("--workers")?,
+            "--help" | "-h" => {
+                return Err("usage: load_gen [--clients N] [--workers N]".to_string())
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.clients == 0 || args.workers == 0 {
+        return Err("--clients and --workers must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+/// One client's verdict: `Ok(lanes)` on a verified session.
+fn run_client(addr: std::net::SocketAddr, k: usize) -> Result<usize, String> {
+    let (shards, instances) = MODES[k % MODES.len()];
+    let family = workload::FAMILIES[k % workload::FAMILIES.len()];
+    let name = format!("{family}:{k}");
+    let opts = SessionOptions::new().shards(shards).instances(instances);
+    let run =
+        client::run_session(addr, &name, &opts).map_err(|e| format!("client {k} ({name}): {e}"))?;
+    let wl = workload::resolve(&name, instances).expect("known workload");
+    let (_, solo) = run_two_party_opts(
+        &wl.circuit,
+        &wl.alices,
+        &wl.bobs,
+        &wl.publics,
+        wl.cycles,
+        &opts,
+    );
+    if run.outcome.lanes.len() != instances {
+        return Err(format!("client {k} ({name}): lane count mismatch"));
+    }
+    for (lane, (got, want)) in run.outcome.lanes.iter().zip(&solo.lanes).enumerate() {
+        if got.outputs != want.outputs {
+            return Err(format!(
+                "client {k} ({name}) lane {lane}: outputs diverge from solo run"
+            ));
+        }
+        if got.stats != want.stats {
+            return Err(format!(
+                "client {k} ({name}) lane {lane}: cost counters diverge from solo run"
+            ));
+        }
+        if got.outputs.concat() != wl.expected[lane] {
+            return Err(format!(
+                "client {k} ({name}) lane {lane}: wrong cleartext result"
+            ));
+        }
+    }
+    Ok(instances)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let svc = match GarblerService::bind("127.0.0.1:0", ServiceConfig::new().workers(args.workers))
+    {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = svc.local_addr();
+    println!(
+        "load_gen: {} clients over {} workers at {addr} (modes {MODES:?})",
+        args.clients, args.workers
+    );
+
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|k| {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let _ = tx.send(run_client(addr, k));
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let mut lanes_verified = 0usize;
+    let mut failures = 0usize;
+    for verdict in rx {
+        match verdict {
+            Ok(lanes) => lanes_verified += lanes,
+            Err(msg) => {
+                failures += 1;
+                eprintln!("FAIL {msg}");
+            }
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = start.elapsed();
+
+    let m = svc.metrics();
+    svc.shutdown();
+    let secs = elapsed.as_secs_f64().max(f64::EPSILON);
+    #[allow(clippy::cast_precision_loss)]
+    let tables_per_sec = m.tables_sent as f64 / secs;
+    println!(
+        "sessions: {} accepted, {} completed, {} failed, {} rejected",
+        m.sessions_accepted, m.sessions_completed, m.sessions_failed, m.sessions_rejected
+    );
+    println!(
+        "queues:   job high-water {}, send high-water {} frames",
+        m.job_queue_high_water, m.send_queue_high_water
+    );
+    println!(
+        "volume:   {} tables ({} bytes) in {:.2}s -> {tables_per_sec:.0} tables/sec",
+        m.tables_sent, m.table_bytes_sent, secs
+    );
+    println!("verified: {lanes_verified} lanes byte-equal to solo runs, {failures} failures");
+
+    let all_completed = m.sessions_completed as usize == args.clients;
+    if failures == 0 && all_completed && m.sessions_failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

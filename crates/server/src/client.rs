@@ -1,0 +1,209 @@
+//! Evaluator-side client for the garbler service.
+//!
+//! [`run_session`] is the whole story for most callers: name a
+//! [`workload`], pick [`SessionOptions`], and get back
+//! the session's [`InstancedOutcome`] — the same value a solo
+//! [`run_two_party_opts`](arm2gc_core::run_two_party_opts) run of the
+//! same workload produces, which is exactly how the load generator
+//! verifies the service. [`connect`] exposes the bare preamble
+//! (request and shard attachments) for harnesses that want to drive —
+//! or stall — the session themselves.
+
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+use arm2gc_comm::{Channel, ChannelClosed, TcpChannel};
+use arm2gc_core::{drive_evaluator, InstancedOutcome, ProtocolError, SessionOptions};
+use arm2gc_crypto::Prg;
+use arm2gc_proto::{ConfigError, Message, ProtoError};
+
+use crate::workload;
+
+/// Everything that can go wrong on the client side of a service
+/// session.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The connection dropped mid-frame.
+    Closed,
+    /// An unparsable or out-of-place preamble frame.
+    Proto(ProtoError),
+    /// The service turned the request away (typed reason from its
+    /// `ServiceReject` frame).
+    Rejected(String),
+    /// The requested options fail validation locally, before any
+    /// connection is made.
+    Config(ConfigError),
+    /// The workload name doesn't resolve locally.
+    UnknownWorkload(String),
+    /// The garbling protocol itself failed after the session started.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Closed => write!(f, "connection closed"),
+            ClientError::Proto(e) => write!(f, "preamble error: {e}"),
+            ClientError::Rejected(reason) => write!(f, "service rejected session: {reason}"),
+            ClientError::Config(e) => write!(f, "invalid session options: {e}"),
+            ClientError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ChannelClosed> for ClientError {
+    fn from(_: ChannelClosed) -> Self {
+        ClientError::Closed
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<ConfigError> for ClientError {
+    fn from(e: ConfigError) -> Self {
+        ClientError::Config(e)
+    }
+}
+
+/// An accepted session whose protocol proper has not started yet.
+pub struct Connection {
+    /// The service-assigned session id.
+    pub session: u64,
+    /// The main protocol channel.
+    pub main: TcpChannel,
+    /// Shard sub-channels, in shard order (empty unless sharded).
+    pub shard_chs: Vec<TcpChannel>,
+}
+
+/// Performs the service preamble: sends `ServiceRequest`, awaits the
+/// verdict, and — for sharded sessions — opens and attaches one extra
+/// connection per shard.
+///
+/// # Errors
+/// [`ClientError::Config`] on locally invalid options,
+/// [`ClientError::Rejected`] when the service says no, plus transport
+/// and decode failures.
+pub fn connect(
+    addr: SocketAddr,
+    workload: &str,
+    opts: &SessionOptions,
+) -> Result<Connection, ClientError> {
+    opts.validate()?;
+    let mut main = TcpChannel::from_stream(TcpStream::connect(addr)?)?;
+    main.send(
+        &Message::ServiceRequest {
+            shards: opts.shards as u8,
+            instances: opts.instances as u16,
+            workload: workload.to_string(),
+        }
+        .encode(),
+    )?;
+    let session = match Message::decode(&main.recv()?)? {
+        Message::ServiceAccept { session } => session,
+        Message::ServiceReject { reason } => return Err(ClientError::Rejected(reason)),
+        _ => {
+            return Err(ClientError::Proto(ProtoError::Malformed(
+                "expected verdict",
+            )))
+        }
+    };
+    let mut shard_chs = Vec::new();
+    if opts.shards > 1 {
+        for shard in 0..opts.shards {
+            let mut ch = TcpChannel::from_stream(TcpStream::connect(addr)?)?;
+            ch.send(
+                &Message::ServiceAttach {
+                    session,
+                    shard: shard as u8,
+                }
+                .encode(),
+            )?;
+            shard_chs.push(ch);
+        }
+    }
+    Ok(Connection {
+        session,
+        main,
+        shard_chs,
+    })
+}
+
+/// The result of one complete client session.
+#[derive(Debug)]
+pub struct SessionRun {
+    /// The service-assigned session id.
+    pub session: u64,
+    /// The evaluator-side outcome — outputs and per-lane cost counters
+    /// identical to a solo run of the same workload and options.
+    pub outcome: InstancedOutcome,
+}
+
+/// Connects, attaches shards, and drives the evaluator side of one
+/// session of `workload` end to end.
+///
+/// # Errors
+/// Everything [`connect`] can raise, plus
+/// [`ClientError::UnknownWorkload`] and protocol failures from the
+/// drive itself.
+pub fn run_session(
+    addr: SocketAddr,
+    workload: &str,
+    opts: &SessionOptions,
+) -> Result<SessionRun, ClientError> {
+    let wl = workload::resolve(workload, opts.instances)
+        .ok_or_else(|| ClientError::UnknownWorkload(workload.to_string()))?;
+    let conn = connect(addr, workload, opts)?;
+    drive(conn, &wl, opts)
+}
+
+/// Drives the evaluator over an already established [`Connection`].
+/// Split out of [`run_session`] so harnesses can hold the connection
+/// (e.g. to stall between preamble and protocol) before driving.
+///
+/// # Errors
+/// Protocol failures from the drive.
+pub fn drive(
+    mut conn: Connection,
+    wl: &workload::Workload,
+    opts: &SessionOptions,
+) -> Result<SessionRun, ClientError> {
+    let shard_chs: Vec<Box<dyn Channel>> = conn
+        .shard_chs
+        .into_iter()
+        .map(|c| Box::new(c) as Box<dyn Channel>)
+        .collect();
+    let mut prg = Prg::from_entropy();
+    let mut ot = opts.ot.receiver(&mut prg);
+    let outcome = drive_evaluator(
+        &wl.circuit,
+        &wl.bobs,
+        &wl.publics,
+        wl.cycles,
+        &mut conn.main,
+        shard_chs,
+        ot.as_mut(),
+        opts,
+    )
+    .map_err(ClientError::Protocol)?;
+    Ok(SessionRun {
+        session: conn.session,
+        outcome,
+    })
+}

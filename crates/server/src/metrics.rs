@@ -1,0 +1,145 @@
+//! Deterministic service metrics.
+//!
+//! Every counter is an event count or a queue-depth high-water mark —
+//! no timestamps, no rates — so identical request sequences produce
+//! identical snapshots and the CI harness can pin them byte-for-byte.
+//! Rates (tables/sec) are computed by observers such as the `load_gen`
+//! binary, which own the wall clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters of one [`GarblerService`](crate::GarblerService).
+///
+/// Updated lock-free from the accept loop, preamble threads and worker
+/// jobs; read via [`Metrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    sessions_accepted: AtomicU64,
+    sessions_rejected: AtomicU64,
+    sessions_active: AtomicU64,
+    sessions_completed: AtomicU64,
+    sessions_failed: AtomicU64,
+    tables_sent: AtomicU64,
+    table_bytes_sent: AtomicU64,
+    job_queue_depth: AtomicU64,
+    job_queue_high_water: AtomicU64,
+    send_queue_high_water: AtomicU64,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Sessions whose preamble was accepted (a `ServiceAccept` frame
+    /// was sent).
+    pub sessions_accepted: u64,
+    /// Preambles turned away with a typed `ServiceReject` (bad
+    /// configuration, unknown workload, malformed frame, server busy).
+    pub sessions_rejected: u64,
+    /// Sessions currently garbling on a worker.
+    pub sessions_active: u64,
+    /// Sessions that ran to completion.
+    pub sessions_completed: u64,
+    /// Sessions torn down by a protocol error mid-run.
+    pub sessions_failed: u64,
+    /// Garbled tables sent across all completed sessions.
+    pub tables_sent: u64,
+    /// Bytes of garbled tables across all completed sessions.
+    pub table_bytes_sent: u64,
+    /// Accepted sessions currently waiting for a free worker.
+    pub job_queue_depth: u64,
+    /// Most sessions ever waiting for a worker at once.
+    pub job_queue_high_water: u64,
+    /// Deepest any session's bounded send queue ever got (frames). A
+    /// slow evaluator fills its own queue — and only its own — so this
+    /// rising while other sessions complete is the backpressure
+    /// isolation story in one number.
+    pub send_queue_high_water: u64,
+}
+
+impl Metrics {
+    /// Copies every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sessions_accepted: self.sessions_accepted.load(Ordering::SeqCst),
+            sessions_rejected: self.sessions_rejected.load(Ordering::SeqCst),
+            sessions_active: self.sessions_active.load(Ordering::SeqCst),
+            sessions_completed: self.sessions_completed.load(Ordering::SeqCst),
+            sessions_failed: self.sessions_failed.load(Ordering::SeqCst),
+            tables_sent: self.tables_sent.load(Ordering::SeqCst),
+            table_bytes_sent: self.table_bytes_sent.load(Ordering::SeqCst),
+            job_queue_depth: self.job_queue_depth.load(Ordering::SeqCst),
+            job_queue_high_water: self.job_queue_high_water.load(Ordering::SeqCst),
+            send_queue_high_water: self.send_queue_high_water.load(Ordering::SeqCst),
+        }
+    }
+
+    pub(crate) fn session_accepted(&self) {
+        self.sessions_accepted.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn session_rejected(&self) {
+        self.sessions_rejected.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn job_queued(&self) {
+        let depth = self.job_queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.job_queue_high_water.fetch_max(depth, Ordering::SeqCst);
+    }
+
+    pub(crate) fn job_started(&self) {
+        self.job_queue_depth.fetch_sub(1, Ordering::SeqCst);
+        self.sessions_active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn session_completed(&self, tables: u64, table_bytes: u64) {
+        self.sessions_active.fetch_sub(1, Ordering::SeqCst);
+        self.sessions_completed.fetch_add(1, Ordering::SeqCst);
+        self.tables_sent.fetch_add(tables, Ordering::SeqCst);
+        self.table_bytes_sent
+            .fetch_add(table_bytes, Ordering::SeqCst);
+    }
+
+    pub(crate) fn session_failed(&self) {
+        self.sessions_active.fetch_sub(1, Ordering::SeqCst);
+        self.sessions_failed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Raises the send-queue high-water mark to at least `depth`.
+    pub(crate) fn note_send_queue_depth(&self, depth: u64) {
+        self.send_queue_high_water
+            .fetch_max(depth, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counters_balance() {
+        let m = Metrics::default();
+        m.session_accepted();
+        m.job_queued();
+        m.job_queued();
+        assert_eq!(m.snapshot().job_queue_high_water, 2);
+        m.job_started();
+        m.job_started();
+        m.session_completed(10, 320);
+        m.session_failed();
+        let s = m.snapshot();
+        assert_eq!(s.sessions_active, 0);
+        assert_eq!(s.sessions_completed, 1);
+        assert_eq!(s.sessions_failed, 1);
+        assert_eq!(s.tables_sent, 10);
+        assert_eq!(s.table_bytes_sent, 320);
+        assert_eq!(s.job_queue_depth, 0);
+    }
+
+    #[test]
+    fn high_water_is_monotone() {
+        let m = Metrics::default();
+        m.note_send_queue_depth(5);
+        m.note_send_queue_depth(2);
+        assert_eq!(m.snapshot().send_queue_high_water, 5);
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-session bounded send queues.
+//!
+//! The garbler writes tables much faster than a slow evaluator drains
+//! them. Writing straight to the socket would park the worker inside
+//! the kernel's send buffer with nothing to show for it; sharing one
+//! writer across sessions would let a single stalled evaluator starve
+//! everyone. [`QueuedChannel`] gives every session (and every shard
+//! sub-stream) its *own* writer thread fed by a bounded in-process
+//! queue: the garbling worker blocks only once **its own** queue is
+//! full — backpressure stays session-local by construction.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use arm2gc_comm::{Channel, ChannelClosed, TcpChannel};
+use crossbeam::channel::{bounded, Sender};
+
+use crate::metrics::Metrics;
+
+/// A [`Channel`] over a TCP stream whose sends go through a bounded
+/// queue drained by a dedicated writer thread.
+///
+/// `send` enqueues the frame and returns immediately while the queue
+/// has room; once the peer stops draining and the queue fills, `send`
+/// blocks — that is the session's backpressure point. `recv` reads the
+/// socket directly (the evaluator-to-garbler direction is sparse).
+/// Queue depth is reported to the service-wide
+/// [`Metrics`] high-water mark on every send.
+///
+/// Dropping the channel disconnects the queue; the writer thread drains
+/// what was already enqueued and exits.
+pub struct QueuedChannel {
+    tx: Sender<Vec<u8>>,
+    reader: TcpChannel,
+    depth: Arc<AtomicU64>,
+    metrics: Arc<Metrics>,
+}
+
+impl QueuedChannel {
+    /// Splits `stream` into a direct read half and a queued write half
+    /// with room for `cap` frames.
+    ///
+    /// # Errors
+    /// Propagates socket errors (cloning the stream, `TCP_NODELAY`).
+    pub fn new(stream: TcpStream, cap: usize, metrics: Arc<Metrics>) -> std::io::Result<Self> {
+        let write_half = stream.try_clone()?;
+        let reader = TcpChannel::from_stream(stream)?;
+        let mut writer = TcpChannel::from_stream(write_half)?;
+        let (tx, rx) = bounded::<Vec<u8>>(cap);
+        let depth = Arc::new(AtomicU64::new(0));
+        let writer_depth = Arc::clone(&depth);
+        thread::spawn(move || {
+            // Exits when every sender is gone (session over) or the
+            // socket dies (peer torn down); either way the queue's
+            // remaining frames are dropped with the thread.
+            while let Ok(frame) = rx.recv() {
+                let sent = writer.send(&frame);
+                writer_depth.fetch_sub(1, Ordering::SeqCst);
+                if sent.is_err() {
+                    return;
+                }
+            }
+        });
+        Ok(Self {
+            tx,
+            reader,
+            depth,
+            metrics,
+        })
+    }
+}
+
+impl Channel for QueuedChannel {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+        // Count before enqueueing so a concurrent dequeue can never
+        // make the depth read as zero while a frame is in flight.
+        let depth = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.metrics.note_send_queue_depth(depth);
+        self.tx.send(data.to_vec()).map_err(|_| {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            ChannelClosed
+        })
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+        self.reader.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_flow_through_the_writer_thread() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut ch = TcpChannel::from_stream(stream).unwrap();
+            for i in 0..20u8 {
+                assert_eq!(ch.recv().unwrap(), vec![i; i as usize]);
+            }
+            ch.send(b"reply").unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let metrics = Arc::new(Metrics::default());
+        let mut ch = QueuedChannel::new(stream, 4, Arc::clone(&metrics)).unwrap();
+        for i in 0..20u8 {
+            ch.send(&vec![i; i as usize]).unwrap();
+        }
+        assert_eq!(ch.recv().unwrap(), b"reply");
+        peer.join().unwrap();
+        assert!(metrics.snapshot().send_queue_high_water >= 1);
+    }
+
+    #[test]
+    fn stalled_peer_fills_the_queue_until_drained() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let big = 256 * 1024; // larger than typical socket buffers
+        let peer = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut ch = TcpChannel::from_stream(stream).unwrap();
+            release_rx.recv().unwrap(); // stall: read nothing until told
+            for _ in 0..8 {
+                assert_eq!(ch.recv().unwrap().len(), big);
+            }
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let metrics = Arc::new(Metrics::default());
+        let mut ch = QueuedChannel::new(stream, 2, Arc::clone(&metrics)).unwrap();
+        let sender = thread::spawn(move || {
+            for _ in 0..8 {
+                ch.send(&vec![0u8; big]).unwrap();
+            }
+            ch
+        });
+        // The writer wedges against the stalled peer, the queue tops
+        // out at its bound, and the sender blocks - session-local
+        // backpressure. Unstall and everything drains.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(metrics.snapshot().send_queue_high_water >= 2);
+        release_tx.send(()).unwrap();
+        let _ch = sender.join().unwrap();
+        peer.join().unwrap();
+    }
+}

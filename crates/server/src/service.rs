@@ -1,0 +1,494 @@
+//! The multi-tenant garbler service.
+//!
+//! One [`GarblerService`] accepts TCP connections, performs the typed
+//! service preamble (tags 9–12 of the wire protocol), and multiplexes
+//! every accepted session over a bounded worker pool:
+//!
+//! ```text
+//!             ┌──────────────┐  ServiceRequest   ┌─────────────────┐
+//!  client ───▶│ accept loop  │──────────────────▶│ preamble thread │
+//!             └──────────────┘                   │  validate+match │
+//!                                                └───────┬─────────┘
+//!                                       ServiceAccept /  │ enqueue
+//!                                       ServiceReject    ▼
+//!             ┌──────────────────────────────────────────────────┐
+//!             │ worker pool (N workers, bounded job queue)       │
+//!             │  per session: QueuedChannel(s) → drive_garbler   │
+//!             └──────────────────────────────────────────────────┘
+//! ```
+//!
+//! * A session's shard sub-streams arrive as separate connections
+//!   carrying [`Message::ServiceAttach`]; the service holds the partial
+//!   bundle in a pending map and enqueues the job once every shard is
+//!   attached.
+//! * Each session writes through its own bounded [`QueuedChannel`]s, so
+//!   a slow evaluator backpressures only its own worker — never the
+//!   accept loop, never another session.
+//! * A malformed or failed session is torn down in isolation: its
+//!   sockets drop, [`MetricsSnapshot::sessions_failed`] ticks, and the
+//!   next request is served normally.
+//! * Every counter in the [`Metrics`] registry is deterministic (no
+//!   clocks), so CI pins service-level behaviour byte-for-byte.
+//!
+//! [`Message::ServiceAttach`]: arm2gc_proto::Message::ServiceAttach
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use arm2gc_circuit::ScheduleMode;
+use arm2gc_comm::{Channel, TcpChannel};
+use arm2gc_core::{drive_garbler, SessionOptions, SkipGateStats};
+use arm2gc_crypto::Prg;
+use arm2gc_proto::{Message, OtBackend, StreamConfig};
+use threadpool::ThreadPool;
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::QueuedChannel;
+use crate::workload;
+
+/// Tuning knobs of a [`GarblerService`].
+///
+/// `#[non_exhaustive]`: build with [`ServiceConfig::new`] (or
+/// `default()`) plus the chained setters.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads garbling sessions concurrently.
+    pub workers: usize,
+    /// Most accepted sessions allowed to wait for a worker; beyond
+    /// this, requests are rejected with a typed "server busy".
+    pub max_queued: usize,
+    /// Bound of each session's per-channel send queue (frames). The
+    /// knob that decides how far a garbler may run ahead of a slow
+    /// evaluator before blocking.
+    pub send_queue_frames: usize,
+    /// OT stack every session uses (out-of-band configuration: clients
+    /// must drive with the same backend).
+    pub ot: OtBackend,
+    /// Garbler-side table-streaming configuration.
+    pub stream: StreamConfig,
+    /// Execution schedule for single-lane sessions (transport-only —
+    /// the wire bytes don't depend on it, so clients need not match).
+    pub schedule: ScheduleMode,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_queued: 256,
+            send_queue_frames: 64,
+            ot: OtBackend::default(),
+            stream: StreamConfig::default(),
+            schedule: ScheduleMode::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration (4 workers, 256 queued sessions,
+    /// 64-frame send queues, insecure reference OT).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the accepted-but-waiting session bound.
+    #[must_use]
+    pub fn max_queued(mut self, max_queued: usize) -> Self {
+        self.max_queued = max_queued;
+        self
+    }
+
+    /// Sets the per-channel send-queue bound (frames).
+    #[must_use]
+    pub fn send_queue_frames(mut self, frames: usize) -> Self {
+        self.send_queue_frames = frames;
+        self
+    }
+
+    /// Selects the OT backend.
+    #[must_use]
+    pub fn ot(mut self, ot: OtBackend) -> Self {
+        self.ot = ot;
+        self
+    }
+}
+
+/// What one session did, for the deterministic registry.
+#[derive(Clone, Debug)]
+pub struct SessionRecord {
+    /// Service-assigned session id (dense, in accept order).
+    pub session: u64,
+    /// The workload name the client requested.
+    pub workload: String,
+    /// Negotiated shard count.
+    pub shards: usize,
+    /// Negotiated lane count.
+    pub instances: usize,
+    /// Per-lane cost counters on success, or the teardown reason.
+    pub result: Result<Vec<SkipGateStats>, String>,
+}
+
+/// A session accepted but still waiting for shard attachments.
+struct Pending {
+    workload: String,
+    shards: usize,
+    instances: usize,
+    main: TcpStream,
+    shard_streams: Vec<Option<TcpStream>>,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    metrics: Arc<Metrics>,
+    records: Mutex<Vec<SessionRecord>>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+    pool: ThreadPool,
+}
+
+/// A running multi-tenant garbler service.
+///
+/// Binds a listener, spawns the accept loop, and garbles every
+/// accepted session on the worker pool until [`shutdown`]. The server
+/// plays Alice: each session's inputs come from the requested
+/// deterministic [`workload`].
+///
+/// [`shutdown`]: Self::shutdown
+pub struct GarblerService {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl GarblerService {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting sessions.
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServiceConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            metrics: Arc::new(Metrics::default()),
+            records: Mutex::new(Vec::new()),
+            pending: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            pool: ThreadPool::new(config.workers.max(1)),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Records of every finished session, ordered by session id.
+    pub fn records(&self) -> Vec<SessionRecord> {
+        let mut records = self.shared.records.lock().unwrap().clone();
+        records.sort_by_key(|r| r.session);
+        records
+    }
+
+    /// Stops accepting connections and waits for the accept loop to
+    /// exit. Sessions already running keep their workers until they
+    /// finish on their own; wedged ones are abandoned (the pool
+    /// detaches on drop).
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_accepting(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for GarblerService {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Preamble handling gets its own short-lived thread so a
+        // client that connects and stalls cannot block the accept
+        // loop for everyone else.
+        let shared = Arc::clone(shared);
+        thread::spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+/// Reads and dispatches one connection's first frame.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(pre_stream) = stream.try_clone() else {
+        return;
+    };
+    let Ok(mut pre) = TcpChannel::from_stream(pre_stream) else {
+        return;
+    };
+    let Ok(frame) = pre.recv() else {
+        return;
+    };
+    match Message::decode(&frame) {
+        Ok(Message::ServiceRequest {
+            shards,
+            instances,
+            workload,
+        }) => handle_request(shared, stream, &mut pre, shards, instances, workload),
+        Ok(Message::ServiceAttach { session, shard }) => {
+            handle_attach(shared, stream, &mut pre, session, shard);
+        }
+        _ => reject(shared, &mut pre, "malformed service preamble".into()),
+    }
+}
+
+fn reject(shared: &Arc<Shared>, pre: &mut TcpChannel, reason: String) {
+    shared.metrics.session_rejected();
+    let _ = pre.send(&Message::ServiceReject { reason }.encode());
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    pre: &mut TcpChannel,
+    shards: u8,
+    instances: u16,
+    workload: String,
+) {
+    let check = SessionOptions::new()
+        .shards(shards as usize)
+        .instances(instances as usize);
+    if let Err(e) = check.validate() {
+        return reject(shared, pre, e.to_string());
+    }
+    if workload::resolve(&workload, 1).is_none() {
+        return reject(shared, pre, format!("unknown workload {workload:?}"));
+    }
+    let queued = shared.metrics.snapshot().job_queue_depth;
+    if queued >= shared.config.max_queued as u64 {
+        return reject(
+            shared,
+            pre,
+            format!("server busy: {queued} sessions queued"),
+        );
+    }
+    let session = shared.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+    let shard_count = shards as usize;
+    if shard_count > 1 {
+        // Park until every shard sub-stream attaches. Insert before
+        // sending Accept so an eager client's attach can't miss.
+        shared.pending.lock().unwrap().insert(
+            session,
+            Pending {
+                workload,
+                shards: shard_count,
+                instances: instances as usize,
+                main: stream,
+                shard_streams: (0..shard_count).map(|_| None).collect(),
+            },
+        );
+        if pre
+            .send(&Message::ServiceAccept { session }.encode())
+            .is_err()
+        {
+            shared.pending.lock().unwrap().remove(&session);
+            return;
+        }
+        shared.metrics.session_accepted();
+    } else {
+        if pre
+            .send(&Message::ServiceAccept { session }.encode())
+            .is_err()
+        {
+            return;
+        }
+        shared.metrics.session_accepted();
+        enqueue(
+            shared,
+            session,
+            workload,
+            1,
+            instances as usize,
+            stream,
+            Vec::new(),
+        );
+    }
+}
+
+fn handle_attach(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    pre: &mut TcpChannel,
+    session: u64,
+    shard: u8,
+) {
+    let ready = {
+        let mut pending = shared.pending.lock().unwrap();
+        let Some(entry) = pending.get_mut(&session) else {
+            drop(pending);
+            return reject(shared, pre, format!("unknown session {session}"));
+        };
+        let slot = shard as usize;
+        if slot >= entry.shards {
+            drop(pending);
+            return reject(shared, pre, format!("shard {shard} out of range"));
+        }
+        if entry.shard_streams[slot].is_some() {
+            drop(pending);
+            return reject(shared, pre, format!("shard {shard} already attached"));
+        }
+        entry.shard_streams[slot] = Some(stream);
+        if entry.shard_streams.iter().all(Option::is_some) {
+            pending.remove(&session)
+        } else {
+            None
+        }
+    };
+    if let Some(entry) = ready {
+        enqueue(
+            shared,
+            session,
+            entry.workload,
+            entry.shards,
+            entry.instances,
+            entry.main,
+            entry.shard_streams.into_iter().flatten().collect(),
+        );
+    }
+}
+
+fn enqueue(
+    shared: &Arc<Shared>,
+    session: u64,
+    workload: String,
+    shards: usize,
+    instances: usize,
+    main: TcpStream,
+    shard_streams: Vec<TcpStream>,
+) {
+    shared.metrics.job_queued();
+    let job_shared = Arc::clone(shared);
+    shared.pool.execute(move || {
+        run_session(
+            &job_shared,
+            session,
+            workload,
+            shards,
+            instances,
+            main,
+            shard_streams,
+        );
+    });
+}
+
+fn run_session(
+    shared: &Arc<Shared>,
+    session: u64,
+    workload: String,
+    shards: usize,
+    instances: usize,
+    main: TcpStream,
+    shard_streams: Vec<TcpStream>,
+) {
+    shared.metrics.job_started();
+    let cap = shared.config.send_queue_frames;
+    let result = (|| -> Result<Vec<SkipGateStats>, String> {
+        let wl = workload::resolve(&workload, instances)
+            .ok_or_else(|| format!("workload {workload:?} no longer resolvable"))?;
+        let opts = SessionOptions::new()
+            .shards(shards)
+            .instances(instances)
+            .ot(shared.config.ot)
+            .stream(shared.config.stream)
+            .schedule(shared.config.schedule);
+        let mut main_ch = QueuedChannel::new(main, cap, Arc::clone(&shared.metrics))
+            .map_err(|e| e.to_string())?;
+        let shard_chs = shard_streams
+            .into_iter()
+            .map(|s| {
+                QueuedChannel::new(s, cap, Arc::clone(&shared.metrics))
+                    .map(|c| Box::new(c) as Box<dyn Channel>)
+            })
+            .collect::<io::Result<Vec<_>>>()
+            .map_err(|e| e.to_string())?;
+        let mut prg = Prg::from_entropy();
+        let mut ot = opts.ot.sender(&mut prg);
+        let outcome = drive_garbler(
+            &wl.circuit,
+            &wl.alices,
+            &wl.publics,
+            wl.cycles,
+            &mut main_ch,
+            shard_chs,
+            ot.as_mut(),
+            &mut prg,
+            &opts,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(outcome.lanes.iter().map(|l| l.stats).collect())
+    })();
+    match &result {
+        Ok(stats) => {
+            let tables: u64 = stats.iter().map(|s| s.garbled_tables).sum();
+            let bytes: u64 = stats.iter().map(|s| s.table_bytes).sum();
+            shared.metrics.session_completed(tables, bytes);
+        }
+        // Teardown: the session's channels (and their writer threads)
+        // drop here, closing its sockets; nothing else is touched.
+        Err(_) => shared.metrics.session_failed(),
+    }
+    shared.records.lock().unwrap().push(SessionRecord {
+        session,
+        workload,
+        shards,
+        instances,
+        result,
+    });
+}

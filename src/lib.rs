@@ -17,3 +17,4 @@ pub use arm2gc_crypto as crypto;
 pub use arm2gc_garble as garble;
 pub use arm2gc_ot as ot;
 pub use arm2gc_proto as proto;
+pub use arm2gc_server as server;

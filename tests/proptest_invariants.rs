@@ -122,10 +122,7 @@ proptest! {
         let (a, b, p) = random_inputs(&mut rng, &c, cycles);
         let sim = Simulator::new(&c).run(&a, &b, &p, cycles);
         let (alice1, bob1) = run_two_party(&c, &a, &b, &p, cycles);
-        let cfg = TwoPartyConfig {
-            shards: ShardConfig::new(shards),
-            ..TwoPartyConfig::default()
-        };
+        let cfg = TwoPartyConfig::new().shards(ShardConfig::new(shards));
         let (alice_n, bob_n) = run_two_party_cfg(&c, &a, &b, &p, cycles, cfg);
         prop_assert_eq!(&alice_n.outputs, &sim.outputs);
         prop_assert_eq!(&bob_n.outputs, &sim.outputs);
