@@ -26,10 +26,17 @@
 //! {1,8}), each pinned by its per-lane cost counters and a
 //! `matches_solo` bit asserting byte-equality — outputs and counters on
 //! both sides — against an in-process solo run of the same workload.
+//! Since v6 the service section also carries a `failures` object: a
+//! deterministic fault scenario (one injected fault per failure class —
+//! corrupt frame, peer disconnect, io timeout, attach expiry) run
+//! against a dedicated short-deadline loopback service, pinning the
+//! per-reason failure counters so the typed teardown taxonomy is
+//! CI-enforced alongside the cost model.
 
 use std::fmt::Write as _;
 
 use arm2gc_circuit::{LayerSchedule, ScheduleMode};
+use arm2gc_comm::{Channel, TcpChannel};
 use arm2gc_core::{
     run_two_party_opts, OtBackend, SessionOptions, ShardConfig, StreamConfig, TwoPartyConfig,
 };
@@ -41,7 +48,7 @@ use crate::runner::{
 };
 
 /// Identifies the report layout; bump when fields change.
-pub const SCHEMA: &str = "arm2gc-bench-ci/v5";
+pub const SCHEMA: &str = "arm2gc-bench-ci/v6";
 
 /// Lanes in the report's instanced runs.
 pub const INSTANCES: usize = 8;
@@ -260,10 +267,99 @@ fn service_section() -> String {
     let _ = writeln!(
         out,
         "    \"sessions_completed\": {}, \"sessions_failed\": {}, \
-         \"tables_sent\": {}, \"table_bytes_sent\": {}",
+         \"tables_sent\": {}, \"table_bytes_sent\": {},",
         m.sessions_completed, m.sessions_failed, m.tables_sent, m.table_bytes_sent
     );
+    out.push_str(&failures_section());
     out.push_str("  }\n");
+    out
+}
+
+/// Runs one injected fault per failure class against a dedicated
+/// short-deadline loopback service and renders the per-reason failure
+/// counters. Every count is an exact event count — the scenario is
+/// deterministic by construction, so the baseline pins the typed
+/// teardown taxonomy end to end.
+fn failures_section() -> String {
+    use arm2gc_proto::Message;
+    use std::net::TcpStream;
+
+    let deadline = std::time::Duration::from_millis(200);
+    let svc = GarblerService::bind(
+        "127.0.0.1:0",
+        ServiceConfig::new()
+            .workers(2)
+            .io_timeout(Some(deadline))
+            .attach_timeout(Some(deadline)),
+    )
+    .expect("bind fault-scenario service");
+    let addr = svc.local_addr();
+    let wait_for = |what: &str, cond: &dyn Fn(&arm2gc_server::MetricsSnapshot) -> bool| {
+        let stop = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !cond(&svc.metrics()) {
+            assert!(std::time::Instant::now() < stop, "timed out: {what}");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    };
+    let opts = SessionOptions::new();
+
+    // Corrupt frame: a valid preamble, then garbage where the protocol
+    // handshake belongs.
+    let mut poisoned = client::connect(addr, "sum32:0", &opts).expect("poisoned preamble");
+    let _ = poisoned.main.recv().expect("garbler hello");
+    poisoned
+        .main
+        .send(b"\xffnot a protocol frame")
+        .expect("send garbage");
+    wait_for("corrupt-frame teardown", &|m| m.failed_corrupt_frame == 1);
+
+    // Peer disconnect: a valid preamble, then the client vanishes.
+    let vanishing = client::connect(addr, "sum32:0", &opts).expect("vanishing preamble");
+    drop(vanishing);
+    wait_for("disconnect teardown", &|m| m.failed_peer_disconnect == 1);
+
+    // Io timeout: a valid preamble, then silence past the deadline.
+    let silent = client::connect(addr, "sum32:0", &opts).expect("silent preamble");
+    wait_for("timeout teardown", &|m| m.failed_timeout == 1);
+    drop(silent);
+
+    // Attach expiry: a sharded request whose sub-streams never arrive.
+    let mut parked = TcpChannel::from_stream(TcpStream::connect(addr).expect("connect"))
+        .expect("parked channel");
+    parked
+        .send(
+            &Message::ServiceRequest {
+                shards: 2,
+                instances: 1,
+                workload: "sum32:0".into(),
+            }
+            .encode(),
+        )
+        .expect("parked request");
+    let _ = parked.recv().expect("parked accept");
+    wait_for("attach expiry", &|m| m.rejected_attach_timeout == 1);
+
+    let m = svc.metrics();
+    svc.shutdown();
+    let mut out = String::new();
+    out.push_str("    \"failures\": {\n");
+    out.push_str(
+        "      \"scenario\": \"one injected fault per class over a dedicated \
+         loopback service\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "      \"sessions_failed\": {}, \"failed_timeout\": {}, \
+         \"failed_peer_disconnect\": {}, \"failed_corrupt_frame\": {},",
+        m.sessions_failed, m.failed_timeout, m.failed_peer_disconnect, m.failed_corrupt_frame
+    );
+    let _ = writeln!(
+        out,
+        "      \"failed_shutdown\": {}, \"failed_other\": {}, \
+         \"rejected_attach_timeout\": {}",
+        m.failed_shutdown, m.failed_other, m.rejected_attach_timeout
+    );
+    out.push_str("    }\n");
     out
 }
 

@@ -20,7 +20,7 @@ use arm2gc_bench::runner::{
 use arm2gc_circuit::random::{random_circuit, random_inputs, RandomCircuitParams, TestRng};
 use arm2gc_circuit::sim::{PartyData, Simulator};
 use arm2gc_circuit::{Circuit, CircuitBuilder, OutputMode, Role, ScheduleMode};
-use arm2gc_comm::{duplex, Channel, ChannelClosed};
+use arm2gc_comm::{duplex, Channel, ChannelError};
 use arm2gc_core::{
     run_skipgate_evaluator_instanced, run_skipgate_evaluator_scheduled,
     run_skipgate_garbler_instanced, run_skipgate_garbler_scheduled, run_two_party_cfg,
@@ -107,7 +107,7 @@ impl<C> Recording<C> {
 }
 
 impl<C: Channel> Channel for Recording<C> {
-    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
         self.sent
             .lock()
             .expect("transcript lock")
@@ -115,7 +115,7 @@ impl<C: Channel> Channel for Recording<C> {
         self.inner.send(data)
     }
 
-    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
         self.inner.recv()
     }
 }

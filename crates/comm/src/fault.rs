@@ -1,0 +1,367 @@
+//! Deterministic fault injection for any [`Channel`].
+//!
+//! [`FaultChannel`] wraps a channel and applies a scripted
+//! [`FaultPlan`]: each fault names a direction (send or recv), the
+//! frame index it fires at, and a [`FaultKind`]. Where a fault needs
+//! randomness (which byte to flip, where to truncate), the bytes come
+//! from a splitmix64 stream keyed by `(seed, direction, frame)` — so a
+//! failing run is reproducible from its seed alone, which is the whole
+//! point: the fault-matrix suite in `crates/server` replays exact
+//! failure scenarios and asserts exact typed teardown reasons.
+//!
+//! Faults that model the peer vanishing ([`FaultKind::Disconnect`],
+//! [`FaultKind::ShortWrite`]) drop the inner channel, so a wrapped
+//! socket really closes and the remote side observes a real
+//! disconnect, not a simulation artifact.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::{Channel, ChannelError};
+
+/// What to do to a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Deliver only a seed-chosen strict prefix of the frame (at least
+    /// the first byte — the protocol tag — survives, so the peer sees a
+    /// corrupt body rather than an ambiguous empty frame).
+    Truncate,
+    /// XOR a seed-chosen non-zero mask into a seed-chosen byte past the
+    /// first (the tag byte is preserved so the corruption surfaces as a
+    /// body decode failure attributed to that tag).
+    Corrupt,
+    /// Overwrite exact byte positions: each `(index, mask)` XORs `mask`
+    /// into the byte at `index` (out-of-range indices are ignored).
+    /// Use this when the expected decode failure depends on *which*
+    /// byte breaks.
+    CorruptAt(Vec<(usize, u8)>),
+    /// Silently swallow the frame (send: never transmitted; recv:
+    /// discarded and the next frame is returned instead).
+    DropFrame,
+    /// Sleep this long before the operation proceeds normally — models
+    /// a peer stalled just short of a deadline (or past one).
+    Stall(Duration),
+    /// Deliver a seed-chosen strict prefix of the frame, then close the
+    /// connection — a write that died mid-frame.
+    ShortWrite,
+    /// Close the connection instead of performing the operation; every
+    /// later operation fails with [`ChannelError::Closed`].
+    Disconnect,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Dir {
+    Send,
+    Recv,
+}
+
+/// A scripted fault schedule: which [`FaultKind`] fires at which frame
+/// index, per direction, plus the seed that makes data-dependent
+/// choices (truncation points, flipped bytes) reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: BTreeMap<(Dir, u64), FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// Schedules `kind` to fire on the `frame`-th outbound frame
+    /// (0-based, counted per direction).
+    #[must_use]
+    pub fn on_send(mut self, frame: u64, kind: FaultKind) -> Self {
+        self.faults.insert((Dir::Send, frame), kind);
+        self
+    }
+
+    /// Schedules `kind` to fire on the `frame`-th inbound frame
+    /// (0-based, counted per direction).
+    #[must_use]
+    pub fn on_recv(mut self, frame: u64, kind: FaultKind) -> Self {
+        self.faults.insert((Dir::Recv, frame), kind);
+        self
+    }
+
+    fn get(&self, dir: Dir, frame: u64) -> Option<&FaultKind> {
+        self.faults.get(&(dir, frame))
+    }
+
+    /// Deterministic per-(direction, frame) random stream.
+    fn rng(&self, dir: Dir, frame: u64) -> Splitmix {
+        let dir_tag = match dir {
+            Dir::Send => 0x5eed_5eed_0000_0001,
+            Dir::Recv => 0x5eed_5eed_0000_0002,
+        };
+        Splitmix(self.seed ^ dir_tag ^ frame.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// splitmix64 — tiny, deterministic, dependency-free.
+struct Splitmix(u64);
+
+impl Splitmix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[lo, hi)`; requires `lo < hi`.
+    fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo)
+    }
+}
+
+/// A [`Channel`] wrapper that injects the faults scripted in a
+/// [`FaultPlan`]. See the [module docs](self) for semantics.
+#[derive(Debug)]
+pub struct FaultChannel<C> {
+    inner: Option<C>,
+    plan: FaultPlan,
+    sent: u64,
+    received: u64,
+}
+
+impl<C: Channel> FaultChannel<C> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: C, plan: FaultPlan) -> Self {
+        Self {
+            inner: Some(inner),
+            plan,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// Frames sent so far (counting dropped and faulted ones).
+    pub fn frames_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Frames received so far (counting dropped ones).
+    pub fn frames_received(&self) -> u64 {
+        self.received
+    }
+
+    /// Truncation point for a frame of `len` bytes: keeps at least the
+    /// tag byte, never the whole frame. Single-byte frames cut to the
+    /// tag alone (a zero-length cut would be indistinguishable from a
+    /// legitimate empty frame).
+    fn cut_point(rng: &mut Splitmix, len: usize) -> usize {
+        if len <= 1 {
+            1.min(len)
+        } else {
+            rng.in_range(1, len)
+        }
+    }
+
+    fn mutate(rng: &mut Splitmix, kind: &FaultKind, data: &[u8]) -> Vec<u8> {
+        match kind {
+            FaultKind::Truncate | FaultKind::ShortWrite => {
+                data[..Self::cut_point(rng, data.len())].to_vec()
+            }
+            FaultKind::Corrupt => {
+                let mut out = data.to_vec();
+                if out.len() > 1 {
+                    let idx = rng.in_range(1, out.len());
+                    let mask = (rng.in_range(1, 256)) as u8;
+                    out[idx] ^= mask;
+                } else if let Some(b) = out.first_mut() {
+                    *b ^= 0xff;
+                }
+                out
+            }
+            FaultKind::CorruptAt(spots) => {
+                let mut out = data.to_vec();
+                for &(idx, mask) in spots {
+                    if let Some(b) = out.get_mut(idx) {
+                        *b ^= mask;
+                    }
+                }
+                out
+            }
+            _ => data.to_vec(),
+        }
+    }
+}
+
+impl<C: Channel> Channel for FaultChannel<C> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
+        let frame = self.sent;
+        self.sent += 1;
+        let Some(inner) = self.inner.as_mut() else {
+            return Err(ChannelError::Closed);
+        };
+        match self.plan.get(Dir::Send, frame).cloned() {
+            None => inner.send(data),
+            Some(FaultKind::DropFrame) => Ok(()),
+            Some(FaultKind::Disconnect) => {
+                self.inner = None;
+                Err(ChannelError::Closed)
+            }
+            Some(FaultKind::Stall(d)) => {
+                std::thread::sleep(d);
+                inner.send(data)
+            }
+            Some(kind @ FaultKind::ShortWrite) => {
+                let mut rng = self.plan.rng(Dir::Send, frame);
+                let mangled = Self::mutate(&mut rng, &kind, data);
+                let _ = inner.send(&mangled);
+                self.inner = None;
+                Err(ChannelError::Closed)
+            }
+            Some(kind) => {
+                let mut rng = self.plan.rng(Dir::Send, frame);
+                let mangled = Self::mutate(&mut rng, &kind, data);
+                inner.send(&mangled)
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
+        loop {
+            let frame = self.received;
+            self.received += 1;
+            let Some(inner) = self.inner.as_mut() else {
+                return Err(ChannelError::Closed);
+            };
+            match self.plan.get(Dir::Recv, frame).cloned() {
+                None => return inner.recv(),
+                Some(FaultKind::DropFrame) => {
+                    inner.recv()?;
+                    continue;
+                }
+                Some(FaultKind::Disconnect) => {
+                    self.inner = None;
+                    return Err(ChannelError::Closed);
+                }
+                Some(FaultKind::Stall(d)) => {
+                    std::thread::sleep(d);
+                    return inner.recv();
+                }
+                Some(kind @ FaultKind::ShortWrite) => {
+                    let data = inner.recv()?;
+                    let mut rng = self.plan.rng(Dir::Recv, frame);
+                    let mangled = Self::mutate(&mut rng, &kind, &data);
+                    self.inner = None;
+                    return Ok(mangled);
+                }
+                Some(kind) => {
+                    let data = inner.recv()?;
+                    let mut rng = self.plan.rng(Dir::Recv, frame);
+                    return Ok(Self::mutate(&mut rng, &kind, &data));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duplex;
+
+    #[test]
+    fn fault_free_plan_is_transparent() {
+        let (a, mut b) = duplex();
+        let mut fa = FaultChannel::new(a, FaultPlan::new(7));
+        fa.send(&[1, 2, 3]).unwrap();
+        b.send(&[4]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![1, 2, 3]);
+        assert_eq!(fa.recv().unwrap(), vec![4]);
+        assert_eq!(fa.frames_sent(), 1);
+        assert_eq!(fa.frames_received(), 1);
+    }
+
+    #[test]
+    fn truncate_keeps_tag_and_is_deterministic() {
+        let frame = [9u8, 1, 2, 3, 4, 5, 6, 7];
+        let cut = |seed: u64| {
+            let (a, mut b) = duplex();
+            let mut fa = FaultChannel::new(a, FaultPlan::new(seed).on_send(0, FaultKind::Truncate));
+            fa.send(&frame).unwrap();
+            b.recv().unwrap()
+        };
+        let first = cut(42);
+        assert_eq!(first, cut(42), "same seed, same truncation");
+        assert!(!first.is_empty() && first.len() < frame.len());
+        assert_eq!(first[0], 9, "tag byte survives");
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_non_tag_byte() {
+        let frame = [9u8, 1, 2, 3, 4, 5];
+        let (a, mut b) = duplex();
+        let mut fa = FaultChannel::new(a, FaultPlan::new(3).on_send(0, FaultKind::Corrupt));
+        fa.send(&frame).unwrap();
+        let got = b.recv().unwrap();
+        assert_eq!(got.len(), frame.len());
+        assert_eq!(got[0], 9, "tag byte preserved");
+        let diffs = frame.iter().zip(&got).filter(|(x, y)| x != y).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn corrupt_at_hits_exact_positions() {
+        let frame = [0x10u8, 0x20, 0x30];
+        let (a, mut b) = duplex();
+        let plan = FaultPlan::new(0).on_send(0, FaultKind::CorruptAt(vec![(1, 0xff), (99, 0x01)]));
+        let mut fa = FaultChannel::new(a, plan);
+        fa.send(&frame).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![0x10, 0xdf, 0x30]);
+    }
+
+    #[test]
+    fn disconnect_fails_this_and_all_later_operations() {
+        let (a, mut b) = duplex();
+        let mut fa = FaultChannel::new(a, FaultPlan::new(1).on_send(1, FaultKind::Disconnect));
+        fa.send(&[1]).unwrap();
+        assert_eq!(fa.send(&[2]), Err(ChannelError::Closed));
+        assert_eq!(fa.send(&[3]), Err(ChannelError::Closed));
+        assert_eq!(fa.recv(), Err(ChannelError::Closed));
+        // The peer sees a real close after the one delivered frame.
+        assert_eq!(b.recv().unwrap(), vec![1]);
+        assert_eq!(b.recv(), Err(ChannelError::Closed));
+    }
+
+    #[test]
+    fn drop_frame_on_recv_skips_to_next() {
+        let (mut a, b) = duplex();
+        let mut fb = FaultChannel::new(b, FaultPlan::new(5).on_recv(0, FaultKind::DropFrame));
+        a.send(&[1]).unwrap();
+        a.send(&[2]).unwrap();
+        assert_eq!(fb.recv().unwrap(), vec![2]);
+        assert_eq!(fb.frames_received(), 2);
+    }
+
+    #[test]
+    fn short_write_delivers_prefix_then_closes() {
+        let (a, mut b) = duplex();
+        let mut fa = FaultChannel::new(a, FaultPlan::new(11).on_send(0, FaultKind::ShortWrite));
+        assert_eq!(fa.send(&[9, 1, 2, 3, 4]), Err(ChannelError::Closed));
+        let got = b.recv().unwrap();
+        assert!(!got.is_empty() && got.len() < 5);
+        assert_eq!(got[0], 9);
+        assert_eq!(b.recv(), Err(ChannelError::Closed));
+    }
+
+    #[test]
+    fn stall_delays_but_delivers() {
+        let (a, mut b) = duplex();
+        let plan = FaultPlan::new(2).on_send(0, FaultKind::Stall(Duration::from_millis(30)));
+        let mut fa = FaultChannel::new(a, plan);
+        let t0 = std::time::Instant::now();
+        fa.send(&[7]).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        assert_eq!(b.recv().unwrap(), vec![7]);
+    }
+}

@@ -5,6 +5,17 @@
 //! two protocol threads plus a byte-counting wrapper the benchmark
 //! harness uses to report exact traffic.
 //!
+//! Failures are typed: every channel operation returns a
+//! [`ChannelError`] distinguishing a peer disconnect from an elapsed
+//! read/write deadline from other transport failures, so the layers
+//! above (protocol sessions, the garbler service) can tear down with an
+//! exact reason instead of a generic "closed".
+//!
+//! For robustness testing, [`fault::FaultChannel`] wraps any channel
+//! with a seeded, scripted fault schedule — truncated frames, flipped
+//! bytes, short writes, stalls, hard disconnects — so every failure
+//! mode is deterministically reproducible.
+//!
 //! ```
 //! use arm2gc_comm::{duplex, Channel};
 //! let (mut a, mut b) = duplex();
@@ -15,43 +26,101 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod tcp;
 
+pub use fault::{FaultChannel, FaultKind, FaultPlan};
 pub use tcp::TcpChannel;
 
 use std::error::Error;
 
 use std::fmt;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-/// Error raised when the peer hung up.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ChannelClosed;
+/// Why a channel operation failed.
+///
+/// The distinction matters for containment: a [`Timeout`] means the
+/// peer is alive-but-stalled past a configured deadline, a [`Closed`]
+/// means it hung up, and [`Io`] preserves the original socket error
+/// kind for everything else. Layers above map these onto their own
+/// failure taxonomies (e.g. the garbler service's `SessionError`).
+///
+/// [`Timeout`]: ChannelError::Timeout
+/// [`Closed`]: ChannelError::Closed
+/// [`Io`]: ChannelError::Io
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The peer disconnected (orderly close or end of stream).
+    Closed,
+    /// A configured read or write deadline elapsed before the
+    /// operation completed.
+    Timeout,
+    /// Any other transport failure, with the original
+    /// [`io::ErrorKind`] preserved.
+    Io(io::ErrorKind),
+}
 
-impl fmt::Display for ChannelClosed {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("channel closed by peer")
+impl ChannelError {
+    /// Classifies an [`io::Error`] from a socket operation.
+    ///
+    /// End-of-stream maps to [`Closed`](Self::Closed), elapsed
+    /// `SO_RCVTIMEO`/`SO_SNDTIMEO` deadlines (surfaced as `WouldBlock`
+    /// or `TimedOut` depending on platform) map to
+    /// [`Timeout`](Self::Timeout), everything else keeps its kind.
+    pub fn from_io(e: &io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => ChannelError::Closed,
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ChannelError::Timeout,
+            kind => ChannelError::Io(kind),
+        }
+    }
+
+    /// Whether this failure means the peer went away (as opposed to a
+    /// deadline or a local error): a close, a reset, or a broken pipe.
+    pub fn is_disconnect(&self) -> bool {
+        matches!(
+            self,
+            ChannelError::Closed
+                | ChannelError::Io(
+                    io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::BrokenPipe,
+                )
+        )
     }
 }
 
-impl Error for ChannelClosed {}
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::Closed => f.write_str("channel closed by peer"),
+            ChannelError::Timeout => f.write_str("channel deadline elapsed"),
+            ChannelError::Io(kind) => write!(f, "channel io failure: {kind}"),
+        }
+    }
+}
+
+impl Error for ChannelError {}
 
 /// A reliable, ordered, message-framed duplex byte channel.
 pub trait Channel: Send {
     /// Sends one framed message.
     ///
     /// # Errors
-    /// Returns [`ChannelClosed`] if the peer disconnected.
-    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed>;
+    /// Returns a [`ChannelError`] when the peer disconnected, a write
+    /// deadline elapsed, or the transport failed.
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError>;
 
     /// Receives the next framed message, blocking until one arrives.
     ///
     /// # Errors
-    /// Returns [`ChannelClosed`] if the peer disconnected.
-    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed>;
+    /// Returns a [`ChannelError`] when the peer disconnected, a read
+    /// deadline elapsed, or the transport failed.
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError>;
 }
 
 /// In-memory channel endpoint (crossbeam-backed).
@@ -78,12 +147,14 @@ pub fn duplex() -> (MemChannel, MemChannel) {
 }
 
 impl Channel for MemChannel {
-    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
-        self.tx.send(data.to_vec()).map_err(|_| ChannelClosed)
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
+        self.tx
+            .send(data.to_vec())
+            .map_err(|_| ChannelError::Closed)
     }
 
-    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
-        self.rx.recv().map_err(|_| ChannelClosed)
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
+        self.rx.recv().map_err(|_| ChannelError::Closed)
     }
 }
 
@@ -134,7 +205,7 @@ impl<C: Channel> CountingChannel<C> {
 }
 
 impl<C: Channel> Channel for CountingChannel<C> {
-    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
         self.stats
             .sent_bytes
             .fetch_add(data.len() as u64, Ordering::Relaxed);
@@ -142,7 +213,7 @@ impl<C: Channel> Channel for CountingChannel<C> {
         self.inner.send(data)
     }
 
-    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
         let msg = self.inner.recv()?;
         self.stats
             .recv_bytes
@@ -152,21 +223,21 @@ impl<C: Channel> Channel for CountingChannel<C> {
 }
 
 impl<C: Channel + ?Sized> Channel for &mut C {
-    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
         (**self).send(data)
     }
 
-    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
         (**self).recv()
     }
 }
 
 impl<C: Channel + ?Sized> Channel for Box<C> {
-    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
         (**self).send(data)
     }
 
-    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
         (**self).recv()
     }
 }
@@ -199,7 +270,26 @@ mod tests {
     fn closed_peer_errors() {
         let (mut a, b) = duplex();
         drop(b);
-        assert_eq!(a.send(&[1]), Err(ChannelClosed));
+        assert_eq!(a.send(&[1]), Err(ChannelError::Closed));
+    }
+
+    #[test]
+    fn io_error_classification() {
+        use io::ErrorKind;
+        let eof = io::Error::new(ErrorKind::UnexpectedEof, "eof");
+        assert_eq!(ChannelError::from_io(&eof), ChannelError::Closed);
+        let timeout = io::Error::new(ErrorKind::TimedOut, "slow");
+        assert_eq!(ChannelError::from_io(&timeout), ChannelError::Timeout);
+        let block = io::Error::new(ErrorKind::WouldBlock, "slow");
+        assert_eq!(ChannelError::from_io(&block), ChannelError::Timeout);
+        let reset = io::Error::new(ErrorKind::ConnectionReset, "rst");
+        assert_eq!(
+            ChannelError::from_io(&reset),
+            ChannelError::Io(ErrorKind::ConnectionReset)
+        );
+        assert!(ChannelError::from_io(&reset).is_disconnect());
+        assert!(ChannelError::Closed.is_disconnect());
+        assert!(!ChannelError::Timeout.is_disconnect());
     }
 
     #[test]

@@ -2,12 +2,28 @@
 //! two-machine deployments (the paper's evaluation setting).
 //!
 //! Frames are `u32` little-endian length prefixes followed by the
-//! payload.
+//! payload. The length prefix is attacker-controlled on an untrusted
+//! peer, so [`TcpChannel::recv`] caps it at [`MAX_FRAME_LEN`] before
+//! allocating.
+//!
+//! Read and write deadlines map onto the kernel's
+//! `SO_RCVTIMEO`/`SO_SNDTIMEO` via [`TcpChannel::set_read_timeout`] /
+//! [`TcpChannel::set_write_timeout`]; an elapsed deadline surfaces as
+//! [`ChannelError::Timeout`].
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use crate::{Channel, ChannelClosed};
+use crate::{Channel, ChannelError};
+
+/// Upper bound a single frame's length prefix may claim, in bytes
+/// (64 MiB). Far above any legitimate frame — the largest real frames
+/// are streamed garbled-table chunks well under a megabyte — but small
+/// enough that a hostile length prefix cannot force a multi-gigabyte
+/// allocation. A violating prefix surfaces as
+/// [`ChannelError::Io`]`(InvalidData)`.
+pub const MAX_FRAME_LEN: usize = 1 << 26;
 
 /// A [`Channel`] over a TCP stream.
 #[derive(Debug)]
@@ -54,25 +70,59 @@ impl TcpChannel {
         stream.set_nodelay(true)?;
         Ok(Self { stream })
     }
+
+    /// Sets (or clears, with `None`) the socket read deadline
+    /// (`SO_RCVTIMEO`). A blocked [`recv`](Channel::recv) past the
+    /// deadline returns [`ChannelError::Timeout`].
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sets (or clears, with `None`) the socket write deadline
+    /// (`SO_SNDTIMEO`). A blocked [`send`](Channel::send) past the
+    /// deadline returns [`ChannelError::Timeout`].
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// The underlying stream — for harnesses that need socket-level
+    /// control (e.g. `shutdown`).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
 }
 
 impl Channel for TcpChannel {
-    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
         let len = (data.len() as u32).to_le_bytes();
-        self.stream.write_all(&len).map_err(|_| ChannelClosed)?;
-        self.stream.write_all(data).map_err(|_| ChannelClosed)?;
-        self.stream.flush().map_err(|_| ChannelClosed)
+        self.stream
+            .write_all(&len)
+            .map_err(|e| ChannelError::from_io(&e))?;
+        self.stream
+            .write_all(data)
+            .map_err(|e| ChannelError::from_io(&e))?;
+        self.stream.flush().map_err(|e| ChannelError::from_io(&e))
     }
 
-    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
         let mut len = [0u8; 4];
         self.stream
             .read_exact(&mut len)
-            .map_err(|_| ChannelClosed)?;
-        let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+            .map_err(|e| ChannelError::from_io(&e))?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(ChannelError::Io(std::io::ErrorKind::InvalidData));
+        }
+        let mut buf = vec![0u8; len];
         self.stream
             .read_exact(&mut buf)
-            .map_err(|_| ChannelClosed)?;
+            .map_err(|e| ChannelError::from_io(&e))?;
         Ok(buf)
     }
 }
@@ -115,6 +165,55 @@ mod tests {
         let mut client = TcpChannel::connect(addr).expect("connect");
         client.send(&[]).expect("send empty");
         client.send(&[1]).expect("send");
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn read_deadline_surfaces_as_timeout() {
+        let listener = TcpChannel::listener("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _silent = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(500));
+            drop(stream);
+        });
+        let mut client = TcpChannel::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("set timeout");
+        assert_eq!(client.recv(), Err(ChannelError::Timeout));
+    }
+
+    #[test]
+    fn disconnected_peer_surfaces_as_closed() {
+        let listener = TcpChannel::listener("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            drop(stream);
+        });
+        let mut client = TcpChannel::connect(addr).expect("connect");
+        server.join().expect("server");
+        assert_eq!(client.recv(), Err(ChannelError::Closed));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocating() {
+        let listener = TcpChannel::listener("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Claim a 4 GiB - 1 frame without sending a body.
+            stream.write_all(&u32::MAX.to_le_bytes()).expect("write");
+            stream.flush().expect("flush");
+            // Hold the socket open so the failure is the cap, not EOF.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let mut client = TcpChannel::connect(addr).expect("connect");
+        assert_eq!(
+            client.recv(),
+            Err(ChannelError::Io(std::io::ErrorKind::InvalidData))
+        );
         server.join().expect("server");
     }
 }

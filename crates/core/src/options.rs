@@ -84,6 +84,13 @@ pub struct SessionOptions {
     pub stream: StreamConfig,
     /// SkipGate decision-engine options (unused by the baseline).
     pub skipgate: SkipGateOptions,
+    /// Socket read/write deadline for transports that support one
+    /// (`SO_RCVTIMEO`/`SO_SNDTIMEO` on TCP). `None` — the default —
+    /// blocks forever, matching historical behaviour. The in-memory
+    /// channels the core drivers use ignore it; the garbler service and
+    /// its client apply it to every session socket, so a stalled peer
+    /// surfaces as a typed timeout instead of a wedged thread.
+    pub io_timeout: Option<std::time::Duration>,
 }
 
 impl Default for SessionOptions {
@@ -96,6 +103,7 @@ impl Default for SessionOptions {
             ot: OtBackend::default(),
             stream: StreamConfig::default(),
             skipgate: SkipGateOptions::default(),
+            io_timeout: None,
         }
     }
 }
@@ -155,6 +163,15 @@ impl SessionOptions {
     #[must_use]
     pub fn filter_dead_gates(mut self, on: bool) -> Self {
         self.skipgate.filter_dead_gates = on;
+        self
+    }
+
+    /// Sets (or clears, with `None`) the per-session socket read/write
+    /// deadline. See the field docs: only socket-backed transports
+    /// honour it.
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.io_timeout = timeout;
         self
     }
 
@@ -221,12 +238,15 @@ mod tests {
             .schedule(ScheduleMode::Layered)
             .shards(3)
             .instances(1)
-            .filter_dead_gates(false);
+            .filter_dead_gates(false)
+            .io_timeout(Some(std::time::Duration::from_millis(250)));
         assert_eq!(opts.engine, EngineKind::Baseline);
         assert_eq!(opts.schedule, ScheduleMode::Layered);
         assert_eq!(opts.shards, 3);
         assert_eq!(opts.instances, 1);
         assert!(!opts.skipgate.filter_dead_gates);
+        assert_eq!(opts.io_timeout, Some(std::time::Duration::from_millis(250)));
+        assert_eq!(SessionOptions::new().io_timeout, None);
         assert!(opts.validate().is_ok());
     }
 

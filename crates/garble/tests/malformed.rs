@@ -51,8 +51,10 @@ fn against_fake_garbler_at_version(
 
 fn assert_malformed(result: Result<(), ProtocolError>, what: &str) {
     match result {
-        Err(ProtocolError::Malformed(_)) => {}
-        other => panic!("{what}: expected Malformed, got {other:?}"),
+        // Undecodable frames carry their tag (CorruptFrame); frames
+        // that decode but are invalid here are session-level Malformed.
+        Err(ProtocolError::Malformed(_) | ProtocolError::CorruptFrame { .. }) => {}
+        other => panic!("{what}: expected Malformed/CorruptFrame, got {other:?}"),
     }
 }
 

@@ -33,14 +33,14 @@ pub use naor_pinkas::{NaorPinkasReceiver, NaorPinkasSender};
 use std::error::Error;
 use std::fmt;
 
-use arm2gc_comm::{Channel, ChannelClosed};
+use arm2gc_comm::{Channel, ChannelError};
 use arm2gc_crypto::Label;
 
 /// Errors surfaced by OT protocols.
 #[derive(Debug)]
 pub enum OtError {
     /// The underlying channel failed.
-    Channel(ChannelClosed),
+    Channel(ChannelError),
     /// The peer sent a malformed message.
     Protocol(&'static str),
 }
@@ -56,8 +56,8 @@ impl fmt::Display for OtError {
 
 impl Error for OtError {}
 
-impl From<ChannelClosed> for OtError {
-    fn from(e: ChannelClosed) -> Self {
+impl From<ChannelError> for OtError {
+    fn from(e: ChannelError) -> Self {
         OtError::Channel(e)
     }
 }

@@ -24,7 +24,7 @@
 //!   reassembles tables in gate order,
 //! * the output-revelation exchange (decode colours vs. values).
 
-use arm2gc_comm::{Channel, ChannelClosed};
+use arm2gc_comm::{Channel, ChannelError};
 use arm2gc_crypto::{Delta, Label, Prg};
 use arm2gc_ot::{OtError, OtReceiver, OtSender};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -84,47 +84,51 @@ pub struct SessionStats {
 ///
 /// OT implementations keep speaking [`Channel`]; wrapping the session
 /// channel in an `OtTunnel` makes every byte they exchange a well-formed
-/// protocol frame. A non-`OtPayload` frame arriving mid-OT is recorded
-/// and surfaced as [`ProtoError::Malformed`] once the OT call returns.
+/// protocol frame. A frame arriving mid-OT that fails to decode (or
+/// decodes to something other than `OtPayload`) is recorded and
+/// surfaced verbatim — [`ProtoError::CorruptFrame`] for decode
+/// failures, [`ProtoError::Malformed`] for wrong-frame-here — once the
+/// OT call returns.
 pub struct OtTunnel<'a> {
     ch: &'a mut dyn Channel,
-    malformed: Option<&'static str>,
+    failure: Option<ProtoError>,
 }
 
 impl<'a> OtTunnel<'a> {
     /// Wraps a channel.
     pub fn new(ch: &'a mut dyn Channel) -> Self {
-        Self {
-            ch,
-            malformed: None,
-        }
+        Self { ch, failure: None }
     }
 
     /// Converts an OT result, preferring a recorded framing error (the
     /// OT layer only sees a closed channel when the tunnel rejects a
     /// frame, so the tunnel's diagnosis is the accurate one).
     pub fn finish<T>(self, res: Result<T, OtError>) -> Result<T, ProtoError> {
-        match self.malformed {
-            Some(m) => Err(ProtoError::Malformed(m)),
+        match self.failure {
+            Some(e) => Err(e),
             None => res.map_err(ProtoError::Ot),
         }
     }
 }
 
 impl Channel for OtTunnel<'_> {
-    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
         // Frame in place (tag + body) — IKNP correction matrices run to
         // hundreds of KB, so avoid the Message round-trip's extra copy.
         self.ch.send(&crate::wire::prefixed(TAG_OT_PAYLOAD, data))
     }
 
-    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
         let raw = self.ch.recv()?;
         match Message::decode(&raw) {
             Ok(Message::OtPayload(p)) => Ok(p),
-            _ => {
-                self.malformed = Some("expected ot payload frame");
-                Err(ChannelClosed)
+            Ok(_) => {
+                self.failure = Some(ProtoError::Malformed("expected ot payload frame"));
+                Err(ChannelError::Closed)
+            }
+            Err(e) => {
+                self.failure = Some(e);
+                Err(ChannelError::Closed)
             }
         }
     }
@@ -181,7 +185,7 @@ enum ShardCmd {
 /// sender makes the worker flush its tail and exit.
 struct ShardWorker {
     tx: Option<Sender<ShardCmd>>,
-    handle: Option<std::thread::JoinHandle<Result<(), ChannelClosed>>>,
+    handle: Option<std::thread::JoinHandle<Result<(), ChannelError>>>,
 }
 
 impl ShardWorker {
@@ -194,7 +198,7 @@ impl ShardWorker {
             // Pre-framed `TableShard` message under construction.
             let mut buf = vec![TAG_TABLE_SHARD, shard];
             const HDR: usize = 2;
-            let mut flush = |buf: &mut Vec<u8>| -> Result<(), ChannelClosed> {
+            let mut flush = |buf: &mut Vec<u8>| -> Result<(), ChannelError> {
                 if buf.len() > HDR {
                     ch.send(buf)?;
                     buf.truncate(HDR);
@@ -224,9 +228,9 @@ impl ShardWorker {
     fn push(&self, cmd: ShardCmd) -> Result<(), ProtoError> {
         self.tx
             .as_ref()
-            .ok_or(ProtoError::Channel(ChannelClosed))?
+            .ok_or(ProtoError::Channel(ChannelError::Closed))?
             .send(cmd)
-            .map_err(|_| ProtoError::Channel(ChannelClosed))
+            .map_err(|_| ProtoError::Channel(ChannelError::Closed))
     }
 
     /// Signals shutdown (drops the queue) and joins, surfacing send
@@ -1381,12 +1385,12 @@ mod tests {
     }
 
     impl Channel for Recording<'_> {
-        fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+        fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
             self.sent.push(data.to_vec());
             self.inner.send(data)
         }
 
-        fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+        fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
             self.inner.recv()
         }
     }

@@ -21,8 +21,10 @@
 //! | `12` | [`Message::ServiceAttach`] | session id `u64`, shard `u8` |
 //!
 //! Decoding is strict: unknown tags, truncated bodies, bad magic and
-//! inconsistent lengths all yield [`ProtoError::Malformed`] — never a
-//! panic. The service preamble frames (tags 9–12) deliberately do *not*
+//! inconsistent lengths all yield [`ProtoError::CorruptFrame`] (naming
+//! the offending tag) — never a panic, and never an allocation sized by
+//! attacker-controlled lengths beyond the frame already in hand. The
+//! service preamble frames (tags 9–12) deliberately do *not*
 //! range-check their shard/instance counts: the garbler service
 //! validates them against [`crate::config::ConfigError`] so a bogus
 //! request gets a typed [`Message::ServiceReject`] instead of a framing
@@ -31,7 +33,7 @@
 use std::error::Error;
 use std::fmt;
 
-use arm2gc_comm::ChannelClosed;
+use arm2gc_comm::ChannelError;
 use arm2gc_crypto::Label;
 use arm2gc_ot::OtError;
 
@@ -97,11 +99,11 @@ impl SessionRole {
         }
     }
 
-    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+    fn from_byte(b: u8) -> Result<Self, &'static str> {
         match b {
             0 => Ok(SessionRole::Garbler),
             1 => Ok(SessionRole::Evaluator),
-            _ => Err(ProtoError::Malformed("unknown session role")),
+            _ => Err("unknown session role"),
         }
     }
 }
@@ -110,10 +112,25 @@ impl SessionRole {
 #[derive(Debug)]
 pub enum ProtoError {
     /// Transport failure.
-    Channel(ChannelClosed),
+    Channel(ChannelError),
     /// Oblivious-transfer failure.
     Ot(OtError),
-    /// The peer sent something structurally invalid.
+    /// A received frame failed to decode: `tag` is the frame's leading
+    /// tag byte (or the claimed tag of an unknown frame) and `what`
+    /// says which structural check failed. Produced by
+    /// [`Message::decode`] — pinpointing the tag lets a service log
+    /// and count *which* protocol step a hostile or corrupted peer
+    /// broke at.
+    CorruptFrame {
+        /// The offending frame's tag byte.
+        tag: u8,
+        /// Which structural check failed.
+        what: &'static str,
+    },
+    /// A session-level (not framing-level) protocol violation: the
+    /// frames decoded fine but their contents or order were invalid —
+    /// e.g. a version below the minimum, a role mismatch, an empty
+    /// frame where one was required.
     Malformed(&'static str),
     /// The session configuration was rejected before any protocol state
     /// existed (see [`ConfigError`]).
@@ -125,6 +142,9 @@ impl fmt::Display for ProtoError {
         match self {
             ProtoError::Channel(e) => write!(f, "protocol channel failure: {e}"),
             ProtoError::Ot(e) => write!(f, "protocol ot failure: {e}"),
+            ProtoError::CorruptFrame { tag, what } => {
+                write!(f, "corrupt protocol frame (tag {tag}): {what}")
+            }
             ProtoError::Malformed(m) => write!(f, "malformed protocol message: {m}"),
             ProtoError::Config(e) => write!(f, "invalid session configuration: {e}"),
         }
@@ -133,8 +153,8 @@ impl fmt::Display for ProtoError {
 
 impl Error for ProtoError {}
 
-impl From<ChannelClosed> for ProtoError {
-    fn from(e: ChannelClosed) -> Self {
+impl From<ChannelError> for ProtoError {
+    fn from(e: ChannelError) -> Self {
         ProtoError::Channel(e)
     }
 }
@@ -297,20 +317,28 @@ impl Message {
     /// Parses a frame payload.
     ///
     /// # Errors
-    /// [`ProtoError::Malformed`] on unknown tags, truncated bodies, bad
-    /// magic or inconsistent lengths.
+    /// [`ProtoError::CorruptFrame`] (naming the tag) on unknown tags,
+    /// truncated bodies, bad magic or inconsistent lengths;
+    /// [`ProtoError::Malformed`] only for an empty frame, which has no
+    /// tag to attribute.
     pub fn decode(raw: &[u8]) -> Result<Message, ProtoError> {
         let (&tag, body) = raw
             .split_first()
             .ok_or(ProtoError::Malformed("empty frame"))?;
+        Self::decode_body(tag, body).map_err(|what| ProtoError::CorruptFrame { tag, what })
+    }
+
+    /// Parses one frame body given its tag; errors name the failed
+    /// structural check (the caller attributes them to the tag).
+    fn decode_body(tag: u8, body: &[u8]) -> Result<Message, &'static str> {
         match tag {
             TAG_HELLO => {
                 if body.len() != 7 {
-                    return Err(ProtoError::Malformed("hello frame size"));
+                    return Err("hello frame size");
                 }
                 let magic = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
                 if magic != MAGIC {
-                    return Err(ProtoError::Malformed("bad magic"));
+                    return Err("bad magic");
                 }
                 let version = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
                 let role = SessionRole::from_byte(body[6])?;
@@ -318,7 +346,7 @@ impl Message {
             }
             TAG_DIRECT_LABELS => {
                 if body.len() % 16 != 0 {
-                    return Err(ProtoError::Malformed("direct labels not 16-byte aligned"));
+                    return Err("direct labels not 16-byte aligned");
                 }
                 Ok(Message::DirectLabels(
                     body.chunks_exact(16)
@@ -331,9 +359,7 @@ impl Message {
             TAG_DECODE_BITS => Ok(Message::DecodeBits(decode_bits(body)?)),
             TAG_OUTPUTS => Ok(Message::Outputs(decode_bits(body)?)),
             TAG_TABLE_SHARD => {
-                let (&shard, tables) = body
-                    .split_first()
-                    .ok_or(ProtoError::Malformed("table shard frame too short"))?;
+                let (&shard, tables) = body.split_first().ok_or("table shard frame too short")?;
                 Ok(Message::TableShard {
                     shard,
                     tables: tables.to_vec(),
@@ -341,22 +367,22 @@ impl Message {
             }
             TAG_INSTANCES => {
                 if body.len() != 2 {
-                    return Err(ProtoError::Malformed("instances frame size"));
+                    return Err("instances frame size");
                 }
                 let n = u16::from_le_bytes(body.try_into().expect("2 bytes"));
                 if n == 0 {
-                    return Err(ProtoError::Malformed("zero instance count"));
+                    return Err("zero instance count");
                 }
                 Ok(Message::Instances(n))
             }
             TAG_SERVICE_REQUEST => {
                 if body.len() < 3 {
-                    return Err(ProtoError::Malformed("service request frame too short"));
+                    return Err("service request frame too short");
                 }
                 let shards = body[0];
                 let instances = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes"));
-                let workload = String::from_utf8(body[3..].to_vec())
-                    .map_err(|_| ProtoError::Malformed("workload name not utf-8"))?;
+                let workload =
+                    String::from_utf8(body[3..].to_vec()).map_err(|_| "workload name not utf-8")?;
                 Ok(Message::ServiceRequest {
                     shards,
                     instances,
@@ -365,26 +391,25 @@ impl Message {
             }
             TAG_SERVICE_ACCEPT => {
                 if body.len() != 8 {
-                    return Err(ProtoError::Malformed("service accept frame size"));
+                    return Err("service accept frame size");
                 }
                 Ok(Message::ServiceAccept {
                     session: u64::from_le_bytes(body.try_into().expect("8 bytes")),
                 })
             }
             TAG_SERVICE_REJECT => Ok(Message::ServiceReject {
-                reason: String::from_utf8(body.to_vec())
-                    .map_err(|_| ProtoError::Malformed("reject reason not utf-8"))?,
+                reason: String::from_utf8(body.to_vec()).map_err(|_| "reject reason not utf-8")?,
             }),
             TAG_SERVICE_ATTACH => {
                 if body.len() != 9 {
-                    return Err(ProtoError::Malformed("service attach frame size"));
+                    return Err("service attach frame size");
                 }
                 Ok(Message::ServiceAttach {
                     session: u64::from_le_bytes(body[0..8].try_into().expect("8 bytes")),
                     shard: body[8],
                 })
             }
-            _ => Err(ProtoError::Malformed("unknown frame tag")),
+            _ => Err("unknown frame tag"),
         }
     }
 }
@@ -405,20 +430,22 @@ fn encode_bits(tag: u8, bits: &[bool]) -> Vec<u8> {
     out
 }
 
-fn decode_bits(body: &[u8]) -> Result<Vec<bool>, ProtoError> {
+fn decode_bits(body: &[u8]) -> Result<Vec<bool>, &'static str> {
     if body.len() < 4 {
-        return Err(ProtoError::Malformed("bit frame too short"));
+        return Err("bit frame too short");
     }
     let n = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
     let packed = &body[4..];
+    // The length check precedes any allocation, so a hostile bit count
+    // cannot size a buffer beyond the frame already in hand.
     if packed.len() != n.div_ceil(8) {
-        return Err(ProtoError::Malformed("bit frame length mismatch"));
+        return Err("bit frame length mismatch");
     }
     // Canonical encodings only: padding bits in the last byte are zero.
     if n % 8 != 0 {
         if let Some(&last) = packed.last() {
             if last >> (n % 8) != 0 {
-                return Err(ProtoError::Malformed("nonzero bit-frame padding"));
+                return Err("nonzero bit-frame padding");
             }
         }
     }
@@ -511,10 +538,43 @@ mod tests {
         ];
         for raw in cases {
             assert!(
-                matches!(Message::decode(raw), Err(ProtoError::Malformed(_))),
+                matches!(
+                    Message::decode(raw),
+                    Err(ProtoError::Malformed(_) | ProtoError::CorruptFrame { .. })
+                ),
                 "frame {raw:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn corrupt_frames_name_their_tag() {
+        assert!(matches!(
+            Message::decode(&[TAG_HELLO, 1, 2]),
+            Err(ProtoError::CorruptFrame {
+                tag: TAG_HELLO,
+                what: "hello frame size"
+            })
+        ));
+        assert!(matches!(
+            Message::decode(&[TAG_INSTANCES, 0, 0]),
+            Err(ProtoError::CorruptFrame {
+                tag: TAG_INSTANCES,
+                what: "zero instance count"
+            })
+        ));
+        assert!(matches!(
+            Message::decode(&[99, 1, 2, 3]),
+            Err(ProtoError::CorruptFrame {
+                tag: 99,
+                what: "unknown frame tag"
+            })
+        ));
+        // An empty frame has no tag to attribute.
+        assert!(matches!(
+            Message::decode(&[]),
+            Err(ProtoError::Malformed("empty frame"))
+        ));
     }
 
     #[test]
@@ -527,7 +587,10 @@ mod tests {
         *raw.last_mut().expect("role byte") = 9;
         assert!(matches!(
             Message::decode(&raw),
-            Err(ProtoError::Malformed("unknown session role"))
+            Err(ProtoError::CorruptFrame {
+                tag: TAG_HELLO,
+                what: "unknown session role"
+            })
         ));
     }
 

@@ -1,11 +1,76 @@
 //! Property tests for the wire codec: arbitrary payloads round-trip,
-//! and corrupted frames fail with a clean `Malformed` error — never a
-//! panic.
+//! and corrupted frames — truncated, bit-flipped, or with hostile
+//! length fields — fail with a typed `Malformed`/`CorruptFrame` error:
+//! never a panic, never an allocation sized by attacker-controlled
+//! counts.
 
 use arm2gc_crypto::Label;
 use arm2gc_proto::bits::{pack_bits, unpack_bits};
 use arm2gc_proto::{Message, ProtoError, SessionRole};
 use proptest::prelude::*;
+
+/// One representative frame of every variant, scaled by `seed` so the
+/// fuzz explores different sizes and contents.
+fn sample_frames(seed: u64) -> Vec<Message> {
+    let n = (seed % 17) as usize;
+    let bits: Vec<bool> = (0..n + 1).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+    vec![
+        Message::Hello {
+            version: seed as u16,
+            role: if seed & 1 == 0 {
+                SessionRole::Garbler
+            } else {
+                SessionRole::Evaluator
+            },
+        },
+        Message::DirectLabels(
+            (0..n)
+                .map(|i| Label::from_u128(seed as u128 + i as u128))
+                .collect(),
+        ),
+        Message::Tables(vec![seed as u8; 32 * n]),
+        Message::OtPayload(vec![seed as u8; n * 3]),
+        Message::DecodeBits(bits.clone()),
+        Message::Outputs(bits),
+        Message::TableShard {
+            shard: (seed % 4) as u8,
+            tables: vec![seed as u8; 32 * n],
+        },
+        Message::Instances((seed % 7 + 1) as u16),
+        Message::ServiceRequest {
+            shards: (seed % 4 + 1) as u8,
+            instances: (seed % 7 + 1) as u16,
+            workload: format!("wl{}", seed % 100),
+        },
+        Message::ServiceAccept { session: seed },
+        Message::ServiceReject {
+            reason: format!("reason {}", seed % 100),
+        },
+        Message::ServiceAttach {
+            session: seed,
+            shard: (seed % 4) as u8,
+        },
+    ]
+}
+
+/// Decode must return a typed verdict on hostile input: success (the
+/// corruption happened to keep the frame valid) or a clean
+/// `Malformed`/`CorruptFrame` — panics and unrepresented errors fail
+/// the property.
+fn assert_clean_verdict(raw: &[u8]) -> Result<(), TestCaseError> {
+    match Message::decode(raw) {
+        Ok(_) | Err(ProtoError::Malformed(_)) => Ok(()),
+        Err(ProtoError::CorruptFrame { tag, .. }) => {
+            // The typed tag must be the frame's actual leading byte.
+            prop_assert_eq!(tag, raw[0]);
+            Ok(())
+        }
+        other => {
+            prop_assert!(false, "unexpected decode result: {:?}", other);
+            Ok(())
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -59,27 +124,60 @@ proptest! {
         prop_assert_eq!(Message::decode(&msg.encode()).expect("decode"), msg);
     }
 
-    /// Truncating any valid frame yields `Malformed` or a shorter valid
-    /// frame of the same tag — never a panic, never a misparse into a
-    /// different variant.
+    /// Truncating any valid frame of any variant — at any point past
+    /// the tag byte — yields a typed error or a shorter valid frame of
+    /// the same tag: never a panic.
     #[test]
-    fn truncation_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..80), cut in 0usize..80) {
-        let msg = Message::OtPayload(raw);
-        let mut encoded = msg.encode();
+    fn truncation_never_panics(seed in any::<u64>(), which in 0usize..12, cut in 1usize..2000) {
+        let frames = sample_frames(seed);
+        let mut encoded = frames[which % frames.len()].encode();
+        let tag = encoded[0];
         encoded.truncate(cut.min(encoded.len()));
         match Message::decode(&encoded) {
-            Ok(Message::OtPayload(_)) | Err(ProtoError::Malformed(_)) => {}
+            Ok(_) | Err(ProtoError::Malformed(_)) => {}
+            Err(ProtoError::CorruptFrame { tag: t, .. }) => prop_assert_eq!(t, tag),
             other => prop_assert!(false, "unexpected decode result: {:?}", other),
         }
     }
 
+    /// Flipping any single bit of any valid frame yields a typed
+    /// verdict — never a panic. (The flip may land in opaque payload
+    /// bytes and keep the frame valid; that is a success verdict.)
+    #[test]
+    fn bit_flips_never_panic(seed in any::<u64>(), which in 0usize..12, flip in any::<usize>()) {
+        let frames = sample_frames(seed);
+        let mut encoded = frames[which % frames.len()].encode();
+        let bit = flip % (encoded.len() * 8);
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        assert_clean_verdict(&encoded)?;
+    }
+
     /// Arbitrary byte soup either decodes to *some* message or fails
-    /// with `Malformed` — the decoder never panics on garbage.
+    /// with a typed error — the decoder never panics on garbage.
     #[test]
     fn garbage_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..200)) {
-        match Message::decode(&raw) {
-            Ok(_) | Err(ProtoError::Malformed(_)) => {}
-            other => prop_assert!(false, "unexpected decode result: {:?}", other),
+        if raw.is_empty() {
+            prop_assert!(matches!(Message::decode(&raw), Err(ProtoError::Malformed(_))));
+        } else {
+            assert_clean_verdict(&raw)?;
+        }
+    }
+
+    /// Hostile internal count fields (a bit count far beyond the
+    /// actual payload) are rejected by arithmetic before any allocation
+    /// sized by them could happen.
+    #[test]
+    fn hostile_counts_are_rejected(count in any::<u32>()) {
+        // A DecodeBits frame claiming `count` bits but carrying none.
+        let mut raw = Message::DecodeBits(Vec::new()).encode();
+        raw[1..5].copy_from_slice(&count.to_le_bytes());
+        if count == 0 {
+            prop_assert_eq!(Message::decode(&raw).expect("decode"), Message::DecodeBits(Vec::new()));
+        } else {
+            prop_assert!(matches!(
+                Message::decode(&raw),
+                Err(ProtoError::CorruptFrame { .. })
+            ));
         }
     }
 }
@@ -92,6 +190,6 @@ fn oversized_bit_count_is_malformed() {
     raw[1] = 200; // claim 200 bits, provide 1 byte
     assert!(matches!(
         Message::decode(&raw),
-        Err(ProtoError::Malformed(_))
+        Err(ProtoError::CorruptFrame { .. })
     ));
 }

@@ -18,7 +18,7 @@ use std::thread;
 use std::time::Instant;
 
 use arm2gc_core::{run_two_party_opts, SessionOptions};
-use arm2gc_server::{client, workload, GarblerService, ServiceConfig};
+use arm2gc_server::{client, workload, GarblerService, RetryPolicy, ServiceConfig};
 
 /// The mode mix every fourth client cycles through.
 const MODES: [(usize, usize); 4] = [(1, 1), (2, 1), (1, 8), (2, 8)];
@@ -62,8 +62,15 @@ fn run_client(addr: std::net::SocketAddr, k: usize) -> Result<usize, String> {
     let family = workload::FAMILIES[k % workload::FAMILIES.len()];
     let name = format!("{family}:{k}");
     let opts = SessionOptions::new().shards(shards).instances(instances);
-    let run =
-        client::run_session(addr, &name, &opts).map_err(|e| format!("client {k} ({name}): {e}"))?;
+    // Retry transient connect failures (a briefly saturated accept
+    // backlog under hundreds of simultaneous clients) with a backoff
+    // seeded per client so the herd spreads out deterministically.
+    let policy = RetryPolicy {
+        seed: k as u64,
+        ..RetryPolicy::default()
+    };
+    let run = client::run_session_with_retry(addr, &name, &opts, &policy)
+        .map_err(|e| format!("client {k} ({name}): {e}"))?;
     let wl = workload::resolve(&name, instances).expect("known workload");
     let (_, solo) = run_two_party_opts(
         &wl.circuit,
@@ -154,6 +161,17 @@ fn main() -> ExitCode {
     println!(
         "sessions: {} accepted, {} completed, {} failed, {} rejected",
         m.sessions_accepted, m.sessions_completed, m.sessions_failed, m.sessions_rejected
+    );
+    println!(
+        "failures: {} timeout, {} disconnect, {} corrupt, {} shutdown, {} other, \
+         {} attach-expired, {} preamble-expired",
+        m.failed_timeout,
+        m.failed_peer_disconnect,
+        m.failed_corrupt_frame,
+        m.failed_shutdown,
+        m.failed_other,
+        m.rejected_attach_timeout,
+        m.rejected_preamble_timeout
     );
     println!(
         "queues:   job high-water {}, send high-water {} frames",

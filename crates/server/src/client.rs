@@ -8,12 +8,20 @@
 //! verifies the service. [`connect`] exposes the bare preamble
 //! (request and shard attachments) for harnesses that want to drive —
 //! or stall — the session themselves.
+//!
+//! Transient connection failures (refused, reset, timed out) can be
+//! absorbed with a deterministic capped-exponential [`RetryPolicy`]
+//! via [`connect_with_retry`] / [`run_session_with_retry`]; permanent
+//! answers (a typed `ServiceReject`, local config errors) are never
+//! retried, and giving up surfaces as
+//! [`ClientError::RetriesExhausted`] wrapping the last failure.
 
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
-use arm2gc_comm::{Channel, ChannelClosed, TcpChannel};
+use arm2gc_comm::{Channel, ChannelError, TcpChannel};
 use arm2gc_core::{drive_evaluator, InstancedOutcome, ProtocolError, SessionOptions};
 use arm2gc_crypto::Prg;
 use arm2gc_proto::{ConfigError, Message, ProtoError};
@@ -28,6 +36,9 @@ pub enum ClientError {
     Io(io::Error),
     /// The connection dropped mid-frame.
     Closed,
+    /// A socket read/write deadline elapsed (see
+    /// [`SessionOptions::io_timeout`]).
+    Timeout,
     /// An unparsable or out-of-place preamble frame.
     Proto(ProtoError),
     /// The service turned the request away (typed reason from its
@@ -40,6 +51,14 @@ pub enum ClientError {
     UnknownWorkload(String),
     /// The garbling protocol itself failed after the session started.
     Protocol(ProtocolError),
+    /// Every attempt allowed by the [`RetryPolicy`] failed with a
+    /// transient error; `last` is the final one.
+    RetriesExhausted {
+        /// How many connection attempts were made.
+        attempts: u32,
+        /// The failure of the last attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -47,16 +66,46 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "socket error: {e}"),
             ClientError::Closed => write!(f, "connection closed"),
+            ClientError::Timeout => write!(f, "socket deadline elapsed"),
             ClientError::Proto(e) => write!(f, "preamble error: {e}"),
             ClientError::Rejected(reason) => write!(f, "service rejected session: {reason}"),
             ClientError::Config(e) => write!(f, "invalid session options: {e}"),
             ClientError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Whether retrying the whole connection could plausibly succeed.
+    ///
+    /// Transient: connection refused/reset/aborted, broken pipe, socket
+    /// timeouts, and mid-frame closes (a restarting or momentarily
+    /// overloaded service). Permanent: typed rejections, local config
+    /// errors, unknown workloads, decode and protocol failures — the
+    /// answer won't change.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Closed | ClientError::Timeout => true,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::UnexpectedEof
+            ),
+            _ => false,
+        }
+    }
+}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
@@ -64,9 +113,13 @@ impl From<io::Error> for ClientError {
     }
 }
 
-impl From<ChannelClosed> for ClientError {
-    fn from(_: ChannelClosed) -> Self {
-        ClientError::Closed
+impl From<ChannelError> for ClientError {
+    fn from(e: ChannelError) -> Self {
+        match e {
+            ChannelError::Closed => ClientError::Closed,
+            ChannelError::Timeout => ClientError::Timeout,
+            ChannelError::Io(kind) => ClientError::Io(io::Error::from(kind)),
+        }
     }
 }
 
@@ -82,7 +135,66 @@ impl From<ConfigError> for ClientError {
     }
 }
 
+/// Deterministic capped-exponential backoff for connection attempts.
+///
+/// Delays double from [`base_delay`](Self::base_delay) up to
+/// [`max_delay`](Self::max_delay), with deterministic jitter derived
+/// from [`seed`](Self::seed) — two clients with different seeds spread
+/// out, while a fixed seed reproduces the exact retry schedule in
+/// tests.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total connection attempts (including the first); 0 is treated
+    /// as 1.
+    pub attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(640),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before attempt `attempt + 1` (so `delay(0)` is
+    /// slept after the first failure): the capped exponential
+    /// `base * 2^attempt`, jittered deterministically into its upper
+    /// half `[exp/2, exp]`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_delay);
+        let exp_us = exp.as_micros() as u64;
+        if exp_us == 0 {
+            return Duration::ZERO;
+        }
+        // splitmix64 of (seed, attempt): cheap, stateless, and good
+        // enough to decorrelate clients.
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jittered = exp_us / 2 + z % (exp_us / 2 + 1);
+        Duration::from_micros(jittered)
+    }
+}
+
 /// An accepted session whose protocol proper has not started yet.
+#[derive(Debug)]
 pub struct Connection {
     /// The service-assigned session id.
     pub session: u64,
@@ -92,9 +204,19 @@ pub struct Connection {
     pub shard_chs: Vec<TcpChannel>,
 }
 
+/// Connects one socket to the service and applies the session's io
+/// deadline from `opts` before any frame moves.
+fn connect_socket(addr: SocketAddr, opts: &SessionOptions) -> Result<TcpChannel, ClientError> {
+    let ch = TcpChannel::from_stream(TcpStream::connect(addr)?)?;
+    ch.set_read_timeout(opts.io_timeout)?;
+    ch.set_write_timeout(opts.io_timeout)?;
+    Ok(ch)
+}
+
 /// Performs the service preamble: sends `ServiceRequest`, awaits the
 /// verdict, and — for sharded sessions — opens and attaches one extra
-/// connection per shard.
+/// connection per shard. Any `io_timeout` in `opts` is applied to
+/// every socket before the first frame.
 ///
 /// # Errors
 /// [`ClientError::Config`] on locally invalid options,
@@ -106,7 +228,7 @@ pub fn connect(
     opts: &SessionOptions,
 ) -> Result<Connection, ClientError> {
     opts.validate()?;
-    let mut main = TcpChannel::from_stream(TcpStream::connect(addr)?)?;
+    let mut main = connect_socket(addr, opts)?;
     main.send(
         &Message::ServiceRequest {
             shards: opts.shards as u8,
@@ -127,7 +249,7 @@ pub fn connect(
     let mut shard_chs = Vec::new();
     if opts.shards > 1 {
         for shard in 0..opts.shards {
-            let mut ch = TcpChannel::from_stream(TcpStream::connect(addr)?)?;
+            let mut ch = connect_socket(addr, opts)?;
             ch.send(
                 &Message::ServiceAttach {
                     session,
@@ -142,6 +264,38 @@ pub fn connect(
         session,
         main,
         shard_chs,
+    })
+}
+
+/// [`connect`] with transient failures retried under `policy`.
+///
+/// Only [transient](ClientError::is_transient) errors are retried — a
+/// typed rejection or config error returns immediately, un-wrapped.
+///
+/// # Errors
+/// [`ClientError::RetriesExhausted`] once every allowed attempt failed
+/// transiently; otherwise the first permanent error.
+pub fn connect_with_retry(
+    addr: SocketAddr,
+    workload: &str,
+    opts: &SessionOptions,
+    policy: &RetryPolicy,
+) -> Result<Connection, ClientError> {
+    let attempts = policy.attempts.max(1);
+    let mut last: Option<ClientError> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(policy.delay(attempt - 1));
+        }
+        match connect(addr, workload, opts) {
+            Ok(conn) => return Ok(conn),
+            Err(e) if e.is_transient() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(ClientError::RetriesExhausted {
+        attempts,
+        last: Box::new(last.expect("at least one attempt ran")),
     })
 }
 
@@ -170,6 +324,24 @@ pub fn run_session(
     let wl = workload::resolve(workload, opts.instances)
         .ok_or_else(|| ClientError::UnknownWorkload(workload.to_string()))?;
     let conn = connect(addr, workload, opts)?;
+    drive(conn, &wl, opts)
+}
+
+/// [`run_session`] with the *connection* phase retried under `policy`.
+/// Failures after the session started are not retried — the garbling
+/// transcript is stateful, so a broken session can only be reported.
+///
+/// # Errors
+/// Everything [`connect_with_retry`] and [`drive`] can raise.
+pub fn run_session_with_retry(
+    addr: SocketAddr,
+    workload: &str,
+    opts: &SessionOptions,
+    policy: &RetryPolicy,
+) -> Result<SessionRun, ClientError> {
+    let wl = workload::resolve(workload, opts.instances)
+        .ok_or_else(|| ClientError::UnknownWorkload(workload.to_string()))?;
+    let conn = connect_with_retry(addr, workload, opts, policy)?;
     drive(conn, &wl, opts)
 }
 
@@ -206,4 +378,44 @@ pub fn drive(
         session: conn.session,
         outcome,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered_into_the_upper_half() {
+        let p = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(640),
+            seed: 42,
+        };
+        for attempt in 0..8 {
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << attempt)
+                .min(p.max_delay);
+            let d = p.delay(attempt);
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {attempt}: {d:?} vs {exp:?}"
+            );
+            // Deterministic: same policy, same schedule.
+            assert_eq!(d, p.delay(attempt));
+        }
+        // Different seeds decorrelate at least one step of the schedule.
+        let q = RetryPolicy { seed: 43, ..p };
+        assert!((0..8).any(|a| p.delay(a) != q.delay(a)));
+    }
+
+    #[test]
+    fn transience_is_judged_by_class() {
+        assert!(ClientError::Closed.is_transient());
+        assert!(ClientError::Timeout.is_transient());
+        assert!(ClientError::Io(io::Error::from(io::ErrorKind::ConnectionRefused)).is_transient());
+        assert!(!ClientError::Rejected("busy".into()).is_transient());
+        assert!(!ClientError::UnknownWorkload("x".into()).is_transient());
+        assert!(!ClientError::Proto(ProtoError::Malformed("expected verdict")).is_transient());
+    }
 }

@@ -14,28 +14,38 @@
 //! * **Backpressure isolation** — each session writes through its own
 //!   bounded [`QueuedChannel`], so one slow evaluator stalls only its
 //!   own worker, never the accept loop or another tenant.
-//! * **Graceful teardown** — a malformed frame or mid-protocol failure
-//!   tears down exactly that session (sockets dropped, failure
-//!   counted); the service keeps serving.
+//! * **Failure containment** — a corrupt frame, disconnect, or elapsed
+//!   deadline tears down exactly that session with one typed
+//!   [`SessionError`], counted per reason in [`Metrics`]; co-tenants
+//!   are untouched and the service keeps serving.
+//! * **Deadlines end-to-end** — the preamble read, shard attachment
+//!   (a reaper expires parked bundles), per-session socket io, and a
+//!   drain window on graceful shutdown are all bounded.
 //! * **Deterministic metrics** — the [`Metrics`] registry counts
 //!   events and queue high-water marks only, never clocks, so CI pins
 //!   service behaviour exactly; rates live in observers like the
 //!   `load_gen` binary.
 //!
-//! The evaluator side lives in [`client`]; deterministic named
-//! [`workload`]s give both parties their inputs so a session can be
-//! verified bit-for-bit against a solo run.
+//! The evaluator side lives in [`client`], including a deterministic
+//! capped-backoff [`RetryPolicy`] for transient connection failures;
+//! deterministic named [`workload`]s give both parties their inputs so
+//! a session can be verified bit-for-bit against a solo run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod error;
 pub mod metrics;
 pub mod queue;
 pub mod service;
 pub mod workload;
 
-pub use client::{connect, run_session, ClientError, Connection, SessionRun};
+pub use client::{
+    connect, connect_with_retry, run_session, run_session_with_retry, ClientError, Connection,
+    RetryPolicy, SessionRun,
+};
+pub use error::{FailureReason, SessionError};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::QueuedChannel;
 pub use service::{GarblerService, ServiceConfig, SessionRecord};

@@ -5,8 +5,15 @@
 //! identical snapshots and the CI harness can pin them byte-for-byte.
 //! Rates (tables/sec) are computed by observers such as the `load_gen`
 //! binary, which own the wall clock.
+//!
+//! Failures are accounted per reason: `sessions_failed` always equals
+//! the sum of the `failed_*` buckets plus `rejected_attach_timeout`
+//! (parked sessions the reaper expired), so the fault-matrix suite can
+//! assert exact books after every injected fault.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::FailureReason;
 
 /// Shared counters of one [`GarblerService`](crate::GarblerService).
 ///
@@ -19,6 +26,13 @@ pub struct Metrics {
     sessions_active: AtomicU64,
     sessions_completed: AtomicU64,
     sessions_failed: AtomicU64,
+    failed_timeout: AtomicU64,
+    failed_peer_disconnect: AtomicU64,
+    failed_corrupt_frame: AtomicU64,
+    failed_shutdown: AtomicU64,
+    failed_other: AtomicU64,
+    rejected_attach_timeout: AtomicU64,
+    rejected_preamble_timeout: AtomicU64,
     tables_sent: AtomicU64,
     table_bytes_sent: AtomicU64,
     job_queue_depth: AtomicU64,
@@ -33,14 +47,38 @@ pub struct MetricsSnapshot {
     /// was sent).
     pub sessions_accepted: u64,
     /// Preambles turned away with a typed `ServiceReject` (bad
-    /// configuration, unknown workload, malformed frame, server busy).
+    /// configuration, unknown workload, malformed frame, server busy)
+    /// or abandoned at the preamble deadline.
     pub sessions_rejected: u64,
     /// Sessions currently garbling on a worker.
     pub sessions_active: u64,
     /// Sessions that ran to completion.
     pub sessions_completed: u64,
-    /// Sessions torn down by a protocol error mid-run.
+    /// Sessions torn down after acceptance — by a mid-run failure, the
+    /// attach reaper, or shutdown. Always the sum of the `failed_*`
+    /// buckets plus [`rejected_attach_timeout`].
+    ///
+    /// [`rejected_attach_timeout`]: Self::rejected_attach_timeout
     pub sessions_failed: u64,
+    /// Failed sessions whose socket deadline elapsed.
+    pub failed_timeout: u64,
+    /// Failed sessions whose peer disconnected mid-run.
+    pub failed_peer_disconnect: u64,
+    /// Failed sessions torn down by an undecodable frame.
+    pub failed_corrupt_frame: u64,
+    /// Sessions (parked or running) torn down by service shutdown.
+    pub failed_shutdown: u64,
+    /// Failed sessions outside the dedicated buckets (io, config,
+    /// workload, session-level protocol violations).
+    pub failed_other: u64,
+    /// Parked sharded sessions the reaper expired because their
+    /// remaining `ServiceAttach` connections never arrived in time.
+    /// Counted inside [`sessions_failed`](Self::sessions_failed).
+    pub rejected_attach_timeout: u64,
+    /// Connections dropped because no complete preamble frame arrived
+    /// within the preamble deadline. Counted inside
+    /// [`sessions_rejected`](Self::sessions_rejected).
+    pub rejected_preamble_timeout: u64,
     /// Garbled tables sent across all completed sessions.
     pub tables_sent: u64,
     /// Bytes of garbled tables across all completed sessions.
@@ -65,6 +103,13 @@ impl Metrics {
             sessions_active: self.sessions_active.load(Ordering::SeqCst),
             sessions_completed: self.sessions_completed.load(Ordering::SeqCst),
             sessions_failed: self.sessions_failed.load(Ordering::SeqCst),
+            failed_timeout: self.failed_timeout.load(Ordering::SeqCst),
+            failed_peer_disconnect: self.failed_peer_disconnect.load(Ordering::SeqCst),
+            failed_corrupt_frame: self.failed_corrupt_frame.load(Ordering::SeqCst),
+            failed_shutdown: self.failed_shutdown.load(Ordering::SeqCst),
+            failed_other: self.failed_other.load(Ordering::SeqCst),
+            rejected_attach_timeout: self.rejected_attach_timeout.load(Ordering::SeqCst),
+            rejected_preamble_timeout: self.rejected_preamble_timeout.load(Ordering::SeqCst),
             tables_sent: self.tables_sent.load(Ordering::SeqCst),
             table_bytes_sent: self.table_bytes_sent.load(Ordering::SeqCst),
             job_queue_depth: self.job_queue_depth.load(Ordering::SeqCst),
@@ -79,6 +124,14 @@ impl Metrics {
 
     pub(crate) fn session_rejected(&self) {
         self.sessions_rejected.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A connection dropped at the preamble deadline: rejected, in the
+    /// dedicated bucket.
+    pub(crate) fn preamble_timeout(&self) {
+        self.sessions_rejected.fetch_add(1, Ordering::SeqCst);
+        self.rejected_preamble_timeout
+            .fetch_add(1, Ordering::SeqCst);
     }
 
     pub(crate) fn job_queued(&self) {
@@ -99,9 +152,32 @@ impl Metrics {
             .fetch_add(table_bytes, Ordering::SeqCst);
     }
 
-    pub(crate) fn session_failed(&self) {
+    /// A running session tore down; `reason` picks the bucket.
+    pub(crate) fn session_failed(&self, reason: FailureReason) {
         self.sessions_active.fetch_sub(1, Ordering::SeqCst);
         self.sessions_failed.fetch_add(1, Ordering::SeqCst);
+        let bucket = match reason {
+            FailureReason::Timeout => &self.failed_timeout,
+            FailureReason::PeerDisconnect => &self.failed_peer_disconnect,
+            FailureReason::CorruptFrame => &self.failed_corrupt_frame,
+            FailureReason::Shutdown => &self.failed_shutdown,
+            FailureReason::Other => &self.failed_other,
+        };
+        bucket.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A parked sharded session expired awaiting attachments. It never
+    /// ran, so `sessions_active` is untouched.
+    pub(crate) fn attach_expired(&self) {
+        self.sessions_failed.fetch_add(1, Ordering::SeqCst);
+        self.rejected_attach_timeout.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A parked sharded session was discarded by shutdown. It never
+    /// ran, so `sessions_active` is untouched.
+    pub(crate) fn parked_shutdown(&self) {
+        self.sessions_failed.fetch_add(1, Ordering::SeqCst);
+        self.failed_shutdown.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Raises the send-queue high-water mark to at least `depth`.
@@ -125,14 +201,48 @@ mod tests {
         m.job_started();
         m.job_started();
         m.session_completed(10, 320);
-        m.session_failed();
+        m.session_failed(FailureReason::PeerDisconnect);
         let s = m.snapshot();
         assert_eq!(s.sessions_active, 0);
         assert_eq!(s.sessions_completed, 1);
         assert_eq!(s.sessions_failed, 1);
+        assert_eq!(s.failed_peer_disconnect, 1);
         assert_eq!(s.tables_sent, 10);
         assert_eq!(s.table_bytes_sent, 320);
         assert_eq!(s.job_queue_depth, 0);
+    }
+
+    #[test]
+    fn failure_buckets_sum_to_total() {
+        let m = Metrics::default();
+        for _ in 0..5 {
+            m.job_queued();
+            m.job_started();
+        }
+        m.session_failed(FailureReason::Timeout);
+        m.session_failed(FailureReason::PeerDisconnect);
+        m.session_failed(FailureReason::CorruptFrame);
+        m.session_failed(FailureReason::Shutdown);
+        m.session_failed(FailureReason::Other);
+        m.attach_expired();
+        m.parked_shutdown();
+        m.preamble_timeout();
+        let s = m.snapshot();
+        assert_eq!(s.sessions_failed, 7);
+        assert_eq!(
+            s.failed_timeout
+                + s.failed_peer_disconnect
+                + s.failed_corrupt_frame
+                + s.failed_shutdown
+                + s.failed_other
+                + s.rejected_attach_timeout,
+            s.sessions_failed
+        );
+        assert_eq!(s.failed_shutdown, 2, "running + parked shutdown");
+        assert_eq!(s.rejected_attach_timeout, 1);
+        assert_eq!(s.sessions_rejected, 1);
+        assert_eq!(s.rejected_preamble_timeout, 1);
+        assert_eq!(s.sessions_active, 0);
     }
 
     #[test]

@@ -8,13 +8,18 @@
 //! sub-stream) its *own* writer thread fed by a bounded in-process
 //! queue: the garbling worker blocks only once **its own** queue is
 //! full — backpressure stays session-local by construction.
+//!
+//! When the writer thread dies on a socket error, the error is parked
+//! in a shared slot and the queue is disconnected, so the next `send`
+//! returns the *original* typed [`ChannelError`] immediately instead of
+//! blocking forever against a queue nobody drains.
 
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
-use arm2gc_comm::{Channel, ChannelClosed, TcpChannel};
+use arm2gc_comm::{Channel, ChannelError, TcpChannel};
 use crossbeam::channel::{bounded, Sender};
 
 use crate::metrics::Metrics;
@@ -24,9 +29,11 @@ use crate::metrics::Metrics;
 ///
 /// `send` enqueues the frame and returns immediately while the queue
 /// has room; once the peer stops draining and the queue fills, `send`
-/// blocks — that is the session's backpressure point. `recv` reads the
-/// socket directly (the evaluator-to-garbler direction is sparse).
-/// Queue depth is reported to the service-wide
+/// blocks — that is the session's backpressure point. If the writer
+/// thread has died on a socket error, `send` instead fails immediately
+/// with that error. `recv` reads the socket directly (the
+/// evaluator-to-garbler direction is sparse), honouring any socket
+/// read deadline. Queue depth is reported to the service-wide
 /// [`Metrics`] high-water mark on every send.
 ///
 /// Dropping the channel disconnects the queue; the writer thread drains
@@ -35,6 +42,7 @@ pub struct QueuedChannel {
     tx: Sender<Vec<u8>>,
     reader: TcpChannel,
     depth: Arc<AtomicU64>,
+    fail: Arc<Mutex<Option<ChannelError>>>,
     metrics: Arc<Metrics>,
 }
 
@@ -50,15 +58,20 @@ impl QueuedChannel {
         let mut writer = TcpChannel::from_stream(write_half)?;
         let (tx, rx) = bounded::<Vec<u8>>(cap);
         let depth = Arc::new(AtomicU64::new(0));
+        let fail = Arc::new(Mutex::new(None));
         let writer_depth = Arc::clone(&depth);
+        let writer_fail = Arc::clone(&fail);
         thread::spawn(move || {
             // Exits when every sender is gone (session over) or the
-            // socket dies (peer torn down); either way the queue's
-            // remaining frames are dropped with the thread.
+            // socket dies (peer torn down). On death the original error
+            // is parked first, *then* the thread returns — dropping
+            // `rx` disconnects the queue, so a sender blocked on a full
+            // queue wakes with an error and finds the diagnosis.
             while let Ok(frame) = rx.recv() {
                 let sent = writer.send(&frame);
                 writer_depth.fetch_sub(1, Ordering::SeqCst);
-                if sent.is_err() {
+                if let Err(e) = sent {
+                    *writer_fail.lock().unwrap() = Some(e);
                     return;
                 }
             }
@@ -67,24 +80,41 @@ impl QueuedChannel {
             tx,
             reader,
             depth,
+            fail,
             metrics,
         })
+    }
+
+    /// The error that killed the writer thread, if it has died.
+    pub fn writer_failure(&self) -> Option<ChannelError> {
+        *self.fail.lock().unwrap()
+    }
+
+    /// Reads the parked writer error, defaulting to `Closed` when the
+    /// writer exited without recording one.
+    fn writer_error(&self) -> ChannelError {
+        self.writer_failure().unwrap_or(ChannelError::Closed)
     }
 }
 
 impl Channel for QueuedChannel {
-    fn send(&mut self, data: &[u8]) -> Result<(), ChannelClosed> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
+        // Fail fast with the original socket error once the writer has
+        // died — never block against a queue nobody drains.
+        if let Some(e) = self.writer_failure() {
+            return Err(e);
+        }
         // Count before enqueueing so a concurrent dequeue can never
         // make the depth read as zero while a frame is in flight.
         let depth = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
         self.metrics.note_send_queue_depth(depth);
         self.tx.send(data.to_vec()).map_err(|_| {
             self.depth.fetch_sub(1, Ordering::SeqCst);
-            ChannelClosed
+            self.writer_error()
         })
     }
 
-    fn recv(&mut self) -> Result<Vec<u8>, ChannelClosed> {
+    fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
         self.reader.recv()
     }
 }
@@ -148,5 +178,45 @@ mod tests {
         release_tx.send(()).unwrap();
         let _ch = sender.join().unwrap();
         peer.join().unwrap();
+    }
+
+    #[test]
+    fn dead_writer_fails_sends_immediately_with_the_original_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Close the peer outright: once its FIN-then-RST lands, the
+            // writer hits a real socket error mid-stream.
+            drop(stream);
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let metrics = Arc::new(Metrics::default());
+        // Tiny queue: without fail-fast, sends after writer death would
+        // block forever once the queue filled.
+        let mut ch = QueuedChannel::new(stream, 1, Arc::clone(&metrics)).unwrap();
+        peer.join().unwrap();
+        // Pump until the writer thread observes the dead socket and
+        // parks its error; each send must return, never hang.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let err = loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "writer death never surfaced"
+            );
+            if let Err(e) = ch.send(&vec![0u8; 64 * 1024]) {
+                break e;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        // The typed reason survives: a reset/broken-pipe style
+        // disconnect, not a generic closed-by-us.
+        assert!(
+            err.is_disconnect(),
+            "expected a disconnect-class error, got {err:?}"
+        );
+        assert_eq!(ch.writer_failure(), Some(err));
+        // And it is sticky: the next send fails instantly.
+        assert_eq!(ch.send(&[1]), Err(err));
     }
 }

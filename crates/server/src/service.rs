@@ -20,13 +20,18 @@
 //! * A session's shard sub-streams arrive as separate connections
 //!   carrying [`Message::ServiceAttach`]; the service holds the partial
 //!   bundle in a pending map and enqueues the job once every shard is
-//!   attached.
+//!   attached. A reaper thread expires parked bundles whose remaining
+//!   attachments miss the attach deadline, freeing their slot.
 //! * Each session writes through its own bounded [`QueuedChannel`]s, so
 //!   a slow evaluator backpressures only its own worker — never the
 //!   accept loop, never another session.
-//! * A malformed or failed session is torn down in isolation: its
-//!   sockets drop, [`MetricsSnapshot::sessions_failed`] ticks, and the
-//!   next request is served normally.
+//! * Every torn-down session fails with one typed [`SessionError`] —
+//!   deadline, disconnect, corrupt frame (with its tag), attach expiry,
+//!   shutdown — kept in its [`SessionRecord`] and counted per reason in
+//!   [`Metrics`]; co-tenant sessions are untouched.
+//! * Deadlines are end-to-end: the preamble read, shard attachment,
+//!   per-session socket io (from [`ServiceConfig::io_timeout`]), and a
+//!   drain deadline on [`shutdown_drain`](GarblerService::shutdown_drain).
 //! * Every counter in the [`Metrics`] registry is deterministic (no
 //!   clocks), so CI pins service-level behaviour byte-for-byte.
 //!
@@ -36,16 +41,18 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 use arm2gc_circuit::ScheduleMode;
-use arm2gc_comm::{Channel, TcpChannel};
+use arm2gc_comm::{Channel, ChannelError, TcpChannel};
 use arm2gc_core::{drive_garbler, SessionOptions, SkipGateStats};
 use arm2gc_crypto::Prg;
 use arm2gc_proto::{Message, OtBackend, StreamConfig};
 use threadpool::ThreadPool;
 
+use crate::error::SessionError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::QueuedChannel;
 use crate::workload;
@@ -74,6 +81,21 @@ pub struct ServiceConfig {
     /// Execution schedule for single-lane sessions (transport-only —
     /// the wire bytes don't depend on it, so clients need not match).
     pub schedule: ScheduleMode,
+    /// How long a fresh connection may take to produce its complete
+    /// preamble frame before being dropped (default 10 s). `None`
+    /// waits forever — a connect-and-stall client then pins one
+    /// preamble thread, though never the accept loop.
+    pub preamble_timeout: Option<Duration>,
+    /// How long a parked sharded session may wait for its remaining
+    /// `ServiceAttach` connections before the reaper expires it
+    /// (default 30 s). `None` parks forever — the pre-deadline
+    /// behaviour that leaked pending entries.
+    pub attach_timeout: Option<Duration>,
+    /// Per-session socket read/write deadline applied to every session
+    /// stream once it leaves the preamble (default `None`: block
+    /// forever, the historical behaviour — a wedged-but-connected
+    /// evaluator holds its worker, contained by its own send queue).
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -85,13 +107,17 @@ impl Default for ServiceConfig {
             ot: OtBackend::default(),
             stream: StreamConfig::default(),
             schedule: ScheduleMode::default(),
+            preamble_timeout: Some(Duration::from_secs(10)),
+            attach_timeout: Some(Duration::from_secs(30)),
+            io_timeout: None,
         }
     }
 }
 
 impl ServiceConfig {
     /// The default configuration (4 workers, 256 queued sessions,
-    /// 64-frame send queues, insecure reference OT).
+    /// 64-frame send queues, insecure reference OT, 10 s preamble
+    /// deadline, 30 s attach deadline, no session io deadline).
     pub fn new() -> Self {
         Self::default()
     }
@@ -123,6 +149,27 @@ impl ServiceConfig {
         self.ot = ot;
         self
     }
+
+    /// Sets (or disables, with `None`) the preamble deadline.
+    #[must_use]
+    pub fn preamble_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.preamble_timeout = timeout;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the shard-attach deadline.
+    #[must_use]
+    pub fn attach_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.attach_timeout = timeout;
+        self
+    }
+
+    /// Sets (or clears, with `None`) the per-session socket deadline.
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
 }
 
 /// What one session did, for the deterministic registry.
@@ -136,8 +183,8 @@ pub struct SessionRecord {
     pub shards: usize,
     /// Negotiated lane count.
     pub instances: usize,
-    /// Per-lane cost counters on success, or the teardown reason.
-    pub result: Result<Vec<SkipGateStats>, String>,
+    /// Per-lane cost counters on success, or the typed teardown reason.
+    pub result: Result<Vec<SkipGateStats>, SessionError>,
 }
 
 /// A session accepted but still waiting for shard attachments.
@@ -147,6 +194,8 @@ struct Pending {
     instances: usize,
     main: TcpStream,
     shard_streams: Vec<Option<TcpStream>>,
+    /// When the reaper may expire this bundle (`None`: never).
+    deadline: Option<Instant>,
 }
 
 struct Shared {
@@ -156,21 +205,75 @@ struct Shared {
     pending: Mutex<HashMap<u64, Pending>>,
     next_session: AtomicU64,
     shutdown: AtomicBool,
+    /// Set while [`GarblerService::shutdown_drain`] runs: new requests
+    /// are rejected but attaches for already-parked sessions still
+    /// land.
+    draining: AtomicBool,
     pool: ThreadPool,
+    /// Reaper parking brake: `lock` then flip to `true` and
+    /// `notify` to stop the reaper promptly.
+    reaper_stop: Mutex<bool>,
+    reaper_wake: Condvar,
+}
+
+impl Shared {
+    /// Expires every pending bundle past its deadline (or all of them,
+    /// when `expire_all` — shutdown). Returns the number expired.
+    fn expire_pending(&self, expire_all: bool, reason: SessionError) -> usize {
+        let now = Instant::now();
+        let expired: Vec<(u64, Pending)> = {
+            let mut pending = self.pending.lock().unwrap();
+            let ids: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| expire_all || p.deadline.is_some_and(|d| d <= now))
+                .map(|(&id, _)| id)
+                .collect();
+            ids.into_iter()
+                .map(|id| (id, pending.remove(&id).expect("held lock")))
+                .collect()
+        };
+        let count = expired.len();
+        for (session, entry) in expired {
+            match reason {
+                SessionError::Shutdown => self.metrics.parked_shutdown(),
+                _ => self.metrics.attach_expired(),
+            }
+            // Tell the waiting client why before the sockets drop.
+            if let Ok(mut ch) = TcpChannel::from_stream(entry.main) {
+                let _ = ch.send(
+                    &Message::ServiceReject {
+                        reason: reason.to_string(),
+                    }
+                    .encode(),
+                );
+            }
+            self.records.lock().unwrap().push(SessionRecord {
+                session,
+                workload: entry.workload,
+                shards: entry.shards,
+                instances: entry.instances,
+                result: Err(reason.clone()),
+            });
+        }
+        count
+    }
 }
 
 /// A running multi-tenant garbler service.
 ///
-/// Binds a listener, spawns the accept loop, and garbles every
-/// accepted session on the worker pool until [`shutdown`]. The server
-/// plays Alice: each session's inputs come from the requested
-/// deterministic [`workload`].
+/// Binds a listener, spawns the accept loop and the attach reaper, and
+/// garbles every accepted session on the worker pool until
+/// [`shutdown`] / [`shutdown_drain`]. The server plays Alice: each
+/// session's inputs come from the requested deterministic
+/// [`workload`].
 ///
 /// [`shutdown`]: Self::shutdown
+/// [`shutdown_drain`]: Self::shutdown_drain
 pub struct GarblerService {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
 }
 
 impl GarblerService {
@@ -189,14 +292,20 @@ impl GarblerService {
             pending: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             pool: ThreadPool::new(config.workers.max(1)),
+            reaper_stop: Mutex::new(false),
+            reaper_wake: Condvar::new(),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = thread::spawn(move || accept_loop(&listener, &accept_shared));
+        let reaper_shared = Arc::clone(&shared);
+        let reaper = thread::spawn(move || reaper_loop(&reaper_shared));
         Ok(Self {
             addr,
             shared,
             accept: Some(accept),
+            reaper: Some(reaper),
         })
     }
 
@@ -217,14 +326,39 @@ impl GarblerService {
         records
     }
 
-    /// Stops accepting connections and waits for the accept loop to
-    /// exit. Sessions already running keep their workers until they
-    /// finish on their own; wedged ones are abandoned (the pool
-    /// detaches on drop).
-    pub fn shutdown(mut self) {
+    /// Immediate shutdown: [`shutdown_drain`](Self::shutdown_drain)
+    /// with a zero drain window. Parked sessions are discarded with a
+    /// typed [`SessionError::Shutdown`]; running sessions keep their
+    /// (detached) workers until they finish on their own.
+    pub fn shutdown(self) {
+        self.shutdown_drain(Duration::ZERO);
+    }
+
+    /// Graceful shutdown: stops accepting, discards parked sessions
+    /// with a typed [`SessionError::Shutdown`], then waits up to
+    /// `drain` for active and queued sessions to finish. Returns `true`
+    /// when everything drained inside the window; on `false`, the
+    /// stragglers keep their detached workers (they may still complete,
+    /// but nobody is left to ask).
+    pub fn shutdown_drain(mut self, drain: Duration) -> bool {
+        // New preambles are rejected from here on.
+        self.shared.draining.store(true, Ordering::SeqCst);
         self.stop_accepting();
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
+        }
+        // Parked bundles can never complete once attaches stop arriving.
+        self.shared.expire_pending(true, SessionError::Shutdown);
+        self.stop_reaper();
+        let deadline = Instant::now() + drain;
+        loop {
+            if self.shared.pool.active_count() == 0 && self.shared.pool.queued_count() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
         }
     }
 
@@ -233,12 +367,23 @@ impl GarblerService {
         // Wake the blocking accept() so the loop observes the flag.
         let _ = TcpStream::connect(self.addr);
     }
+
+    fn stop_reaper(&mut self) {
+        *self.shared.reaper_stop.lock().unwrap() = true;
+        self.shared.reaper_wake.notify_all();
+        if let Some(handle) = self.reaper.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl Drop for GarblerService {
     fn drop(&mut self) {
         if self.accept.is_some() {
             self.stop_accepting();
+        }
+        if self.reaper.is_some() {
+            self.stop_reaper();
         }
     }
 }
@@ -265,7 +410,24 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Reads and dispatches one connection's first frame.
+/// Expires overdue parked sessions every tick until told to stop.
+fn reaper_loop(shared: &Arc<Shared>) {
+    let tick = Duration::from_millis(25);
+    let mut stop = shared.reaper_stop.lock().unwrap();
+    while !*stop {
+        let (guard, _) = shared.reaper_wake.wait_timeout(stop, tick).unwrap();
+        stop = guard;
+        if *stop {
+            return;
+        }
+        drop(stop);
+        shared.expire_pending(false, SessionError::AttachTimeout);
+        stop = shared.reaper_stop.lock().unwrap();
+    }
+}
+
+/// Reads and dispatches one connection's first frame, under the
+/// preamble deadline.
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(pre_stream) = stream.try_clone() else {
         return;
@@ -273,8 +435,20 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(mut pre) = TcpChannel::from_stream(pre_stream) else {
         return;
     };
-    let Ok(frame) = pre.recv() else {
+    if pre
+        .set_read_timeout(shared.config.preamble_timeout)
+        .is_err()
+    {
         return;
+    }
+    let frame = match pre.recv() {
+        Ok(frame) => frame,
+        Err(ChannelError::Timeout) => {
+            // Connected but never produced a preamble: count and drop.
+            shared.metrics.preamble_timeout();
+            return;
+        }
+        Err(_) => return,
     };
     match Message::decode(&frame) {
         Ok(Message::ServiceRequest {
@@ -302,6 +476,9 @@ fn handle_request(
     instances: u16,
     workload: String,
 ) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return reject(shared, pre, "service shutting down".into());
+    }
     let check = SessionOptions::new()
         .shards(shards as usize)
         .instances(instances as usize);
@@ -322,8 +499,9 @@ fn handle_request(
     let session = shared.next_session.fetch_add(1, Ordering::SeqCst) + 1;
     let shard_count = shards as usize;
     if shard_count > 1 {
-        // Park until every shard sub-stream attaches. Insert before
-        // sending Accept so an eager client's attach can't miss.
+        // Park until every shard sub-stream attaches (or the reaper
+        // expires the bundle). Insert before sending Accept so an
+        // eager client's attach can't miss.
         shared.pending.lock().unwrap().insert(
             session,
             Pending {
@@ -332,6 +510,7 @@ fn handle_request(
                 instances: instances as usize,
                 main: stream,
                 shard_streams: (0..shard_count).map(|_| None).collect(),
+                deadline: shared.config.attach_timeout.map(|t| Instant::now() + t),
             },
         );
         if pre
@@ -439,17 +618,27 @@ fn run_session(
 ) {
     shared.metrics.job_started();
     let cap = shared.config.send_queue_frames;
-    let result = (|| -> Result<Vec<SkipGateStats>, String> {
+    let io_timeout = shared.config.io_timeout;
+    let result = (|| -> Result<Vec<SkipGateStats>, SessionError> {
         let wl = workload::resolve(&workload, instances)
-            .ok_or_else(|| format!("workload {workload:?} no longer resolvable"))?;
+            .ok_or_else(|| SessionError::Workload(workload.clone()))?;
         let opts = SessionOptions::new()
             .shards(shards)
             .instances(instances)
             .ot(shared.config.ot)
             .stream(shared.config.stream)
-            .schedule(shared.config.schedule);
+            .schedule(shared.config.schedule)
+            .io_timeout(io_timeout);
+        // Apply the session deadline to every stream — unconditionally,
+        // so the preamble deadline left on the main socket is replaced,
+        // not inherited.
+        for s in std::iter::once(&main).chain(shard_streams.iter()) {
+            s.set_read_timeout(io_timeout)
+                .and_then(|()| s.set_write_timeout(io_timeout))
+                .map_err(|e| SessionError::Io(e.kind()))?;
+        }
         let mut main_ch = QueuedChannel::new(main, cap, Arc::clone(&shared.metrics))
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| SessionError::Io(e.kind()))?;
         let shard_chs = shard_streams
             .into_iter()
             .map(|s| {
@@ -457,7 +646,7 @@ fn run_session(
                     .map(|c| Box::new(c) as Box<dyn Channel>)
             })
             .collect::<io::Result<Vec<_>>>()
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| SessionError::Io(e.kind()))?;
         let mut prg = Prg::from_entropy();
         let mut ot = opts.ot.sender(&mut prg);
         let outcome = drive_garbler(
@@ -470,8 +659,7 @@ fn run_session(
             ot.as_mut(),
             &mut prg,
             &opts,
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
         Ok(outcome.lanes.iter().map(|l| l.stats).collect())
     })();
     match &result {
@@ -482,7 +670,7 @@ fn run_session(
         }
         // Teardown: the session's channels (and their writer threads)
         // drop here, closing its sockets; nothing else is touched.
-        Err(_) => shared.metrics.session_failed(),
+        Err(e) => shared.metrics.session_failed(e.reason()),
     }
     shared.records.lock().unwrap().push(SessionRecord {
         session,

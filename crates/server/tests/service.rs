@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use arm2gc_comm::{Channel, TcpChannel};
 use arm2gc_core::{run_two_party_opts, SessionOptions};
 use arm2gc_proto::Message;
-use arm2gc_server::{client, workload, ClientError, GarblerService, ServiceConfig};
+use arm2gc_server::{client, workload, ClientError, GarblerService, ServiceConfig, SessionError};
 
 /// Polls `cond` for up to five seconds.
 fn wait_until(what: &str, cond: impl Fn() -> bool) {
@@ -151,10 +151,14 @@ fn malformed_frame_tears_down_only_its_session() {
 
     let records = svc.records();
     assert_eq!(records.len(), 2);
-    assert!(
-        records[0].result.is_err(),
+    // The poisoned session's record names the exact typed reason: a
+    // corrupt frame, attributed to the garbage tag byte it led with.
+    assert_eq!(
+        records[0].result.as_ref().unwrap_err(),
+        &SessionError::CorruptFrame { tag: 0xff },
         "poisoned session recorded its reason"
     );
+    assert_eq!(svc.metrics().failed_corrupt_frame, 1);
     assert!(records[1].result.is_ok());
     svc.shutdown();
 }
