@@ -1,0 +1,164 @@
+//! Criterion benchmarks of the real OT stack: Naor–Pinkas base OTs,
+//! IKNP extension throughput, and the price of a fresh vs resumed
+//! session endpoint.
+//!
+//! Three questions, one group each:
+//!
+//! * `np_base` — what does one batch of 128 Naor–Pinkas base OTs cost
+//!   over the fast test group vs the standard 1279-bit group? This is
+//!   the price a session pays exactly once per *fresh* setup.
+//! * `iknp_extend` — steady-state extension throughput (OTs/sec) at
+//!   garbled-circuit batch sizes, after setup has been paid.
+//! * `session` — a full m-OT endpoint lifecycle, fresh (base setup +
+//!   extension) vs resumed (cached columns, extension only). The gap
+//!   between the two is exactly what the service's base-OT reuse cache
+//!   saves every session after a client's first.
+//!
+//! Both ends run in-process over a memory duplex, so the numbers are
+//! compute-only — no network time, same as production loopback tests.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use arm2gc_comm::duplex;
+use arm2gc_crypto::{Label, Prg};
+use arm2gc_ot::{NaorPinkasReceiver, NaorPinkasSender, OtReceiver, OtSender};
+use arm2gc_proto::{OtConfig, ResumableOtReceiver, ResumableOtSender};
+
+/// Deterministic OT inputs: `m` label pairs and a choice vector.
+fn inputs(m: usize) -> (Vec<(Label, Label)>, Vec<bool>) {
+    let mut gen = Prg::from_seed([41; 16]);
+    let pairs = (0..m)
+        .map(|_| (Label::random(&mut gen), Label::random(&mut gen)))
+        .collect();
+    let choices = (0..m).map(|i| (i * 7) % 3 == 1).collect();
+    (pairs, choices)
+}
+
+/// One batch of 128 Naor–Pinkas base OTs — the per-setup cost the
+/// reuse cache amortizes away.
+fn bench_np_base(c: &mut Criterion) {
+    let mut g = c.benchmark_group("np_base");
+    g.sample_size(10);
+    let (pairs, choices) = inputs(128);
+    for (name, config) in [("test", OtConfig::TEST), ("standard", OtConfig::STANDARD)] {
+        g.throughput(Throughput::Elements(128));
+        g.bench_function(format!("group={name}/m=128"), |b| {
+            b.iter(|| {
+                let (mut ca, mut cb) = duplex();
+                let pairs = pairs.clone();
+                let sender = std::thread::spawn(move || {
+                    let mut snd = NaorPinkasSender::new(config.group(), Prg::from_seed([1; 16]));
+                    snd.send(&mut ca, &pairs).expect("np send");
+                });
+                let mut rcv = NaorPinkasReceiver::new(config.group(), Prg::from_seed([2; 16]));
+                let got = rcv.receive(&mut cb, &choices).expect("np receive");
+                sender.join().expect("sender thread");
+                got
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Steady-state IKNP extension throughput: setup is paid once before
+/// the timing loop; every iteration extends the live columns.
+fn bench_iknp_extend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iknp_extend");
+    g.sample_size(10);
+    for m in [256usize, 4096] {
+        let (pairs, choices) = inputs(m);
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_function(format!("m={m}"), |b| {
+            b.iter(|| {
+                let (mut ca, mut cb) = duplex();
+                let pairs = pairs.clone();
+                let sender = std::thread::spawn(move || {
+                    let mut prg = Prg::from_seed([3; 16]);
+                    let mut snd = ResumableOtSender::fresh(OtConfig::TEST, &mut prg);
+                    // Setup batch, then the measured steady-state batch
+                    // rides the same columns.
+                    snd.send(&mut ca, &pairs[..1]).expect("setup batch");
+                    snd.send(&mut ca, &pairs).expect("extend");
+                });
+                let mut prg = Prg::from_seed([4; 16]);
+                let mut rcv = ResumableOtReceiver::fresh(OtConfig::TEST, &mut prg);
+                rcv.receive(&mut cb, &choices[..1]).expect("setup batch");
+                let got = rcv.receive(&mut cb, &choices).expect("extend");
+                sender.join().expect("sender thread");
+                got
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A full m-OT endpoint lifecycle, fresh vs resumed. `resumed` threads
+/// the extracted extension state through iterations exactly the way
+/// the garbler service's cache does between a client's sessions.
+fn bench_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session");
+    g.sample_size(10);
+    let m = 1024usize;
+    let (pairs, choices) = inputs(m);
+    g.throughput(Throughput::Elements(m as u64));
+
+    let fresh_pairs = pairs.clone();
+    let fresh_choices = choices.clone();
+    g.bench_function(format!("fresh/m={m}"), move |b| {
+        b.iter(|| {
+            let (mut ca, mut cb) = duplex();
+            let pairs = fresh_pairs.clone();
+            let sender = std::thread::spawn(move || {
+                let mut prg = Prg::from_seed([5; 16]);
+                let mut snd = ResumableOtSender::fresh(OtConfig::TEST, &mut prg);
+                snd.send(&mut ca, &pairs).expect("fresh send");
+            });
+            let mut prg = Prg::from_seed([6; 16]);
+            let mut rcv = ResumableOtReceiver::fresh(OtConfig::TEST, &mut prg);
+            let got = rcv.receive(&mut cb, &fresh_choices).expect("fresh receive");
+            sender.join().expect("sender thread");
+            got
+        })
+    });
+
+    // Seed one fresh session to mint the cached state, then measure
+    // resumed sessions only.
+    let (mut ca, mut cb) = duplex();
+    let seed_pairs = pairs.clone();
+    let seeder = std::thread::spawn(move || {
+        let mut prg = Prg::from_seed([7; 16]);
+        let mut snd = ResumableOtSender::fresh(OtConfig::TEST, &mut prg);
+        snd.send(&mut ca, &seed_pairs).expect("seed send");
+        snd.into_state().expect("sender state")
+    });
+    let mut prg = Prg::from_seed([8; 16]);
+    let mut rcv = ResumableOtReceiver::fresh(OtConfig::TEST, &mut prg);
+    rcv.receive(&mut cb, &inputs(m).1).expect("seed receive");
+    let mut snd_state = Some(seeder.join().expect("seeder thread"));
+    let mut rcv_state = Some(rcv.into_state().expect("receiver state"));
+
+    g.bench_function(format!("resumed/m={m}"), move |b| {
+        b.iter(|| {
+            let (mut ca, mut cb) = duplex();
+            let pairs = pairs.clone();
+            let state = snd_state.take().expect("sender state banked");
+            let sender = std::thread::spawn(move || {
+                let mut prg = Prg::from_seed([9; 16]);
+                let mut snd = ResumableOtSender::resume(state, &mut prg);
+                snd.send(&mut ca, &pairs).expect("resumed send");
+                snd.into_state().expect("sender state")
+            });
+            let mut prg = Prg::from_seed([10; 16]);
+            let mut rcv =
+                ResumableOtReceiver::resume(rcv_state.take().expect("receiver state"), &mut prg);
+            let got = rcv.receive(&mut cb, &choices).expect("resumed receive");
+            snd_state = Some(sender.join().expect("sender thread"));
+            rcv_state = Some(rcv.into_state().expect("receiver state"));
+            got
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_np_base, bench_iknp_extend, bench_session);
+criterion_main!(benches);

@@ -31,14 +31,21 @@
 //! corrupt frame, peer disconnect, io timeout, attach expiry) run
 //! against a dedicated short-deadline loopback service, pinning the
 //! per-reason failure counters so the typed teardown taxonomy is
-//! CI-enforced alongside the cost model.
+//! CI-enforced alongside the cost model. Since v7 the report ends with
+//! an `ot` section: three sequential sessions under one base-OT resume
+//! token over a loopback service speaking the real Naor–Pinkas + IKNP
+//! stack (fast test group), pinning `ot_base_setups == 1` — every OT
+//! after the first session is served by extending the cached columns —
+//! plus the deterministic extension count and a `matches_fresh` bit
+//! asserting resumed sessions compute byte-identically to fresh ones.
 
 use std::fmt::Write as _;
 
 use arm2gc_circuit::{LayerSchedule, ScheduleMode};
 use arm2gc_comm::{Channel, TcpChannel};
 use arm2gc_core::{
-    run_two_party_opts, OtBackend, SessionOptions, ShardConfig, StreamConfig, TwoPartyConfig,
+    run_two_party_opts, OtBackend, OtConfig, SessionOptions, ShardConfig, StreamConfig,
+    TwoPartyConfig,
 };
 use arm2gc_garble::WavefrontStats;
 use arm2gc_server::{client, workload, GarblerService, ServiceConfig};
@@ -48,7 +55,7 @@ use crate::runner::{
 };
 
 /// Identifies the report layout; bump when fields change.
-pub const SCHEMA: &str = "arm2gc-bench-ci/v6";
+pub const SCHEMA: &str = "arm2gc-bench-ci/v7";
 
 /// Lanes in the report's instanced runs.
 pub const INSTANCES: usize = 8;
@@ -188,6 +195,7 @@ pub fn report(shards: ShardConfig) -> String {
     }
     out.push_str("  ],\n");
     out.push_str(&service_section());
+    out.push_str(&ot_section());
     out.push_str("}\n");
     out
 }
@@ -271,6 +279,83 @@ fn service_section() -> String {
         m.sessions_completed, m.sessions_failed, m.tables_sent, m.table_bytes_sent
     );
     out.push_str(&failures_section());
+    out.push_str("  },\n");
+    out
+}
+
+/// Sessions the `ot` section runs under one resume token.
+const OT_SESSIONS: usize = 3;
+
+/// Runs [`OT_SESSIONS`] sequential sessions under one base-OT resume
+/// token over a loopback service speaking the real Naor–Pinkas + IKNP
+/// stack (fast test group) and renders the reuse books: every count is
+/// deterministic, and the headline number — `ot_base_setups` — must
+/// stay exactly 1, because every session after the first extends the
+/// cached IKNP columns instead of paying a fresh setup.
+fn ot_section() -> String {
+    let svc = GarblerService::bind(
+        "127.0.0.1:0",
+        ServiceConfig::new()
+            .workers(1)
+            .ot(OtBackend::NaorPinkasIknp)
+            .ot_config(OtConfig::TEST),
+    )
+    .expect("bind loopback OT service");
+    let addr = svc.local_addr();
+    let wait_until = |what: &str, cond: &dyn Fn() -> bool| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !cond() {
+            assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    };
+    let opts = SessionOptions::new()
+        .ot(OtBackend::NaorPinkasIknp)
+        .ot_config(OtConfig::TEST);
+    let name = "compare32:5";
+    let wl = workload::resolve(name, 1).expect("known workload");
+    let (_, solo_b) = run_two_party_opts(
+        &wl.circuit,
+        &wl.alices,
+        &wl.bobs,
+        &wl.publics,
+        wl.cycles,
+        &opts,
+    );
+    let mut resume = client::OtResume::new(0x0ddba11);
+    let mut matches_fresh = true;
+    for k in 0..OT_SESSIONS {
+        let run = client::run_session_resumed(addr, name, &opts, &mut resume).expect("ot session");
+        matches_fresh &= run
+            .outcome
+            .lanes
+            .iter()
+            .zip(&solo_b.lanes)
+            .all(|(got, want)| got.outputs == want.outputs && got.stats == want.stats);
+        // Sequential reuse: the garbler banks its state only after the
+        // session record lands, so wait before the next preamble
+        // checks the cache.
+        wait_until("ot session record", &|| svc.records().len() == k + 1);
+    }
+    let m = svc.metrics();
+    svc.shutdown();
+    let mut out = String::new();
+    out.push_str("  \"ot\": {\n");
+    out.push_str(
+        "    \"scenario\": \"three sequential sessions under one resume token over the \
+         np-iknp stack (test group)\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "    \"sessions\": {OT_SESSIONS}, \"ot_base_setups\": {}, \"ot_extended\": {},",
+        m.ot_base_setups, m.ot_extended
+    );
+    let _ = writeln!(
+        out,
+        "    \"ot_cache_evicted\": {}, \"sessions_completed\": {}, \
+         \"matches_fresh\": {matches_fresh}",
+        m.ot_cache_evicted, m.sessions_completed
+    );
     out.push_str("  }\n");
     out
 }
@@ -331,6 +416,7 @@ fn failures_section() -> String {
             &Message::ServiceRequest {
                 shards: 2,
                 instances: 1,
+                ot_token: 0,
                 workload: "sum32:0".into(),
             }
             .encode(),

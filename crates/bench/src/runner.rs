@@ -6,8 +6,8 @@ use arm2gc_circuit::sim::PartyData;
 use arm2gc_comm::duplex;
 use arm2gc_core::{
     run_two_party, run_two_party_cfg, run_two_party_instanced_cfg, shard_duplexes,
-    InstancedOutcome, OtBackend, ScheduleMode, ShardConfig, SkipGateOutcome, SkipGateStats,
-    TwoPartyConfig,
+    InstancedOutcome, OtBackend, OtConfig, ScheduleMode, ShardConfig, SkipGateOutcome,
+    SkipGateStats, TwoPartyConfig,
 };
 use arm2gc_cpu::asm::{assemble, Program};
 use arm2gc_cpu::machine::{CpuConfig, GcMachine};
@@ -66,7 +66,7 @@ pub fn run_baseline_outcome(
     crossbeam::thread::scope(|s| {
         let g = s.spawn(move |_| {
             let mut prg = Prg::from_seed([91; 16]);
-            let mut ot = ot.sender(&mut prg);
+            let mut ot = ot.sender(OtConfig::TEST, &mut prg);
             run_garbler_scheduled(
                 &bc.circuit,
                 &bc.alice,
@@ -83,7 +83,7 @@ pub fn run_baseline_outcome(
             .expect("baseline garbler")
         });
         let mut prg = Prg::from_seed([92; 16]);
-        let mut ot = ot.receiver(&mut prg);
+        let mut ot = ot.receiver(OtConfig::TEST, &mut prg);
         let b = run_evaluator_scheduled(
             &bc.circuit,
             &bc.bob,

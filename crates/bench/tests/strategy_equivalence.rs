@@ -24,7 +24,7 @@ use arm2gc_comm::{duplex, Channel, ChannelError};
 use arm2gc_core::{
     run_skipgate_evaluator_instanced, run_skipgate_evaluator_scheduled,
     run_skipgate_garbler_instanced, run_skipgate_garbler_scheduled, run_two_party_cfg,
-    run_two_party_instanced_cfg, shard_duplexes, OtBackend, ShardConfig, SkipGateOptions,
+    run_two_party_instanced_cfg, shard_duplexes, OtBackend, OtConfig, ShardConfig, SkipGateOptions,
     StreamConfig, TwoPartyConfig,
 };
 use arm2gc_crypto::Prg;
@@ -150,7 +150,7 @@ fn skipgate_transcript(
     let outputs = crossbeam::thread::scope(|s| {
         let garbler = s.spawn(move |_| {
             let mut prg = Prg::from_seed([71; 16]);
-            let mut ot = OtBackend::Insecure.sender(&mut prg);
+            let mut ot = OtBackend::Insecure.sender(OtConfig::TEST, &mut prg);
             run_skipgate_garbler_scheduled(
                 circuit,
                 alice,
@@ -168,7 +168,7 @@ fn skipgate_transcript(
             .expect("garbler")
         });
         let mut prg = Prg::from_seed([72; 16]);
-        let mut ot = OtBackend::Insecure.receiver(&mut prg);
+        let mut ot = OtBackend::Insecure.receiver(OtConfig::TEST, &mut prg);
         let bob_out = run_skipgate_evaluator_scheduled(
             circuit,
             bob,
@@ -417,7 +417,7 @@ fn mixed_modes_interoperate() {
     let outputs = crossbeam::thread::scope(|s| {
         let garbler = s.spawn(move |_| {
             let mut prg = Prg::from_seed([71; 16]);
-            let mut ot = OtBackend::Insecure.sender(&mut prg);
+            let mut ot = OtBackend::Insecure.sender(OtConfig::TEST, &mut prg);
             run_skipgate_garbler_scheduled(
                 &bc.circuit,
                 &bc.alice,
@@ -435,7 +435,7 @@ fn mixed_modes_interoperate() {
             .expect("garbler")
         });
         let mut prg = Prg::from_seed([72; 16]);
-        let mut ot = OtBackend::Insecure.receiver(&mut prg);
+        let mut ot = OtBackend::Insecure.receiver(OtConfig::TEST, &mut prg);
         let bob_out = run_skipgate_evaluator_scheduled(
             &bc.circuit,
             &bc.bob,
@@ -601,7 +601,7 @@ fn instanced_transcript(
     let outputs = crossbeam::thread::scope(|s| {
         let garbler = s.spawn(move |_| {
             let mut prg = Prg::from_seed([71; 16]);
-            let mut ot = OtBackend::Insecure.sender(&mut prg);
+            let mut ot = OtBackend::Insecure.sender(OtConfig::TEST, &mut prg);
             run_skipgate_garbler_instanced(
                 circuit,
                 alices,
@@ -618,7 +618,7 @@ fn instanced_transcript(
             .expect("instanced garbler")
         });
         let mut prg = Prg::from_seed([72; 16]);
-        let mut ot = OtBackend::Insecure.receiver(&mut prg);
+        let mut ot = OtBackend::Insecure.receiver(OtConfig::TEST, &mut prg);
         let bob_out = run_skipgate_evaluator_instanced(
             circuit,
             bobs,

@@ -235,7 +235,7 @@ pub fn run_two_party_opts(
     crossbeam::thread::scope(|s| {
         let garbler = s.spawn(move |_| {
             let mut prg = Prg::from_entropy();
-            let mut ot = opts.ot.sender(&mut prg);
+            let mut ot = opts.ot.sender(opts.ot_config, &mut prg);
             drive_garbler(
                 circuit,
                 alices,
@@ -250,7 +250,7 @@ pub fn run_two_party_opts(
             .expect("session garbler")
         });
         let mut prg = Prg::from_entropy();
-        let mut ot = opts.ot.receiver(&mut prg);
+        let mut ot = opts.ot.receiver(opts.ot_config, &mut prg);
         let bob_outcome = drive_evaluator(
             circuit,
             bobs,

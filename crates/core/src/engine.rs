@@ -34,7 +34,9 @@ use arm2gc_garble::{
     GarbledTable, HalfGateEvaluator, HalfGateGarbler, WavefrontStats,
 };
 use arm2gc_ot::{OtReceiver, OtSender};
-use arm2gc_proto::{EvaluatorSession, GarblerSession, OtBackend, ShardConfig, StreamConfig};
+use arm2gc_proto::{
+    EvaluatorSession, GarblerSession, OtBackend, OtConfig, ShardConfig, StreamConfig,
+};
 
 use crate::decide::{CycleDecisions, DecideContext, GateDecision};
 use crate::state::WireVal;
@@ -255,6 +257,9 @@ pub struct TwoPartyConfig {
     pub options: SkipGateOptions,
     /// Which OT stack the parties use.
     pub ot: OtBackend,
+    /// The base-OT group for [`OtBackend::NaorPinkasIknp`] (ignored by
+    /// the insecure backend). Defaults to the production group.
+    pub ot_config: OtConfig,
     /// Garbler-side table-streaming configuration.
     pub stream: StreamConfig,
     /// How many parallel sub-streams carry the table stream.
@@ -283,6 +288,13 @@ impl TwoPartyConfig {
     #[must_use]
     pub fn ot(mut self, ot: OtBackend) -> Self {
         self.ot = ot;
+        self
+    }
+
+    /// Selects the Naor–Pinkas base-OT group.
+    #[must_use]
+    pub fn ot_config(mut self, ot_config: OtConfig) -> Self {
+        self.ot_config = ot_config;
         self
     }
 
@@ -2041,7 +2053,7 @@ pub fn run_two_party_instanced_cfg(
     crossbeam::thread::scope(|s| {
         let garbler = s.spawn(move |_| {
             let mut prg = Prg::from_entropy();
-            let mut ot = cfg.ot.sender(&mut prg);
+            let mut ot = cfg.ot.sender(cfg.ot_config, &mut prg);
             run_skipgate_garbler_instanced(
                 circuit,
                 alices,
@@ -2058,7 +2070,7 @@ pub fn run_two_party_instanced_cfg(
             .expect("instanced garbler")
         });
         let mut prg = Prg::from_entropy();
-        let mut ot = cfg.ot.receiver(&mut prg);
+        let mut ot = cfg.ot.receiver(cfg.ot_config, &mut prg);
         let bob_outcome = run_skipgate_evaluator_instanced(
             circuit,
             bobs,

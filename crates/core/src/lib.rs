@@ -83,4 +83,4 @@ pub use tag::{SecretTag, TagAllocator};
 
 pub use arm2gc_circuit::{LayerSchedule, ScheduleMode};
 pub use arm2gc_garble::{ProtocolError, WavefrontStats};
-pub use arm2gc_proto::{ConfigError, OtBackend, ShardConfig, StreamConfig};
+pub use arm2gc_proto::{ConfigError, OtBackend, OtConfig, ShardConfig, StreamConfig};

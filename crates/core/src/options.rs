@@ -33,7 +33,7 @@
 //! ```
 
 use arm2gc_circuit::ScheduleMode;
-use arm2gc_proto::{ConfigError, OtBackend, ShardConfig, StreamConfig};
+use arm2gc_proto::{ConfigError, OtBackend, OtConfig, ShardConfig, StreamConfig};
 
 use crate::engine::SkipGateOptions;
 
@@ -80,6 +80,11 @@ pub struct SessionOptions {
     pub instances: usize,
     /// Which OT stack delivers the evaluator's input labels.
     pub ot: OtBackend,
+    /// The base-OT group the [`OtBackend::NaorPinkasIknp`] stack runs
+    /// over. Defaults to the production 1279-bit group
+    /// ([`OtConfig::STANDARD`]); tests opt into [`OtConfig::TEST`].
+    /// Ignored by [`OtBackend::Insecure`].
+    pub ot_config: OtConfig,
     /// Garbler-side table-streaming (chunking) configuration.
     pub stream: StreamConfig,
     /// SkipGate decision-engine options (unused by the baseline).
@@ -101,6 +106,7 @@ impl Default for SessionOptions {
             shards: 1,
             instances: 1,
             ot: OtBackend::default(),
+            ot_config: OtConfig::default(),
             stream: StreamConfig::default(),
             skipgate: SkipGateOptions::default(),
             io_timeout: None,
@@ -148,6 +154,13 @@ impl SessionOptions {
     #[must_use]
     pub fn ot(mut self, ot: OtBackend) -> Self {
         self.ot = ot;
+        self
+    }
+
+    /// Selects the Naor–Pinkas base-OT group.
+    #[must_use]
+    pub fn ot_config(mut self, ot_config: OtConfig) -> Self {
+        self.ot_config = ot_config;
         self
     }
 
@@ -206,6 +219,7 @@ impl SessionOptions {
             .schedule(cfg.schedule)
             .shards(cfg.shards.shards)
             .ot(cfg.ot)
+            .ot_config(cfg.ot_config)
             .stream(cfg.stream);
         opts.skipgate = cfg.options;
         opts

@@ -11,7 +11,7 @@
 //! group with 256-bit exponents preserves the protocol structure and a
 //! comparable (honest-but-curious) hardness story.
 
-use crate::BigUint;
+use crate::{BigUint, OtError};
 use arm2gc_crypto::Prg;
 
 /// Mersenne exponents that are known primes.
@@ -112,9 +112,14 @@ impl MersenneGroup {
         BigUint::from_be_bytes(&bytes).low_bits(self.exp_bits)
     }
 
+    /// The fixed byte width of a serialised group element.
+    pub fn element_width(&self) -> usize {
+        (self.e as usize).div_ceil(8)
+    }
+
     /// Serialises a group element as fixed-width big-endian bytes.
     pub fn element_bytes(&self, x: &BigUint) -> Vec<u8> {
-        let width = (self.e as usize).div_ceil(8);
+        let width = self.element_width();
         let raw = x.to_be_bytes();
         let mut out = vec![0u8; width - raw.len()];
         out.extend_from_slice(&raw);
@@ -124,6 +129,37 @@ impl MersenneGroup {
     /// Parses a group element, reducing into range.
     pub fn element_from_bytes(&self, bytes: &[u8]) -> BigUint {
         self.reduce(BigUint::from_be_bytes(bytes))
+    }
+
+    /// Parses a group element received off the wire, enforcing the
+    /// canonical encoding honest peers produce via
+    /// [`element_bytes`](Self::element_bytes).
+    ///
+    /// Rejected inputs (all typed, none panic):
+    /// * a slice that is not exactly [`element_width`] bytes — a hostile
+    ///   length must not steer later slicing or allocation,
+    /// * a non-canonical value `≥ p` — every element has exactly one
+    ///   encoding,
+    /// * zero — `inv(0)` under Fermat silently returns 0, which would
+    ///   collapse `PK_1 = C · PK_0^{−1}` and both pads into derivable
+    ///   values.
+    ///
+    /// [`element_width`]: Self::element_width
+    ///
+    /// # Errors
+    /// Returns [`OtError::Protocol`] naming the violated rule.
+    pub fn element_from_wire(&self, bytes: &[u8]) -> Result<BigUint, OtError> {
+        if bytes.len() != self.element_width() {
+            return Err(OtError::Protocol("group element has wrong width"));
+        }
+        let x = BigUint::from_be_bytes(bytes);
+        if x.cmp_to(&self.p) != core::cmp::Ordering::Less {
+            return Err(OtError::Protocol("group element out of range"));
+        }
+        if x.is_zero() {
+            return Err(OtError::Protocol("zero group element"));
+        }
+        Ok(x)
     }
 }
 
@@ -187,5 +223,65 @@ mod tests {
         let bytes = g.element_bytes(&x);
         assert_eq!(bytes.len(), 16);
         assert_eq!(g.element_from_bytes(&bytes), x);
+    }
+
+    #[test]
+    fn wire_parse_accepts_canonical_elements() {
+        let g = MersenneGroup::test_group();
+        let mut prg = Prg::from_seed([5; 16]);
+        for _ in 0..8 {
+            let x = g.pow(&g.base(), &g.random_exponent(&mut prg));
+            let got = g.element_from_wire(&g.element_bytes(&x)).unwrap();
+            assert_eq!(got, x);
+        }
+    }
+
+    #[test]
+    fn wire_parse_rejects_wrong_width() {
+        let g = MersenneGroup::test_group();
+        let canonical = g.element_bytes(&g.base());
+        for len in [0, 1, 15, 17, 160] {
+            let bytes = vec![1u8; len];
+            let err = g.element_from_wire(&bytes).unwrap_err();
+            assert!(matches!(err, OtError::Protocol(m) if m.contains("width")));
+        }
+        // Sanity: the canonical width still parses.
+        assert!(g.element_from_wire(&canonical).is_ok());
+    }
+
+    #[test]
+    fn wire_parse_rejects_zero() {
+        let g = MersenneGroup::test_group();
+        let zero = vec![0u8; g.element_width()];
+        let err = g.element_from_wire(&zero).unwrap_err();
+        assert!(matches!(err, OtError::Protocol(m) if m.contains("zero")));
+    }
+
+    #[test]
+    fn wire_parse_rejects_non_canonical() {
+        // p itself (all bits of the width set up to bit e) reduces to
+        // zero; anything ≥ p must be refused rather than folded.
+        let g = MersenneGroup::test_group();
+        let p_bytes = g.modulus().to_be_bytes();
+        let mut wire = vec![0u8; g.element_width() - p_bytes.len()];
+        wire.extend_from_slice(&p_bytes);
+        let err = g.element_from_wire(&wire).unwrap_err();
+        assert!(matches!(err, OtError::Protocol(m) if m.contains("range")));
+        let all_ones = vec![0xffu8; g.element_width()];
+        assert!(g.element_from_wire(&all_ones).is_err());
+    }
+
+    #[test]
+    #[ignore = "slow: 1279-bit modexp; run with --ignored"]
+    fn standard_group_arithmetic_holds() {
+        let g = MersenneGroup::standard();
+        assert_eq!(g.element_width(), 160);
+        let mut prg = Prg::from_seed([13; 16]);
+        let x = g.pow(&g.base(), &g.random_exponent(&mut prg));
+        let xi = g.inv(&x);
+        assert_eq!(g.mul(&x, &xi), BigUint::one());
+        let bytes = g.element_bytes(&x);
+        assert_eq!(bytes.len(), 160);
+        assert_eq!(g.element_from_wire(&bytes).unwrap(), x);
     }
 }

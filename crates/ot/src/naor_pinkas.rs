@@ -11,6 +11,13 @@
 //!
 //! The receiver never reveals `b`: `PK_0` is uniform either way. The
 //! unchosen pad `PK_{1−b}^{r}` equals `g^{r(c−x)}`, unknowable without `c`.
+//!
+//! Wire bytes are parsed with [`MersenneGroup::element_from_wire`]: every
+//! element must arrive at the group's fixed width, in canonical range,
+//! and non-zero (`inv(0)` silently returns 0, which would collapse both
+//! pads into derivable values). Hash tweaks advance with a
+//! batch-persistent counter on each side, so repeated base-OT batches on
+//! one endpoint never reuse a (key, tweak) pair.
 
 use arm2gc_comm::Channel;
 use arm2gc_crypto::{GarbleHash, Label, Prg};
@@ -23,6 +30,9 @@ pub struct NaorPinkasSender {
     group: MersenneGroup,
     prg: Prg,
     hash: GarbleHash,
+    /// OTs completed by earlier `send` batches; tweaks for OT `i` of the
+    /// current batch are `2(counter + i)` and `2(counter + i) + 1`.
+    counter: u64,
 }
 
 impl NaorPinkasSender {
@@ -32,6 +42,7 @@ impl NaorPinkasSender {
             group,
             prg,
             hash: GarbleHash::fixed(),
+            counter: 0,
         }
     }
 }
@@ -42,6 +53,9 @@ pub struct NaorPinkasReceiver {
     group: MersenneGroup,
     prg: Prg,
     hash: GarbleHash,
+    /// Mirrors [`NaorPinkasSender::counter`]; both sides see the same
+    /// batch sizes, so the tweak sequences stay aligned.
+    counter: u64,
 }
 
 impl NaorPinkasReceiver {
@@ -51,6 +65,7 @@ impl NaorPinkasReceiver {
             group,
             prg,
             hash: GarbleHash::fixed(),
+            counter: 0,
         }
     }
 }
@@ -66,9 +81,9 @@ impl OtSender for NaorPinkasSender {
         let big_c = self.group.pow(&g, &c_exp);
         ch.send(&self.group.element_bytes(&big_c))?;
 
-        // Receive all PK_0s.
+        // Receive all PK_0s, each a canonical fixed-width element.
         let pk0_raw = ch.recv()?;
-        let width = self.group.element_bytes(&big_c).len();
+        let width = self.group.element_width();
         if pk0_raw.len() != width * pairs.len() {
             return Err(OtError::Protocol("PK batch has wrong length"));
         }
@@ -77,37 +92,51 @@ impl OtSender for NaorPinkasSender {
         for (i, pair) in pairs.iter().enumerate() {
             let pk0 = self
                 .group
-                .element_from_bytes(&pk0_raw[i * width..(i + 1) * width]);
+                .element_from_wire(&pk0_raw[i * width..(i + 1) * width])?;
             let pk1 = self.group.mul(&big_c, &self.group.inv(&pk0));
             let r = self.group.random_exponent(&mut self.prg);
             let gr = self.group.pow(&g, &r);
-            let e0 = pad(
-                &self.hash,
-                &self.group,
-                &self.group.pow(&pk0, &r),
-                2 * i as u64,
-            ) ^ pair.0;
+            let tweak = 2 * (self.counter + i as u64);
+            let e0 = pad(&self.hash, &self.group, &self.group.pow(&pk0, &r), tweak) ^ pair.0;
             let e1 = pad(
                 &self.hash,
                 &self.group,
                 &self.group.pow(&pk1, &r),
-                2 * i as u64 + 1,
+                tweak + 1,
             ) ^ pair.1;
             payload.extend_from_slice(&self.group.element_bytes(&gr));
             payload.extend_from_slice(&e0.to_bytes());
             payload.extend_from_slice(&e1.to_bytes());
         }
+        self.counter += pairs.len() as u64;
         ch.send(&payload)?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+impl NaorPinkasSender {
+    fn tweak_counter(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+impl NaorPinkasReceiver {
+    fn tweak_counter(&self) -> u64 {
+        self.counter
     }
 }
 
 impl OtReceiver for NaorPinkasReceiver {
     fn receive(&mut self, ch: &mut dyn Channel, choices: &[bool]) -> Result<Vec<Label>, OtError> {
         let g = self.group.base();
+        // The element width is a group constant — never taken from the
+        // frame, so a hostile length cannot steer later slicing or size
+        // our allocations.
+        let width = self.group.element_width();
         let big_c_raw = ch.recv()?;
-        let big_c = self.group.element_from_bytes(&big_c_raw);
-        let width = big_c_raw.len();
+        let big_c = self.group.element_from_wire(&big_c_raw)?;
 
         let mut exps = Vec::with_capacity(choices.len());
         let mut pk0s = Vec::with_capacity(choices.len() * width);
@@ -132,9 +161,9 @@ impl OtReceiver for NaorPinkasReceiver {
         let mut out = Vec::with_capacity(choices.len());
         for (i, (&b, x)) in choices.iter().zip(&exps).enumerate() {
             let rec = &payload[i * rec_width..(i + 1) * rec_width];
-            let gr = self.group.element_from_bytes(&rec[..width]);
+            let gr = self.group.element_from_wire(&rec[..width])?;
             let key = self.group.pow(&gr, x);
-            let tweak = 2 * i as u64 + b as u64;
+            let tweak = 2 * (self.counter + i as u64) + b as u64;
             let e = if b {
                 &rec[width + 16..width + 32]
             } else {
@@ -143,6 +172,7 @@ impl OtReceiver for NaorPinkasReceiver {
             let e = Label::from_bytes(e.try_into().expect("16 bytes"));
             out.push(pad(&self.hash, &self.group, &key, tweak) ^ e);
         }
+        self.counter += choices.len() as u64;
         Ok(out)
     }
 }
@@ -196,5 +226,158 @@ mod tests {
         sender.join().unwrap();
         assert_eq!(got[0], pair.0);
         assert_ne!(got[0], pair.1);
+    }
+
+    #[test]
+    fn repeated_batches_advance_the_tweak_counter() {
+        // Tweaks must not restart at 2i per call: the counter persists
+        // across batches on both roles, and transfers stay correct.
+        let group = MersenneGroup::test_group();
+        let (mut ca, mut cb) = duplex();
+        let mut prg = Prg::from_seed([12; 16]);
+        let pairs: Vec<(Label, Label)> = (0..8)
+            .map(|_| (Label::random(&mut prg), Label::random(&mut prg)))
+            .collect();
+        let choices: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
+
+        let pairs2 = pairs.clone();
+        let choices2 = choices.clone();
+        let g2 = group.clone();
+        let (got, rx_counter) = std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut snd = NaorPinkasSender::new(g2, Prg::from_seed([13; 16]));
+                snd.send(&mut ca, &pairs2[..5]).unwrap();
+                assert_eq!(snd.tweak_counter(), 5);
+                snd.send(&mut ca, &pairs2[5..]).unwrap();
+                assert_eq!(snd.tweak_counter(), 8);
+            });
+            let mut rcv = NaorPinkasReceiver::new(group, Prg::from_seed([14; 16]));
+            let mut got = rcv.receive(&mut cb, &choices2[..5]).unwrap();
+            got.extend(rcv.receive(&mut cb, &choices2[5..]).unwrap());
+            (got, rcv.tweak_counter())
+        });
+        assert_eq!(rx_counter, 8);
+        for ((pair, &c), l) in pairs.iter().zip(&choices).zip(&got) {
+            assert_eq!(*l, if c { pair.1 } else { pair.0 });
+        }
+    }
+
+    #[test]
+    fn receiver_rejects_wrong_width_c() {
+        let group = MersenneGroup::test_group();
+        let (mut hostile, mut victim) = duplex();
+        // 15 bytes instead of the group's fixed 16: a hostile width must
+        // not leak into slicing arithmetic.
+        hostile.send(&[0x42u8; 15]).unwrap();
+        let mut r = NaorPinkasReceiver::new(group, Prg::from_seed([21; 16]));
+        let err = r.receive(&mut victim, &[false, true]).unwrap_err();
+        assert!(matches!(err, OtError::Protocol(m) if m.contains("width")));
+    }
+
+    #[test]
+    fn receiver_rejects_zero_c() {
+        let group = MersenneGroup::test_group();
+        let (mut hostile, mut victim) = duplex();
+        hostile.send(&vec![0u8; group.element_width()]).unwrap();
+        let mut r = NaorPinkasReceiver::new(group, Prg::from_seed([22; 16]));
+        let err = r.receive(&mut victim, &[true]).unwrap_err();
+        assert!(matches!(err, OtError::Protocol(m) if m.contains("zero")));
+    }
+
+    #[test]
+    fn receiver_rejects_zero_gr_and_truncated_payload() {
+        let group = MersenneGroup::test_group();
+        let width = group.element_width();
+
+        // Hostile "sender": valid C, then a payload whose g^r element is
+        // zero — the pad key would collapse to H(0).
+        let (mut hostile, mut victim) = duplex();
+        let mut prg = Prg::from_seed([23; 16]);
+        let c = group.pow(&group.base(), &group.random_exponent(&mut prg));
+        hostile.send(&group.element_bytes(&c)).unwrap();
+        let g2 = group.clone();
+        let err = std::thread::scope(|s| {
+            s.spawn(move || {
+                let _pk0s = hostile.recv().unwrap();
+                let mut payload = vec![0u8; width]; // zero g^r
+                payload.extend_from_slice(&[0xa5; 32]);
+                hostile.send(&payload).unwrap();
+            });
+            let mut r = NaorPinkasReceiver::new(g2, Prg::from_seed([24; 16]));
+            r.receive(&mut victim, &[false]).unwrap_err()
+        });
+        assert!(matches!(err, OtError::Protocol(m) if m.contains("zero")));
+
+        // Truncated ciphertext batch.
+        let (mut hostile, mut victim) = duplex();
+        hostile.send(&group.element_bytes(&c)).unwrap();
+        let g2 = group.clone();
+        let err = std::thread::scope(|s| {
+            s.spawn(move || {
+                let _pk0s = hostile.recv().unwrap();
+                hostile.send(&vec![0xa5u8; width + 31]).unwrap(); // 1 byte short
+            });
+            let mut r = NaorPinkasReceiver::new(g2, Prg::from_seed([25; 16]));
+            r.receive(&mut victim, &[false]).unwrap_err()
+        });
+        assert!(matches!(err, OtError::Protocol(m) if m.contains("length")));
+    }
+
+    #[test]
+    fn sender_rejects_zero_and_missized_pk0() {
+        let group = MersenneGroup::test_group();
+        let width = group.element_width();
+        let mut prg = Prg::from_seed([26; 16]);
+        let pair = (Label::random(&mut prg), Label::random(&mut prg));
+
+        // Zero PK_0 of the right width: inv(0) = 0 would collapse PK_1.
+        let (mut hostile, mut victim) = duplex();
+        let g2 = group.clone();
+        let err = std::thread::scope(|s| {
+            s.spawn(move || {
+                let _c = hostile.recv().unwrap();
+                hostile.send(&vec![0u8; width]).unwrap();
+            });
+            let mut snd = NaorPinkasSender::new(g2, Prg::from_seed([27; 16]));
+            snd.send(&mut victim, &[pair]).unwrap_err()
+        });
+        assert!(matches!(err, OtError::Protocol(m) if m.contains("zero")));
+
+        // Missized batch (hostile width) is refused before any parsing.
+        let (mut hostile, mut victim) = duplex();
+        let err = std::thread::scope(|s| {
+            s.spawn(move || {
+                let _c = hostile.recv().unwrap();
+                hostile.send(&vec![1u8; width + 1]).unwrap();
+            });
+            let mut snd = NaorPinkasSender::new(group, Prg::from_seed([28; 16]));
+            snd.send(&mut victim, &[pair]).unwrap_err()
+        });
+        assert!(matches!(err, OtError::Protocol(m) if m.contains("length")));
+    }
+
+    #[test]
+    #[ignore = "slow: 1279-bit base OT; run with --ignored"]
+    fn transfers_chosen_labels_standard_group() {
+        let group = MersenneGroup::standard();
+        let (mut ca, mut cb) = duplex();
+        let mut prg = Prg::from_seed([31; 16]);
+        let pairs: Vec<(Label, Label)> = (0..4)
+            .map(|_| (Label::random(&mut prg), Label::random(&mut prg)))
+            .collect();
+        let choices = [true, false, false, true];
+
+        let pairs_clone = pairs.clone();
+        let g2 = group.clone();
+        let sender = std::thread::spawn(move || {
+            let mut s = NaorPinkasSender::new(g2, Prg::from_seed([32; 16]));
+            s.send(&mut ca, &pairs_clone).unwrap();
+        });
+        let mut r = NaorPinkasReceiver::new(group, Prg::from_seed([33; 16]));
+        let got = r.receive(&mut cb, &choices).unwrap();
+        sender.join().unwrap();
+        for ((pair, &c), l) in pairs.iter().zip(&choices).zip(&got) {
+            assert_eq!(*l, if c { pair.1 } else { pair.0 });
+        }
     }
 }

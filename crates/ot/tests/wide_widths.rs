@@ -1,0 +1,96 @@
+//! Property tests for `BigUint` and `MersenneGroup` at the production
+//! 1279-bit width.
+//!
+//! The unit-level proptests in `biguint.rs` check the arithmetic against
+//! `u128` oracles, which only exercises one or two limbs. The standard
+//! group runs 20-limb operands, so these properties pin the carry and
+//! fold paths the oracle tests can never reach. Everything here avoids
+//! modular exponentiation — each case is a handful of wide mul/adds, so
+//! the whole file stays in the fast tier.
+
+use arm2gc_ot::{BigUint, MersenneGroup, OtError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Bytes of a serialised 1279-bit group element.
+const WIDE: usize = 160;
+
+fn big(bytes: &[u8]) -> BigUint {
+    BigUint::from_be_bytes(bytes)
+}
+
+/// `2^k` as a `BigUint`.
+fn pow2(k: usize) -> BigUint {
+    let mut bytes = vec![0u8; k / 8 + 1];
+    bytes[0] = 1 << (k % 8);
+    BigUint::from_be_bytes(&bytes)
+}
+
+proptest! {
+    #[test]
+    fn wide_add_sub_roundtrip(a in vec(any::<u8>(), WIDE..WIDE + 1),
+                              b in vec(any::<u8>(), WIDE..WIDE + 1)) {
+        let (a, b) = (big(&a), big(&b));
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn wide_shift_recomposes(a in vec(any::<u8>(), WIDE..WIDE + 1),
+                             k in 1usize..1279) {
+        let a = big(&a);
+        let recomposed = a.shr(k).mul(&pow2(k)).add(&a.low_bits(k));
+        prop_assert_eq!(recomposed, a);
+    }
+
+    #[test]
+    fn wide_byte_roundtrip(a in vec(any::<u8>(), 1usize..WIDE + 1)) {
+        let a = big(&a);
+        prop_assert_eq!(big(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn standard_reduce_is_homomorphic(a in vec(any::<u8>(), WIDE..WIDE + 1),
+                                      b in vec(any::<u8>(), WIDE..WIDE + 1)) {
+        let g = MersenneGroup::standard();
+        let (a, b) = (big(&a), big(&b));
+        // reduce respects addition and stays in range.
+        let lhs = g.reduce(a.add(&b));
+        let rhs = g.reduce(g.reduce(a.clone()).add(&g.reduce(b.clone())));
+        prop_assert_eq!(&lhs, &rhs);
+        prop_assert!(lhs.cmp_to(g.modulus()) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn standard_mul_commutes_and_distributes(a in vec(any::<u8>(), WIDE..WIDE + 1),
+                                             b in vec(any::<u8>(), WIDE..WIDE + 1),
+                                             c in vec(any::<u8>(), WIDE..WIDE + 1)) {
+        let g = MersenneGroup::standard();
+        let (a, b, c) = (g.reduce(big(&a)), g.reduce(big(&b)), g.reduce(big(&c)));
+        prop_assert_eq!(g.mul(&a, &b), g.mul(&b, &a));
+        prop_assert_eq!(g.mul(&g.mul(&a, &b), &c), g.mul(&a, &g.mul(&b, &c)));
+        let lhs = g.mul(&a, &g.reduce(b.add(&c)));
+        let rhs = g.reduce(g.mul(&a, &b).add(&g.mul(&a, &c)));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn standard_element_wire_roundtrip(a in vec(any::<u8>(), WIDE..WIDE + 1)) {
+        let g = MersenneGroup::standard();
+        let x = g.reduce(big(&a));
+        prop_assume!(!x.is_zero());
+        let bytes = g.element_bytes(&x);
+        prop_assert_eq!(bytes.len(), WIDE);
+        prop_assert_eq!(g.element_from_wire(&bytes).unwrap(), x);
+    }
+
+    #[test]
+    fn standard_wire_rejects_hostile_widths(a in vec(any::<u8>(), 1usize..320)) {
+        let g = MersenneGroup::standard();
+        prop_assume!(a.len() != WIDE);
+        let err = g.element_from_wire(&a).unwrap_err();
+        prop_assert!(matches!(err, OtError::Protocol(m) if m.contains("width")));
+        // And a zero element of the exact width is still refused.
+        let zero = vec![0u8; WIDE];
+        prop_assert!(g.element_from_wire(&zero).is_err());
+    }
+}

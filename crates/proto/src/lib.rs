@@ -39,7 +39,9 @@ pub mod shard;
 pub mod wire;
 
 pub use config::ConfigError;
-pub use endpoint::OtBackend;
+pub use endpoint::{
+    OtBackend, OtConfig, OtReceiverState, OtSenderState, ResumableOtReceiver, ResumableOtSender,
+};
 pub use session::{EvaluatorSession, GarblerSession, OtTunnel, SessionStats, StreamConfig};
 pub use shard::{ShardConfig, ShardPlan};
 pub use wire::{Message, ProtoError, SessionRole, MAGIC, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};

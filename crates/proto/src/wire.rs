@@ -15,8 +15,8 @@
 //! | `6` | [`Message::Outputs`] | bit count `u32`, packed bits |
 //! | `7` | [`Message::TableShard`] | shard id `u8`, garbled-table bytes |
 //! | `8` | [`Message::Instances`] | instance count `u16` |
-//! | `9` | [`Message::ServiceRequest`] | shards `u8`, instances `u16`, workload utf-8 |
-//! | `10` | [`Message::ServiceAccept`] | session id `u64` |
+//! | `9` | [`Message::ServiceRequest`] | shards `u8`, instances `u16`, OT resume token `u64`, workload utf-8 |
+//! | `10` | [`Message::ServiceAccept`] | session id `u64`, resumed `u8` |
 //! | `11` | [`Message::ServiceReject`] | reason utf-8 |
 //! | `12` | [`Message::ServiceAttach`] | session id `u64`, shard `u8` |
 //!
@@ -50,8 +50,13 @@ use crate::config::ConfigError;
 /// ([`Message::ServiceRequest`] and friends) spoken *before* the
 /// handshake when connecting to the multi-tenant garbler service;
 /// direct two-party sessions never send them, so v2 peers interoperate
-/// unchanged.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// unchanged. v4 extended the preamble with base-OT reuse — an OT
+/// resume token in [`Message::ServiceRequest`] and a `resumed` flag in
+/// [`Message::ServiceAccept`] — and fixed the Naor–Pinkas hash-tweak
+/// schedule to a batch-persistent counter; v3 service preambles and
+/// repeated base-OT batches do not interoperate, direct sessions again
+/// do.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Oldest version this build still speaks. A peer advertising anything
 /// `>= MIN_PROTOCOL_VERSION` is accepted; the session then runs at
@@ -218,6 +223,13 @@ pub enum Message {
         shards: u8,
         /// Lanes of a cross-instance batched session (1 = plain).
         instances: u16,
+        /// Client-chosen base-OT reuse token; `0` opts out. A non-zero
+        /// token asks the service to resume IKNP extension state cached
+        /// from this client's previous session under the same token,
+        /// skipping the base-OT setup. The token is an identifier, not
+        /// a secret: resuming someone else's token only desyncs the OT
+        /// transcript and fails the session.
+        ot_token: u64,
         /// Name of the workload to serve (service-defined registry).
         workload: String,
     },
@@ -228,6 +240,11 @@ pub enum Message {
     ServiceAccept {
         /// Service-assigned session identifier.
         session: u64,
+        /// Whether the service will resume cached IKNP state for the
+        /// request's OT token. When `false` the client must run a fresh
+        /// OT setup even if it holds receiver state from an earlier
+        /// session (the cache entry may have been evicted).
+        resumed: bool,
     },
     /// Service preamble: the request was refused (invalid
     /// configuration, unknown workload, or the service is saturated);
@@ -288,19 +305,22 @@ impl Message {
             Message::ServiceRequest {
                 shards,
                 instances,
+                ot_token,
                 workload,
             } => {
-                let mut out = Vec::with_capacity(4 + workload.len());
+                let mut out = Vec::with_capacity(12 + workload.len());
                 out.push(TAG_SERVICE_REQUEST);
                 out.push(*shards);
                 out.extend_from_slice(&instances.to_le_bytes());
+                out.extend_from_slice(&ot_token.to_le_bytes());
                 out.extend_from_slice(workload.as_bytes());
                 out
             }
-            Message::ServiceAccept { session } => {
-                let mut out = Vec::with_capacity(9);
+            Message::ServiceAccept { session, resumed } => {
+                let mut out = Vec::with_capacity(10);
                 out.push(TAG_SERVICE_ACCEPT);
                 out.extend_from_slice(&session.to_le_bytes());
+                out.push(*resumed as u8);
                 out
             }
             Message::ServiceReject { reason } => prefixed(TAG_SERVICE_REJECT, reason.as_bytes()),
@@ -376,25 +396,33 @@ impl Message {
                 Ok(Message::Instances(n))
             }
             TAG_SERVICE_REQUEST => {
-                if body.len() < 3 {
+                if body.len() < 11 {
                     return Err("service request frame too short");
                 }
                 let shards = body[0];
                 let instances = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes"));
-                let workload =
-                    String::from_utf8(body[3..].to_vec()).map_err(|_| "workload name not utf-8")?;
+                let ot_token = u64::from_le_bytes(body[3..11].try_into().expect("8 bytes"));
+                let workload = String::from_utf8(body[11..].to_vec())
+                    .map_err(|_| "workload name not utf-8")?;
                 Ok(Message::ServiceRequest {
                     shards,
                     instances,
+                    ot_token,
                     workload,
                 })
             }
             TAG_SERVICE_ACCEPT => {
-                if body.len() != 8 {
+                if body.len() != 9 {
                     return Err("service accept frame size");
                 }
+                let resumed = match body[8] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err("service accept resumed flag not 0/1"),
+                };
                 Ok(Message::ServiceAccept {
-                    session: u64::from_le_bytes(body.try_into().expect("8 bytes")),
+                    session: u64::from_le_bytes(body[0..8].try_into().expect("8 bytes")),
+                    resumed,
                 })
             }
             TAG_SERVICE_REJECT => Ok(Message::ServiceReject {
@@ -493,16 +521,22 @@ mod tests {
         roundtrip(Message::ServiceRequest {
             shards: 2,
             instances: 8,
+            ot_token: 0xfeed_beef_cafe_0001,
             workload: "compare32:7".into(),
         });
         roundtrip(Message::ServiceRequest {
             shards: 0, // bogus counts survive the codec; the service rejects them
             instances: 0,
+            ot_token: 0,
             workload: String::new(),
         });
-        roundtrip(Message::ServiceAccept { session: 0 });
+        roundtrip(Message::ServiceAccept {
+            session: 0,
+            resumed: false,
+        });
         roundtrip(Message::ServiceAccept {
             session: u64::MAX - 3,
+            resumed: true,
         });
         roundtrip(Message::ServiceReject {
             reason: "shard count must be at least 1".into(),
@@ -516,24 +550,31 @@ mod tests {
     #[test]
     fn malformed_frames_error_cleanly() {
         let cases: &[&[u8]] = &[
-            &[],                                           // empty
-            &[99, 1, 2, 3],                                // unknown tag
-            &[TAG_HELLO, 1, 2],                            // truncated hello
-            &[TAG_HELLO, 0, 0, 0, 0, 1, 0, 0],             // bad magic
-            &[TAG_DIRECT_LABELS, 1, 2, 3],                 // not 16-byte aligned
-            &[TAG_DECODE_BITS, 1],                         // too short for count
-            &[TAG_DECODE_BITS, 9, 0, 0, 0, 0xff],          // says 9 bits, holds 8
-            &[TAG_DECODE_BITS, 3, 0, 0, 0, 0xff],          // nonzero padding bits
-            &[TAG_OUTPUTS, 1, 0, 0, 0, 0xff, 0xff],        // says 1 bit, holds 16
-            &[TAG_OUTPUTS, 5, 0, 0, 0, 0b0010_0000],       // padding bit set
-            &[TAG_TABLE_SHARD],                            // missing shard id
-            &[TAG_INSTANCES, 4],                           // truncated count
-            &[TAG_INSTANCES, 4, 0, 0],                     // oversized count
-            &[TAG_INSTANCES, 0, 0],                        // zero instances
-            &[TAG_SERVICE_REQUEST, 1, 8],                  // truncated instances
-            &[TAG_SERVICE_REQUEST, 1, 8, 0, 0xff],         // workload not utf-8
-            &[TAG_SERVICE_ACCEPT, 1, 2, 3],                // short session id
-            &[TAG_SERVICE_REJECT, 0xc3, 0x28],             // reason not utf-8
+            &[],                                         // empty
+            &[99, 1, 2, 3],                              // unknown tag
+            &[TAG_HELLO, 1, 2],                          // truncated hello
+            &[TAG_HELLO, 0, 0, 0, 0, 1, 0, 0],           // bad magic
+            &[TAG_DIRECT_LABELS, 1, 2, 3],               // not 16-byte aligned
+            &[TAG_DECODE_BITS, 1],                       // too short for count
+            &[TAG_DECODE_BITS, 9, 0, 0, 0, 0xff],        // says 9 bits, holds 8
+            &[TAG_DECODE_BITS, 3, 0, 0, 0, 0xff],        // nonzero padding bits
+            &[TAG_OUTPUTS, 1, 0, 0, 0, 0xff, 0xff],      // says 1 bit, holds 16
+            &[TAG_OUTPUTS, 5, 0, 0, 0, 0b0010_0000],     // padding bit set
+            &[TAG_TABLE_SHARD],                          // missing shard id
+            &[TAG_INSTANCES, 4],                         // truncated count
+            &[TAG_INSTANCES, 4, 0, 0],                   // oversized count
+            &[TAG_INSTANCES, 0, 0],                      // zero instances
+            &[TAG_SERVICE_REQUEST, 1, 8],                // truncated instances
+            &[TAG_SERVICE_REQUEST, 1, 8, 0],             // missing ot token
+            &[TAG_SERVICE_REQUEST, 1, 8, 0, 1, 2, 3, 4], // truncated ot token
+            // workload not utf-8 (token present)
+            &[TAG_SERVICE_REQUEST, 1, 8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff],
+            &[TAG_SERVICE_ACCEPT, 1, 2, 3], // short session id
+            // resumed flag out of range
+            &[TAG_SERVICE_ACCEPT, 1, 2, 3, 4, 5, 6, 7, 8, 2],
+            // missing resumed flag (v3-sized accept)
+            &[TAG_SERVICE_ACCEPT, 1, 2, 3, 4, 5, 6, 7, 8],
+            &[TAG_SERVICE_REJECT, 0xc3, 0x28], // reason not utf-8
             &[TAG_SERVICE_ATTACH, 1, 2, 3, 4, 5, 6, 7, 8], // missing shard byte
         ];
         for raw in cases {

@@ -40,9 +40,13 @@ fn sample_frames(seed: u64) -> Vec<Message> {
         Message::ServiceRequest {
             shards: (seed % 4 + 1) as u8,
             instances: (seed % 7 + 1) as u16,
+            ot_token: seed.rotate_left(17),
             workload: format!("wl{}", seed % 100),
         },
-        Message::ServiceAccept { session: seed },
+        Message::ServiceAccept {
+            session: seed,
+            resumed: seed & 2 == 2,
+        },
         Message::ServiceReject {
             reason: format!("reason {}", seed % 100),
         },
@@ -178,6 +182,50 @@ proptest! {
                 Message::decode(&raw),
                 Err(ProtoError::CorruptFrame { .. })
             ));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// v4 preamble frames round-trip for every token/flag value.
+    #[test]
+    fn service_request_roundtrip(shards: u8, instances: u16, ot_token: u64, wl in 0u64..1000) {
+        let msg = Message::ServiceRequest {
+            shards,
+            instances,
+            ot_token,
+            workload: format!("w{wl}"),
+        };
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decode"), msg);
+    }
+
+    /// Hostile ServiceRequest bodies — truncated tokens, non-utf-8
+    /// workloads — fail with a typed error, never a panic.
+    #[test]
+    fn hostile_service_request_is_typed(body in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let mut raw = vec![9u8]; // TAG_SERVICE_REQUEST
+        raw.extend_from_slice(&body);
+        match Message::decode(&raw) {
+            Ok(Message::ServiceRequest { .. }) => prop_assert!(body.len() >= 11),
+            Err(ProtoError::CorruptFrame { tag, .. }) => prop_assert_eq!(tag, 9),
+            other => prop_assert!(false, "unexpected decode result: {:?}", other),
+        }
+    }
+
+    /// Hostile ServiceAccept bodies: only exactly 9 bytes with a 0/1
+    /// resumed flag decode; everything else is a typed error.
+    #[test]
+    fn hostile_service_accept_is_typed(body in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut raw = vec![10u8]; // TAG_SERVICE_ACCEPT
+        raw.extend_from_slice(&body);
+        match Message::decode(&raw) {
+            Ok(Message::ServiceAccept { resumed, .. }) => {
+                prop_assert!(body.len() == 9 && body[8] == resumed as u8 && body[8] < 2);
+            }
+            Err(ProtoError::CorruptFrame { tag, .. }) => prop_assert_eq!(tag, 10),
+            other => prop_assert!(false, "unexpected decode result: {:?}", other),
         }
     }
 }

@@ -24,7 +24,10 @@ use std::time::Duration;
 use arm2gc_comm::{Channel, ChannelError, TcpChannel};
 use arm2gc_core::{drive_evaluator, InstancedOutcome, ProtocolError, SessionOptions};
 use arm2gc_crypto::Prg;
-use arm2gc_proto::{ConfigError, Message, ProtoError};
+use arm2gc_ot::OtReceiver;
+use arm2gc_proto::{
+    ConfigError, Message, OtBackend, OtReceiverState, ProtoError, ResumableOtReceiver,
+};
 
 use crate::workload;
 
@@ -51,6 +54,11 @@ pub enum ClientError {
     UnknownWorkload(String),
     /// The garbling protocol itself failed after the session started.
     Protocol(ProtocolError),
+    /// The service resumed a cached base-OT state this client no longer
+    /// holds (e.g. the previous session failed client-side after the
+    /// garbler banked its state). Not retryable on the same token —
+    /// reconnect with a fresh [`OtResume`].
+    ResumeDesync,
     /// Every attempt allowed by the [`RetryPolicy`] failed with a
     /// transient error; `last` is the final one.
     RetriesExhausted {
@@ -72,6 +80,12 @@ impl fmt::Display for ClientError {
             ClientError::Config(e) => write!(f, "invalid session options: {e}"),
             ClientError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::ResumeDesync => {
+                write!(
+                    f,
+                    "service resumed a base-OT state this client does not hold"
+                )
+            }
             ClientError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
             }
@@ -198,10 +212,39 @@ impl RetryPolicy {
 pub struct Connection {
     /// The service-assigned session id.
     pub session: u64,
+    /// Whether the service checked out a cached base-OT state for this
+    /// session's token (always `false` for token 0).
+    pub resumed: bool,
     /// The main protocol channel.
     pub main: TcpChannel,
     /// Shard sub-channels, in shard order (empty unless sharded).
     pub shard_chs: Vec<TcpChannel>,
+}
+
+/// Client-side base-OT reuse handle: a token plus the receiver
+/// extension state banked by the last successful session under it.
+///
+/// The token is an identifier, not a secret — it scopes which cache
+/// slot the service checks; the security of reuse rests on the
+/// counter-advancing IKNP state itself. Token 0 disables reuse.
+///
+/// Feed the same handle to successive [`run_session_resumed`] calls:
+/// the first pays one base-OT setup, later ones extend the cached
+/// columns. A failed session clears the state (both ends drop it), so
+/// the next call transparently pays a fresh setup.
+#[derive(Debug, Default)]
+pub struct OtResume {
+    /// The token sent in the preamble (0 disables reuse).
+    pub token: u64,
+    /// Receiver extension state from the last successful session.
+    pub state: Option<OtReceiverState>,
+}
+
+impl OtResume {
+    /// A fresh handle for `token` with no banked state.
+    pub fn new(token: u64) -> Self {
+        Self { token, state: None }
+    }
 }
 
 /// Connects one socket to the service and applies the session's io
@@ -227,18 +270,35 @@ pub fn connect(
     workload: &str,
     opts: &SessionOptions,
 ) -> Result<Connection, ClientError> {
+    connect_with_token(addr, workload, opts, 0)
+}
+
+/// [`connect`] carrying a base-OT reuse token in the preamble. The
+/// returned [`Connection::resumed`] flag reports whether the service
+/// checked out a cached state for it; [`run_session_resumed`] handles
+/// the matching receiver-side state for you.
+///
+/// # Errors
+/// Same as [`connect`].
+pub fn connect_with_token(
+    addr: SocketAddr,
+    workload: &str,
+    opts: &SessionOptions,
+    ot_token: u64,
+) -> Result<Connection, ClientError> {
     opts.validate()?;
     let mut main = connect_socket(addr, opts)?;
     main.send(
         &Message::ServiceRequest {
             shards: opts.shards as u8,
             instances: opts.instances as u16,
+            ot_token,
             workload: workload.to_string(),
         }
         .encode(),
     )?;
-    let session = match Message::decode(&main.recv()?)? {
-        Message::ServiceAccept { session } => session,
+    let (session, resumed) = match Message::decode(&main.recv()?)? {
+        Message::ServiceAccept { session, resumed } => (session, resumed),
         Message::ServiceReject { reason } => return Err(ClientError::Rejected(reason)),
         _ => {
             return Err(ClientError::Proto(ProtoError::Malformed(
@@ -262,6 +322,7 @@ pub fn connect(
     }
     Ok(Connection {
         session,
+        resumed,
         main,
         shard_chs,
     })
@@ -352,17 +413,32 @@ pub fn run_session_with_retry(
 /// # Errors
 /// Protocol failures from the drive.
 pub fn drive(
+    conn: Connection,
+    wl: &workload::Workload,
+    opts: &SessionOptions,
+) -> Result<SessionRun, ClientError> {
+    let mut prg = Prg::from_entropy();
+    let mut ot = opts.ot.receiver(opts.ot_config, &mut prg);
+    drive_with_ot(conn, wl, opts, ot.as_mut())
+}
+
+/// [`drive`] with a caller-supplied OT endpoint — the seam
+/// [`run_session_resumed`] uses to thread resumable receiver state
+/// through a session.
+///
+/// # Errors
+/// Protocol failures from the drive.
+pub fn drive_with_ot(
     mut conn: Connection,
     wl: &workload::Workload,
     opts: &SessionOptions,
+    ot: &mut dyn OtReceiver,
 ) -> Result<SessionRun, ClientError> {
     let shard_chs: Vec<Box<dyn Channel>> = conn
         .shard_chs
         .into_iter()
         .map(|c| Box::new(c) as Box<dyn Channel>)
         .collect();
-    let mut prg = Prg::from_entropy();
-    let mut ot = opts.ot.receiver(&mut prg);
     let outcome = drive_evaluator(
         &wl.circuit,
         &wl.bobs,
@@ -370,7 +446,7 @@ pub fn drive(
         wl.cycles,
         &mut conn.main,
         shard_chs,
-        ot.as_mut(),
+        ot,
         opts,
     )
     .map_err(ClientError::Protocol)?;
@@ -378,6 +454,44 @@ pub fn drive(
         session: conn.session,
         outcome,
     })
+}
+
+/// [`run_session`] with base-OT reuse: the first call under a token
+/// pays one Naor–Pinkas setup, every later call extends the banked
+/// IKNP state — same outputs, a fraction of the setup cost.
+///
+/// `resume.state` is updated in place: banked on success, cleared on
+/// failure (mirroring the service, which drops its side of a failed
+/// session's state). With [`OtBackend::Insecure`] or token 0 this is
+/// plain [`run_session`].
+///
+/// # Errors
+/// Everything [`run_session`] can raise, plus
+/// [`ClientError::ResumeDesync`] when the service banked state this
+/// client no longer holds.
+pub fn run_session_resumed(
+    addr: SocketAddr,
+    workload: &str,
+    opts: &SessionOptions,
+    resume: &mut OtResume,
+) -> Result<SessionRun, ClientError> {
+    if opts.ot != OtBackend::NaorPinkasIknp || resume.token == 0 {
+        return run_session(addr, workload, opts);
+    }
+    let wl = workload::resolve(workload, opts.instances)
+        .ok_or_else(|| ClientError::UnknownWorkload(workload.to_string()))?;
+    let conn = connect_with_token(addr, workload, opts, resume.token)?;
+    let mut prg = Prg::from_entropy();
+    let mut rcv = match (conn.resumed, resume.state.take()) {
+        (true, Some(state)) => ResumableOtReceiver::resume(state, &mut prg),
+        (true, None) => return Err(ClientError::ResumeDesync),
+        // Not resumed: the service lost or evicted its side, so any
+        // stale local state is dropped and both ends set up fresh.
+        (false, _) => ResumableOtReceiver::fresh(opts.ot_config, &mut prg),
+    };
+    let run = drive_with_ot(conn, &wl, opts, &mut rcv)?;
+    resume.state = rcv.into_state();
+    Ok(run)
 }
 
 #[cfg(test)]

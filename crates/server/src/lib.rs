@@ -42,8 +42,8 @@ pub mod service;
 pub mod workload;
 
 pub use client::{
-    connect, connect_with_retry, run_session, run_session_with_retry, ClientError, Connection,
-    RetryPolicy, SessionRun,
+    connect, connect_with_retry, connect_with_token, run_session, run_session_resumed,
+    run_session_with_retry, ClientError, Connection, OtResume, RetryPolicy, SessionRun,
 };
 pub use error::{FailureReason, SessionError};
 pub use metrics::{Metrics, MetricsSnapshot};

@@ -33,6 +33,9 @@ pub struct Metrics {
     failed_other: AtomicU64,
     rejected_attach_timeout: AtomicU64,
     rejected_preamble_timeout: AtomicU64,
+    ot_base_setups: AtomicU64,
+    ot_extended: AtomicU64,
+    ot_cache_evicted: AtomicU64,
     tables_sent: AtomicU64,
     table_bytes_sent: AtomicU64,
     job_queue_depth: AtomicU64,
@@ -79,6 +82,17 @@ pub struct MetricsSnapshot {
     /// within the preamble deadline. Counted inside
     /// [`sessions_rejected`](Self::sessions_rejected).
     pub rejected_preamble_timeout: u64,
+    /// Naor–Pinkas base-OT setups paid across all sessions. With base-OT
+    /// reuse, N sequential sessions from one client under one resume
+    /// token cost exactly 1.
+    pub ot_base_setups: u64,
+    /// OTs served by IKNP extension across all sessions (fresh or
+    /// resumed columns). Counts transferred labels, so it is a pure
+    /// function of the workloads run.
+    pub ot_extended: u64,
+    /// Cached OT resume states the reaper evicted at their deadline
+    /// (abandoned tokens releasing their slot).
+    pub ot_cache_evicted: u64,
     /// Garbled tables sent across all completed sessions.
     pub tables_sent: u64,
     /// Bytes of garbled tables across all completed sessions.
@@ -110,6 +124,9 @@ impl Metrics {
             failed_other: self.failed_other.load(Ordering::SeqCst),
             rejected_attach_timeout: self.rejected_attach_timeout.load(Ordering::SeqCst),
             rejected_preamble_timeout: self.rejected_preamble_timeout.load(Ordering::SeqCst),
+            ot_base_setups: self.ot_base_setups.load(Ordering::SeqCst),
+            ot_extended: self.ot_extended.load(Ordering::SeqCst),
+            ot_cache_evicted: self.ot_cache_evicted.load(Ordering::SeqCst),
             tables_sent: self.tables_sent.load(Ordering::SeqCst),
             table_bytes_sent: self.table_bytes_sent.load(Ordering::SeqCst),
             job_queue_depth: self.job_queue_depth.load(Ordering::SeqCst),
@@ -178,6 +195,19 @@ impl Metrics {
     pub(crate) fn parked_shutdown(&self) {
         self.sessions_failed.fetch_add(1, Ordering::SeqCst);
         self.failed_shutdown.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Books one session's OT activity: base setups paid and OTs
+    /// extended. Recorded whether the session completed or failed, so
+    /// the counters are a pure function of the request sequence.
+    pub(crate) fn ot_session(&self, base_setups: u64, extended: u64) {
+        self.ot_base_setups.fetch_add(base_setups, Ordering::SeqCst);
+        self.ot_extended.fetch_add(extended, Ordering::SeqCst);
+    }
+
+    /// Cached OT resume states evicted at their deadline.
+    pub(crate) fn ot_evicted(&self, count: u64) {
+        self.ot_cache_evicted.fetch_add(count, Ordering::SeqCst);
     }
 
     /// Raises the send-queue high-water mark to at least `depth`.
@@ -251,5 +281,17 @@ mod tests {
         m.note_send_queue_depth(5);
         m.note_send_queue_depth(2);
         assert_eq!(m.snapshot().send_queue_high_water, 5);
+    }
+
+    #[test]
+    fn ot_books_accumulate() {
+        let m = Metrics::default();
+        m.ot_session(1, 96); // first session: setup + extension
+        m.ot_session(0, 96); // resumed session: extension only
+        m.ot_evicted(2);
+        let s = m.snapshot();
+        assert_eq!(s.ot_base_setups, 1);
+        assert_eq!(s.ot_extended, 192);
+        assert_eq!(s.ot_cache_evicted, 2);
     }
 }

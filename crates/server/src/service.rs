@@ -49,7 +49,8 @@ use arm2gc_circuit::ScheduleMode;
 use arm2gc_comm::{Channel, ChannelError, TcpChannel};
 use arm2gc_core::{drive_garbler, SessionOptions, SkipGateStats};
 use arm2gc_crypto::Prg;
-use arm2gc_proto::{Message, OtBackend, StreamConfig};
+use arm2gc_ot::OtSender;
+use arm2gc_proto::{Message, OtBackend, OtConfig, OtSenderState, ResumableOtSender, StreamConfig};
 use threadpool::ThreadPool;
 
 use crate::error::SessionError;
@@ -76,6 +77,14 @@ pub struct ServiceConfig {
     /// OT stack every session uses (out-of-band configuration: clients
     /// must drive with the same backend).
     pub ot: OtBackend,
+    /// Base-OT group for [`OtBackend::NaorPinkasIknp`] sessions
+    /// (default: the production 1279-bit group). Clients must use the
+    /// same group — element widths are group constants.
+    pub ot_config: OtConfig,
+    /// How long a cached base-OT resume state may sit unused before the
+    /// reaper evicts it (default 300 s). `None` caches forever — every
+    /// abandoned token then holds its state until shutdown.
+    pub ot_cache_timeout: Option<Duration>,
     /// Garbler-side table-streaming configuration.
     pub stream: StreamConfig,
     /// Execution schedule for single-lane sessions (transport-only —
@@ -105,6 +114,8 @@ impl Default for ServiceConfig {
             max_queued: 256,
             send_queue_frames: 64,
             ot: OtBackend::default(),
+            ot_config: OtConfig::default(),
+            ot_cache_timeout: Some(Duration::from_secs(300)),
             stream: StreamConfig::default(),
             schedule: ScheduleMode::default(),
             preamble_timeout: Some(Duration::from_secs(10)),
@@ -147,6 +158,21 @@ impl ServiceConfig {
     #[must_use]
     pub fn ot(mut self, ot: OtBackend) -> Self {
         self.ot = ot;
+        self
+    }
+
+    /// Selects the Naor–Pinkas base-OT group.
+    #[must_use]
+    pub fn ot_config(mut self, ot_config: OtConfig) -> Self {
+        self.ot_config = ot_config;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the OT resume-state eviction
+    /// deadline.
+    #[must_use]
+    pub fn ot_cache_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.ot_cache_timeout = timeout;
         self
     }
 
@@ -196,6 +222,22 @@ struct Pending {
     shard_streams: Vec<Option<TcpStream>>,
     /// When the reaper may expire this bundle (`None`: never).
     deadline: Option<Instant>,
+    /// The client's base-OT reuse token (0: none).
+    ot_token: u64,
+    /// Resume state checked out of the OT cache at accept time; rides
+    /// with the parked bundle and returns to the cache if the bundle
+    /// expires (it was never advanced).
+    ot_state: Option<OtSenderState>,
+}
+
+/// One cached IKNP extension state, keyed by (client token) in
+/// [`Shared::ot_cache`]. Checkout is exclusive: the entry is *removed*
+/// while its session runs, so a concurrent session reusing the token
+/// falls back to a fresh setup instead of forking the counter state.
+struct OtCacheEntry {
+    state: OtSenderState,
+    /// When the reaper may evict this entry (`None`: never).
+    deadline: Option<Instant>,
 }
 
 struct Shared {
@@ -203,6 +245,13 @@ struct Shared {
     metrics: Arc<Metrics>,
     records: Mutex<Vec<SessionRecord>>,
     pending: Mutex<HashMap<u64, Pending>>,
+    /// Base-OT reuse cache: client token → parked IKNP sender state.
+    ot_cache: Mutex<HashMap<u64, OtCacheEntry>>,
+    /// Per token, the newest session that checked the cache — the only
+    /// one whose state return is accepted. A slow teardown of an older
+    /// session must not clobber a newer session's banked state: the
+    /// IKNP counters would silently desync against the client's half.
+    ot_latest: Mutex<HashMap<u64, u64>>,
     next_session: AtomicU64,
     shutdown: AtomicBool,
     /// Set while [`GarblerService::shutdown_drain`] runs: new requests
@@ -238,6 +287,9 @@ impl Shared {
                 SessionError::Shutdown => self.metrics.parked_shutdown(),
                 _ => self.metrics.attach_expired(),
             }
+            // The bundle never ran, so its checked-out OT state was
+            // never advanced — hand it back to the cache.
+            self.return_ot_state(entry.ot_token, session, entry.ot_state);
             // Tell the waiting client why before the sockets drop.
             if let Ok(mut ch) = TcpChannel::from_stream(entry.main) {
                 let _ = ch.send(
@@ -256,6 +308,60 @@ impl Shared {
             });
         }
         count
+    }
+
+    /// Removes and returns the cached OT state for `token` (exclusive
+    /// checkout; expired entries are not handed out), and records
+    /// `session` as the token's newest tenant — from here on, only its
+    /// state return is accepted.
+    fn checkout_ot(&self, token: u64, session: u64) -> Option<OtSenderState> {
+        self.ot_latest.lock().unwrap().insert(token, session);
+        let mut cache = self.ot_cache.lock().unwrap();
+        let entry = cache.remove(&token)?;
+        if entry.deadline.is_some_and(|d| d <= Instant::now()) {
+            // Overdue but not yet reaped: evict instead of resuming.
+            drop(cache);
+            self.metrics.ot_evicted(1);
+            return None;
+        }
+        Some(entry.state)
+    }
+
+    /// Parks `state` (if any) back in the cache under `token` with a
+    /// refreshed eviction deadline — but only from the token's newest
+    /// session. A stale return (an older same-token session whose
+    /// teardown outlived a newer accept) is dropped on the floor:
+    /// caching it would desync the next resume against the client's
+    /// banked receiver counters.
+    fn return_ot_state(&self, token: u64, session: u64, state: Option<OtSenderState>) {
+        let Some(state) = state else { return };
+        if token == 0 {
+            return;
+        }
+        if self.ot_latest.lock().unwrap().get(&token) != Some(&session) {
+            return;
+        }
+        let deadline = self.config.ot_cache_timeout.map(|t| Instant::now() + t);
+        self.ot_cache
+            .lock()
+            .unwrap()
+            .insert(token, OtCacheEntry { state, deadline });
+    }
+
+    /// Evicts every cached OT state past its deadline. Returns the
+    /// number evicted.
+    fn evict_ot_cache(&self) -> usize {
+        let now = Instant::now();
+        let evicted = {
+            let mut cache = self.ot_cache.lock().unwrap();
+            let before = cache.len();
+            cache.retain(|_, e| !e.deadline.is_some_and(|d| d <= now));
+            before - cache.len()
+        };
+        if evicted > 0 {
+            self.metrics.ot_evicted(evicted as u64);
+        }
+        evicted
     }
 }
 
@@ -290,6 +396,8 @@ impl GarblerService {
             metrics: Arc::new(Metrics::default()),
             records: Mutex::new(Vec::new()),
             pending: Mutex::new(HashMap::new()),
+            ot_cache: Mutex::new(HashMap::new()),
+            ot_latest: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
@@ -422,6 +530,7 @@ fn reaper_loop(shared: &Arc<Shared>) {
         }
         drop(stop);
         shared.expire_pending(false, SessionError::AttachTimeout);
+        shared.evict_ot_cache();
         stop = shared.reaper_stop.lock().unwrap();
     }
 }
@@ -454,8 +563,11 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         Ok(Message::ServiceRequest {
             shards,
             instances,
+            ot_token,
             workload,
-        }) => handle_request(shared, stream, &mut pre, shards, instances, workload),
+        }) => handle_request(
+            shared, stream, &mut pre, shards, instances, ot_token, workload,
+        ),
         Ok(Message::ServiceAttach { session, shard }) => {
             handle_attach(shared, stream, &mut pre, session, shard);
         }
@@ -474,6 +586,7 @@ fn handle_request(
     pre: &mut TcpChannel,
     shards: u8,
     instances: u16,
+    ot_token: u64,
     workload: String,
 ) {
     if shared.draining.load(Ordering::SeqCst) {
@@ -497,6 +610,16 @@ fn handle_request(
         );
     }
     let session = shared.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+    // Checkout happens after every reject gate, so a rejected request
+    // never pulls a cached state out of circulation. Exclusive: a
+    // concurrent session on the same token finds the slot empty and
+    // pays a fresh setup instead of forking the counter state.
+    let ot_state = if ot_token != 0 && shared.config.ot == OtBackend::NaorPinkasIknp {
+        shared.checkout_ot(ot_token, session)
+    } else {
+        None
+    };
+    let resumed = ot_state.is_some();
     let shard_count = shards as usize;
     if shard_count > 1 {
         // Park until every shard sub-stream attaches (or the reaper
@@ -511,21 +634,28 @@ fn handle_request(
                 main: stream,
                 shard_streams: (0..shard_count).map(|_| None).collect(),
                 deadline: shared.config.attach_timeout.map(|t| Instant::now() + t),
+                ot_token,
+                ot_state,
             },
         );
         if pre
-            .send(&Message::ServiceAccept { session }.encode())
+            .send(&Message::ServiceAccept { session, resumed }.encode())
             .is_err()
         {
-            shared.pending.lock().unwrap().remove(&session);
+            if let Some(entry) = shared.pending.lock().unwrap().remove(&session) {
+                shared.return_ot_state(entry.ot_token, session, entry.ot_state);
+            }
             return;
         }
         shared.metrics.session_accepted();
     } else {
         if pre
-            .send(&Message::ServiceAccept { session }.encode())
+            .send(&Message::ServiceAccept { session, resumed }.encode())
             .is_err()
         {
+            // The client never saw the accept; its next request should
+            // still find the cached state.
+            shared.return_ot_state(ot_token, session, ot_state);
             return;
         }
         shared.metrics.session_accepted();
@@ -537,6 +667,8 @@ fn handle_request(
             instances as usize,
             stream,
             Vec::new(),
+            ot_token,
+            ot_state,
         );
     }
 }
@@ -579,10 +711,13 @@ fn handle_attach(
             entry.instances,
             entry.main,
             entry.shard_streams.into_iter().flatten().collect(),
+            entry.ot_token,
+            entry.ot_state,
         );
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn enqueue(
     shared: &Arc<Shared>,
     session: u64,
@@ -591,6 +726,8 @@ fn enqueue(
     instances: usize,
     main: TcpStream,
     shard_streams: Vec<TcpStream>,
+    ot_token: u64,
+    ot_state: Option<OtSenderState>,
 ) {
     shared.metrics.job_queued();
     let job_shared = Arc::clone(shared);
@@ -603,10 +740,13 @@ fn enqueue(
             instances,
             main,
             shard_streams,
+            ot_token,
+            ot_state,
         );
     });
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     shared: &Arc<Shared>,
     session: u64,
@@ -615,10 +755,25 @@ fn run_session(
     instances: usize,
     main: TcpStream,
     shard_streams: Vec<TcpStream>,
+    ot_token: u64,
+    ot_state: Option<OtSenderState>,
 ) {
     shared.metrics.job_started();
     let cap = shared.config.send_queue_frames;
     let io_timeout = shared.config.io_timeout;
+    let mut prg = Prg::from_entropy();
+    // The OT endpoint lives outside the session closure so its
+    // extension state and setup counters survive the run — booked into
+    // metrics either way, returned to the cache only on success (a
+    // failed session may have desynced the peer's counters mid-batch).
+    let mut np_sender = match shared.config.ot {
+        OtBackend::NaorPinkasIknp => Some(match ot_state {
+            Some(state) => ResumableOtSender::resume(state, &mut prg),
+            None => ResumableOtSender::fresh(shared.config.ot_config, &mut prg),
+        }),
+        _ => None,
+    };
+    let np_ref = np_sender.as_mut();
     let result = (|| -> Result<Vec<SkipGateStats>, SessionError> {
         let wl = workload::resolve(&workload, instances)
             .ok_or_else(|| SessionError::Workload(workload.clone()))?;
@@ -626,6 +781,7 @@ fn run_session(
             .shards(shards)
             .instances(instances)
             .ot(shared.config.ot)
+            .ot_config(shared.config.ot_config)
             .stream(shared.config.stream)
             .schedule(shared.config.schedule)
             .io_timeout(io_timeout);
@@ -647,8 +803,14 @@ fn run_session(
             })
             .collect::<io::Result<Vec<_>>>()
             .map_err(|e| SessionError::Io(e.kind()))?;
-        let mut prg = Prg::from_entropy();
-        let mut ot = opts.ot.sender(&mut prg);
+        let mut insecure;
+        let ot: &mut dyn OtSender = match np_ref {
+            Some(snd) => snd,
+            None => {
+                insecure = opts.ot.sender(opts.ot_config, &mut prg);
+                insecure.as_mut()
+            }
+        };
         let outcome = drive_garbler(
             &wl.circuit,
             &wl.alices,
@@ -656,12 +818,18 @@ fn run_session(
             wl.cycles,
             &mut main_ch,
             shard_chs,
-            ot.as_mut(),
+            ot,
             &mut prg,
             &opts,
         )?;
         Ok(outcome.lanes.iter().map(|l| l.stats).collect())
     })();
+    if let Some(snd) = np_sender {
+        shared.metrics.ot_session(snd.base_setups(), snd.extended());
+        if result.is_ok() {
+            shared.return_ot_state(ot_token, session, snd.into_state());
+        }
+    }
     match &result {
         Ok(stats) => {
             let tables: u64 = stats.iter().map(|s| s.garbled_tables).sum();

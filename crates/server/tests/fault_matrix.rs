@@ -128,7 +128,7 @@ fn run_faulted_session(
             .map(|c| Box::new(c) as Box<dyn Channel>)
             .collect();
         let mut prg = Prg::from_entropy();
-        let mut ot = opts.ot.receiver(&mut prg);
+        let mut ot = opts.ot.receiver(opts.ot_config, &mut prg);
         let _ = arm2gc_core::drive_evaluator(
             &wl.circuit,
             &wl.bobs,
@@ -306,6 +306,7 @@ fn parked_sessions_expire_at_the_attach_deadline() {
             &Message::ServiceRequest {
                 shards: 2,
                 instances: 1,
+                ot_token: 0,
                 workload: "sum32:1".into(),
             }
             .encode(),
@@ -369,6 +370,7 @@ fn shutdown_drains_active_sessions_and_discards_parked_ones() {
             &Message::ServiceRequest {
                 shards: 2,
                 instances: 1,
+                ot_token: 0,
                 workload: "sum32:1".into(),
             }
             .encode(),

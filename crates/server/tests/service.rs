@@ -183,6 +183,7 @@ fn invalid_requests_get_typed_rejections() {
             Message::ServiceRequest {
                 shards,
                 instances,
+                ot_token: 0,
                 workload: workload.to_string(),
             }
             .encode(),

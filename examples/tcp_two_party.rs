@@ -38,7 +38,7 @@ use arm2gc::circuit::sim::{PartyData, Simulator};
 use arm2gc::comm::{Channel, TcpChannel};
 use arm2gc::core::{
     run_skipgate_evaluator_instanced, run_skipgate_evaluator_sharded,
-    run_skipgate_garbler_instanced, run_skipgate_garbler_sharded, OtBackend, ShardConfig,
+    run_skipgate_garbler_instanced, run_skipgate_garbler_sharded, OtBackend, OtConfig, ShardConfig,
     SkipGateOptions, SkipGateOutcome,
 };
 use arm2gc::crypto::Prg;
@@ -74,7 +74,7 @@ fn check_against_simulator(who: &str, bc: &BenchCircuit, outcome: &SkipGateOutco
 fn run_garbler(mut ch: TcpChannel, shard_chs: Vec<Box<dyn Channel>>, shards: ShardConfig) {
     let bc = workload();
     let mut prg = Prg::from_entropy();
-    let mut ot = OtBackend::NaorPinkasIknp.sender(&mut prg);
+    let mut ot = OtBackend::NaorPinkasIknp.sender(OtConfig::TEST, &mut prg);
     let outcome = run_skipgate_garbler_sharded(
         &bc.circuit,
         &bc.alice,
@@ -126,7 +126,7 @@ fn run_garbler_instanced(
     let alices: Vec<PartyData> = lanes.iter().map(|bc| bc.alice.clone()).collect();
     let publics: Vec<PartyData> = lanes.iter().map(|bc| bc.public.clone()).collect();
     let mut prg = Prg::from_entropy();
-    let mut ot = OtBackend::NaorPinkasIknp.sender(&mut prg);
+    let mut ot = OtBackend::NaorPinkasIknp.sender(OtConfig::TEST, &mut prg);
     let outcome = run_skipgate_garbler_instanced(
         &lanes[0].circuit,
         &alices,
@@ -179,7 +179,7 @@ fn run_evaluator_instanced(addr: &str, shards: ShardConfig, instances: usize) {
     let bobs: Vec<PartyData> = lanes.iter().map(|bc| bc.bob.clone()).collect();
     let publics: Vec<PartyData> = lanes.iter().map(|bc| bc.public.clone()).collect();
     let mut prg = Prg::from_entropy();
-    let mut ot = OtBackend::NaorPinkasIknp.receiver(&mut prg);
+    let mut ot = OtBackend::NaorPinkasIknp.receiver(OtConfig::TEST, &mut prg);
     let outcome = run_skipgate_evaluator_instanced(
         &lanes[0].circuit,
         &bobs,
@@ -204,7 +204,7 @@ fn run_evaluator(addr: &str, shards: ShardConfig) {
     let mut ch = TcpChannel::connect(addr).expect("connect to garbler");
     let shard_chs = connect_shards(addr, shards);
     let mut prg = Prg::from_entropy();
-    let mut ot = OtBackend::NaorPinkasIknp.receiver(&mut prg);
+    let mut ot = OtBackend::NaorPinkasIknp.receiver(OtConfig::TEST, &mut prg);
     let outcome = run_skipgate_evaluator_sharded(
         &bc.circuit,
         &bc.bob,
